@@ -1,0 +1,86 @@
+"""E1 / Figure 1 — the five technology curves, 2002-2010.
+
+Keynote claim: "we will examine current projections of device technology
+to anticipate the performance, capacity, power, size, and cost curves of
+future commodity clusters" and clusters "continue to track Moore's
+exponential growth in peak performance and storage capacity".
+
+Regenerates: per-node peak GFLOPS, memory capacity, $/GFLOPS, W/GFLOPS
+and GFLOPS/rack-U for each scenario, 2003-2010, and asserts exponential
+shape (straight in log space) with the scenario ordering.
+"""
+
+import numpy as np
+
+from repro.analysis import ExperimentReport, Series, Table
+from repro.tech import SCENARIOS, get_scenario, technology_curve
+
+YEARS = np.arange(2003.0, 2011.0, 1.0)
+
+CURVES = [
+    ("node_peak_flops", "peak FLOPS/node", False),
+    ("node_memory_bytes", "DRAM bytes/node", False),
+    ("dollars_per_flops", "$/FLOPS", True),
+    ("watts_per_flops", "W/FLOPS", True),
+    ("flops_per_rack_unit", "FLOPS/rack-U", False),
+]
+
+
+def compute_curves():
+    """All five curves for all three scenarios."""
+    data = {}
+    for scenario in SCENARIOS:
+        roadmap = get_scenario(scenario)
+        data[scenario] = {
+            quantity: technology_curve(roadmap, quantity, YEARS)
+            for quantity, _label, _falling in CURVES
+        }
+    return data
+
+
+def test_e01_tech_curves(benchmark, show):
+    data = benchmark(compute_curves)
+
+    report = ExperimentReport(
+        "E1 / Fig. 1", "Technology curves of future commodity clusters",
+        "performance, capacity, power, size, and cost all move "
+        "exponentially; peak tracks Moore",
+    )
+    nominal = data["nominal"]
+    formats = {label: "{:.3g}" for _q, label, _f in CURVES}
+    formats["year"] = "{:.0f}"
+    table = Table(["year"] + [label for _q, label, _f in CURVES],
+                  formats=formats, title="nominal scenario")
+    for index, year in enumerate(YEARS):
+        table.add_row([year] + [nominal[q][index] for q, _l, _f in CURVES])
+    report.add_table(table)
+
+    peak_series = [
+        Series(name, x=list(YEARS),
+               y=list(data[name]["node_peak_flops"] / 1e9))
+        for name in ("conservative", "nominal", "aggressive")
+    ]
+    report.add_series(peak_series, x_label="year",
+                      title="peak GFLOPS/node by scenario")
+
+    # Shape claims -----------------------------------------------------
+    for scenario, curves in data.items():
+        for quantity, _label, falling in CURVES:
+            values = curves[quantity]
+            # Monotone in the claimed direction...
+            deltas = np.diff(values)
+            assert np.all(deltas < 0) if falling else np.all(deltas > 0), \
+                f"{scenario}/{quantity} not monotone"
+            # ...and exponential: log-space second differences vanish
+            # (piecewise curves get slack for their breakpoint).
+            curvature = np.diff(np.log(values), n=2)
+            assert np.abs(curvature).max() < 0.5, \
+                f"{scenario}/{quantity} not near-exponential"
+
+    # Nominal peak doubles every ~18 months => 2010/2003 ratio ~ 2^(7/1.5).
+    growth = nominal["node_peak_flops"][-1] / nominal["node_peak_flops"][0]
+    assert 2 ** (7 / 1.5) * 0.8 < growth < 2 ** (7 / 1.5) * 1.2
+    report.add_note(f"nominal peak grows {growth:.0f}x over 2003-2010 "
+                    "(18-month doubling); $/FLOPS and W/FLOPS fall the "
+                    "whole decade — the keynote's five curves hold shape")
+    show(report)

@@ -1,0 +1,91 @@
+"""E2 / Table 1 — when does a commodity budget buy a petaflops?
+
+Keynote claim: commodity clusters are headed "toward the trans-Petaflops
+performance regime" within the decade.
+
+Regenerates: for each scenario x budget, the first year a budget-sized
+cluster's *peak* crosses 1 PFLOPS (solved on the cost model, bisected on
+the calendar), plus the node count at crossing.  Shape assertions: the
+crossing exists this side of 2015 for realistic national-lab budgets, is
+earlier under faster scenarios, and earlier with bigger budgets.
+"""
+
+from repro.analysis import ExperimentReport, Table
+from repro.cluster import cluster_metrics, design_to_budget
+from repro.tech import SCENARIOS, get_scenario
+
+BUDGETS = [5e6, 20e6, 100e6]
+TARGET = 1e15
+LAST_YEAR = 2020.0
+
+
+def year_of_crossing(roadmap, budget):
+    """First (fractional) year `budget` buys >= 1 PFLOPS peak, by
+    bisection on the (monotone-in-year) budget designer."""
+    def peak_at(year):
+        spec = design_to_budget(budget, roadmap, year, "conventional")
+        return spec.peak_flops, spec
+
+    low, high = 2003.0, LAST_YEAR
+    if peak_at(high)[0] < TARGET:
+        return None, None
+    for _ in range(40):
+        mid = (low + high) / 2.0
+        if peak_at(mid)[0] >= TARGET:
+            high = mid
+        else:
+            low = mid
+    return high, peak_at(high)[1]
+
+
+def compute_crossings():
+    rows = {}
+    for scenario in ("conservative", "nominal", "aggressive"):
+        roadmap = get_scenario(scenario)
+        for budget in BUDGETS:
+            year, spec = year_of_crossing(roadmap, budget)
+            rows[(scenario, budget)] = (year, spec)
+    return rows
+
+
+def test_e02_petaflops_crossing(benchmark, show):
+    rows = benchmark.pedantic(compute_crossings, rounds=1, iterations=1)
+
+    report = ExperimentReport(
+        "E2 / Tab. 1", "Year of the first commodity petaflops (peak)",
+        "the trans-Petaflops regime is reached this decade-ish, budget "
+        "and scenario dependent",
+    )
+    table = Table(["scenario", "budget", "crossing year", "nodes",
+                   "MW at crossing"],
+                  formats={"budget": lambda b: f"${b/1e6:.0f}M",
+                           "crossing year": "{:.1f}",
+                           "MW at crossing": "{:.1f}"})
+    for (scenario, budget), (year, spec) in sorted(
+            rows.items(), key=lambda kv: (kv[0][0], kv[0][1])):
+        if year is None:
+            table.add_row([scenario, budget, float("nan"), 0, float("nan")])
+            continue
+        metrics = cluster_metrics(spec)
+        table.add_row([scenario, budget, year, spec.node_count,
+                       metrics.total_watts / 1e6])
+    report.add_table(table)
+
+    # Shape claims -----------------------------------------------------
+    for budget in BUDGETS:
+        years = {s: rows[(s, budget)][0] for s in SCENARIOS
+                 if rows[(s, budget)][0] is not None}
+        if {"conservative", "nominal", "aggressive"} <= set(years):
+            assert (years["aggressive"] < years["nominal"]
+                    < years["conservative"])
+    nominal_years = [rows[("nominal", b)][0] for b in BUDGETS]
+    assert all(y is not None for y in nominal_years)
+    assert nominal_years == sorted(nominal_years, reverse=True)  # $$ helps
+    # A $100M aggressive machine crosses within the keynote's decade; the
+    # nominal one lands at the decade's edge.
+    assert rows[("aggressive", 100e6)][0] < 2010.0
+    assert rows[("nominal", 100e6)][0] < 2012.0
+    report.add_note("crossing-year ordering: bigger budgets and faster "
+                    "scenarios cross first; the 2008 Roadrunner petaflops "
+                    "(~$100M class) brackets the nominal prediction")
+    show(report)

@@ -1,0 +1,96 @@
+"""E3 / Table 2 — the revolutionary node structures, head to head.
+
+Keynote claim: "Perhaps of more impact are the changes anticipated in
+hardware architecture including blade technology, system and SMP on a
+chip, [and] processor in memory architecture".
+
+Regenerates: a 2006 node-architecture comparison table — attainable
+GFLOPS on the reference kernels (roofline), plus GFLOPS/W, GFLOPS/$ and
+GFLOPS/rack-U.  Shape assertions encode who is supposed to win what:
+PIM on memory-bound kernels, conventional/SMP on raw compute, SoC on
+efficiency, blade on density.
+"""
+
+from repro.analysis import ExperimentReport, Table
+from repro.nodes import REFERENCE_KERNELS, RooflineModel, node_family
+from repro.tech import get_scenario
+
+YEAR = 2006.0
+
+
+def compute_comparison():
+    roadmap = get_scenario("nominal")
+    family = node_family(roadmap, YEAR)
+    rows = []
+    for node in family:
+        model = RooflineModel(node)
+        attainable = {kernel.name: model.attainable_flops(kernel)
+                      for kernel in REFERENCE_KERNELS}
+        rows.append({
+            "node": node,
+            "attainable": attainable,
+            "gflops_per_watt": node.flops_per_watt / 1e9,
+            "gflops_per_dollar": node.flops_per_dollar / 1e9,
+            "gflops_per_u": node.peak_flops / node.rack_units / 1e9,
+        })
+    return rows
+
+
+def test_e03_node_architectures(benchmark, show):
+    rows = benchmark(compute_comparison)
+    by_arch = {row["node"].architecture: row for row in rows}
+
+    report = ExperimentReport(
+        "E3 / Tab. 2", f"Node architectures, {YEAR:.0f} roadmap point",
+        "blades, SoC and PIM each win a different figure of merit; no "
+        "architecture dominates",
+    )
+    kernel_names = [k.name for k in REFERENCE_KERNELS]
+    table = Table(["arch", "peak GF", "balance F/B"] +
+                  [f"{k} GF" for k in kernel_names],
+                  formats={"peak GF": "{:.1f}", "balance F/B": "{:.2f}",
+                           **{f"{k} GF": "{:.2f}" for k in kernel_names}})
+    for row in rows:
+        node = row["node"]
+        table.add_row([node.architecture, node.peak_flops / 1e9,
+                       node.machine_balance] +
+                      [row["attainable"][k] / 1e9 for k in kernel_names])
+    report.add_table(table)
+
+    efficiency = Table(["arch", "GFLOPS/W", "GFLOPS/k$", "GFLOPS/rack-U"],
+                       formats={"GFLOPS/W": "{:.3f}",
+                                "GFLOPS/k$": "{:.1f}",
+                                "GFLOPS/rack-U": "{:.1f}"},
+                       title="efficiency figures of merit")
+    for row in rows:
+        efficiency.add_row([row["node"].architecture,
+                            row["gflops_per_watt"],
+                            row["gflops_per_dollar"] * 1e3,
+                            row["gflops_per_u"]])
+    report.add_table(efficiency)
+
+    # Shape claims -----------------------------------------------------
+    # PIM dominates every memory-bound kernel...
+    for kernel in ("stream_triad", "spmv", "stencil27"):
+        best = max(by_arch, key=lambda a: by_arch[a]["attainable"][kernel])
+        assert best == "pim", f"{kernel} won by {best}, expected pim"
+    # ...but loses blocked DGEMM to the fat architectures.
+    assert (by_arch["smp"]["attainable"]["dgemm_blocked"]
+            > by_arch["pim"]["attainable"]["dgemm_blocked"])
+    # SoC wins performance/watt; blade and SoC beat conventional density.
+    assert by_arch["soc"]["gflops_per_watt"] == max(
+        r["gflops_per_watt"] for r in rows)
+    assert by_arch["blade"]["gflops_per_u"] > by_arch["conventional"]["gflops_per_u"]
+    assert by_arch["soc"]["gflops_per_u"] > by_arch["conventional"]["gflops_per_u"]
+    # SMP has the highest absolute peak; the non-commodity parts (SMP,
+    # PIM) pay for it in cost efficiency vs thin commodity nodes.
+    assert by_arch["smp"]["node"].peak_flops == max(
+        r["node"].peak_flops for r in rows)
+    for premium_arch in ("smp", "pim"):
+        assert (by_arch[premium_arch]["gflops_per_dollar"]
+                < by_arch["conventional"]["gflops_per_dollar"])
+    report.add_note("no dominator: PIM takes all memory-bound kernels, "
+                    "SMP takes raw peak, SoC takes GFLOPS/W, blade/SoC "
+                    "take density, thin nodes take GFLOPS/$ — exactly the "
+                    "keynote's 'revolutionary structures' diversification")
+    show(report)

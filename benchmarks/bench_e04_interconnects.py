@@ -1,0 +1,103 @@
+"""E4 / Figure 2 — interconnect microbenchmarks across the generations.
+
+Keynote claim: "anticipated advances in networking including Infiniband
+and optical switching" are a defining force.
+
+Regenerates: ping-pong half-round-trip latency vs message size and
+effective bandwidth vs message size, for every catalog technology —
+measured in the simulator (not from the closed form), so the messaging
+stack and fabric are on the measurement path.  Shape assertions: the
+latency/bandwidth generation ordering and the n_1/2 startup-cost pattern.
+"""
+
+import numpy as np
+
+from repro.analysis import ExperimentReport, Series
+from repro.messaging import run_spmd
+from repro.network import INTERCONNECTS
+
+SIZES = [0, 64, 1024, 16 * 1024, 256 * 1024, 4 * 1024 * 1024]
+REPS = 5
+
+TECHNOLOGIES = ["fast_ethernet", "gigabit_ethernet", "myrinet_2000",
+                "infiniband_1x", "infiniband_4x", "infiniband_12x",
+                "optical_circuit"]
+
+
+def pingpong(comm, nbytes, reps):
+    payload = np.zeros(nbytes, dtype=np.uint8)
+    # Warm-up round establishes optical circuits outside the timing.
+    yield from comm.sendrecv(payload, 1 - comm.rank)
+    start = comm.sim.now
+    for _ in range(reps):
+        if comm.rank == 0:
+            yield from comm.send(payload, 1, tag=1)
+            payload = yield from comm.recv(1, tag=2)
+        else:
+            payload = yield from comm.recv(0, tag=1)
+            yield from comm.send(payload, 0, tag=2)
+    return (comm.sim.now - start) / (2 * reps)
+
+
+def measure_all():
+    """half-RTT[technology][size] in seconds."""
+    results = {}
+    for technology in TECHNOLOGIES:
+        per_size = {}
+        for nbytes in SIZES:
+            outcome = run_spmd(2, pingpong, nbytes, REPS,
+                               technology=technology)
+            per_size[nbytes] = outcome.results[0]
+        results[technology] = per_size
+    return results
+
+
+def test_e04_interconnects(benchmark, show):
+    results = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+
+    report = ExperimentReport(
+        "E4 / Fig. 2", "Ping-pong across the interconnect generations",
+        "each networking generation (GigE -> Myrinet -> InfiniBand 1x/4x/"
+        "12x -> optical) cuts latency and multiplies bandwidth",
+    )
+    latency_series = [
+        Series(tech, x=[float(s) for s in SIZES],
+               y=[results[tech][s] * 1e6 for s in SIZES])
+        for tech in TECHNOLOGIES
+    ]
+    report.add_series(latency_series, x_label="bytes",
+                      title="half round trip (us)")
+    bandwidth_series = [
+        Series(tech, x=[float(s) for s in SIZES[1:]],
+               y=[s / results[tech][s] / 1e6 for s in SIZES[1:]])
+        for tech in TECHNOLOGIES
+    ]
+    report.add_series(bandwidth_series, x_label="bytes",
+                      title="effective bandwidth (MB/s)")
+
+    # Shape claims -----------------------------------------------------
+    # Zero-byte latency ordering: ethernet worst, modern fabrics in the
+    # single-digit-microsecond class.
+    zero = {tech: results[tech][0] for tech in TECHNOLOGIES}
+    assert zero["fast_ethernet"] > zero["gigabit_ethernet"] > zero["myrinet_2000"]
+    assert zero["infiniband_4x"] < 10e-6
+    assert zero["optical_circuit"] == min(zero.values())
+    # Large-message bandwidth ordering follows the generation sequence.
+    big = SIZES[-1]
+    effective = {tech: big / results[tech][big] for tech in TECHNOLOGIES}
+    chain = ["fast_ethernet", "gigabit_ethernet", "infiniband_1x",
+             "infiniband_4x", "infiniband_12x", "optical_circuit"]
+    for slower, faster in zip(chain, chain[1:]):
+        assert effective[faster] > effective[slower]
+    # Effective bandwidth approaches the advertised asymptote.
+    for tech in TECHNOLOGIES:
+        asymptote = INTERCONNECTS[tech].loggp.bandwidth
+        assert effective[tech] > 0.7 * asymptote
+    # IB-4x vs GigE: ~8x bandwidth and >4x latency advantage — the pitch
+    # that sold InfiniBand.
+    assert effective["infiniband_4x"] / effective["gigabit_ethernet"] > 6
+    assert zero["gigabit_ethernet"] / zero["infiniband_4x"] > 4
+    report.add_note("generation ordering holds at both ends: ethernet is "
+                    "latency-bound (~30-90 us), IB 4x delivers ~8x GigE "
+                    "bandwidth, optics top the chart once circuits are up")
+    show(report)

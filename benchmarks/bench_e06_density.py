@@ -1,0 +1,115 @@
+"""E6 / Table 3 — packaging density: fielding 100 TFLOPS.
+
+Keynote claim: blade technology and system-on-chip integration change the
+"size" curve — the machine room, not the motherboard, becomes the unit of
+design.
+
+Regenerates: racks, floor space, and facility power needed to field a
+100 TFLOPS-peak machine in 2006 from 1U, blade, and SoC nodes, plus which
+constraint (space or power) binds the rack.  Shape assertions: density
+ordering, the power-limited phenomenon for dense packaging, and SoC's
+facility-power win.
+"""
+
+from repro.analysis import ExperimentReport, Table
+from repro.cluster import (
+    PowerModel,
+    RackConfig,
+    cluster_metrics,
+    design_to_peak,
+)
+from repro.tech import get_scenario
+
+TARGET = 100e12
+YEAR = 2006.0
+ARCHITECTURES = ["conventional", "smp", "blade", "soc"]
+
+
+def compute_density():
+    roadmap = get_scenario("nominal")
+    rows = {}
+    for architecture in ARCHITECTURES:
+        spec = design_to_peak(TARGET, roadmap, YEAR, architecture,
+                              "infiniband_4x")
+        rows[architecture] = cluster_metrics(spec)
+    return rows
+
+
+def test_e06_density(benchmark, show):
+    rows = benchmark(compute_density)
+
+    report = ExperimentReport(
+        "E6 / Tab. 3", f"Fielding {TARGET/1e12:.0f} TFLOPS (peak), {YEAR:.0f}",
+        "blades and SoC collapse the floor-space requirement; power "
+        "becomes the binding constraint of dense packaging",
+    )
+    table = Table(["arch", "nodes", "racks", "floor m^2", "facility MW",
+                   "$ (M)", "power-limited rack?"],
+                  formats={"floor m^2": "{:.0f}", "facility MW": "{:.2f}",
+                           "$ (M)": "{:.1f}"})
+    for architecture in ARCHITECTURES:
+        metrics = rows[architecture]
+        table.add_row([
+            architecture,
+            metrics.spec.node_count,
+            metrics.packaging.racks,
+            metrics.packaging.floor_area_m2,
+            metrics.total_watts / 1e6,
+            metrics.purchase_dollars / 1e6,
+            "yes" if metrics.packaging.power_limited else "no",
+        ])
+    report.add_table(table)
+
+    # Shape claims -----------------------------------------------------
+    floor = {a: rows[a].packaging.floor_area_m2 for a in ARCHITECTURES}
+    power = {a: rows[a].total_watts for a in ARCHITECTURES}
+    # Density ordering: SoC < blade < conventional < SMP floor space.
+    assert floor["soc"] < floor["blade"] < floor["conventional"]
+    assert floor["conventional"] <= floor["smp"]
+    # SoC wins facility power by a wide margin (the BlueGene bet).
+    assert power["soc"] < 0.5 * power["conventional"]
+    # Dense architectures hit the rack power feed, not rack height.
+    assert rows["blade"].packaging.power_limited or \
+        rows["soc"].packaging.power_limited
+    # And with a beefier feed, blades pack even tighter.
+    beefy = RackConfig(power_limit_watts=25_000)
+    spec = rows["blade"].spec
+    from repro.cluster import pack_cluster
+    assert pack_cluster(spec, beefy).racks < rows["blade"].packaging.racks
+    report.add_note(f"blade cuts floor space {floor['conventional']/floor['blade']:.1f}x "
+                    f"vs 1U; SoC {floor['conventional']/floor['soc']:.1f}x; "
+                    "dense racks are power-limited — the machine-room wall "
+                    "the blade era actually hit")
+    show(report)
+
+
+def test_e06_power_model_sensitivity(benchmark, show):
+    """Companion table: facility power vs PUE for the blade machine —
+    cooling is half the story of the power curve."""
+    roadmap = get_scenario("nominal")
+    spec = design_to_peak(TARGET, roadmap, YEAR, "blade", "infiniband_4x")
+
+    def sweep():
+        from repro.cluster import pack_cluster
+        packaging = pack_cluster(spec)
+        return {pue: PowerModel(pue=pue).breakdown(spec, packaging)
+                for pue in (1.2, 1.6, 2.0, 2.5)}
+
+    breakdowns = benchmark(sweep)
+    report = ExperimentReport(
+        "E6b", "Facility power vs cooling efficiency (blade, 100 TFLOPS)",
+        "cooling overhead (PUE) scales the whole power curve",
+    )
+    table = Table(["PUE", "IT MW", "cooling MW", "total MW"],
+                  formats={"IT MW": "{:.2f}", "cooling MW": "{:.2f}",
+                           "total MW": "{:.2f}"})
+    for pue, breakdown in sorted(breakdowns.items()):
+        table.add_row([pue, breakdown.it_watts / 1e6,
+                       breakdown.cooling_watts / 1e6,
+                       breakdown.total_watts / 1e6])
+    report.add_table(table)
+    totals = [b.total_watts for _pue, b in sorted(breakdowns.items())]
+    assert totals == sorted(totals)
+    it_loads = {b.it_watts for b in breakdowns.values()}
+    assert len(it_loads) == 1  # PUE does not touch the IT load
+    show(report)

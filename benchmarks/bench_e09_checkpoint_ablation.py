@@ -1,0 +1,94 @@
+"""E9 / Table 4 — checkpoint strategy ablation.
+
+Keynote claim (instantiated): the *quality* of the recovery software
+matters — naive strategies leave large fractions of the machine on the
+floor that smarter ones recover.
+
+Regenerates: useful-work fraction of a 24 h job at 1k/10k/100k nodes
+under five strategies: no checkpointing, fixed hourly, fixed
+every-10-minutes, Young-optimal, and Daly-optimal — all on the exact
+expected-runtime model.  Shape assertions: optimal beats both fixed
+strategies at every scale, the best fixed interval flips with scale
+(hourly wins at 1k, 10-minute wins at 100k), and "none" is hopeless at
+scale.
+"""
+
+import math
+
+from repro.analysis import ExperimentReport, Table
+from repro.fault import (
+    CheckpointParams,
+    daly_interval,
+    expected_runtime,
+    young_interval,
+)
+from repro.fault.models import system_mtbf
+
+NODE_MTBF = 3 * 365.25 * 86400.0
+CHECKPOINT = 300.0
+RESTART = 600.0
+WORK = 24 * 3600.0
+SCALES = [1_000, 10_000, 100_000]
+
+STRATEGIES = ["none", "hourly", "10min", "young", "daly"]
+
+
+def efficiency_of(params: CheckpointParams, interval: float) -> float:
+    return WORK / expected_runtime(params, WORK, interval)
+
+
+def compute_ablation():
+    rows = {}
+    for nodes in SCALES:
+        mtbf = system_mtbf(NODE_MTBF, nodes)
+        params = CheckpointParams(CHECKPOINT, RESTART, mtbf)
+        none_makespan = (mtbf + RESTART) * math.expm1(WORK / mtbf)
+        rows[nodes] = {
+            "none": WORK / none_makespan,
+            "hourly": efficiency_of(params, 3600.0),
+            "10min": efficiency_of(params, 600.0),
+            "young": efficiency_of(params, young_interval(params)),
+            "daly": efficiency_of(params, daly_interval(params)),
+        }
+    return rows
+
+
+def test_e09_checkpoint_ablation(benchmark, show):
+    rows = benchmark(compute_ablation)
+
+    report = ExperimentReport(
+        "E9 / Tab. 4", "Useful-work fraction by checkpoint strategy",
+        "recovery software quality is worth tens of percent of the "
+        "machine at scale",
+    )
+    table = Table(["nodes"] + STRATEGIES,
+                  formats={s: "{:.3f}" for s in STRATEGIES})
+    for nodes in SCALES:
+        table.add_row([nodes] + [rows[nodes][s] for s in STRATEGIES])
+    report.add_table(table)
+
+    # Shape claims -----------------------------------------------------
+    for nodes in SCALES:
+        r = rows[nodes]
+        # The optimal strategies beat every fixed one, Daly >= Young.
+        assert r["daly"] >= r["young"] - 1e-12
+        assert r["daly"] >= max(r["hourly"], r["10min"]) - 1e-9
+        # Checkpointing always beats not checkpointing at these scales.
+        assert r["none"] < r["daly"]
+    # The right fixed interval flips with scale: hourly is fine at 1k
+    # nodes, deadly at 100k; ten-minute checkpointing wastes overhead at
+    # 1k but saves the day at 100k.
+    assert rows[1_000]["hourly"] > rows[1_000]["10min"]
+    assert rows[100_000]["10min"] > rows[100_000]["hourly"]
+    # No-checkpoint is catastrophic at 10k+ (the exp(W/M) wall).
+    assert rows[10_000]["none"] < 1e-3
+    # Magnitude: at 100k nodes the optimal interval recovers >= 10 points
+    # of the whole machine over the hourly site policy (at 10k the hourly
+    # policy is still near-optimal, which is itself part of the story).
+    assert rows[100_000]["daly"] - rows[100_000]["hourly"] > 0.10
+    assert rows[10_000]["daly"] - rows[10_000]["hourly"] < 0.05
+    report.add_note("the fixed-interval crossover (hourly wins at 1k, "
+                    "10-min at 100k) is why interval selection had to "
+                    "move into the system software — no static site "
+                    "policy survives the scale explosion")
+    show(report)

@@ -1,0 +1,111 @@
+"""E11 / Table 5 — the commodity price/performance premise.
+
+Keynote claim (the founding Beowulf premise the talk builds on): commodity
+clusters win on price/performance against integrated systems, and the gap
+compounds because cluster $/FLOPS rides the commodity curve.
+
+Regenerates: full-system $/GFLOPS (cluster, with network/racks/
+integration) vs an integrated-MPP comparator at a range of premium
+factors, 2003-2010; plus the TCO view (purchase + power) that dense
+low-power nodes start winning late in the decade.  Shape assertions:
+cluster $/GFLOPS falls ~exponentially; the MPP premium keeps the
+comparator above the cluster at every sampled premium >= 2; SoC beats
+conventional on 4-year TCO per FLOPS by 2008.
+"""
+
+import numpy as np
+
+from repro.analysis import ExperimentReport, Series, Table
+from repro.cluster import (
+    CostModel,
+    cluster_metrics,
+    design_cluster,
+    pack_cluster,
+)
+from repro.tech import get_scenario
+
+YEARS = [2003.0, 2005.0, 2007.0, 2009.0, 2010.0]
+PREMIUMS = [2.0, 5.0, 10.0]
+NODES = 512
+
+
+def compute_costs():
+    roadmap = get_scenario("nominal")
+    cost_model = CostModel()
+    rows = {}
+    for year in YEARS:
+        spec = design_cluster("c", roadmap, year, NODES, "conventional")
+        packaging = pack_cluster(spec)
+        cluster_dpf = cost_model.dollars_per_flops(spec, packaging)
+        rows[year] = {
+            "cluster": cluster_dpf,
+            "mpp": {premium: cluster_dpf * premium for premium in PREMIUMS},
+        }
+
+    # TCO comparison: conventional vs SoC at equal peak, 2008.
+    tco = {}
+    for architecture in ("conventional", "soc"):
+        spec = design_cluster("t", roadmap, 2008.0, 1000, architecture,
+                              "infiniband_4x")
+        packaging = pack_cluster(spec)
+        tco[architecture] = {
+            "purchase_per_gf": (cost_model.purchase(spec, packaging)
+                                .total_dollars / spec.peak_flops * 1e9),
+            "tco4_per_gf": (cost_model.tco(spec, packaging, 4.0)
+                            / spec.peak_flops * 1e9),
+        }
+    return rows, tco
+
+
+def test_e11_cost_performance(benchmark, show):
+    rows, tco = benchmark(compute_costs)
+
+    report = ExperimentReport(
+        "E11 / Tab. 5", "Price/performance: commodity cluster vs MPP",
+        "the commodity curve keeps clusters a constant multiple cheaper "
+        "per FLOPS; power enters the ledger late in the decade",
+    )
+    table = Table(["year", "cluster $/GF", "MPP 2x", "MPP 5x", "MPP 10x"],
+                  formats={"year": "{:.0f}",
+                           **{c: "{:.2f}" for c in
+                              ("cluster $/GF", "MPP 2x", "MPP 5x", "MPP 10x")}})
+    for year in YEARS:
+        row = rows[year]
+        table.add_row([year, row["cluster"] * 1e9]
+                      + [row["mpp"][p] * 1e9 for p in PREMIUMS])
+    report.add_table(table)
+
+    tco_table = Table(["arch", "purchase $/GF (2008)", "4y TCO $/GF"],
+                      formats={"purchase $/GF (2008)": "{:.2f}",
+                               "4y TCO $/GF": "{:.2f}"},
+                      title="TCO view, 1000 nodes, 2008")
+    for architecture, values in tco.items():
+        tco_table.add_row([architecture, values["purchase_per_gf"],
+                           values["tco4_per_gf"]])
+    report.add_table(tco_table)
+
+    # Shape claims -----------------------------------------------------
+    cluster_curve = [rows[year]["cluster"] for year in YEARS]
+    # Falls monotonically and roughly exponentially.
+    assert cluster_curve == sorted(cluster_curve, reverse=True)
+    log_curve = np.log(cluster_curve)
+    assert np.all(np.diff(log_curve) < 0)
+    halvings = (log_curve[0] - log_curve[-1]) / np.log(2)
+    assert halvings > 3  # more than 3 halvings over 7 years
+    # The MPP comparator never catches up at any sampled premium.
+    for year in YEARS:
+        for premium in PREMIUMS:
+            assert rows[year]["mpp"][premium] > rows[year]["cluster"]
+    # SoC's power frugality wins the 4-year TCO per FLOPS by 2008 even
+    # though both are cheap to buy per FLOPS.
+    assert tco["soc"]["tco4_per_gf"] < tco["conventional"]["tco4_per_gf"]
+    # Power is a visible fraction of conventional TCO by 2008.
+    conventional_power_share = 1 - (tco["conventional"]["purchase_per_gf"]
+                                    / tco["conventional"]["tco4_per_gf"])
+    assert conventional_power_share > 0.15
+    report.add_note(f"cluster $/GFLOPS falls {np.exp(log_curve[0]-log_curve[-1]):.0f}x "
+                    "over 2003-10; 4-year power+cooling is "
+                    f"{conventional_power_share:.0%} of conventional TCO by "
+                    "2008 — why the keynote's power curve belongs next to "
+                    "the cost curve")
+    show(report)

@@ -1,0 +1,102 @@
+"""E15 / Table 8 — batch operation under failures: the integrated story.
+
+Keynote claim (the two software threads joined): resource management and
+fault recovery are one problem in production — the scheduler keeps a
+*failing* machine busy, and checkpoint restart decides how much of the
+killed work comes back.
+
+Regenerates: goodput utilization, waste fraction, and mean response of a
+1024-node machine running a Feitelson workload under EASY backfilling,
+sweeping node MTBF (10y → 0.25y, i.e. system MTBF ~3.5 days → ~2 h) with
+and without hourly checkpoint restart.  Shape assertions: waste grows as
+MTBF falls; checkpointing recovers most of it; goodput with checkpointing
+degrades gracefully where scratch-restart collapses.
+"""
+
+from repro.analysis import ExperimentReport, Series, Table
+from repro.scheduler import (
+    FaultyBatchSimulator,
+    WorkloadGenerator,
+    WorkloadParams,
+    get_policy,
+)
+from repro.sim import RandomStreams
+
+NODES = 1024
+YEAR = 365.25 * 86400.0
+MTBF_YEARS = [10.0, 2.0, 0.5, 0.25]
+JOBS = 800
+
+
+def run_sweep():
+    generator = WorkloadGenerator(
+        WorkloadParams(max_nodes=NODES, offered_load=0.8),
+        RandomStreams(seed=41))
+    jobs = generator.generate(JOBS)
+    rows = {}
+    for mtbf_years in MTBF_YEARS:
+        for label, interval in (("scratch", None), ("hourly", 3600.0)):
+            simulator = FaultyBatchSimulator(
+                NODES, get_policy("easy"),
+                node_mtbf_seconds=mtbf_years * YEAR,
+                repair_seconds=1800.0,
+                checkpoint_interval=interval,
+                streams=RandomStreams(seed=97))
+            rows[(mtbf_years, label)] = simulator.run(jobs)
+    return rows
+
+
+def test_e15_fault_aware_operation(benchmark, show):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    report = ExperimentReport(
+        "E15 / Tab. 8", "EASY backfilling on a failing 1024-node machine",
+        "scheduling and fault recovery compose: checkpoint restart keeps "
+        "a failing machine's goodput near its healthy level",
+    )
+    table = Table(["node MTBF (y)", "recovery", "failures", "kills",
+                   "waste", "goodput util", "mean resp (h)"],
+                  formats={"waste": "{:.3f}", "goodput util": "{:.3f}",
+                           "mean resp (h)": "{:.1f}",
+                           "node MTBF (y)": "{:.2f}"})
+    for mtbf_years in MTBF_YEARS:
+        for label in ("scratch", "hourly"):
+            result = rows[(mtbf_years, label)]
+            table.add_row([mtbf_years, label, result.failures,
+                           result.job_kills, result.waste_fraction,
+                           result.goodput_utilization,
+                           result.mean_response() / 3600.0])
+    report.add_table(table)
+    report.add_series(
+        [Series(label, x=MTBF_YEARS,
+                y=[rows[(m, label)].waste_fraction for m in MTBF_YEARS])
+         for label in ("scratch", "hourly")],
+        x_label="node MTBF (years)", title="waste fraction")
+
+    # Shape claims -----------------------------------------------------
+    # Waste grows as MTBF falls, for both recovery modes.
+    for label in ("scratch", "hourly"):
+        waste = [rows[(m, label)].waste_fraction for m in MTBF_YEARS]
+        assert waste == sorted(waste)
+    # Checkpointing strictly reduces waste once failures matter.
+    for mtbf_years in MTBF_YEARS[1:]:
+        assert (rows[(mtbf_years, "hourly")].waste_fraction
+                <= rows[(mtbf_years, "scratch")].waste_fraction + 1e-12)
+    # At the hostile end the difference is the machine: scratch restart
+    # loses over a quarter of all cycles, hourly checkpointing less than
+    # half that, and goodput stays a big step higher.
+    hostile_scratch = rows[(0.25, "scratch")]
+    hostile_hourly = rows[(0.25, "hourly")]
+    assert hostile_scratch.waste_fraction > 0.15
+    assert hostile_hourly.waste_fraction < hostile_scratch.waste_fraction / 2
+    assert (hostile_hourly.goodput_utilization
+            > hostile_scratch.goodput_utilization + 0.10)
+    # Healthy-machine baseline: nearly nothing wasted.
+    assert rows[(10.0, "hourly")].waste_fraction < 0.02
+    report.add_note(f"at 0.25-year nodes (system MTBF ~2 h) scratch "
+                    f"restart wastes {hostile_scratch.waste_fraction:.0%} "
+                    f"of all cycles vs {hostile_hourly.waste_fraction:.0%} "
+                    "with hourly checkpoints — recovery software, not "
+                    "hardware, decides the goodput of an exploding-scale "
+                    "machine")
+    show(report)

@@ -1,0 +1,114 @@
+"""E18 / Table 11 (extension) — noncontiguous I/O access methods.
+
+Extension experiment: not a claim from the keynote itself, but from the
+software agenda it headlines — the same CLUSTER 2002 proceedings carry
+"Noncontiguous I/O through PVFS" (Ching et al.), whose result is that a
+batched *list I/O* access method "outperforms current noncontiguous I/O
+access methods in most I/O situations".  Our PFS implements both access
+methods, so we reproduce the comparison's shape.
+
+Regenerates: strided-write time, naive (one request per region) vs
+list I/O (batched per server), sweeping region count at fixed total
+bytes, plus the seek-cost sensitivity that explains the gap.  Shape
+assertions: list I/O wins everywhere, the gap grows with fragmentation,
+and approaches 1x as the access pattern becomes contiguous.
+"""
+
+import pytest
+
+from repro.analysis import ExperimentReport, Series, Table
+from repro.io import DiskModel, ParallelFileSystem
+from repro.network import Fabric, SingleSwitchTopology, get_interconnect
+from repro.sim import Simulator
+
+TOTAL_BYTES = 1 << 22          # 4 MiB moved in every configuration
+REGION_COUNTS = [1, 16, 64, 256, 1024]
+SERVERS = 4
+
+
+def run_strided(region_count: int, list_io: bool,
+                disk: DiskModel = DiskModel()) -> float:
+    sim = Simulator()
+    fabric = Fabric(sim, SingleSwitchTopology(SERVERS + 2),
+                    get_interconnect("infiniband_4x"))
+    pfs = ParallelFileSystem(
+        sim, fabric, server_hosts=list(range(2, 2 + SERVERS)),
+        stripe_bytes=1 << 16, disk=disk)
+    size = TOTAL_BYTES // region_count
+    regions = [(i * 4 * size, size) for i in range(region_count)]
+
+    def client():
+        yield from pfs.write_regions(0, regions, list_io=list_io)
+        return sim.now
+
+    return sim.run_process(client())
+
+
+def compute_comparison():
+    rows = {
+        count: {
+            "naive": run_strided(count, list_io=False),
+            "list_io": run_strided(count, list_io=True),
+        }
+        for count in REGION_COUNTS
+    }
+    seek_gap = {}
+    for label, seek in (("3 ms", 3e-3), ("13 ms", 13e-3), ("30 ms", 30e-3)):
+        disk = DiskModel(seek_seconds=seek)
+        seek_gap[label] = (run_strided(256, False, disk)
+                           / run_strided(256, True, disk))
+    return rows, seek_gap
+
+
+def test_e18_noncontiguous_io(benchmark, show):
+    rows, seek_gap = benchmark.pedantic(compute_comparison, rounds=1,
+                                        iterations=1)
+
+    report = ExperimentReport(
+        "E18 / Tab. 11 (extension)",
+        "Noncontiguous I/O: list I/O vs per-region access",
+        "batched list I/O outperforms naive noncontiguous access, "
+        "increasingly so as access patterns fragment (Ching et al., same "
+        "proceedings)",
+    )
+    table = Table(["regions", "naive (ms)", "list I/O (ms)", "speedup"],
+                  formats={"naive (ms)": "{:.1f}",
+                           "list I/O (ms)": "{:.2f}", "speedup": "{:.1f}"})
+    for count in REGION_COUNTS:
+        naive = rows[count]["naive"]
+        batched = rows[count]["list_io"]
+        table.add_row([count, naive * 1e3, batched * 1e3, naive / batched])
+    report.add_table(table)
+    report.add_series(
+        [Series("speedup", x=[float(c) for c in REGION_COUNTS],
+                y=[rows[c]["naive"] / rows[c]["list_io"]
+                   for c in REGION_COUNTS])],
+        x_label="regions")
+    seek_table = Table(["seek time", "speedup @256 regions"],
+                       formats={"speedup @256 regions": "{:.1f}"})
+    for label, gap in seek_gap.items():
+        seek_table.add_row([label, gap])
+    report.add_table(seek_table)
+
+    # Shape claims -----------------------------------------------------
+    speedups = [rows[c]["naive"] / rows[c]["list_io"]
+                for c in REGION_COUNTS]
+    # List I/O never loses...
+    assert all(s >= 0.95 for s in speedups)
+    # ...the gap grows monotonically with fragmentation...
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 20.0
+    # ...and shrinks toward the chunk-batching floor for the contiguous
+    # case (plain PVFS-style access issues one request per stripe unit,
+    # so aggregation helps even contiguous streams — as it did in the
+    # real system; the *noncontiguous* multiplier is the headline).
+    assert speedups[0] < 8.0
+    assert speedups[0] < speedups[-1] / 3.0
+    # Seek amortisation is the mechanism: slower seeks, bigger gap.
+    gaps = [seek_gap["3 ms"], seek_gap["13 ms"], seek_gap["30 ms"]]
+    assert gaps == sorted(gaps)
+    report.add_note(f"list I/O wins {speedups[-1]:.0f}x at 1024 regions "
+                    "and drops to the chunk-batching floor at 1 region; the win scales with "
+                    "seek cost — the Ching et al. result's shape, from "
+                    "the same mechanism they identified")
+    show(report)

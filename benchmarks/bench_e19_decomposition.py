@@ -1,0 +1,91 @@
+"""E19 / Table 12 — decomposition ablation: 1D slabs vs 2D blocks.
+
+The surface-to-volume argument every parallel-programming course of the
+era taught, measured end-to-end: a row-decomposed (1D) stencil moves two
+O(n) halo rows per rank per iteration regardless of scale, while a
+2D-block decomposition moves four O(n/√p) edges.  1D wins at small scale
+(fewer, larger messages; latency counts), 2D wins at large scale (the
+perimeter shrinks) — the crossover is the lesson.
+
+Regenerates: 1D vs 2D stencil time at p = 4..64 on Gigabit Ethernet and
+InfiniBand 4x, 2048² grid, roofline-free flat compute.  Shape
+assertions: 2D wins at 64 ranks on both fabrics; the 2D advantage grows
+monotonically with scale; and the advantage is larger on the
+higher-latency fabric's *bandwidth* side (GigE) than on IB at the
+largest scale.
+"""
+
+from repro.analysis import ExperimentReport, Series, Table
+from repro.apps import ComputeCharge, run_stencil, run_stencil2d
+
+N = 2048
+ITERATIONS = 3
+RANKS = [4, 16, 64]
+FABRICS = ["gigabit_ethernet", "infiniband_4x"]
+
+
+def charge():
+    return ComputeCharge(effective_flops=3e9)
+
+
+def measure():
+    """elapsed[fabric][(decomposition, ranks)]"""
+    results = {}
+    for fabric in FABRICS:
+        per = {}
+        for p in RANKS:
+            per[("1d", p)] = run_stencil(
+                p, n=N, iterations=ITERATIONS, charge=charge(),
+                technology=fabric).elapsed
+            per[("2d", p)] = run_stencil2d(
+                p, n=N, iterations=ITERATIONS, charge=charge(),
+                technology=fabric).elapsed
+        results[fabric] = per
+    return results
+
+
+def test_e19_decomposition(benchmark, show):
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    report = ExperimentReport(
+        "E19 / Tab. 12", "Stencil decomposition: 1D slabs vs 2D blocks",
+        "surface-to-volume: block decompositions win once the machine is "
+        "big enough for perimeters to beat slab edges",
+    )
+    for fabric in FABRICS:
+        table = Table(["ranks", "1D (ms)", "2D (ms)", "2D advantage"],
+                      formats={"1D (ms)": "{:.2f}", "2D (ms)": "{:.2f}",
+                               "2D advantage": "{:.2f}x"},
+                      title=fabric)
+        for p in RANKS:
+            one = results[fabric][("1d", p)]
+            two = results[fabric][("2d", p)]
+            table.add_row([p, one * 1e3, two * 1e3, one / two])
+        report.add_table(table)
+    report.add_series(
+        [Series(fabric, x=[float(p) for p in RANKS],
+                y=[results[fabric][("1d", p)] / results[fabric][("2d", p)]
+                   for p in RANKS])
+         for fabric in FABRICS],
+        x_label="ranks", title="1D/2D time ratio (>1 means 2D wins)")
+
+    # Shape claims -----------------------------------------------------
+    for fabric in FABRICS:
+        advantage = [results[fabric][("1d", p)] / results[fabric][("2d", p)]
+                     for p in RANKS]
+        # The 2D advantage grows with scale...
+        assert advantage == sorted(advantage)
+        # ...and 2D wins outright at 64 ranks.
+        assert advantage[-1] > 1.0
+    # On the bandwidth-starved fabric the perimeter shrinkage matters
+    # more: GigE's 64-rank advantage exceeds IB's.
+    gige_advantage = (results["gigabit_ethernet"][("1d", 64)]
+                      / results["gigabit_ethernet"][("2d", 64)])
+    ib_advantage = (results["infiniband_4x"][("1d", 64)]
+                    / results["infiniband_4x"][("2d", 64)])
+    assert gige_advantage > ib_advantage
+    report.add_note(f"at 64 ranks 2D beats 1D by {gige_advantage:.1f}x on "
+                    f"GigE and {ib_advantage:.1f}x on IB-4x — the "
+                    "surface-to-volume crossover lands where the textbook "
+                    "says, and matters most on the cheapest fabric")
+    show(report)

@@ -1,0 +1,119 @@
+"""Performance-regression benches for the library's own hot paths.
+
+Not experiment reproductions: these guard the *simulator's* throughput,
+so that model-fidelity work never quietly makes the experiment suite
+unrunnable.  Baselines on the development machine (for orientation, not
+assertion): ~0.5 M timeout events/s raw, ~50 k events/s through the full
+messaging stack, ~10 k scheduled jobs/s.
+
+A cProfile pass (see DESIGN.md, performance note) shows a flat profile —
+engine step/deliver/resume machinery dominates with no single hotspot —
+so these benches measure end-to-end throughput rather than any one
+function.
+"""
+
+import numpy as np
+
+from repro.messaging import SUM, run_spmd
+from repro.scheduler import BatchSimulator, WorkloadGenerator, WorkloadParams, get_policy
+from repro.sim import RandomStreams, Simulator, Store
+
+
+def test_perf_timeout_storm(benchmark):
+    """Raw event-queue throughput: 20k timeouts through the heap."""
+    def storm():
+        sim = Simulator()
+        for i in range(20_000):
+            sim.timeout(float(i % 97))
+        sim.run()
+        return sim.events_executed
+
+    events = benchmark(storm)
+    assert events == 20_000
+
+
+def test_perf_process_switching(benchmark):
+    """Generator-process context switches: 100 processes x 100 yields."""
+    def switchy():
+        sim = Simulator()
+
+        def worker(sim):
+            for _ in range(100):
+                yield sim.timeout(1.0)
+
+        for _ in range(100):
+            sim.process(worker(sim))
+        sim.run()
+        return sim.events_executed
+
+    events = benchmark(switchy)
+    assert events >= 10_000
+
+
+def test_perf_store_handoff(benchmark):
+    """Producer/consumer item handoffs through a Store."""
+    def handoff():
+        sim = Simulator()
+        store = Store(sim)
+        count = 5_000
+
+        def producer(sim, store):
+            for i in range(count):
+                yield store.put(i)
+
+        def consumer(sim, store):
+            for _ in range(count):
+                yield store.get()
+
+        sim.process(producer(sim, store))
+        sim.process(consumer(sim, store))
+        sim.run()
+        return count
+
+    benchmark(handoff)
+
+
+def test_perf_messaging_pingpong(benchmark):
+    """Full stack: 500 round trips through comm + fabric + mailboxes."""
+    def body(comm):
+        for _ in range(500):
+            if comm.rank == 0:
+                yield from comm.send(b"x", 1, tag=1)
+                yield from comm.recv(1, tag=2)
+            else:
+                yield from comm.recv(0, tag=1)
+                yield from comm.send(b"x", 0, tag=2)
+        return None
+
+    def pingpong():
+        return run_spmd(2, body, technology="infiniband_4x")
+
+    result = benchmark(pingpong)
+    assert result.transfer_count == 1_000
+
+
+def test_perf_allreduce_32(benchmark):
+    """Collective machinery: 10 ring allreduces at 32 ranks."""
+    def body(comm):
+        for _ in range(10):
+            yield from comm.allreduce(np.zeros(256), SUM, algorithm="ring")
+        return None
+
+    def collectives():
+        return run_spmd(32, body, technology="infiniband_4x")
+
+    benchmark(collectives)
+
+
+def test_perf_batch_scheduler(benchmark):
+    """Scheduler loop: 2000 jobs under EASY backfilling."""
+    generator = WorkloadGenerator(
+        WorkloadParams(max_nodes=128, offered_load=0.8),
+        RandomStreams(seed=1))
+    jobs = generator.generate(2_000)
+
+    def schedule():
+        return BatchSimulator(128, get_policy("easy")).run(jobs)
+
+    result = benchmark(schedule)
+    assert len(result.records) == 2_000

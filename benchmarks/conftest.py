@@ -1,0 +1,19 @@
+"""Benchmark-suite configuration.
+
+Each bench file regenerates one derived table/figure of the keynote
+reproduction (see DESIGN.md's experiment index) and asserts its *shape*
+claims.  Reports print with ``-s``; timings come from pytest-benchmark.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print an ExperimentReport even under captured output."""
+    def _show(report):
+        text = report.render()
+        print("\n" + text)
+        return text
+
+    return _show

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Plan the I/O system for a big machine's checkpoints.
+
+The quiet corollary of the keynote's storage-capacity curve: every byte
+of DRAM you buy is a byte your checkpoints must move.  This example plays
+storage architect for a 4096-node, 2 GiB/node machine:
+
+1. sweep the I/O server count and watch the dump-time bottleneck move
+   from disks to client links;
+2. feed each provisioning into the Daly machinery and price the machine
+   time each option loses to checkpointing;
+3. sanity-check one configuration by actually running the dump on the
+   simulated fabric + striped file system.
+
+Usage: ``python examples/checkpoint_io_planning.py``
+"""
+
+from repro.analysis import Table
+from repro.fault import daly_interval, efficiency
+from repro.io import (
+    DiskModel,
+    checkpoint_write_time,
+    derive_checkpoint_params,
+    simulate_checkpoint_write,
+)
+from repro.network import get_interconnect
+from repro.units import format_time
+
+NODES = 4096
+MEMORY_PER_NODE = 2 * 2**30
+NODE_MTBF_YEARS = 3.0
+RAID = DiskModel(transfer_bytes_per_second=160e6, capacity_bytes=320e9)
+
+
+def provisioning_sweep():
+    technology = get_interconnect("infiniband_4x")
+    link = technology.loggp.bandwidth
+    print(f"== provisioning sweep: {NODES} nodes x 2 GiB, IB-4x links, "
+          "4-spindle RAID servers ==\n")
+    table = Table(["servers", "ratio", "dump time", "bottleneck",
+                   "Daly interval", "machine kept"],
+                  formats={"machine kept": "{:.1%}"})
+    for servers in (16, 64, 256, 1024, 4096):
+        dump = MEMORY_PER_NODE * 0.5
+        total = dump * NODES
+        client_time = dump / link
+        ingest_time = total / (servers * link)
+        disk_time = total / (servers * RAID.transfer_bytes_per_second)
+        bottleneck = max(
+            ("client link", client_time),
+            ("server links", ingest_time),
+            ("disks", disk_time),
+            key=lambda pair: pair[1],
+        )[0]
+        params = derive_checkpoint_params(
+            MEMORY_PER_NODE, NODES, servers, link,
+            NODE_MTBF_YEARS * 365.25 * 86400, disk=RAID)
+        tau = daly_interval(params)
+        table.add_row([servers, f"1:{NODES // servers}",
+                       format_time(params.checkpoint_seconds), bottleneck,
+                       format_time(tau), efficiency(params, tau)])
+    print(table.render())
+    print("\nReading the table: with 2002-class spindles the disks bind "
+          "at every sane ratio, so each doubling of I/O servers halves "
+          "the dump and buys real machine time — the curve only knees "
+          "over when server or client links saturate, far beyond any "
+          "sane budget.  Deciding where on this curve to stop is the "
+          "I/O-architect's job this example automates.\n")
+
+
+def validate_one_configuration():
+    print("== validating 1:16 provisioning on the simulator ==")
+    technology = get_interconnect("infiniband_4x")
+    nodes, servers = 64, 4           # a 1:16 slice of the big machine
+    dump = 8 << 20                   # scaled-down dump, same ratios
+    simulated = simulate_checkpoint_write(nodes, servers, dump, technology,
+                                          disk=RAID)
+    analytic = checkpoint_write_time(dump, nodes, servers,
+                                     technology.loggp.bandwidth, RAID)
+    print(f"analytic bound {format_time(analytic)}, simulated "
+          f"{format_time(simulated)} (x{simulated / analytic:.2f} — seeks, "
+          "queueing and fabric contention explain the gap).")
+
+
+def main():
+    provisioning_sweep()
+    validate_one_configuration()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Design study: ride the roadmap to a petaflops machine.
+
+The keynote's central promise is the "trans-Petaflops performance regime"
+within the decade.  This example plays procurement officer: every two
+years from 2002 we spend the same $25M, pick the best node architecture
+and interconnect of the day, and watch the machine's peak, HPL Rmax,
+footprint, power, and reliability evolve — until the petaflops shows up.
+
+Usage: ``python examples/design_a_petaflops_machine.py``
+"""
+
+from repro import (
+    CheckpointParams,
+    HplModel,
+    cluster_metrics,
+    daly_interval,
+    design_to_budget,
+    format_dollars,
+    format_flops,
+    format_power,
+    format_time,
+    get_scenario,
+    system_mtbf,
+)
+from repro.analysis import Table
+from repro.fault import efficiency
+from repro.nodes import ARCHITECTURES
+
+BUDGET = 25e6
+NODE_MTBF = 3 * 365.25 * 86400.0
+
+
+def best_design(roadmap, year):
+    """Try every architecture available this year; keep the highest HPL
+    Rmax for the budget — procurement by benchmark, as real sites did."""
+    model = HplModel()
+    best = None
+    for architecture in ARCHITECTURES:
+        try:
+            spec = design_to_budget(BUDGET, roadmap, year, architecture)
+        except ValueError:
+            continue  # architecture not purchasable yet
+        estimate = model.estimate(spec)
+        if best is None or estimate.rmax_flops > best[1].rmax_flops:
+            best = (spec, estimate)
+    return best
+
+
+def main():
+    roadmap = get_scenario("nominal")
+    table = Table(["year", "arch", "nodes", "network", "peak", "Rmax",
+                   "racks", "power", "sys MTBF", "eff w/ckpt"],
+                  formats={"year": "{:.0f}"})
+    crossing_year = None
+
+    for year in (2002.75, 2004, 2006, 2008, 2010, 2012):
+        spec, estimate = best_design(roadmap, year)
+        metrics = cluster_metrics(spec)
+        mtbf = system_mtbf(NODE_MTBF, spec.node_count)
+        params = CheckpointParams(300.0, 600.0, mtbf)
+        table.add_row([
+            year,
+            spec.node.architecture,
+            spec.node_count,
+            spec.interconnect.name,
+            format_flops(spec.peak_flops),
+            format_flops(estimate.rmax_flops),
+            metrics.packaging.racks,
+            format_power(metrics.total_watts),
+            format_time(mtbf),
+            f"{efficiency(params, daly_interval(params)):.0%}",
+        ])
+        if crossing_year is None and estimate.rmax_flops >= 1e15:
+            crossing_year = year
+
+    print(f"The same {format_dollars(BUDGET)} every two years "
+          "(nominal scenario, best architecture + network of the day):\n")
+    print(table.render())
+    if crossing_year is not None:
+        print(f"\n-> first petaflops Rmax for this budget: {crossing_year:.0f}")
+    else:
+        print("\n-> petaflops Rmax is still out of reach for this budget "
+              "by 2012; raise the budget or the scenario")
+    print("\nNote the last two columns: the machine that finally reaches "
+          "petaflops also fails every few hours — the keynote's point "
+          "that new system software (checkpointing, recovery, resource "
+          "management) is part of the price of scale.")
+
+
+if __name__ == "__main__":
+    main()

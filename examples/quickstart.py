@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Quickstart: a ten-minute tour of the clusterlaunch library.
+
+Runs in seconds and touches each layer:
+
+1. project the 2002 technology roadmap forward,
+2. build node specs for the keynote's "revolutionary structures",
+3. run an SPMD program (allreduce) on a simulated InfiniBand fabric,
+4. solve a real distributed CG system and verify it,
+5. ask the fault model what a 10k-node machine costs you in failures.
+
+Usage: ``python examples/quickstart.py``
+"""
+
+import numpy as np
+
+from repro import (
+    SUM,
+    daly_interval,
+    format_flops,
+    format_time,
+    get_scenario,
+    make_node,
+    run_cg,
+    run_spmd,
+    system_mtbf,
+)
+from repro.fault import CheckpointParams, efficiency
+
+
+def main():
+    # 1. The roadmap: what does the nominal scenario say about 2008?
+    roadmap = get_scenario("nominal")
+    print("== the curves ==")
+    for year in (2002.75, 2005, 2008):
+        peak = roadmap.value("node_peak_flops", year)
+        dollars = roadmap.dollars_per_flops(year)
+        print(f"  {year:7.2f}: node peak {format_flops(peak):>12s}, "
+              f"${dollars * 1e9:8.2f} per GFLOPS")
+
+    # 2. Node architectures at the same roadmap point.
+    print("\n== the nodes (2006) ==")
+    for architecture in ("conventional", "blade", "soc", "pim"):
+        node = make_node(architecture, roadmap, 2006)
+        print(f"  {architecture:12s} peak={format_flops(node.peak_flops):>12s} "
+              f"balance={node.machine_balance:5.1f} F/B  "
+              f"{node.flops_per_watt / 1e6:6.0f} MFLOPS/W")
+
+    # 3. SPMD hello: 16 ranks allreduce their rank ids in virtual time.
+    def hello(comm):
+        total = yield from comm.allreduce(comm.rank, SUM)
+        return total
+
+    outcome = run_spmd(16, hello, technology="infiniband_4x")
+    print("\n== messaging ==")
+    print(f"  16-rank allreduce -> {outcome.results[0]} in "
+          f"{outcome.elapsed * 1e6:.1f} virtual us on InfiniBand 4x")
+
+    # 4. A real solver on the simulated machine.
+    result = run_cg(8, n=256, max_iterations=1000, technology="infiniband_4x")
+    assert result.converged and np.allclose(result.x, 1.0, atol=1e-5)
+    print("\n== applications ==")
+    print(f"  distributed CG: {result.iterations} iterations, residual "
+          f"{result.residual:.2e}, {result.elapsed * 1e3:.2f} virtual ms "
+          "(solution verified against the exact answer)")
+
+    # 5. What scale does to reliability.
+    print("\n== faults at scale ==")
+    for nodes in (100, 10_000):
+        mtbf = system_mtbf(3 * 365.25 * 86400, nodes)
+        params = CheckpointParams(300.0, 600.0, mtbf)
+        tau = daly_interval(params)
+        print(f"  {nodes:6d} nodes: system MTBF {format_time(mtbf):>9s}, "
+              f"checkpoint every {format_time(tau):>9s}, "
+              f"efficiency {efficiency(params, tau):.1%}")
+
+    print("\nNext: examples/design_a_petaflops_machine.py, "
+          "examples/interconnect_shootout.py, examples/operate_a_cluster.py")
+
+
+if __name__ == "__main__":
+    main()

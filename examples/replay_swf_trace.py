@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Replay a workload trace: SWF in, policy comparison out.
+
+The Parallel Workloads Archive distributes site traces in the Standard
+Workload Format; this example shows the full interchange loop:
+
+1. synthesise a month of load and export it as SWF (what you would do to
+   feed another simulator);
+2. read an SWF trace back (what you would do with a real archive file —
+   point ``load_swf`` at e.g. ``SDSC-SP2-1998-4.2-cln.swf`` and the rest
+   of the pipeline is identical);
+3. replay it under every scheduling policy and print the comparison.
+
+Usage: ``python examples/replay_swf_trace.py [trace.swf]``
+"""
+
+import io
+import sys
+
+from repro.analysis import Table
+from repro.scheduler import (
+    BatchSimulator,
+    WorkloadGenerator,
+    WorkloadParams,
+    dump_swf,
+    evaluate_schedule,
+    get_policy,
+    load_swf,
+)
+from repro.sim import RandomStreams
+
+NODES = 128
+
+
+def obtain_trace(path=None):
+    if path is not None:
+        print(f"loading {path} ...")
+        jobs = load_swf(path)
+        print(f"  {len(jobs)} usable jobs\n")
+        return jobs
+    # No file given: synthesise, round-trip through SWF, and use that —
+    # proving the interchange without shipping a archive file.
+    generator = WorkloadGenerator(
+        WorkloadParams(max_nodes=NODES, offered_load=0.8),
+        RandomStreams(seed=1998))
+    jobs = generator.generate(1200)
+    buffer = io.StringIO()
+    dump_swf(jobs, buffer, max_nodes=NODES,
+             comment="synthetic Feitelson-style month")
+    print("synthesised 1200 jobs and round-tripped them through SWF "
+          f"({buffer.tell()} bytes)\n")
+    buffer.seek(0)
+    return load_swf(buffer)
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else None
+    jobs = obtain_trace(path)
+    widest = max(job.nodes for job in jobs)
+    machine = max(NODES, widest)
+
+    table = Table(["policy", "utilization", "mean wait (h)", "mean bsld",
+                   "p95 bsld"],
+                  formats={"utilization": "{:.1%}",
+                           "mean wait (h)": "{:.2f}", "mean bsld": "{:.1f}",
+                           "p95 bsld": "{:.1f}"})
+    for policy in ("fcfs", "sjf", "easy", "conservative"):
+        result = BatchSimulator(machine, get_policy(policy)).run(jobs)
+        metrics = evaluate_schedule(result)
+        table.add_row([policy, metrics.utilization,
+                       metrics.mean_wait / 3600.0,
+                       metrics.mean_bounded_slowdown,
+                       metrics.p95_bounded_slowdown])
+    print(f"replaying {len(jobs)} jobs on {machine} nodes:\n")
+    print(table.render())
+    print("\nAny archive trace drops straight into this pipeline — the "
+          "policies, metrics, and fault-aware variant all consume the "
+          "same Job stream.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,238 @@
+"""Command-line interface: quick reports without writing a script.
+
+::
+
+    python -m repro roadmap [--scenario nominal] [--years 2003:2011]
+    python -m repro nodes [--year 2006] [--scenario nominal]
+    python -m repro design --budget 25e6 --year 2006 [--arch blade]
+    python -m repro interconnects [--year 2006]
+    python -m repro faults --nodes 10000 [--checkpoint 300]
+
+Each subcommand prints one of the library's standard tables; the full
+experiment suite lives in ``benchmarks/`` (pytest-benchmark).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import Table
+from repro.cluster import cluster_metrics, design_to_budget
+from repro.fault import CheckpointParams, daly_interval, efficiency
+from repro.fault.models import system_mtbf
+from repro.network import available_interconnects
+from repro.nodes import node_family
+from repro.tech import SCENARIOS, get_scenario
+from repro.units import (
+    format_bytes,
+    format_dollars,
+    format_flops,
+    format_power,
+    format_time,
+)
+
+
+def _parse_years(text: str):
+    start, _, end = text.partition(":")
+    return float(start), float(end or start)
+
+
+def cmd_roadmap(args: argparse.Namespace) -> int:
+    roadmap = get_scenario(args.scenario)
+    start, end = _parse_years(args.years)
+    table = Table(["year", "peak/node", "DRAM/node", "$/GFLOPS",
+                   "W/GFLOPS"],
+                  formats={"year": "{:.0f}", "$/GFLOPS": "{:.2f}",
+                           "W/GFLOPS": "{:.2f}"},
+                  title=f"{args.scenario} scenario")
+    year = start
+    while year <= end + 1e-9:
+        table.add_row([
+            year,
+            format_flops(roadmap.value("node_peak_flops", year)),
+            format_bytes(roadmap.value("node_memory_bytes", year)),
+            roadmap.dollars_per_flops(year) * 1e9,
+            roadmap.watts_per_flops(year) * 1e9,
+        ])
+        year += 1.0
+    print(table.render())
+    return 0
+
+
+def cmd_nodes(args: argparse.Namespace) -> int:
+    roadmap = get_scenario(args.scenario)
+    table = Table(["arch", "peak", "DRAM", "balance F/B", "W", "$",
+                   "rack-U"],
+                  formats={"balance F/B": "{:.2f}", "W": "{:.0f}",
+                           "$": "{:.0f}", "rack-U": "{:.2f}"},
+                  title=f"node architectures, {args.year:g}")
+    for node in node_family(roadmap, args.year):
+        table.add_row([node.architecture, format_flops(node.peak_flops),
+                       format_bytes(node.memory_bytes),
+                       node.machine_balance, node.power_watts,
+                       node.cost_dollars, node.rack_units])
+    print(table.render())
+    return 0
+
+
+def cmd_design(args: argparse.Namespace) -> int:
+    roadmap = get_scenario(args.scenario)
+    spec = design_to_budget(args.budget, roadmap, args.year, args.arch)
+    metrics = cluster_metrics(spec)
+    table = Table(["quantity", "value"], title=str(spec))
+    table.add_row(["nodes", spec.node_count])
+    table.add_row(["peak", format_flops(metrics.peak_flops)])
+    table.add_row(["memory", format_bytes(metrics.memory_bytes)])
+    table.add_row(["racks", metrics.packaging.racks])
+    table.add_row(["floor", f"{metrics.packaging.floor_area_m2:.0f} m^2"])
+    table.add_row(["power", format_power(metrics.total_watts)])
+    table.add_row(["price", format_dollars(metrics.purchase_dollars)])
+    table.add_row(["network", spec.interconnect.name])
+    print(table.render())
+    return 0
+
+
+def cmd_interconnects(args: argparse.Namespace) -> int:
+    table = Table(["name", "bandwidth", "0B latency", "$/port"],
+                  formats={"$/port": "{:.0f}"},
+                  title=f"purchasable in {args.year:g}")
+    for technology in available_interconnects(args.year):
+        params = technology.loggp
+        table.add_row([technology.name,
+                       f"{params.bandwidth / 1e6:.0f} MB/s",
+                       format_time(params.message_time(0)),
+                       technology.cost_per_port])
+    print(table.render())
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    mtbf = system_mtbf(args.node_mtbf_years * 365.25 * 86400, args.nodes)
+    params = CheckpointParams(args.checkpoint, args.restart, mtbf)
+    tau = daly_interval(params)
+    table = Table(["quantity", "value"],
+                  title=f"{args.nodes} nodes, "
+                        f"{args.node_mtbf_years:g}-year node MTBF")
+    table.add_row(["system MTBF", format_time(mtbf)])
+    table.add_row(["Daly interval", format_time(tau)])
+    table.add_row(["efficiency", f"{efficiency(params, tau):.1%}"])
+    print(table.render())
+    return 0
+
+
+def cmd_fabrics(args: argparse.Namespace) -> int:
+    """Price the fabric design alternatives for a host count."""
+    from repro.network import compare_fabrics, get_interconnect
+
+    technology = get_interconnect(args.technology)
+    table = Table(["design", "switch ports", "total $", "$/host",
+                   "bisection links", "$/bisection link"],
+                  formats={"total $": "{:,.0f}", "$/host": "{:,.0f}",
+                           "$/bisection link": "{:,.0f}"},
+                  title=f"{args.hosts} hosts on {technology.name}")
+    for bill in compare_fabrics(args.hosts, technology):
+        table.add_row([bill.topology_name, bill.switch_ports,
+                       bill.total_dollars, bill.dollars_per_host,
+                       bill.bisection_links,
+                       bill.dollars_per_bisection_link])
+    print(table.render())
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Compare rolling vs forklift procurement over a span."""
+    from repro.cluster import simulate_fleet, time_averaged_peak
+
+    roadmap = get_scenario(args.scenario)
+    table = Table(["strategy", "time-avg peak", "final peak",
+                   "max generations"],
+                  title=f"${args.annual_budget:,.0f}/yr, "
+                        f"{args.start:g}-{args.end:g}")
+    strategies = [("rolling", dict(strategy="rolling"))]
+    for interval in (2.0, 3.0, 4.0):
+        strategies.append((f"forklift {interval:.0f}y",
+                           dict(strategy="forklift",
+                                forklift_interval_years=interval)))
+    for label, kwargs in strategies:
+        timeline = simulate_fleet(roadmap, args.start, args.end,
+                                  args.annual_budget, **kwargs)
+        table.add_row([label,
+                       format_flops(time_averaged_peak(timeline)),
+                       format_flops(timeline[-1].peak_flops),
+                       max(fy.cohort_count for fy in timeline)])
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="clusterlaunch quick reports",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    roadmap = sub.add_parser("roadmap", help="technology curves")
+    roadmap.add_argument("--scenario", default="nominal",
+                         choices=sorted(SCENARIOS))
+    roadmap.add_argument("--years", default="2003:2010",
+                         help="start:end, e.g. 2003:2010")
+    roadmap.set_defaults(func=cmd_roadmap)
+
+    nodes = sub.add_parser("nodes", help="node architecture table")
+    nodes.add_argument("--year", type=float, default=2006.0)
+    nodes.add_argument("--scenario", default="nominal",
+                       choices=sorted(SCENARIOS))
+    nodes.set_defaults(func=cmd_nodes)
+
+    design = sub.add_parser("design", help="budget-sized cluster")
+    design.add_argument("--budget", type=float, required=True)
+    design.add_argument("--year", type=float, required=True)
+    design.add_argument("--arch", default="conventional")
+    design.add_argument("--scenario", default="nominal",
+                        choices=sorted(SCENARIOS))
+    design.set_defaults(func=cmd_design)
+
+    interconnects = sub.add_parser("interconnects",
+                                   help="interconnect catalog")
+    interconnects.add_argument("--year", type=float, default=2006.0)
+    interconnects.set_defaults(func=cmd_interconnects)
+
+    fabrics = sub.add_parser("fabrics", help="price fabric designs")
+    fabrics.add_argument("--hosts", type=int, required=True)
+    fabrics.add_argument("--technology", default="infiniband_4x")
+    fabrics.set_defaults(func=cmd_fabrics)
+
+    fleet = sub.add_parser("fleet", help="procurement strategy comparison")
+    fleet.add_argument("--annual-budget", type=float, default=2e6)
+    fleet.add_argument("--start", type=float, default=2003.0)
+    fleet.add_argument("--end", type=float, default=2010.0)
+    fleet.add_argument("--scenario", default="nominal",
+                       choices=sorted(SCENARIOS))
+    fleet.set_defaults(func=cmd_fleet)
+
+    faults = sub.add_parser("faults", help="reliability at a scale")
+    faults.add_argument("--nodes", type=int, required=True)
+    faults.add_argument("--node-mtbf-years", type=float, default=3.0)
+    faults.add_argument("--checkpoint", type=float, default=300.0)
+    faults.add_argument("--restart", type=float, default=600.0)
+    faults.set_defaults(func=cmd_faults)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point (also installed as ``clusterlaunch``)."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

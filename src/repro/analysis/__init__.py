@@ -1,0 +1,39 @@
+"""Reporting utilities shared by benchmarks and examples.
+
+Pure presentation + statistics: no imports from the simulation layers, so
+report code can never perturb an experiment.
+
+Public surface
+--------------
+:class:`Table`
+    Column-aware ASCII table builder (every bench prints through it).
+:class:`Series`
+    A named (x, y) curve with tabular rendering.
+:func:`summarize` / :func:`confidence_interval` / :func:`geometric_mean`
+    Replication statistics.
+:class:`ExperimentReport`
+    Uniform experiment header/claim/table/notes block.
+"""
+
+from repro.analysis.tables import Table
+from repro.analysis.series import Series, render_series
+from repro.analysis.stats import (
+    SummaryStats,
+    confidence_interval,
+    geometric_mean,
+    speedup_curve,
+    summarize,
+)
+from repro.analysis.report import ExperimentReport
+
+__all__ = [
+    "ExperimentReport",
+    "Series",
+    "SummaryStats",
+    "Table",
+    "confidence_interval",
+    "geometric_mean",
+    "render_series",
+    "speedup_curve",
+    "summarize",
+]

@@ -1,0 +1,64 @@
+"""Uniform experiment reports.
+
+Every bench prints through an :class:`ExperimentReport` so the output
+always shows: which derived table/figure this is, the keynote claim it
+tests, the measured tables/series, and free-form notes (e.g. where the
+measured shape agrees or bends).  ``EXPERIMENTS.md`` quotes these blocks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from repro.analysis.series import Series, render_series
+from repro.analysis.tables import Table
+
+__all__ = ["ExperimentReport"]
+
+_WIDTH = 78
+
+
+class ExperimentReport:
+    """Builder for one experiment's terminal report."""
+
+    def __init__(self, experiment_id: str, title: str, claim: str) -> None:
+        self.experiment_id = experiment_id
+        self.title = title
+        self.claim = claim
+        self._blocks: List[str] = []
+
+    def add_table(self, table: Table) -> None:
+        """Append a rendered table block."""
+        self._blocks.append(table.render())
+
+    def add_series(self, series: Sequence[Series], x_label: str = "x",
+                   title: str = "", value_format: str = "{:.4g}",
+                   x_format: str = "{:g}") -> None:
+        """Append a figure block (series tabulated against x)."""
+        self._blocks.append(render_series(series, x_label=x_label,
+                                          title=title,
+                                          value_format=value_format,
+                                          x_format=x_format))
+    def add_note(self, note: str) -> None:
+        """Append a one-line interpretation note."""
+        self._blocks.append(f"note: {note}")
+
+    def add_text(self, text: str) -> None:
+        """Append a free-form text block."""
+        self._blocks.append(text)
+
+    def render(self) -> str:
+        """The full report as one string (header + blocks)."""
+        header = [
+            "=" * _WIDTH,
+            f"{self.experiment_id}: {self.title}",
+            f"claim: {self.claim}",
+            "=" * _WIDTH,
+        ]
+        return "\n".join(header) + "\n" + "\n\n".join(self._blocks) + "\n"
+
+    def show(self) -> str:
+        """Print and return the report (benches call this last)."""
+        text = self.render()
+        print(text)
+        return text

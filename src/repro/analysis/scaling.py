@@ -1,0 +1,115 @@
+"""Speedup laws: Amdahl, Gustafson, Karp-Flatt, isoefficiency.
+
+The analytical vocabulary of the scalability debates the keynote sits in:
+
+* :func:`amdahl_speedup` — fixed problem, serial fraction caps speedup;
+* :func:`gustafson_speedup` — scaled problem, the petaflops-era answer;
+* :func:`karp_flatt` — the *experimentally determined* serial fraction,
+  the standard diagnostic for measured speedup curves (our app kernels'
+  curves included);
+* :func:`fit_serial_fraction` — least-squares Amdahl fit to a curve;
+* :func:`isoefficiency_problem_size` — how fast the problem must grow to
+  hold efficiency as ranks grow, given a parallel-overhead exponent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "amdahl_speedup",
+    "gustafson_speedup",
+    "karp_flatt",
+    "fit_serial_fraction",
+    "isoefficiency_problem_size",
+]
+
+
+def _check_fraction(serial_fraction: float) -> None:
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError(f"serial fraction must be in [0, 1], got "
+                         f"{serial_fraction}")
+
+
+def _check_ranks(ranks) -> np.ndarray:
+    array = np.asarray(ranks, dtype=float)
+    if np.any(array < 1):
+        raise ValueError("rank counts must be >= 1")
+    return array
+
+
+def amdahl_speedup(serial_fraction: float, ranks) -> np.ndarray:
+    """Fixed-size speedup: ``1 / (f + (1-f)/p)``."""
+    _check_fraction(serial_fraction)
+    p = _check_ranks(ranks)
+    result = 1.0 / (serial_fraction + (1.0 - serial_fraction) / p)
+    return result if result.ndim else float(result)
+
+
+def gustafson_speedup(serial_fraction: float, ranks) -> np.ndarray:
+    """Scaled-size speedup: ``p - f (p - 1)``."""
+    _check_fraction(serial_fraction)
+    p = _check_ranks(ranks)
+    result = p - serial_fraction * (p - 1.0)
+    return result if result.ndim else float(result)
+
+
+def karp_flatt(speedup: float, ranks: int) -> float:
+    """Experimentally determined serial fraction:
+    ``(1/S - 1/p) / (1 - 1/p)``.
+
+    A *rising* Karp-Flatt metric across rank counts indicates growing
+    parallel overhead (communication), not an intrinsic serial fraction —
+    the standard reading of measured curves.
+    """
+    if ranks < 2:
+        raise ValueError("Karp-Flatt needs at least 2 ranks")
+    if speedup <= 0:
+        raise ValueError("speedup must be positive")
+    return (1.0 / speedup - 1.0 / ranks) / (1.0 - 1.0 / ranks)
+
+
+def fit_serial_fraction(ranks: Sequence[int],
+                        speedups: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares Amdahl fit to a measured curve.
+
+    Returns ``(serial_fraction, rms_residual)``; the fit linearises
+    Amdahl's law (1/S is linear in 1/p) and clips into [0, 1].
+    """
+    p = _check_ranks(ranks)
+    s = np.asarray(list(speedups), dtype=float)
+    if p.shape != s.shape or p.size < 2:
+        raise ValueError("need matching rank/speedup arrays of length >= 2")
+    if np.any(s <= 0):
+        raise ValueError("speedups must be positive")
+    # 1/S = f + (1-f)/p  =>  y = f (1 - x) + x  with x = 1/p, y = 1/S.
+    x = 1.0 / p
+    y = 1.0 / s
+    design = 1.0 - x
+    fraction = float(np.dot(design, y - x) / np.dot(design, design))
+    fraction = min(1.0, max(0.0, fraction))
+    predicted = 1.0 / (fraction + (1.0 - fraction) * x)
+    rms = float(np.sqrt(np.mean((predicted - s) ** 2)))
+    return fraction, rms
+
+
+def isoefficiency_problem_size(base_work: float, base_ranks: int,
+                               target_ranks: int,
+                               overhead_exponent: float = 1.0) -> float:
+    """Work needed at ``target_ranks`` to hold the efficiency achieved
+    with ``base_work`` at ``base_ranks``.
+
+    Standard isoefficiency relation ``W ∝ p^e`` where ``e`` is the
+    algorithm's overhead exponent (1 for embarrassingly parallel with
+    linear overhead, ~1.5 for 2D-decomposed stencils, log-corrected
+    for tree collectives — callers supply their algorithm's exponent).
+    """
+    if base_work <= 0:
+        raise ValueError("base work must be positive")
+    if base_ranks < 1 or target_ranks < 1:
+        raise ValueError("rank counts must be >= 1")
+    if overhead_exponent < 0:
+        raise ValueError("overhead exponent must be non-negative")
+    return base_work * (target_ranks / base_ranks) ** overhead_exponent

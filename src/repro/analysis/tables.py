@@ -1,0 +1,102 @@
+"""ASCII tables, the output format of every benchmark.
+
+Deliberately dependency-free: a :class:`Table` takes column names, accepts
+rows of values (formatted per column or with a default), and renders with
+aligned separators.  Numeric cells right-align; text left-aligns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+__all__ = ["Table"]
+
+
+def _default_format(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+class Table:
+    """Column-aware table builder.
+
+    >>> t = Table(["year", "peak"], formats={"peak": "{:.1f}"})
+    >>> t.add_row([2002, 9.6]); t.add_row([2010, 274.0])
+    >>> print(t.render())          # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str],
+                 formats: Optional[Dict[str, Any]] = None,
+                 title: str = "") -> None:
+        if not columns:
+            raise ValueError("table needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise ValueError(f"duplicate column names in {list(columns)}")
+        self.columns = list(columns)
+        self.title = title
+        self._formats: Dict[str, Callable[[Any], str]] = {}
+        for name, fmt in (formats or {}).items():
+            if name not in self.columns:
+                raise KeyError(f"format for unknown column {name!r}")
+            self._formats[name] = (
+                fmt if callable(fmt) else lambda v, _f=fmt: _f.format(v)
+            )
+        self._rows: List[List[str]] = []
+        self._numeric: List[bool] = [True] * len(self.columns)
+
+    def add_row(self, values: Sequence[Any]) -> None:
+        """Append a row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells; table has "
+                f"{len(self.columns)} columns"
+            )
+        cells = []
+        for index, (name, value) in enumerate(zip(self.columns, values)):
+            formatter = self._formats.get(name, _default_format)
+            cells.append(formatter(value))
+            if not isinstance(value, (int, float)):
+                self._numeric[index] = False
+        self._rows.append(cells)
+
+    def add_rows(self, rows: Sequence[Sequence[Any]]) -> None:
+        """Append several rows."""
+        for row in rows:
+            self.add_row(row)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def render(self) -> str:
+        """The aligned ASCII table as one string."""
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            parts = []
+            for index, cell in enumerate(cells):
+                if self._numeric[index]:
+                    parts.append(cell.rjust(widths[index]))
+                else:
+                    parts.append(cell.ljust(widths[index]))
+            return "  ".join(parts).rstrip()
+
+        rule = "  ".join("-" * w for w in widths)
+        out: List[str] = []
+        if self.title:
+            out.append(self.title)
+        out.append(line(self.columns))
+        out.append(rule)
+        out.extend(line(row) for row in self._rows)
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()

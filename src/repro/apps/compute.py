@@ -1,0 +1,60 @@
+"""Charging computation to virtual time.
+
+Kernels do their arithmetic for real (numpy) but the *simulated clock*
+must advance by what the modelled node would take, not by what CPython
+took.  :class:`ComputeCharge` owns that conversion: given flops and bytes
+of a local phase, it returns the virtual seconds to charge, using a node's
+roofline when a :class:`~repro.nodes.base.NodeSpec` is supplied or a flat
+effective rate otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nodes.base import NodeSpec
+from repro.nodes.roofline import KernelCharacter, RooflineModel
+
+__all__ = ["ComputeCharge"]
+
+#: Default effective rate when no node spec is given: a deliberately
+#: round 1 GFLOPS sustained, typical of a 2002 node on real code.
+_DEFAULT_EFFECTIVE_FLOPS = 1e9
+
+
+class ComputeCharge:
+    """Convert (flops, bytes) of local work into virtual seconds."""
+
+    def __init__(self, node: Optional[NodeSpec] = None,
+                 effective_flops: Optional[float] = None) -> None:
+        if node is not None and effective_flops is not None:
+            raise ValueError("give a node spec or an effective rate, not both")
+        if effective_flops is not None and effective_flops <= 0:
+            raise ValueError("effective rate must be positive")
+        self.node = node
+        self._roofline = RooflineModel(node) if node is not None else None
+        self.effective_flops = effective_flops or _DEFAULT_EFFECTIVE_FLOPS
+
+    def seconds(self, flops: float, bytes_moved: Optional[float] = None) -> float:
+        """Virtual time for a phase of ``flops`` touching ``bytes_moved``.
+
+        With a node spec the roofline decides whether the phase is compute
+        or bandwidth bound; without one, ``bytes_moved`` is ignored and a
+        flat rate applies.
+        """
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        if flops == 0:
+            return 0.0
+        if self._roofline is None or bytes_moved is None or bytes_moved <= 0:
+            return flops / self.effective_flops
+        kernel = KernelCharacter(name="phase", flops=flops,
+                                 bytes_moved=bytes_moved)
+        return self._roofline.execution_time(kernel)
+
+    def rate(self, intensity: Optional[float] = None) -> float:
+        """Attainable FLOPS (at an arithmetic intensity, if a node is set)."""
+        if self._roofline is None or intensity is None:
+            return self.effective_flops
+        kernel = KernelCharacter.from_intensity("probe", intensity)
+        return self._roofline.attainable_flops(kernel)

@@ -1,0 +1,119 @@
+"""All-pairs N-body via ring pipeline — the compute-bound workload.
+
+Each rank owns a block of particles.  The blocks circulate around a ring;
+at each of the p steps every rank accumulates the forces its own particles
+feel from the visiting block.  Communication is O(N) per step against
+O(N²/p) computation, so this kernel is compute-dominated — the workload
+where interconnect choice matters least (bench E5's control case).
+
+Forces are softened gravity, computed with numpy and verified against the
+direct all-pairs reference in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.apps.compute import ComputeCharge
+from repro.messaging.comm import Communicator
+from repro.messaging.program import SpmdResult, run_spmd
+
+__all__ = ["NbodyResult", "run_nbody", "direct_forces_reference",
+           "make_particles"]
+
+_RING_TAG = 301
+_SOFTENING = 1e-3
+
+
+@dataclass(frozen=True)
+class NbodyResult:
+    """Outcome of one force evaluation."""
+
+    forces: np.ndarray        # (n, 3) forces gathered at root
+    elapsed: float
+    n: int
+    ranks: int
+
+
+def _pairwise_forces(targets: np.ndarray, sources: np.ndarray,
+                     source_mass: np.ndarray) -> np.ndarray:
+    """Softened-gravity forces on ``targets`` from ``sources`` (unit target
+    mass, G = 1); self-pairs vanish through the softening term."""
+    delta = sources[None, :, :] - targets[:, None, :]        # (t, s, 3)
+    distance_sq = (delta ** 2).sum(axis=2) + _SOFTENING ** 2
+    inv_r3 = distance_sq ** -1.5
+    return (delta * (source_mass[None, :] * inv_r3)[:, :, None]).sum(axis=1)
+
+
+def _blocks(n: int, size: int) -> List[slice]:
+    bounds = np.linspace(0, n, size + 1).astype(int)
+    return [slice(bounds[r], bounds[r + 1]) for r in range(size)]
+
+
+def make_particles(n: int, seed: int):
+    """The deterministic particle set every rank (and the serial
+    reference) derives from ``(n, seed)``: positions (n, 3) and masses."""
+    rng = np.random.default_rng(seed)
+    positions = rng.standard_normal((n, 3))
+    masses = rng.uniform(0.5, 2.0, size=n)
+    return positions, masses
+
+
+def _nbody_rank(comm: Communicator, n: int, charge: ComputeCharge, seed: int):
+    size, rank = comm.size, comm.rank
+    positions, masses = make_particles(n, seed)
+    mine = _blocks(n, size)[rank]
+    my_positions = positions[mine].copy()
+
+    forces = np.zeros_like(my_positions)
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+
+    visiting_positions = positions[mine].copy()
+    visiting_masses = masses[mine].copy()
+    for _step in range(size):
+        forces += _pairwise_forces(my_positions, visiting_positions,
+                                   visiting_masses)
+        interactions = my_positions.shape[0] * visiting_positions.shape[0]
+        # ~20 flops per interaction, streaming ~48 bytes per source point.
+        yield comm.sim.timeout(charge.seconds(
+            flops=20.0 * interactions,
+            bytes_moved=48.0 * interactions))
+        if size > 1 and _step < size - 1:
+            request = comm.isend(
+                (visiting_positions, visiting_masses), right, _RING_TAG)
+            visiting_positions, visiting_masses = yield from comm.recv(
+                left, _RING_TAG)
+            yield from request.wait()
+
+    # Timing stops here; the gather is verification plumbing.
+    loop_end = comm.sim.now
+    gathered = yield from comm.gather(forces, root=0)
+    if rank == 0:
+        return loop_end, np.vstack(gathered)
+    return loop_end, None
+
+
+def run_nbody(ranks: int, n: int, charge: Optional[ComputeCharge] = None,
+              seed: int = 0, **spmd_kwargs) -> NbodyResult:
+    """One all-pairs force evaluation over ``n`` seeded particles."""
+    if n < ranks:
+        raise ValueError(f"need at least one particle per rank ({ranks} > {n})")
+    charge = charge if charge is not None else ComputeCharge()
+    result: SpmdResult = run_spmd(ranks, _nbody_rank, n, charge, seed,
+                                  **spmd_kwargs)
+    return NbodyResult(
+        forces=result.results[0][1],
+        elapsed=max(loop_end for loop_end, _forces in result.results),
+        n=n,
+        ranks=ranks,
+    )
+
+
+def direct_forces_reference(n: int, seed: int = 0) -> np.ndarray:
+    """Serial all-pairs forces — ground truth for tests."""
+    positions, masses = make_particles(n, seed)
+    return _pairwise_forces(positions, positions, masses)

@@ -1,0 +1,160 @@
+"""2D-decomposed Jacobi stencil — the surface-to-volume argument.
+
+The row-decomposed stencil (:mod:`repro.apps.stencil`) exchanges two
+halo *rows* of the full grid width per iteration: per-rank communication
+stays O(n) no matter how many ranks share the work.  Decomposing in both
+dimensions shrinks each rank's halo perimeter to O(n/√p) per edge — four
+smaller messages instead of two big ones.  Which wins depends on the
+fabric's latency/bandwidth balance and the scale, which is exactly what
+bench E19 maps.
+
+The process grid is built with :meth:`Communicator.split` (row and
+column communicators), the east/west halos are strided columns packed
+into contiguous buffers before sending (what an MPI vector datatype
+would do), and the arithmetic matches the serial reference bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.compute import ComputeCharge
+from repro.messaging.comm import Communicator, waitall
+from repro.messaging.program import SpmdResult, run_spmd
+
+__all__ = ["Stencil2DResult", "run_stencil2d", "process_grid"]
+
+_TAG_N, _TAG_S, _TAG_E, _TAG_W = 111, 112, 113, 114
+
+
+def process_grid(ranks: int) -> Tuple[int, int]:
+    """Near-square factorisation ``(rows, cols)`` with rows <= cols."""
+    rows = int(math.isqrt(ranks))
+    while rows > 1 and ranks % rows != 0:
+        rows -= 1
+    return rows, ranks // rows
+
+
+@dataclass(frozen=True)
+class Stencil2DResult:
+    """Outcome of a 2D-decomposed stencil run."""
+
+    grid: np.ndarray
+    iterations: int
+    elapsed: float
+    n: int
+    ranks: int
+    grid_shape: Tuple[int, int]
+
+
+def _bounds(extent: int, parts: int) -> List[int]:
+    """Partition of the interior [1, extent-1) into ``parts`` ranges."""
+    return list(np.linspace(1, extent - 1, parts + 1).astype(int))
+
+
+def _stencil2d_rank(comm: Communicator, n: int, iterations: int,
+                    charge: ComputeCharge):
+    size, rank = comm.size, comm.rank
+    grid_rows, grid_cols = process_grid(size)
+    my_row, my_col = divmod(rank, grid_cols)
+    row_bounds = _bounds(n, grid_rows)
+    col_bounds = _bounds(n, grid_cols)
+    r0, r1 = row_bounds[my_row], row_bounds[my_row + 1]
+    c0, c1 = col_bounds[my_col], col_bounds[my_col + 1]
+
+    # Local block with a one-cell halo ring, from the analytic initial
+    # condition (hot top edge, cold elsewhere).
+    block = np.zeros((r1 - r0 + 2, c1 - c0 + 2))
+    if r0 == 1:
+        block[0, :] = 1.0  # global top edge in the north halo
+
+    north = rank - grid_cols if my_row > 0 else None
+    south = rank + grid_cols if my_row < grid_rows - 1 else None
+    west = rank - 1 if my_col > 0 else None
+    east = rank + 1 if my_col < grid_cols - 1 else None
+
+    for _step in range(iterations):
+        # Post all four receives, then all four sends (columns packed
+        # into contiguous buffers — the vector-datatype move).
+        recvs = {}
+        if north is not None:
+            recvs["n"] = comm.irecv(north, _TAG_S)
+        if south is not None:
+            recvs["s"] = comm.irecv(south, _TAG_N)
+        if west is not None:
+            recvs["w"] = comm.irecv(west, _TAG_E)
+        if east is not None:
+            recvs["e"] = comm.irecv(east, _TAG_W)
+        sends = []
+        if north is not None:
+            sends.append(comm.isend(block[1, 1:-1].copy(), north, _TAG_N))
+        if south is not None:
+            sends.append(comm.isend(block[-2, 1:-1].copy(), south, _TAG_S))
+        if west is not None:
+            sends.append(comm.isend(block[1:-1, 1].copy(), west, _TAG_W))
+        if east is not None:
+            sends.append(comm.isend(block[1:-1, -2].copy(), east, _TAG_E))
+
+        if "n" in recvs:
+            block[0, 1:-1] = yield from recvs["n"].wait()
+        if "s" in recvs:
+            block[-1, 1:-1] = yield from recvs["s"].wait()
+        if "w" in recvs:
+            block[1:-1, 0] = yield from recvs["w"].wait()
+        if "e" in recvs:
+            block[1:-1, -1] = yield from recvs["e"].wait()
+        yield from waitall(sends)
+
+        new = block.copy()
+        new[1:-1, 1:-1] = 0.25 * (
+            block[:-2, 1:-1] + block[2:, 1:-1]
+            + block[1:-1, :-2] + block[1:-1, 2:]
+        )
+        block = new
+
+        points = (r1 - r0) * (c1 - c0)
+        yield comm.sim.timeout(charge.seconds(flops=4.0 * points,
+                                              bytes_moved=40.0 * points))
+
+    loop_end = comm.sim.now
+
+    # Verification gather (not timed).
+    gathered = yield from comm.gather(
+        (r0, r1, c0, c1, block[1:-1, 1:-1]), root=0)
+    if rank == 0:
+        result = np.zeros((n, n))
+        result[0, :] = 1.0
+        for gr0, gr1, gc0, gc1, piece in gathered:
+            result[gr0:gr1, gc0:gc1] = piece
+        return loop_end, result
+    return loop_end, None
+
+
+def run_stencil2d(ranks: int, n: int, iterations: int,
+                  charge: Optional[ComputeCharge] = None,
+                  **spmd_kwargs) -> Stencil2DResult:
+    """Run the 2D-decomposed stencil (corner diagonals are not needed by
+    the 5-point operator, so the four edge exchanges suffice)."""
+    if n < 4:
+        raise ValueError("grid must be at least 4x4")
+    grid_rows, grid_cols = process_grid(ranks)
+    if grid_rows > n - 2 or grid_cols > n - 2:
+        raise ValueError(f"{ranks} ranks ({grid_rows}x{grid_cols}) need a "
+                         f"bigger grid than {n}x{n}")
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    charge = charge if charge is not None else ComputeCharge()
+    result: SpmdResult = run_spmd(ranks, _stencil2d_rank, n, iterations,
+                                  charge, **spmd_kwargs)
+    return Stencil2DResult(
+        grid=result.results[0][1],
+        iterations=iterations,
+        elapsed=max(loop_end for loop_end, _g in result.results),
+        n=n,
+        ranks=ranks,
+        grid_shape=(grid_rows, grid_cols),
+    )

@@ -1,0 +1,117 @@
+"""Cluster designers: size a machine for a year, a budget, or a peak goal.
+
+These are the functions behind the "trans-Petaflops" experiments: given a
+roadmap scenario and a year, what does $X buy, and when does a fixed budget
+first buy a petaflops?
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.cluster.cost import CostModel
+from repro.cluster.packaging import RackConfig, pack_cluster
+from repro.cluster.spec import ClusterSpec
+from repro.network.technologies import (
+    InterconnectTechnology,
+    available_interconnects,
+    get_interconnect,
+)
+from repro.nodes.catalog import make_node
+from repro.tech.roadmap import TechnologyRoadmap
+
+__all__ = ["design_cluster", "design_to_budget", "design_to_peak"]
+
+
+def _resolve_interconnect(
+        interconnect: Union[str, InterconnectTechnology, None],
+        year: float) -> InterconnectTechnology:
+    if isinstance(interconnect, InterconnectTechnology):
+        return interconnect
+    if isinstance(interconnect, str):
+        return get_interconnect(interconnect)
+    # Default: the best (highest bandwidth) technology purchasable that year.
+    candidates = available_interconnects(year)
+    if not candidates:
+        raise ValueError(f"no interconnect available in {year:g}")
+    return max(candidates, key=lambda t: t.loggp.bandwidth)
+
+
+def design_cluster(name: str, roadmap: TechnologyRoadmap, year: float,
+                   node_count: int, architecture: str = "conventional",
+                   interconnect: Union[str, InterconnectTechnology, None] = None,
+                   ) -> ClusterSpec:
+    """A cluster of ``node_count`` nodes of ``architecture`` at ``year``."""
+    node = make_node(architecture, roadmap, year)
+    return ClusterSpec(
+        name=name,
+        node=node,
+        node_count=node_count,
+        interconnect=_resolve_interconnect(interconnect, year),
+        year=year,
+    )
+
+
+def design_to_budget(budget_dollars: float, roadmap: TechnologyRoadmap,
+                     year: float, architecture: str = "conventional",
+                     interconnect: Union[str, InterconnectTechnology, None] = None,
+                     cost_model: CostModel = CostModel(),
+                     rack: RackConfig = RackConfig(),
+                     name: Optional[str] = None) -> ClusterSpec:
+    """The largest cluster ``budget_dollars`` buys at ``year``.
+
+    Solved by bisection on node count against the full cost model (which
+    is monotone in node count), so network/rack/integration overheads are
+    respected exactly rather than by a rule of thumb.
+    """
+    if budget_dollars <= 0:
+        raise ValueError("budget must be positive")
+    technology = _resolve_interconnect(interconnect, year)
+
+    def total_cost(count: int) -> float:
+        spec = design_cluster("probe", roadmap, year, count, architecture,
+                              technology)
+        return cost_model.purchase(spec, pack_cluster(spec, rack)).total_dollars
+
+    if total_cost(1) > budget_dollars:
+        raise ValueError(
+            f"budget ${budget_dollars:,.0f} does not cover even one "
+            f"{architecture} node plus infrastructure in {year:g}"
+        )
+    low, high = 1, 2
+    while total_cost(high) <= budget_dollars:
+        low, high = high, high * 2
+    while high - low > 1:
+        mid = (low + high) // 2
+        if total_cost(mid) <= budget_dollars:
+            low = mid
+        else:
+            high = mid
+    return design_cluster(
+        name or f"{architecture}-{year:g}-${budget_dollars:,.0f}",
+        roadmap, year, low, architecture, technology,
+    )
+
+
+def design_to_peak(target_flops: float, roadmap: TechnologyRoadmap,
+                   year: float, architecture: str = "conventional",
+                   interconnect: Union[str, InterconnectTechnology, None] = None,
+                   name: Optional[str] = None) -> ClusterSpec:
+    """The smallest cluster reaching ``target_flops`` peak at ``year``."""
+    if target_flops <= 0:
+        raise ValueError("target peak must be positive")
+    node = make_node(architecture, roadmap, year)
+    count = max(1, -(-int(target_flops) // int(node.peak_flops))
+                if node.peak_flops >= 1 else 1)
+    # Ceil division above truncates both operands; correct any off-by-one.
+    while node.peak_flops * count < target_flops:
+        count += 1
+    while count > 1 and node.peak_flops * (count - 1) >= target_flops:
+        count -= 1
+    return ClusterSpec(
+        name=name or f"{architecture}-{year:g}-peak",
+        node=node,
+        node_count=count,
+        interconnect=_resolve_interconnect(interconnect, year),
+        year=year,
+    )

@@ -1,0 +1,61 @@
+"""One-call summary of a cluster's figures of merit."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cost import CostModel
+from repro.cluster.packaging import Packaging, RackConfig, pack_cluster
+from repro.cluster.power import PowerModel
+from repro.cluster.spec import ClusterSpec
+
+__all__ = ["ClusterMetrics", "cluster_metrics"]
+
+
+@dataclass(frozen=True)
+class ClusterMetrics:
+    """Everything a design-space table prints about one machine."""
+
+    spec: ClusterSpec
+    packaging: Packaging
+    peak_flops: float
+    memory_bytes: float
+    total_watts: float
+    purchase_dollars: float
+    dollars_per_flops: float
+    watts_per_flops: float
+    flops_per_m2: float
+    bisection_bytes_per_second: float
+
+    @property
+    def gflops_per_kw(self) -> float:
+        """Popular efficiency figure: GFLOPS per kilowatt of facility load."""
+        return (self.peak_flops / 1e9) / (self.total_watts / 1e3)
+
+
+def cluster_metrics(spec: ClusterSpec,
+                    rack: RackConfig = RackConfig(),
+                    power_model: PowerModel = PowerModel(),
+                    cost_model: CostModel = CostModel()) -> ClusterMetrics:
+    """Pack, power, and price ``spec``; return the combined summary.
+
+    Bisection bandwidth assumes a full-bisection fabric (``hosts/2`` link
+    pairs at the technology's asymptotic rate) — the upper bound an actual
+    topology's ``bisection_links()`` refines when one is chosen.
+    """
+    packaging = pack_cluster(spec, rack)
+    power = power_model.breakdown(spec, packaging)
+    cost = cost_model.purchase(spec, packaging)
+    link_rate = spec.interconnect.loggp.bandwidth
+    return ClusterMetrics(
+        spec=spec,
+        packaging=packaging,
+        peak_flops=spec.peak_flops,
+        memory_bytes=spec.memory_bytes,
+        total_watts=power.total_watts,
+        purchase_dollars=cost.total_dollars,
+        dollars_per_flops=cost.total_dollars / spec.peak_flops,
+        watts_per_flops=power.total_watts / spec.peak_flops,
+        flops_per_m2=spec.peak_flops / packaging.floor_area_m2,
+        bisection_bytes_per_second=(spec.node_count // 2) * link_rate,
+    )

@@ -1,0 +1,84 @@
+"""Physical packaging: racks and floor space.
+
+Blade density is one of the keynote's named "changes anticipated in
+hardware architecture"; this model is where density claims become numbers.
+A rack offers 42U minus a fixed overhead for switches, PDUs and cable
+management; nodes consume their (possibly fractional) ``rack_units``; floor
+space charges the rack footprint plus service clearance — the standard
+datacenter-planning accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cluster.spec import ClusterSpec
+
+__all__ = ["RackConfig", "Packaging", "pack_cluster"]
+
+
+@dataclass(frozen=True)
+class RackConfig:
+    """Rack geometry and per-rack overheads."""
+
+    #: Usable height of a standard rack.
+    total_units: float = 42.0
+    #: Units lost per rack to switches, PDU, patch panels.
+    overhead_units: float = 4.0
+    #: Footprint including service clearance front+rear (m^2).
+    floor_area_m2: float = 1.4
+    #: Purchase cost of rack + PDU + cabling (dollars).
+    cost_dollars: float = 2500.0
+    #: Maximum power one rack's distribution can feed (watts); 2002-era
+    #: datacenters provisioned roughly 8-12 kW per rack.
+    power_limit_watts: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        if self.overhead_units >= self.total_units:
+            raise ValueError("rack overhead exceeds rack height")
+        if min(self.total_units, self.floor_area_m2, self.power_limit_watts) <= 0:
+            raise ValueError("rack dimensions must be positive")
+
+    @property
+    def usable_units(self) -> float:
+        return self.total_units - self.overhead_units
+
+
+@dataclass(frozen=True)
+class Packaging:
+    """Result of packing a cluster into racks."""
+
+    racks: int
+    nodes_per_rack: int
+    floor_area_m2: float
+    rack_config: RackConfig
+    #: True when the binding constraint was power, not space — the
+    #: situation blade density creates and the talk's power curve predicts.
+    power_limited: bool
+
+    @property
+    def rack_cost(self) -> float:
+        return self.racks * self.rack_config.cost_dollars
+
+
+def pack_cluster(spec: ClusterSpec,
+                 rack: RackConfig = RackConfig()) -> Packaging:
+    """Pack ``spec`` into racks under both space and power constraints.
+
+    Nodes per rack is the minimum of what fits in the usable units and what
+    the rack's power feed supports; the report records which constraint
+    bound, because "you run out of power before you run out of U" is
+    exactly the blade-era phenomenon bench E6 demonstrates.
+    """
+    by_space = int(rack.usable_units // spec.node.rack_units)
+    by_power = int(rack.power_limit_watts // spec.node.power_watts)
+    nodes_per_rack = max(1, min(by_space, by_power))
+    racks = math.ceil(spec.node_count / nodes_per_rack)
+    return Packaging(
+        racks=racks,
+        nodes_per_rack=nodes_per_rack,
+        floor_area_m2=racks * rack.floor_area_m2,
+        rack_config=rack,
+        power_limited=by_power < by_space,
+    )

@@ -1,0 +1,75 @@
+"""System power: IT load plus cooling/distribution overhead.
+
+``watts = nodes + network ports + per-rack overhead``, then multiplied by
+the facility's PUE (power usage effectiveness) — the datacenter industry's
+standard way to charge cooling.  2002 machine rooms ran PUE ≈ 2.0; the
+model keeps it a parameter because the power curve's slope is one of the
+keynote's five headline curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.packaging import Packaging
+from repro.cluster.spec import ClusterSpec
+
+__all__ = ["PowerModel", "PowerBreakdown"]
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Where the watts go."""
+
+    nodes_watts: float
+    network_watts: float
+    rack_overhead_watts: float
+    cooling_watts: float
+
+    @property
+    def it_watts(self) -> float:
+        """IT load (everything except cooling/distribution)."""
+        return self.nodes_watts + self.network_watts + self.rack_overhead_watts
+
+    @property
+    def total_watts(self) -> float:
+        return self.it_watts + self.cooling_watts
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Facility parameters."""
+
+    #: Power usage effectiveness: total facility / IT load.
+    pue: float = 2.0
+    #: Fixed draw per rack (fans, PDU losses, management).
+    rack_overhead_watts: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.pue < 1.0:
+            raise ValueError("PUE cannot be below 1.0")
+        if self.rack_overhead_watts < 0:
+            raise ValueError("rack overhead must be non-negative")
+
+    def breakdown(self, spec: ClusterSpec,
+                  packaging: Packaging) -> PowerBreakdown:
+        """Full power accounting for a packed cluster."""
+        nodes = spec.node.power_watts * spec.node_count
+        network = spec.interconnect.power_per_port * spec.node_count
+        racks = self.rack_overhead_watts * packaging.racks
+        it_load = nodes + network + racks
+        return PowerBreakdown(
+            nodes_watts=nodes,
+            network_watts=network,
+            rack_overhead_watts=racks,
+            cooling_watts=it_load * (self.pue - 1.0),
+        )
+
+    def annual_energy_joules(self, spec: ClusterSpec, packaging: Packaging,
+                             utilization: float = 1.0) -> float:
+        """Energy per year at a duty cycle (idle power assumed equal to
+        load power, the honest assumption for 2002 hardware)."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must be in [0, 1]")
+        del utilization  # 2002 nodes idle hot; duty cycle does not help
+        return self.breakdown(spec, packaging).total_watts * 365.25 * 86400.0

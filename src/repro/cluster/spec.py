@@ -1,0 +1,61 @@
+"""The cluster description record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.technologies import InterconnectTechnology
+from repro.nodes.base import NodeSpec
+
+__all__ = ["ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A whole machine: ``node_count`` copies of ``node`` joined by
+    ``interconnect``.
+
+    This record is intentionally *logical* — physical packaging (racks),
+    power, and cost are computed by the corresponding models so their
+    assumptions stay in one place each.
+    """
+
+    name: str
+    node: NodeSpec
+    node_count: int
+    interconnect: InterconnectTechnology
+    year: float
+
+    def __post_init__(self) -> None:
+        if self.node_count < 1:
+            raise ValueError(f"node_count must be >= 1, got {self.node_count}")
+        if self.interconnect.available_year > self.year + 1e-9:
+            raise ValueError(
+                f"{self.interconnect.name} is not available in {self.year:g} "
+                f"(ships {self.interconnect.available_year:g})"
+            )
+
+    # -- aggregate capability ---------------------------------------------
+
+    @property
+    def peak_flops(self) -> float:
+        """System peak (FLOPS)."""
+        return self.node.peak_flops * self.node_count
+
+    @property
+    def memory_bytes(self) -> float:
+        """Aggregate DRAM (bytes)."""
+        return self.node.memory_bytes * self.node_count
+
+    @property
+    def disk_bytes(self) -> float:
+        """Aggregate local disk (bytes)."""
+        return self.node.disk_bytes * self.node_count
+
+    @property
+    def total_cores(self) -> int:
+        return self.node.total_cores * self.node_count
+
+    def __str__(self) -> str:
+        return (f"{self.name}: {self.node_count} x {self.node.architecture} "
+                f"({self.year:g}) over {self.interconnect.name}")

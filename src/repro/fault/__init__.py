@@ -1,0 +1,62 @@
+"""Fault tolerance at exploding scale.
+
+"As system scale explodes even for moderate cost systems, the software
+tools to manage them will take on new responsibilities" — fault recovery
+is the keynote's canonical example.  This package quantifies the claim:
+
+* :mod:`~repro.fault.models` — per-node failure laws (exponential,
+  Weibull) and the system-level MTBF collapse as node count grows;
+* :mod:`~repro.fault.checkpoint` — checkpoint/restart economics: Young's
+  and Daly's optimal intervals, analytic expected runtime and efficiency;
+* :mod:`~repro.fault.injection` — a failure injector for the event
+  kernel, plus a Monte-Carlo checkpoint/restart simulator that validates
+  the analytic model;
+* :mod:`~repro.fault.recovery` — recovery strategies (cold restart vs
+  checkpoint restart vs spare-node pools) compared on completion time.
+"""
+
+from repro.fault.models import (
+    ExponentialFailures,
+    FailureModel,
+    WeibullFailures,
+    system_mtbf,
+)
+from repro.fault.checkpoint import (
+    CheckpointParams,
+    daly_interval,
+    expected_runtime,
+    efficiency,
+    waste_fraction,
+    young_interval,
+)
+from repro.fault.injection import FaultInjector, simulate_checkpoint_run
+from repro.fault.recovery import RecoveryOutcome, compare_strategies
+from repro.fault.availability import (
+    NodeAvailability,
+    expected_up_nodes,
+    node_availability,
+    probability_at_least,
+    spares_for_sla,
+)
+
+__all__ = [
+    "CheckpointParams",
+    "ExponentialFailures",
+    "FailureModel",
+    "FaultInjector",
+    "NodeAvailability",
+    "RecoveryOutcome",
+    "WeibullFailures",
+    "compare_strategies",
+    "daly_interval",
+    "efficiency",
+    "expected_up_nodes",
+    "node_availability",
+    "probability_at_least",
+    "expected_runtime",
+    "simulate_checkpoint_run",
+    "spares_for_sla",
+    "system_mtbf",
+    "waste_fraction",
+    "young_interval",
+]

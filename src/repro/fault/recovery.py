@@ -1,0 +1,103 @@
+"""Recovery strategies compared: what the new system software must do.
+
+Three strategies for completing a long job on a failing machine:
+
+* ``none`` — run from scratch after every failure (the status quo the
+  keynote says becomes untenable);
+* ``checkpoint`` — periodic checkpointing at a given (e.g. Daly-optimal)
+  interval, restart on the same nodes;
+* ``checkpoint+spares`` — checkpointing plus a warm spare-node pool, which
+  shrinks the restart time (no re-queue, no reboot wait).
+
+:func:`compare_strategies` returns the expected completion time and
+efficiency of each, analytic where exact (exponential failures) and via
+the Monte-Carlo simulator where not.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.fault.checkpoint import (
+    CheckpointParams,
+    daly_interval,
+    expected_runtime,
+)
+from repro.fault.models import ExponentialFailures
+
+__all__ = ["RecoveryOutcome", "compare_strategies"]
+
+
+@dataclass(frozen=True)
+class RecoveryOutcome:
+    """Expected-case result of one strategy."""
+
+    strategy: str
+    expected_makespan: float
+    efficiency: float
+    checkpoint_interval: Optional[float] = None
+
+
+def _restart_from_scratch_makespan(work: float, mtbf: float,
+                                   restart: float) -> float:
+    """Expected completion time with no checkpointing: the job must get a
+    failure-free window of length ``work``.  For exponential failures the
+    renewal argument gives  E[T] = (M + R) (e^{W/M} - 1)."""
+    return (mtbf + restart) * math.expm1(work / mtbf)
+
+
+def compare_strategies(work_seconds: float,
+                       node_mtbf_seconds: float,
+                       node_count: int,
+                       checkpoint_seconds: float,
+                       restart_seconds: float,
+                       spare_restart_seconds: Optional[float] = None,
+                       ) -> Dict[str, RecoveryOutcome]:
+    """Expected makespan and efficiency of each recovery strategy.
+
+    ``spare_restart_seconds`` defaults to a quarter of the cold restart —
+    warm spares skip the re-queue and reboot.
+    """
+    if work_seconds <= 0:
+        raise ValueError("work must be positive")
+    model = ExponentialFailures(node_mtbf_seconds).for_system(node_count)
+    mtbf = model.mtbf()
+    if spare_restart_seconds is None:
+        spare_restart_seconds = restart_seconds / 4.0
+
+    outcomes: Dict[str, RecoveryOutcome] = {}
+
+    scratch = _restart_from_scratch_makespan(work_seconds, mtbf,
+                                             restart_seconds)
+    outcomes["none"] = RecoveryOutcome(
+        strategy="none",
+        expected_makespan=scratch,
+        efficiency=work_seconds / scratch,
+    )
+
+    params = CheckpointParams(checkpoint_seconds=checkpoint_seconds,
+                              restart_seconds=restart_seconds,
+                              system_mtbf_seconds=mtbf)
+    tau = daly_interval(params)
+    with_ckpt = expected_runtime(params, work_seconds, tau)
+    outcomes["checkpoint"] = RecoveryOutcome(
+        strategy="checkpoint",
+        expected_makespan=with_ckpt,
+        efficiency=work_seconds / with_ckpt,
+        checkpoint_interval=tau,
+    )
+
+    spare_params = CheckpointParams(checkpoint_seconds=checkpoint_seconds,
+                                    restart_seconds=spare_restart_seconds,
+                                    system_mtbf_seconds=mtbf)
+    spare_tau = daly_interval(spare_params)
+    with_spares = expected_runtime(spare_params, work_seconds, spare_tau)
+    outcomes["checkpoint+spares"] = RecoveryOutcome(
+        strategy="checkpoint+spares",
+        expected_makespan=with_spares,
+        efficiency=work_seconds / with_spares,
+        checkpoint_interval=spare_tau,
+    )
+    return outcomes

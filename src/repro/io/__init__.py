@@ -1,0 +1,39 @@
+"""Parallel storage: striped file service over the simulated fabric.
+
+The keynote's "storage capacity" curve and its fault-recovery agenda meet
+here: checkpointing a machine is a *parallel I/O* problem, and the era's
+answer was a PVFS-class striped file system over commodity servers.  This
+package provides:
+
+* :class:`DiskModel` — seek + streaming-rate cost model of a 2002
+  commodity disk;
+* :class:`StorageNode` — one I/O server: a fabric host with a disk and a
+  request queue;
+* :class:`ParallelFileSystem` — round-robin striping across servers, with
+  ``read``/``write`` client generators that move real byte counts over
+  the contention-aware fabric and through per-server disk queues;
+* :func:`checkpoint_write_time` (analytic) and
+  :func:`simulate_checkpoint_write` (simulated) — the aggregate-dump
+  bandwidth question that decides whether checkpointing scales;
+* :func:`derive_checkpoint_params` — plug measured checkpoint time into
+  :class:`repro.fault.CheckpointParams`, closing the loop between the
+  storage and fault models (bench E14).
+"""
+
+from repro.io.disk import DiskModel
+from repro.io.pfs import ParallelFileSystem, StorageNode, StripeChunk
+from repro.io.checkpoint_io import (
+    checkpoint_write_time,
+    derive_checkpoint_params,
+    simulate_checkpoint_write,
+)
+
+__all__ = [
+    "DiskModel",
+    "ParallelFileSystem",
+    "StorageNode",
+    "StripeChunk",
+    "checkpoint_write_time",
+    "derive_checkpoint_params",
+    "simulate_checkpoint_write",
+]

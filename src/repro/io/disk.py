@@ -1,0 +1,63 @@
+"""Commodity disk cost model, 2002 vintage.
+
+A request costs one positioning overhead (seek + rotational latency)
+plus streaming transfer.  Defaults describe the 80 GB 7200 rpm IDE drive
+of the roadmap's anchor node: ~9 ms average seek, ~4 ms rotational, and
+~40 MB/s sustained media rate.  Sequential follow-on requests skip the
+positioning cost, which is why striped file systems write big aligned
+chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DiskModel"]
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Positioning + streaming disk cost model."""
+
+    #: Average positioning cost for a non-sequential request (seconds);
+    #: includes rotational latency.
+    seek_seconds: float = 13e-3
+    #: Sustained media transfer rate (bytes/second).
+    transfer_bytes_per_second: float = 40e6
+    #: Capacity (bytes); writes past it raise.
+    capacity_bytes: float = 80e9
+
+    def __post_init__(self) -> None:
+        if self.seek_seconds < 0:
+            raise ValueError("seek time must be non-negative")
+        if self.transfer_bytes_per_second <= 0:
+            raise ValueError("transfer rate must be positive")
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+
+    def access_time(self, nbytes: int, sequential: bool = False) -> float:
+        """Seconds to read or write ``nbytes`` in one request."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        positioning = 0.0 if sequential else self.seek_seconds
+        return positioning + nbytes / self.transfer_bytes_per_second
+
+    def streaming_bandwidth(self, nbytes: int) -> float:
+        """Delivered bytes/second for one random request of ``nbytes`` —
+        approaches the media rate as requests grow (the reason for big
+        stripe sizes)."""
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        return nbytes / self.access_time(nbytes)
+
+    def scaled(self, year_factor: float) -> "DiskModel":
+        """A later-year disk: rate and capacity scale, seeks barely move
+        (mechanics, not lithography)."""
+        if year_factor <= 0:
+            raise ValueError("factor must be positive")
+        return DiskModel(
+            seek_seconds=self.seek_seconds,
+            transfer_bytes_per_second=(self.transfer_bytes_per_second
+                                       * year_factor),
+            capacity_bytes=self.capacity_bytes * year_factor,
+        )

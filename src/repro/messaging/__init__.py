@@ -1,0 +1,65 @@
+"""User-level messaging in virtual time.
+
+An MPI-flavoured message-passing layer running *inside* the discrete-event
+simulator.  The API follows mpi4py idiom — lowercase methods move arbitrary
+Python objects, capitalised methods move numpy buffers — except that every
+blocking call is a generator to be driven with ``yield from`` (this is how
+a simulated process "blocks").
+
+Why simulated: the calibration note for this reproduction observes that
+CPython interpreter overhead (microseconds per bytecode) would drown the
+microsecond-scale latencies the keynote's networking claims are about.  In
+virtual time the latency of a message is a *model quantity* from the LogGP
+parameters of the chosen interconnect, so comparisons between technologies
+are exact.
+
+Public surface
+--------------
+:class:`Communicator`
+    Point-to-point (``send``/``recv``/``isend``/``irecv``/``ssend``) and
+    collectives (``barrier``/``bcast``/``reduce``/``allreduce``/``gather``
+    /``scatter``/``allgather``/``alltoall``).
+:func:`run_spmd`
+    Harness: run one generator function per rank over a chosen fabric and
+    return per-rank results plus elapsed virtual time.
+:data:`ANY_SOURCE`, :data:`ANY_TAG`, :data:`SUM`, :data:`MAX`, ...
+    Wildcards and reduction operators.
+"""
+
+from repro.messaging.message import (
+    ANY_SOURCE,
+    ANY_TAG,
+    BAND,
+    LOR,
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+    Envelope,
+    Status,
+    payload_nbytes,
+)
+from repro.messaging.comm import Communicator, Request, SubCommunicator
+from repro.messaging.program import SpmdResult, make_world, run_spmd
+from repro.messaging.calibrate import measure_and_fit
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "BAND",
+    "Communicator",
+    "Envelope",
+    "LOR",
+    "MAX",
+    "MIN",
+    "PROD",
+    "Request",
+    "SUM",
+    "SpmdResult",
+    "Status",
+    "SubCommunicator",
+    "make_world",
+    "measure_and_fit",
+    "payload_nbytes",
+    "run_spmd",
+]

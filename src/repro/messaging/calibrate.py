@@ -1,0 +1,54 @@
+"""Calibrate LogGP parameters against the simulated messaging stack.
+
+Runs the standard ping-pong parameter benchmark over a chosen
+interconnect and fits the measurements with
+:func:`repro.network.loggp_fit.fit_loggp`.  Fitting the simulator's own
+measurements must reproduce the catalog entry that generated them — the
+end-to-end self-consistency check the test suite asserts, and the same
+procedure one would run against real hardware to extend the catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.loggp_fit import LogGPFit, fit_loggp
+
+__all__ = ["measure_and_fit"]
+
+_DEFAULT_SIZES = (0, 1024, 16 * 1024, 256 * 1024, 1 << 20)
+
+
+def measure_and_fit(technology,
+                    sizes: Sequence[int] = _DEFAULT_SIZES,
+                    repetitions: int = 3) -> Tuple[LogGPFit, Dict[int, float]]:
+    """Ping-pong the simulated fabric and fit the result.
+
+    Returns ``(fit, measurements)`` where measurements maps message size
+    to the measured half round trip.  ``technology`` is a catalog name or
+    an :class:`~repro.network.technologies.InterconnectTechnology`.
+    """
+    from repro.messaging.program import run_spmd
+
+    def body(comm, nbytes, reps):
+        payload = np.zeros(nbytes, dtype=np.uint8)
+        yield from comm.sendrecv(payload, 1 - comm.rank)  # warm-up
+        start = comm.sim.now
+        for _ in range(reps):
+            if comm.rank == 0:
+                yield from comm.send(payload, 1, tag=1)
+                payload = yield from comm.recv(1, tag=2)
+            else:
+                payload = yield from comm.recv(0, tag=1)
+                yield from comm.send(payload, 0, tag=2)
+        return (comm.sim.now - start) / (2 * reps)
+
+    measurements = {}
+    for nbytes in sizes:
+        outcome = run_spmd(2, body, int(nbytes), repetitions,
+                           technology=technology)
+        measurements[int(nbytes)] = outcome.results[0]
+    fit = fit_loggp(list(measurements), list(measurements.values()))
+    return fit, measurements

@@ -1,0 +1,492 @@
+"""Collective communication algorithms.
+
+Implementations follow the canonical MPICH/Open MPI algorithm families the
+2002-era literature was standardising:
+
+* **barrier** — dissemination (⌈log₂ p⌉ rounds, any p);
+* **bcast / reduce** — binomial trees (latency-optimal for short data);
+* **allreduce** — three selectable algorithms, because the choice is a
+  design decision bench E13 ablates:
+
+  - ``recursive_doubling`` (log p rounds, full vector each round; best for
+    short vectors / low latency networks),
+  - ``ring`` (2(p−1) rounds, 1/p of the vector each round;
+    bandwidth-optimal for long vectors),
+  - ``rabenseifner`` (recursive-halving reduce-scatter + recursive-doubling
+    allgather; bandwidth-optimal with log p rounds, power-of-two p);
+
+* **gather / scatter** — linear to/from root;
+* **allgather** — ring;
+* **alltoall** — pairwise exchange (XOR partners for power-of-two p).
+
+All functions are generator bodies taking the calling rank's
+:class:`~repro.messaging.comm.Communicator`; they are not public API —
+users call the ``Communicator`` methods.
+
+Reduction operators are assumed commutative and associative (all the
+built-ins in :mod:`repro.messaging.message` are).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "COLLECTIVE_TAG_BASE",
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "scatter",
+    "allgather",
+    "alltoall",
+    "scan",
+    "exscan",
+    "reduce_scatter",
+]
+
+#: Collective tags live far above any user tag.
+COLLECTIVE_TAG_BASE = 1 << 20
+
+#: Zero-byte token for synchronisation-only messages.
+_TOKEN = b""
+
+
+def barrier(comm):
+    """Dissemination barrier: after round k every rank has heard (directly
+    or transitively) from 2^k others; ⌈log₂ p⌉ rounds total."""
+    tag = comm._next_tag()
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return None
+    distance = 1
+    while distance < size:
+        request = comm.isend(_TOKEN, (rank + distance) % size, tag)
+        yield from comm.recv((rank - distance) % size, tag)
+        yield from request.wait()
+        distance <<= 1
+    return None
+
+
+def bcast(comm, obj: Any, root: int = 0, algorithm: str = "binomial"):
+    """Broadcast: binomial tree, or van de Geijn scatter+allgather.
+
+    Binomial sends the full payload log₂ p times along the critical path
+    (latency-optimal).  ``scatter_allgather`` splits the payload into p
+    chunks, scatters them binomially, and ring-allgathers — each link
+    carries ~2·(p−1)/p of the payload instead of the full payload per
+    tree level, the bandwidth-optimal choice real MPIs switch to for
+    large messages.  The scatter+allgather path requires a numpy-array
+    payload long enough to chunk and falls back to binomial otherwise.
+    """
+    if algorithm == "scatter_allgather":
+        result = yield from _bcast_scatter_allgather(comm, obj, root)
+        return result
+    if algorithm != "binomial":
+        raise ValueError(
+            f"unknown bcast algorithm {algorithm!r}; choose from "
+            "['binomial', 'scatter_allgather']"
+        )
+    result = yield from _bcast_binomial(comm, obj, root)
+    return result
+
+
+def _bcast_scatter_allgather(comm, array, root: int):
+    """van de Geijn: scatter chunks from root, ring-allgather them.
+
+    Only the root can see whether the payload is chunkable, so the
+    decision rides inside the scattered payloads (a ``chunked`` flag):
+    every rank then agrees on whether the allgather phase runs — the SPMD
+    contract is preserved without a pre-broadcast.
+    """
+    comm._check_peer(root, "root")
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return array
+    if rank == root:
+        if _chunkable(array, size):
+            flat = np.asarray(array).ravel()
+            shape = np.asarray(array).shape
+            payloads = [(True, shape, chunk)
+                        for chunk in np.array_split(flat, size)]
+        else:
+            # Not chunkable: ship the whole object to everyone through
+            # the same scatter skeleton (linear, but payloads this small
+            # do not care).
+            payloads = [(False, array, None)] * size
+    else:
+        payloads = None
+    chunked, meta, mine = yield from scatter(comm, payloads, root)
+    if not chunked:
+        return meta
+    pieces = yield from allgather(comm, mine)
+    return np.concatenate(pieces).reshape(meta)
+
+
+def _bcast_binomial(comm, obj: Any, root: int):
+    """Binomial-tree broadcast (MPICH formulation)."""
+    comm._check_peer(root, "root")
+    tag = comm._next_tag()
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return obj
+    relative = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            source = (relative - mask + root) % size
+            obj = yield from comm.recv(source, tag)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if relative + mask < size:
+            dest = (relative + mask + root) % size
+            yield from comm.send(obj, dest, tag)
+        mask >>= 1
+    return obj
+
+
+def reduce(comm, obj: Any, op: Callable, root: int = 0):
+    """Binomial-tree reduction; returns the result at ``root``, ``None``
+    elsewhere.  ``op`` must be commutative."""
+    comm._check_peer(root, "root")
+    tag = comm._next_tag()
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return obj
+    relative = (rank - root) % size
+    result = obj
+    mask = 1
+    while mask < size:
+        if relative & mask == 0:
+            source_relative = relative | mask
+            if source_relative < size:
+                incoming = yield from comm.recv(
+                    (source_relative + root) % size, tag)
+                result = op(result, incoming)
+        else:
+            dest = ((relative & ~mask) + root) % size
+            yield from comm.send(result, dest, tag)
+            break
+        mask <<= 1
+    return result if rank == root else None
+
+
+# -- allreduce family ------------------------------------------------------
+
+def allreduce(comm, obj: Any, op: Callable,
+              algorithm: str = "recursive_doubling"):
+    """Dispatch to the selected allreduce algorithm.
+
+    ``ring`` and ``rabenseifner`` need a numpy vector long enough to chunk
+    (and power-of-two ranks, for rabenseifner); when preconditions fail
+    they quietly fall back to recursive doubling — the same adaptive
+    behaviour real MPI libraries implement.
+    """
+    if algorithm == "recursive_doubling":
+        result = yield from _allreduce_recursive_doubling(comm, obj, op)
+        return result
+    if algorithm == "ring":
+        if _chunkable(obj, comm.size):
+            result = yield from _allreduce_ring(comm, obj, op)
+        else:
+            result = yield from _allreduce_recursive_doubling(comm, obj, op)
+        return result
+    if algorithm == "rabenseifner":
+        power_of_two = comm.size & (comm.size - 1) == 0
+        if power_of_two and _chunkable(obj, comm.size):
+            result = yield from _allreduce_rabenseifner(comm, obj, op)
+        else:
+            result = yield from _allreduce_recursive_doubling(comm, obj, op)
+        return result
+    raise ValueError(
+        f"unknown allreduce algorithm {algorithm!r}; choose from "
+        "['recursive_doubling', 'ring', 'rabenseifner']"
+    )
+
+
+def _chunkable(obj: Any, size: int) -> bool:
+    return isinstance(obj, np.ndarray) and obj.size >= size
+
+
+def _allreduce_recursive_doubling(comm, obj: Any, op: Callable):
+    """MPICH recursive doubling with the standard non-power-of-two
+    fold-in/fold-out phases."""
+    tag = comm._next_tag()
+    size, rank = comm.size, comm.rank
+    result = obj
+    if size == 1:
+        return result
+    pof2 = 1
+    while pof2 * 2 <= size:
+        pof2 *= 2
+    remainder = size - pof2
+
+    # Phase 1: fold the first 2*remainder ranks down to `remainder` ranks.
+    if rank < 2 * remainder:
+        if rank % 2 == 0:
+            yield from comm.send(result, rank + 1, tag)
+            virtual = -1  # drops out of phase 2
+        else:
+            incoming = yield from comm.recv(rank - 1, tag)
+            result = op(result, incoming)
+            virtual = rank // 2
+    else:
+        virtual = rank - remainder
+
+    # Phase 2: recursive doubling among pof2 virtual ranks.
+    if virtual != -1:
+        mask = 1
+        while mask < pof2:
+            virtual_peer = virtual ^ mask
+            peer = (virtual_peer * 2 + 1 if virtual_peer < remainder
+                    else virtual_peer + remainder)
+            request = comm.isend(result, peer, tag)
+            incoming = yield from comm.recv(peer, tag)
+            yield from request.wait()
+            result = op(result, incoming)
+            mask <<= 1
+
+    # Phase 3: hand results back to the folded-out ranks.
+    if rank < 2 * remainder:
+        if rank % 2 == 1:
+            yield from comm.send(result, rank - 1, tag)
+        else:
+            result = yield from comm.recv(rank + 1, tag)
+    return result
+
+
+def _allreduce_ring(comm, array: np.ndarray, op: Callable):
+    """Bandwidth-optimal ring: reduce-scatter then allgather, each p−1
+    rounds moving 1/p of the vector."""
+    tag = comm._next_tag()
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return array
+    flat = np.asarray(array).ravel().copy()
+    chunks = np.array_split(flat, size)  # views into flat
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+
+    send_index = rank
+    recv_index = (rank - 1) % size
+    for _step in range(size - 1):
+        request = comm.isend(chunks[send_index].copy(), right, tag)
+        incoming = yield from comm.recv(left, tag)
+        yield from request.wait()
+        chunks[recv_index][:] = op(chunks[recv_index], incoming)
+        send_index = recv_index
+        recv_index = (recv_index - 1) % size
+
+    # Rank r now owns the fully-reduced chunk (r+1) mod p; circulate it.
+    send_index = (rank + 1) % size
+    recv_index = rank
+    for _step in range(size - 1):
+        request = comm.isend(chunks[send_index].copy(), right, tag)
+        incoming = yield from comm.recv(left, tag)
+        yield from request.wait()
+        chunks[recv_index][:] = incoming
+        send_index = recv_index
+        recv_index = (recv_index - 1) % size
+
+    return flat.reshape(np.asarray(array).shape)
+
+
+def _allreduce_rabenseifner(comm, array: np.ndarray, op: Callable):
+    """Reduce-scatter by recursive halving, then allgather by recursive
+    doubling.  Power-of-two ranks only (dispatcher guarantees it)."""
+    tag = comm._next_tag()
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return array
+    flat = np.asarray(array).ravel().copy()
+
+    lo, hi = 0, flat.size
+    history = []  # (partner, kept_lo, kept_hi, other_lo, other_hi)
+    mask = size >> 1
+    while mask >= 1:
+        partner = rank ^ mask
+        mid = lo + (hi - lo) // 2
+        if rank < partner:
+            keep = (lo, mid)
+            other = (mid, hi)
+        else:
+            keep = (mid, hi)
+            other = (lo, mid)
+        request = comm.isend(flat[other[0]:other[1]].copy(), partner, tag)
+        incoming = yield from comm.recv(partner, tag)
+        yield from request.wait()
+        flat[keep[0]:keep[1]] = op(flat[keep[0]:keep[1]], incoming)
+        history.append((partner, keep[0], keep[1], other[0], other[1]))
+        lo, hi = keep
+        mask >>= 1
+
+    # Allgather: replay the exchanges in reverse, each time sending the
+    # (now complete) kept segment and filling in the partner's half.
+    for partner, keep_lo, keep_hi, other_lo, other_hi in reversed(history):
+        request = comm.isend(flat[keep_lo:keep_hi].copy(), partner, tag)
+        incoming = yield from comm.recv(partner, tag)
+        yield from request.wait()
+        flat[other_lo:other_hi] = incoming
+
+    return flat.reshape(np.asarray(array).shape)
+
+
+# -- gather / scatter family -------------------------------------------------
+
+def gather(comm, obj: Any, root: int = 0):
+    """Linear gather; root returns the list ordered by source rank."""
+    comm._check_peer(root, "root")
+    tag = comm._next_tag()
+    size, rank = comm.size, comm.rank
+    if rank != root:
+        yield from comm.send(obj, root, tag)
+        return None
+    results: List[Any] = [None] * size
+    results[root] = comm._isolate(obj)
+    for _ in range(size - 1):
+        payload, status = yield from comm.recv_with_status(tag=tag)
+        results[status.source] = payload
+    return results
+
+
+def scatter(comm, objs: Optional[List[Any]], root: int = 0):
+    """Linear scatter; each rank returns its element of root's list."""
+    comm._check_peer(root, "root")
+    tag = comm._next_tag()
+    size, rank = comm.size, comm.rank
+    if rank == root:
+        if objs is None or len(objs) != size:
+            raise ValueError(
+                f"root must scatter exactly {size} items, got "
+                f"{None if objs is None else len(objs)}"
+            )
+        requests = []
+        for peer in range(size):
+            if peer != root:
+                requests.append(comm.isend(objs[peer], peer, tag))
+        for request in requests:
+            yield from request.wait()
+        return comm._isolate(objs[root])
+    received = yield from comm.recv(root, tag)
+    return received
+
+
+def allgather(comm, obj: Any):
+    """Ring allgather: p−1 rounds, each forwarding what arrived last."""
+    tag = comm._next_tag()
+    size, rank = comm.size, comm.rank
+    results: List[Any] = [None] * size
+    results[rank] = comm._isolate(obj)
+    if size == 1:
+        return results
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    forwarding = results[rank]
+    for step in range(size - 1):
+        request = comm.isend(forwarding, right, tag)
+        incoming = yield from comm.recv(left, tag)
+        yield from request.wait()
+        source = (rank - step - 1) % size
+        results[source] = incoming
+        forwarding = incoming
+    return results
+
+
+def scan(comm, obj: Any, op: Callable):
+    """Inclusive prefix reduction (MPI_Scan): rank r returns
+    op(obj_0, ..., obj_r).  Hillis-Steele doubling: ⌈log₂ p⌉ rounds.
+
+    ``op`` must be associative (commutativity is NOT required: partial
+    results are always combined in rank order).
+    """
+    tag = comm._next_tag()
+    size, rank = comm.size, comm.rank
+    result = comm._isolate(obj)
+    distance = 1
+    while distance < size:
+        # Send my running prefix up; fold the prefix arriving from below.
+        send_request = None
+        if rank + distance < size:
+            send_request = comm.isend(result, rank + distance, tag)
+        if rank - distance >= 0:
+            incoming = yield from comm.recv(rank - distance, tag)
+            result = op(incoming, result)
+        if send_request is not None:
+            yield from send_request.wait()
+        distance <<= 1
+    return result
+
+
+def exscan(comm, obj: Any, op: Callable):
+    """Exclusive prefix reduction (MPI_Exscan): rank r returns
+    op(obj_0, ..., obj_{r-1}); rank 0 returns ``None``.
+
+    Implemented as a shifted inclusive scan: each rank forwards its
+    inclusive prefix to rank+1 after the scan proper.
+    """
+    tag = comm._next_tag()
+    size, rank = comm.size, comm.rank
+    inclusive = yield from scan(comm, obj, op)
+    request = None
+    if rank + 1 < size:
+        request = comm.isend(inclusive, rank + 1, tag)
+    result = None
+    if rank > 0:
+        result = yield from comm.recv(rank - 1, tag)
+    if request is not None:
+        yield from request.wait()
+    return result
+
+
+def reduce_scatter(comm, objs: List[Any], op: Callable):
+    """Reduce p per-destination items, scattering result i to rank i
+    (MPI_Reduce_scatter with equal blocks).
+
+    Pairwise-exchange algorithm: p−1 rounds, each rank accumulating its
+    own block; bandwidth-optimal for the balanced case.
+    """
+    size, rank = comm.size, comm.rank
+    if objs is None or len(objs) != size:
+        raise ValueError(
+            f"reduce_scatter needs exactly {size} items, got "
+            f"{None if objs is None else len(objs)}"
+        )
+    tag = comm._next_tag()
+    result = comm._isolate(objs[rank])
+    for step in range(1, size):
+        send_to = (rank + step) % size
+        recv_from = (rank - step) % size
+        request = comm.isend(objs[send_to], send_to, tag)
+        incoming = yield from comm.recv(recv_from, tag)
+        yield from request.wait()
+        result = op(result, incoming)
+    return result
+
+
+def alltoall(comm, objs: List[Any]):
+    """Pairwise-exchange alltoall; returns the list indexed by source."""
+    size, rank = comm.size, comm.rank
+    if objs is None or len(objs) != size:
+        raise ValueError(
+            f"alltoall needs exactly {size} items, got "
+            f"{None if objs is None else len(objs)}"
+        )
+    tag = comm._next_tag()
+    results: List[Any] = [None] * size
+    results[rank] = comm._isolate(objs[rank])
+    power_of_two = size & (size - 1) == 0
+    for step in range(1, size):
+        if power_of_two:
+            send_to = recv_from = rank ^ step
+        else:
+            send_to = (rank + step) % size
+            recv_from = (rank - step) % size
+        request = comm.isend(objs[send_to], send_to, tag)
+        results[recv_from] = yield from comm.recv(recv_from, tag)
+        yield from request.wait()
+    return results

@@ -1,0 +1,405 @@
+"""The per-rank communicator: point-to-point messaging and requests.
+
+Every blocking operation is a generator driven with ``yield from`` — that
+is how a simulated process blocks.  Semantics follow MPI where it matters:
+
+* ``send`` is *buffered/eager*: the sender resumes after paying its local
+  injection cost (overhead + serialization); delivery continues in the
+  background.  Exchange patterns therefore do not deadlock, matching what
+  real MPIs give you for eager-size messages.
+* ``ssend`` is synchronous: it completes only when the receiver side has
+  the message (rendezvous semantics).
+* ``recv`` matches on (source, tag) with ``ANY_SOURCE``/``ANY_TAG``
+  wildcards, non-overtaking per (source, tag) pair.
+* ``isend``/``irecv`` return :class:`Request` handles with
+  ``wait``/``test``.
+
+Collective operations live in :mod:`repro.messaging.collectives`; the
+methods here delegate so user code only ever touches ``Communicator``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.messaging import collectives as _collectives
+from repro.messaging.message import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Envelope,
+    Status,
+    SUM,
+    payload_nbytes,
+)
+from repro.network.fabric import Fabric
+from repro.sim.engine import Process, Simulator
+from repro.sim.resources import Store
+
+__all__ = ["Communicator", "Request", "CommWorld"]
+
+
+class CommWorld:
+    """Shared state for one set of communicating ranks: the simulator, the
+    fabric, and one mailbox per rank."""
+
+    def __init__(self, sim: Simulator, fabric: Fabric) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.size = fabric.topology.hosts
+        self.mailboxes: List[Store] = [
+            Store(sim, name=f"mbox{rank}") for rank in range(self.size)
+        ]
+
+    def communicator(self, rank: int) -> "Communicator":
+        """The rank-local view of this world."""
+        return Communicator(self, rank)
+
+
+class Request:
+    """Handle to a non-blocking operation (wraps the background process)."""
+
+    def __init__(self, process: Process) -> None:
+        self._process = process
+        self._process.defused = True  # failure surfaces via wait(), not engine
+
+    @property
+    def complete(self) -> bool:
+        return self._process.triggered
+
+    def wait(self):
+        """Generator: block until the operation finishes, return its value
+        (the received object for ``irecv``, ``None`` for ``isend``)."""
+        value = yield self._process
+        return value
+
+    def test(self) -> Tuple[bool, Any]:
+        """Non-blocking completion check: ``(done, value_or_None)``."""
+        if self._process.triggered:
+            if not self._process.ok:
+                raise self._process.value
+            return True, self._process.value
+        return False, None
+
+
+def waitall(requests):
+    """Generator: wait for every request; returns their values in order."""
+    values = []
+    for request in requests:
+        value = yield from request.wait()
+        values.append(value)
+    return values
+
+
+def waitany(requests):
+    """Generator: wait until any request completes; returns
+    ``(index, value)`` of the first completion (by event order)."""
+    if not requests:
+        raise ValueError("waitany needs at least one request")
+    sim = requests[0]._process.sim
+    index, value = yield sim.any_of([r._process for r in requests])
+    return index, value
+
+
+class Communicator:
+    """One rank's endpoint, mpi4py-idiom surface.
+
+    SPMD contract for collectives: every rank of the world calls the same
+    collectives in the same order (tags are sequenced per rank under this
+    assumption, exactly like real MPI contexts).
+    """
+
+    def __init__(self, world: CommWorld, rank: int) -> None:
+        if not 0 <= rank < world.size:
+            raise IndexError(f"rank {rank} out of range [0, {world.size})")
+        self.world = world
+        self.rank = rank
+        self.size = world.size
+        self._collective_seq = 0
+        self._split_seq = 0
+        #: Message context: 0 is the world; split() derives fresh ones.
+        self._context: Any = 0
+
+    # -- rank translation (identity in the world communicator) ------------
+
+    def _to_world(self, rank: int) -> int:
+        """Local rank -> world (fabric/mailbox) rank."""
+        return rank
+
+    def _from_world(self, world_rank: int) -> int:
+        """World rank -> local rank."""
+        return world_rank
+
+    # MPI-style accessors, for muscle-memory compatibility.
+    def Get_rank(self) -> int:
+        """This rank's index (mpi4py-style accessor)."""
+        return self.rank
+
+    def Get_size(self) -> int:
+        """Number of ranks in this communicator (mpi4py-style)."""
+        return self.size
+
+    @property
+    def sim(self) -> Simulator:
+        return self.world.sim
+
+    # -- internals --------------------------------------------------------
+
+    def _check_peer(self, peer: int, what: str) -> None:
+        if not 0 <= peer < self.size:
+            raise IndexError(f"{what} rank {peer} out of range [0, {self.size})")
+
+    @staticmethod
+    def _isolate(obj: Any) -> Any:
+        """Copy mutable buffers at the send boundary so sender-side writes
+        after send cannot corrupt in-flight data (value semantics)."""
+        if isinstance(obj, np.ndarray):
+            return obj.copy()
+        return obj
+
+    def _transfer_body(self, dest: int, tag: int, payload: Any, nbytes: int,
+                       ack=None):
+        """Process body: move the bytes, then deposit in dest's mailbox.
+
+        ``dest`` is a *local* rank; routing happens in world coordinates,
+        but the envelope records local ranks plus this communicator's
+        context so receives match within the right communicator.
+        """
+        dest_world = self._to_world(dest)
+        yield from self.world.fabric.transfer(self._to_world(self.rank),
+                                              dest_world, nbytes)
+        envelope = Envelope(source=self.rank, dest=dest, tag=tag,
+                            payload=payload, nbytes=nbytes, ack=ack,
+                            context=self._context)
+        yield self.world.mailboxes[dest_world].put(envelope)
+
+    def _start_transfer(self, dest: int, tag: int, obj: Any,
+                        ack=None) -> Tuple[Process, int]:
+        payload = self._isolate(obj)
+        nbytes = payload_nbytes(payload)
+        process = self.sim.process(
+            self._transfer_body(dest, tag, payload, nbytes, ack),
+            name=f"xfer{self.rank}->{dest}#{tag}",
+        )
+        return process, nbytes
+
+    # -- point-to-point ----------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0):
+        """Buffered send: resumes after the local injection cost."""
+        self._check_peer(dest, "dest")
+        _process, nbytes = self._start_transfer(dest, tag, obj)
+        params = self.world.fabric.technology.loggp
+        local_cost = params.overhead + max(
+            params.gap, nbytes * params.gap_per_byte
+        )
+        yield self.sim.timeout(local_cost)
+
+    def ssend(self, obj: Any, dest: int, tag: int = 0):
+        """Synchronous send: completes only when the receiver has matched
+        the message (true MPI rendezvous semantics, via an ack event the
+        matching ``recv`` triggers)."""
+        self._check_peer(dest, "dest")
+        ack = self.sim.event(f"ssend-ack{self.rank}->{dest}")
+        self._start_transfer(dest, tag, obj, ack=ack)
+        yield ack
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; the request completes at delivery time."""
+        self._check_peer(dest, "dest")
+        process, _nbytes = self._start_transfer(dest, tag, obj)
+        return Request(process)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking receive; returns the payload object."""
+        obj, _status = yield from self.recv_with_status(source, tag)
+        return obj
+
+    def recv_with_status(self, source: int = ANY_SOURCE,
+                         tag: int = ANY_TAG):
+        """Blocking receive; returns ``(payload, Status)``."""
+        if source != ANY_SOURCE:
+            self._check_peer(source, "source")
+        context = self._context
+        envelope: Envelope = yield self.world.mailboxes[
+            self._to_world(self.rank)].get(
+            lambda e: e.context == context and e.matches(source, tag)
+        )
+        if envelope.ack is not None:
+            envelope.ack.succeed()  # rendezvous: release the ssend-er
+        status = Status(source=envelope.source, tag=envelope.tag,
+                        nbytes=envelope.nbytes)
+        return envelope.payload, status
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive; ``wait()`` yields the payload."""
+        process = self.sim.process(
+            self.recv(source, tag), name=f"irecv@{self.rank}"
+        )
+        return Request(process)
+
+    def sendrecv(self, obj: Any, dest: int, source: int = ANY_SOURCE,
+                 sendtag: int = 0, recvtag: int = ANY_TAG):
+        """Combined exchange (deadlock-free by construction)."""
+        request = self.isend(obj, dest, sendtag)
+        received = yield from self.recv(source, recvtag)
+        yield from request.wait()
+        return received
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+              ) -> Optional[Status]:
+        """Non-blocking: status of a matching queued message, else None."""
+        mailbox = self.world.mailboxes[self._to_world(self.rank)]
+        for item in mailbox._items:
+            if item.context == self._context and item.matches(source, tag):
+                return Status(source=item.source, tag=item.tag,
+                              nbytes=item.nbytes)
+        return None
+
+    # Buffer-flavoured aliases (mpi4py uppercase idiom).  Payloads are
+    # numpy arrays; the wire size is exactly the buffer size.
+    def Send(self, array: np.ndarray, dest: int, tag: int = 0):
+        """Buffer send: like :meth:`send` but requires a numpy array."""
+        if not isinstance(array, np.ndarray):
+            raise TypeError("Send moves numpy arrays; use send for objects")
+        yield from self.send(array, dest, tag)
+
+    def Recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Buffer receive: like :meth:`recv` but demands a numpy array."""
+        result = yield from self.recv(source, tag)
+        if not isinstance(result, np.ndarray):
+            raise TypeError(
+                f"Recv matched a non-buffer message ({type(result).__name__});"
+                " sender should have used Send"
+            )
+        return result
+
+    # -- collectives (delegating; algorithms in collectives.py) -----------
+
+    def _next_tag(self) -> int:
+        """Collective tag sequencing (see SPMD contract in class docstring)."""
+        self._collective_seq += 1
+        return _collectives.COLLECTIVE_TAG_BASE + self._collective_seq
+
+    def barrier(self):
+        """Block until every rank has entered the barrier."""
+        result = yield from _collectives.barrier(self)
+        return result
+
+    def bcast(self, obj: Any, root: int = 0,
+              algorithm: str = "binomial"):
+        """Broadcast ``obj`` from ``root`` to every rank (see
+        :func:`repro.messaging.collectives.bcast` for algorithms)."""
+        result = yield from _collectives.bcast(self, obj, root, algorithm)
+        return result
+
+    def reduce(self, obj: Any, op: Callable = SUM, root: int = 0):
+        """Reduce every rank's ``obj`` with ``op``; result at ``root``."""
+        result = yield from _collectives.reduce(self, obj, op, root)
+        return result
+
+    def allreduce(self, obj: Any, op: Callable = SUM,
+                  algorithm: str = "recursive_doubling"):
+        """Reduce with ``op`` and deliver the result to every rank (see
+        :func:`repro.messaging.collectives.allreduce` for algorithms)."""
+        result = yield from _collectives.allreduce(self, obj, op, algorithm)
+        return result
+
+    def gather(self, obj: Any, root: int = 0):
+        """Collect every rank's ``obj`` at ``root`` (list by rank)."""
+        result = yield from _collectives.gather(self, obj, root)
+        return result
+
+    def scatter(self, objs: Optional[List[Any]], root: int = 0):
+        """Distribute ``objs[i]`` from ``root`` to rank ``i``."""
+        result = yield from _collectives.scatter(self, objs, root)
+        return result
+
+    def allgather(self, obj: Any):
+        """Every rank receives the list of every rank's ``obj``."""
+        result = yield from _collectives.allgather(self, obj)
+        return result
+
+    def alltoall(self, objs: List[Any]):
+        """Personalised exchange: rank d receives ``objs[d]`` from every
+        rank, as a list indexed by source."""
+        result = yield from _collectives.alltoall(self, objs)
+        return result
+
+    def scan(self, obj: Any, op: Callable = SUM):
+        """Inclusive prefix reduction over ranks 0..self.rank."""
+        result = yield from _collectives.scan(self, obj, op)
+        return result
+
+    def exscan(self, obj: Any, op: Callable = SUM):
+        """Exclusive prefix reduction (rank 0 gets ``None``)."""
+        result = yield from _collectives.exscan(self, obj, op)
+        return result
+
+    def reduce_scatter(self, objs: List[Any], op: Callable = SUM):
+        """Reduce per-destination items; rank i gets reduced item i."""
+        result = yield from _collectives.reduce_scatter(self, objs, op)
+        return result
+
+    # -- communicator construction (MPI_Comm_split) ------------------------
+
+    def split(self, color: Any, key: int = 0):
+        """Collective: partition this communicator by ``color``.
+
+        Every rank calls ``split`` (SPMD contract); ranks sharing a color
+        value form a new communicator, ordered by ``(key, old rank)``.
+        Passing ``color=None`` opts a rank out (returns ``None``, like
+        MPI_UNDEFINED).  Messages in the child cannot match messages in
+        the parent or in siblings: each split gets a fresh context.
+        """
+        entries = yield from self.allgather((color, key, self.rank))
+        self._split_seq += 1
+        if color is None:
+            return None
+        members_local = [rank for c, k, rank in sorted(
+            entries, key=lambda e: (e[1], e[2]))
+            if c == color]
+        members_world = [self._to_world(rank) for rank in members_local]
+        my_index = members_local.index(self.rank)
+        # Context derivation is pure SPMD arithmetic, so every member
+        # computes the identical value with no extra communication.
+        context = (self._context, self._split_seq, color)
+        return SubCommunicator(self.world, members_world, my_index, context)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Communicator rank={self.rank}/{self.size}>"
+
+
+class SubCommunicator(Communicator):
+    """A communicator over a subset of the world's ranks.
+
+    Created by :meth:`Communicator.split`; local ranks are dense
+    ``0..len(members)-1`` and translate to world ranks through the member
+    table.  All point-to-point and collective machinery is inherited —
+    only rank translation and the message context differ.
+    """
+
+    def __init__(self, world: CommWorld, members_world: List[int],
+                 my_index: int, context: Any) -> None:
+        if not members_world:
+            raise ValueError("sub-communicator needs at least one member")
+        if len(set(members_world)) != len(members_world):
+            raise ValueError("duplicate members in sub-communicator")
+        self.world = world
+        self.members = list(members_world)
+        self.rank = my_index
+        self.size = len(members_world)
+        self._collective_seq = 0
+        self._split_seq = 0
+        self._context = context
+
+    def _to_world(self, rank: int) -> int:
+        return self.members[rank]
+
+    def _from_world(self, world_rank: int) -> int:
+        return self.members.index(world_rank)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SubCommunicator rank={self.rank}/{self.size} "
+                f"context={self._context!r}>")

@@ -1,0 +1,54 @@
+"""Interconnect models.
+
+The keynote names "anticipated advances in networking including Infiniband
+and optical switching" as a defining force.  This package provides:
+
+* :class:`LogGPParams` — the latency/overhead/gap/Gap cost model that
+  captures what applications see of a network;
+* a catalog of :class:`InterconnectTechnology` entries spanning the era,
+  Fast Ethernet through InfiniBand 12X and optical circuit switching;
+* topologies (single switch, two-level fat tree, torus, hypercube) built on
+  ``networkx``, with deterministic routing;
+* :class:`Fabric` — a contention-aware transport running inside the
+  discrete-event simulator, used by the messaging layer.
+"""
+
+from repro.network.loggp import LogGPParams
+from repro.network.technologies import (
+    INTERCONNECTS,
+    InterconnectTechnology,
+    available_interconnects,
+    get_interconnect,
+)
+from repro.network.topology import (
+    FatTreeTopology,
+    HypercubeTopology,
+    SingleSwitchTopology,
+    Topology,
+    TorusTopology,
+)
+from repro.network.fabric import Fabric, TransferRecord
+from repro.network.fattree3 import ThreeLevelFatTreeTopology
+from repro.network.design import FabricBill, compare_fabrics, price_fabric
+from repro.network.loggp_fit import LogGPFit, fit_loggp
+
+__all__ = [
+    "Fabric",
+    "FabricBill",
+    "FatTreeTopology",
+    "HypercubeTopology",
+    "INTERCONNECTS",
+    "InterconnectTechnology",
+    "LogGPFit",
+    "LogGPParams",
+    "SingleSwitchTopology",
+    "ThreeLevelFatTreeTopology",
+    "Topology",
+    "TorusTopology",
+    "TransferRecord",
+    "available_interconnects",
+    "compare_fabrics",
+    "price_fabric",
+    "fit_loggp",
+    "get_interconnect",
+]

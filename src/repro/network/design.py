@@ -1,0 +1,92 @@
+"""Fabric design economics: pricing and comparing whole networks.
+
+The cluster cost model charges a flat per-endpoint port price; this
+module prices the *fabric itself* — every switch port and NIC in a
+concrete topology — so that oversubscription and topology choices can be
+costed, not just timed.  A port's price is the catalog's
+``cost_per_port`` (NIC and switch port assumed comparable, as they were
+for the era's interconnects); a link consumes one port on each side
+unless an endpoint is a host (whose NIC is counted once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.network.fattree3 import ThreeLevelFatTreeTopology
+from repro.network.technologies import InterconnectTechnology
+from repro.network.topology import FatTreeTopology, Topology
+
+__all__ = ["FabricBill", "price_fabric", "compare_fabrics"]
+
+
+@dataclass(frozen=True)
+class FabricBill:
+    """Itemised cost of one concrete fabric."""
+
+    topology_name: str
+    technology_name: str
+    hosts: int
+    nics: int
+    switch_ports: int
+    links: int
+    total_dollars: float
+    bisection_links: int
+
+    @property
+    def dollars_per_host(self) -> float:
+        return self.total_dollars / self.hosts
+
+    @property
+    def dollars_per_bisection_link(self) -> float:
+        """Cost of deliverable all-to-all capacity — the figure that
+        exposes oversubscription as a bandwidth discount, not a saving."""
+        return self.total_dollars / max(1, self.bisection_links)
+
+
+def price_fabric(topology: Topology,
+                 technology: InterconnectTechnology,
+                 name: str = "") -> FabricBill:
+    """Count every NIC and switch port in ``topology`` and price them."""
+    nics = topology.hosts
+    switch_ports = 0
+    for a, b in topology.graph.edges:
+        switch_ports += (a[0] == "s") + (b[0] == "s")
+    total_ports = nics + switch_ports
+    return FabricBill(
+        topology_name=name or type(topology).__name__,
+        technology_name=technology.name,
+        hosts=topology.hosts,
+        nics=nics,
+        switch_ports=switch_ports,
+        links=topology.num_links,
+        total_dollars=total_ports * technology.cost_per_port,
+        bisection_links=topology.bisection_links(),
+    )
+
+
+def compare_fabrics(hosts: int,
+                    technology: InterconnectTechnology) -> List[FabricBill]:
+    """Price the standard design alternatives for ``hosts`` endpoints:
+    full-bisection and 2:1/4:1-oversubscribed leaf-spine, plus the
+    three-level fat tree when the scale warrants one."""
+    if hosts < 2:
+        raise ValueError("need at least two hosts to network")
+    leaf = min(16, hosts)
+    bills = [
+        price_fabric(FatTreeTopology(hosts, hosts_per_leaf=leaf),
+                     technology, name="leaf-spine 1:1"),
+        price_fabric(FatTreeTopology(hosts, hosts_per_leaf=leaf,
+                                     spines=max(1, leaf // 2)),
+                     technology, name="leaf-spine 2:1"),
+        price_fabric(FatTreeTopology(hosts, hosts_per_leaf=leaf,
+                                     spines=max(1, leaf // 4)),
+                     technology, name="leaf-spine 4:1"),
+    ]
+    radix = ThreeLevelFatTreeTopology.radix_for_hosts(hosts)
+    if radix ** 3 // 4 <= hosts * 4:  # only when not absurdly oversized
+        bills.append(price_fabric(ThreeLevelFatTreeTopology(radix),
+                                  technology,
+                                  name=f"3-level fat tree (k={radix})"))
+    return bills

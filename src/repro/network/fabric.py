@@ -1,0 +1,183 @@
+"""The simulated transport: moves bytes between hosts in virtual time.
+
+A :class:`Fabric` binds a topology to an interconnect technology inside a
+simulator.  :meth:`Fabric.transfer` is a *process body* (generator): the
+messaging layer delegates to it with ``yield from``.
+
+Cost model for one ``n``-byte transfer along a ``h``-hop route::
+
+    [circuit setup, first use of (src,dst) if circuit-switched]
+    o_send                                  (sender CPU)
+    serialization: max(g, n * G)            (holding the route's links)
+    L + (h - 1) * hop_latency               (wire + switch traversal)
+    o_recv                                  (receiver CPU)
+
+Contention: while serializing, the transfer holds a capacity-1
+:class:`~repro.sim.resources.Resource` per link on its route plus the
+sender's NIC injection port.  Resources are acquired in canonical global
+order, which makes concurrent transfers deadlock-free at the price of a
+slightly pessimistic (circuit-like) contention estimate — an explicit,
+ablatable modelling choice (bench E13 runs it both ways via
+``contention=False``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.network.technologies import InterconnectTechnology
+from repro.network.topology import Edge, RouteCache, Topology
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+
+__all__ = ["Fabric", "TransferRecord"]
+
+#: Local (intra-node) copy bandwidth used for rank-to-self transfers.
+_LOCAL_COPY_BANDWIDTH = 10e9
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One completed transfer, for traffic analysis in tests/benchmarks."""
+
+    src: int
+    dst: int
+    nbytes: int
+    start: float
+    end: float
+    hops: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Fabric:
+    """Contention-aware byte transport over a topology + technology."""
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 technology: InterconnectTechnology, *,
+                 contention: bool = True,
+                 record_transfers: bool = False) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.technology = technology
+        self.contention = contention
+        self.record_transfers = record_transfers
+        self.records: List[TransferRecord] = []
+        self._routes = RouteCache(topology)
+        self._links: Dict[Edge, Resource] = {}
+        self._nics: Dict[int, Resource] = {}
+        self._circuits: Set[Tuple[int, int]] = set()
+        self.bytes_moved = 0.0
+        self.transfer_count = 0
+
+    # -- resource lookup (lazy so huge topologies stay cheap) -------------
+
+    def _link(self, edge: Edge) -> Resource:
+        resource = self._links.get(edge)
+        if resource is None:
+            resource = Resource(self.sim, capacity=1, name=f"link{edge}")
+            self._links[edge] = resource
+        return resource
+
+    def _nic(self, host: int) -> Resource:
+        resource = self._nics.get(host)
+        if resource is None:
+            resource = Resource(self.sim, capacity=1, name=f"nic{host}")
+            self._nics[host] = resource
+        return resource
+
+    # -- the transfer process ---------------------------------------------
+
+    def transfer(self, src: int, dst: int, nbytes: int):
+        """Process body: completes when the last byte reaches ``dst``.
+
+        Use as ``yield from fabric.transfer(...)`` inside a process, or
+        wrap with ``sim.process`` for a standalone transfer.  Returns the
+        completion time.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if not 0 <= src < self.topology.hosts:
+            raise IndexError(f"src {src} out of range")
+        if not 0 <= dst < self.topology.hosts:
+            raise IndexError(f"dst {dst} out of range")
+        start = self.sim.now
+        params = self.technology.loggp
+
+        if src == dst:
+            # Intra-host handoff: CPU overhead plus a memcpy.
+            yield self.sim.timeout(params.overhead
+                                   + nbytes / _LOCAL_COPY_BANDWIDTH)
+            self._finish(src, dst, nbytes, start, hops=0)
+            return self.sim.now
+
+        if (self.technology.is_circuit_switched
+                and (src, dst) not in self._circuits):
+            # First use of this pair: optics must set up the circuit.
+            yield self.sim.timeout(self.technology.circuit_setup_seconds)
+            self._circuits.add((src, dst))
+
+        route = self._routes.route(src, dst)
+        hops = len(route)
+        serialization = max(params.gap, nbytes * params.gap_per_byte)
+        propagation = (params.latency
+                       + max(0, hops - 1) * self.technology.hop_latency)
+
+        # Sender-side CPU overhead.
+        yield self.sim.timeout(params.overhead)
+
+        if self.contention:
+            held = self._acquire_order(src, route)
+            for resource in held:
+                yield resource.request()
+            yield self.sim.timeout(serialization)
+            for resource in held:
+                resource.release()
+        else:
+            yield self.sim.timeout(serialization)
+
+        # Pipeline latency plus receiver overhead.
+        yield self.sim.timeout(propagation + params.overhead)
+        self._finish(src, dst, nbytes, start, hops)
+        return self.sim.now
+
+    def _acquire_order(self, src: int, route: List[Edge]) -> List[Resource]:
+        """NIC + link resources in a globally consistent order.
+
+        Ordering key: NICs sort before links, links sort by canonical edge.
+        Every transfer acquires in this order, so no cycle of waits can
+        form (classic total-order deadlock avoidance).
+        """
+        resources: List[Tuple[Tuple, Resource]] = [
+            ((0, ("h", src)), self._nic(src))
+        ]
+        for edge in route:
+            resources.append(((1, edge), self._link(edge)))
+        resources.sort(key=lambda pair: pair[0])
+        return [resource for _key, resource in resources]
+
+    def _finish(self, src: int, dst: int, nbytes: int, start: float,
+                hops: int) -> None:
+        self.bytes_moved += nbytes
+        self.transfer_count += 1
+        if self.record_transfers:
+            self.records.append(TransferRecord(
+                src=src, dst=dst, nbytes=nbytes,
+                start=start, end=self.sim.now, hops=hops,
+            ))
+
+    # -- analytic helpers (no simulation needed) ---------------------------
+
+    def uncontended_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Closed-form transfer time on an idle fabric (no circuit setup)."""
+        params = self.technology.loggp
+        if src == dst:
+            return params.overhead + nbytes / _LOCAL_COPY_BANDWIDTH
+        hops = len(self._routes.route(src, dst))
+        return (2 * params.overhead
+                + max(params.gap, nbytes * params.gap_per_byte)
+                + params.latency
+                + max(0, hops - 1) * self.technology.hop_latency)

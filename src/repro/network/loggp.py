@@ -1,0 +1,88 @@
+"""The LogGP point-to-point cost model.
+
+LogGP (Alexandrov et al., extending Culler's LogP) describes a network by
+four parameters:
+
+* ``L`` — end-to-end wire+switch latency for a minimal message (seconds);
+* ``o`` — CPU overhead to send or receive a message (seconds, charged on
+  both ends);
+* ``g`` — minimum gap between consecutive message injections (seconds),
+  the reciprocal of message rate;
+* ``G`` — gap per byte (seconds/byte), the reciprocal of bandwidth.
+
+The time for one ``n``-byte message between idle endpoints is::
+
+    T(n) = o_send + L + (n - 1) * G + o_recv
+
+which the messaging layer uses directly; ``g`` matters only for message
+streams and is enforced by the fabric's per-NIC injection resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LogGPParams"]
+
+
+@dataclass(frozen=True)
+class LogGPParams:
+    """LogGP parameter set; all times in seconds, G in seconds/byte."""
+
+    latency: float          # L
+    overhead: float         # o (per side)
+    gap: float              # g (per message)
+    gap_per_byte: float     # G
+
+    def __post_init__(self) -> None:
+        for name in ("latency", "overhead", "gap", "gap_per_byte"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.gap_per_byte == 0:
+            raise ValueError("gap_per_byte must be positive (finite bandwidth)")
+
+    @property
+    def bandwidth(self) -> float:
+        """Asymptotic bandwidth in bytes/second (1/G)."""
+        return 1.0 / self.gap_per_byte
+
+    def message_time(self, nbytes: int) -> float:
+        """End-to-end time for one message between idle endpoints.
+
+        Zero-byte messages still pay latency and both overheads (that is
+        what a ping measures).
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        payload = max(0, nbytes - 1) * self.gap_per_byte
+        return 2.0 * self.overhead + self.latency + payload
+
+    def half_round_trip(self, nbytes: int) -> float:
+        """Ping-pong half round trip — the canonical latency benchmark."""
+        return self.message_time(nbytes)
+
+    def effective_bandwidth(self, nbytes: int) -> float:
+        """Delivered bytes/second for an ``nbytes`` message including
+        startup costs — approaches :attr:`bandwidth` for large messages."""
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        return nbytes / self.message_time(nbytes)
+
+    def n_half(self) -> float:
+        """Message size achieving half the asymptotic bandwidth
+        (Hockney's ``n_1/2``) — the classic startup-cost summary."""
+        startup = 2.0 * self.overhead + self.latency
+        return startup / self.gap_per_byte
+
+    def scaled(self, *, latency_factor: float = 1.0,
+               bandwidth_factor: float = 1.0,
+               overhead_factor: float = 1.0) -> "LogGPParams":
+        """A derived parameter set (used by roadmap-projected networks)."""
+        if min(latency_factor, bandwidth_factor, overhead_factor) <= 0:
+            raise ValueError("factors must be positive")
+        return LogGPParams(
+            latency=self.latency * latency_factor,
+            overhead=self.overhead * overhead_factor,
+            gap=self.gap * overhead_factor,
+            gap_per_byte=self.gap_per_byte / bandwidth_factor,
+        )

@@ -1,0 +1,82 @@
+"""Recover LogGP parameters from ping-pong measurements.
+
+The inverse of the catalog: given half-round-trip times at a range of
+message sizes — from our simulator or from a real machine's
+ping-pong output — recover the startup cost and per-byte gap by linear
+least squares, and report the derived bandwidth and ``n_1/2``.
+
+This is how the catalog's constants would be calibrated against hardware
+(the LogP papers' "parameter benchmarks").  The driver that runs the
+ping-pong on the simulated stack lives one layer up, in
+:mod:`repro.messaging.calibrate`; this module is pure numerics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.network.loggp import LogGPParams
+
+__all__ = ["LogGPFit", "fit_loggp"]
+
+
+@dataclass(frozen=True)
+class LogGPFit:
+    """Result of a LogGP calibration."""
+
+    #: Total startup cost (L + 2o); individual L and o are not separable
+    #: from ping-pong alone, exactly as on real hardware.
+    startup_seconds: float
+    gap_per_byte: float
+    rms_residual: float
+
+    @property
+    def bandwidth(self) -> float:
+        """Asymptotic bandwidth implied by the fitted per-byte gap."""
+        return 1.0 / self.gap_per_byte
+
+    @property
+    def n_half(self) -> float:
+        """Message size reaching half the asymptotic bandwidth."""
+        return self.startup_seconds / self.gap_per_byte
+
+    def as_params(self, overhead_fraction: float = 0.25) -> LogGPParams:
+        """A usable parameter set, splitting startup into L and o by an
+        assumed CPU share (ping-pong cannot separate them)."""
+        if not 0 <= overhead_fraction < 1:
+            raise ValueError("overhead fraction must be in [0, 1)")
+        overhead = self.startup_seconds * overhead_fraction / 2.0
+        latency = self.startup_seconds - 2.0 * overhead
+        return LogGPParams(latency=latency, overhead=overhead,
+                           gap=2.0 * overhead,
+                           gap_per_byte=self.gap_per_byte)
+
+
+def fit_loggp(sizes: Sequence[int],
+              half_round_trips: Sequence[float]) -> LogGPFit:
+    """Least-squares fit of ``T(n) = startup + n * G`` to measurements.
+
+    Needs at least two distinct sizes; both the startup and the per-byte
+    gap must come out positive or the data is not LogGP-shaped (raises).
+    """
+    n = np.asarray(list(sizes), dtype=float)
+    t = np.asarray(list(half_round_trips), dtype=float)
+    if n.shape != t.shape or n.size < 2:
+        raise ValueError("need matching size/time arrays of length >= 2")
+    if len(set(n.tolist())) < 2:
+        raise ValueError("need at least two distinct message sizes")
+    if np.any(t <= 0):
+        raise ValueError("times must be positive")
+    gap, startup = np.polyfit(n, t, 1)
+    if gap <= 0 or startup <= 0:
+        raise ValueError(
+            "fit produced non-positive startup or gap; measurements are "
+            "not LogGP-shaped (check for contention or warm-up effects)"
+        )
+    predicted = startup + gap * n
+    rms = float(np.sqrt(np.mean((predicted - t) ** 2)))
+    return LogGPFit(startup_seconds=float(startup),
+                    gap_per_byte=float(gap), rms_residual=rms)

@@ -1,0 +1,113 @@
+"""Catalog of interconnect technologies, 1995–2007.
+
+Parameter values are MPI-level numbers from contemporaneous measurements
+and vendor specifications (data rate after 8b/10b coding where applicable;
+short-message latencies as reported for the usual MPI stacks of the day):
+
+===================  ==========  =========  ==============================
+technology           bandwidth   latency    source flavour
+===================  ==========  =========  ==============================
+fast_ethernet        12.5 MB/s   ~70 µs     100BASE-T + TCP/IP
+gigabit_ethernet     125 MB/s    ~30 µs     1000BASE-T + TCP/IP
+myrinet_2000         250 MB/s    ~6.5 µs    GM user-level messaging
+quadrics_elan3       340 MB/s    ~4.5 µs    QsNet
+infiniband_1x        250 MB/s    ~6 µs      2.5 Gb/s signal, 2 Gb/s data
+infiniband_4x        1 GB/s      ~5.5 µs    10 Gb/s signal, 8 Gb/s data
+infiniband_12x       3 GB/s      ~5 µs      30 Gb/s signal, 24 Gb/s data
+optical_circuit      5 GB/s      ~1.5 µs    circuit-switched optics; pays
+                                            a per-circuit setup time
+===================  ==========  =========  ==============================
+
+Each entry also carries per-port cost and power and a switch hop latency,
+so the cluster assembler can price networks and the fabric can charge
+multi-hop routes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.network.loggp import LogGPParams
+
+__all__ = [
+    "InterconnectTechnology",
+    "INTERCONNECTS",
+    "get_interconnect",
+    "available_interconnects",
+]
+
+
+@dataclass(frozen=True)
+class InterconnectTechnology:
+    """One row of the interconnect catalog."""
+
+    name: str
+    loggp: LogGPParams
+    #: First calendar year the part is purchasable as a commodity.
+    available_year: float
+    #: Cost of one host port (NIC + switch-port share + cable), dollars.
+    cost_per_port: float
+    #: Power of one host port (NIC + switch-port share), watts.
+    power_per_port: float
+    #: Extra latency per switch traversal beyond the first (seconds).
+    hop_latency: float
+    #: Circuit-switched optics pay this once per (src, dst) circuit.
+    circuit_setup_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cost_per_port < 0 or self.power_per_port < 0:
+            raise ValueError("port cost/power must be non-negative")
+        if self.hop_latency < 0 or self.circuit_setup_seconds < 0:
+            raise ValueError("latencies must be non-negative")
+
+    @property
+    def is_circuit_switched(self) -> bool:
+        return self.circuit_setup_seconds > 0
+
+
+def _tech(name: str, bandwidth: float, latency: float, overhead: float,
+          year: float, cost: float, power: float, hop: float,
+          setup: float = 0.0) -> InterconnectTechnology:
+    return InterconnectTechnology(
+        name=name,
+        loggp=LogGPParams(latency=latency, overhead=overhead,
+                          gap=overhead * 2.0, gap_per_byte=1.0 / bandwidth),
+        available_year=year,
+        cost_per_port=cost,
+        power_per_port=power,
+        hop_latency=hop,
+        circuit_setup_seconds=setup,
+    )
+
+
+INTERCONNECTS: Dict[str, InterconnectTechnology] = {
+    tech.name: tech
+    for tech in [
+        _tech("fast_ethernet",    12.5e6, 55e-6, 8e-6, 1995.0,   50.0, 4.0, 5e-6),
+        _tech("gigabit_ethernet", 125e6,  22e-6, 5e-6, 1999.0,  150.0, 6.0, 3e-6),
+        _tech("myrinet_2000",     250e6,  4.0e-6, 1.2e-6, 2000.0, 1200.0, 8.0, 0.4e-6),
+        _tech("quadrics_elan3",   340e6,  2.7e-6, 0.9e-6, 2001.0, 2500.0, 10.0, 0.3e-6),
+        _tech("infiniband_1x",    250e6,  4.0e-6, 1.0e-6, 2002.0,  800.0, 8.0, 0.3e-6),
+        _tech("infiniband_4x",    1.0e9,  3.5e-6, 1.0e-6, 2003.0, 1000.0, 10.0, 0.25e-6),
+        _tech("infiniband_12x",   3.0e9,  3.0e-6, 1.0e-6, 2005.0, 1800.0, 14.0, 0.2e-6),
+        _tech("optical_circuit",  5.0e9,  1.0e-6, 0.25e-6, 2007.0, 3000.0, 12.0,
+              0.05e-6, setup=30e-6),
+    ]
+}
+
+
+def get_interconnect(name: str) -> InterconnectTechnology:
+    """Catalog lookup; ``KeyError`` lists valid names."""
+    try:
+        return INTERCONNECTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown interconnect {name!r}; choose from {sorted(INTERCONNECTS)}"
+        ) from None
+
+
+def available_interconnects(year: float) -> List[InterconnectTechnology]:
+    """All technologies purchasable at ``year``, cheapest port first."""
+    hits = [t for t in INTERCONNECTS.values() if t.available_year <= year]
+    return sorted(hits, key=lambda t: t.cost_per_port)

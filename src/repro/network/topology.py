@@ -1,0 +1,331 @@
+"""Network topologies on ``networkx`` graphs.
+
+Four families cover the era's design space:
+
+* :class:`SingleSwitchTopology` — one non-blocking crossbar (small systems);
+* :class:`FatTreeTopology` — two-level leaf/spine with configurable
+  oversubscription (the commodity scale-out answer, and how InfiniBand
+  fabrics were actually deployed);
+* :class:`TorusTopology` — k-ary n-dimensional direct network with
+  dimension-ordered routing (the BlueGene direction for SoC nodes);
+* :class:`HypercubeTopology` — binary hypercube with e-cube routing
+  (included as the classic baseline).
+
+Hosts are graph nodes ``("h", i)``; switches are ``("s", j)``.  A *route*
+is the ordered list of **directed** ``(from, to)`` node pairs between two
+hosts; the fabric maps each direction of a physical link onto its own
+contention resource (links are full duplex, as real switched fabrics
+are).  Routing is deterministic — same (src, dst) always takes the same
+path — so simulated runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+__all__ = [
+    "Topology",
+    "SingleSwitchTopology",
+    "FatTreeTopology",
+    "TorusTopology",
+    "HypercubeTopology",
+]
+
+Node = Tuple[str, int]
+Edge = Tuple[Node, Node]
+
+
+def _directed(a: Node, b: Node) -> Edge:
+    """Directed traversal step: one full-duplex direction of a link."""
+    return (a, b)
+
+
+class Topology:
+    """Base: a graph, a host count, and a routing function."""
+
+    def __init__(self, hosts: int) -> None:
+        if hosts < 1:
+            raise ValueError(f"need at least one host, got {hosts}")
+        self.hosts = hosts
+        self.graph = nx.Graph()
+
+    def host_node(self, rank: int) -> Node:
+        """Graph node for a host rank (IndexError when out of range)."""
+        if not 0 <= rank < self.hosts:
+            raise IndexError(f"host {rank} out of range [0, {self.hosts})")
+        return ("h", rank)
+
+    def route(self, src: int, dst: int) -> List[Edge]:
+        """Ordered directed ``(from, to)`` steps from host ``src`` to ``dst``.
+
+        The trivial route from a host to itself is the empty list.
+        """
+        raise NotImplementedError
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Number of links on the route (0 for self)."""
+        return len(self.route(src, dst))
+
+    @property
+    def num_links(self) -> int:
+        return self.graph.number_of_edges()
+
+    @property
+    def num_switches(self) -> int:
+        return sum(1 for node in self.graph.nodes if node[0] == "s")
+
+    def diameter_hops(self) -> int:
+        """Maximum route length over all host pairs (computed exactly for
+        small systems, by formula in subclasses that know better)."""
+        return max(
+            self.hop_count(0, d) for d in range(self.hosts)
+        ) if self.hosts > 1 else 0
+
+    def bisection_links(self) -> int:
+        """Links crossing the worst-case even bipartition (by formula)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<{type(self).__name__} hosts={self.hosts} "
+                f"switches={self.num_switches} links={self.num_links}>")
+
+
+class SingleSwitchTopology(Topology):
+    """Every host one hop from a single non-blocking crossbar."""
+
+    def __init__(self, hosts: int) -> None:
+        super().__init__(hosts)
+        switch = ("s", 0)
+        self.graph.add_node(switch)
+        for rank in range(hosts):
+            self.graph.add_edge(self.host_node(rank), switch)
+
+    def route(self, src: int, dst: int) -> List[Edge]:
+        """Two directed hops through the crossbar (empty for self)."""
+        a, b = self.host_node(src), self.host_node(dst)
+        if src == dst:
+            return []
+        switch = ("s", 0)
+        return [_directed(a, switch), _directed(switch, b)]
+
+    def diameter_hops(self) -> int:
+        """Every pair is exactly two hops apart."""
+        return 2 if self.hosts > 1 else 0
+
+    def bisection_links(self) -> int:
+        """Non-blocking crossbar: the cut goes through host links."""
+        return self.hosts // 2
+
+
+class FatTreeTopology(Topology):
+    """Two-level leaf/spine Clos.
+
+    Parameters
+    ----------
+    hosts:
+        Endpoint count; leaves are filled in rank order.
+    hosts_per_leaf:
+        Downlinks per leaf switch.
+    spines:
+        Uplink count per leaf == number of spine switches.  ``spines ==
+        hosts_per_leaf`` gives full bisection; fewer gives an
+        oversubscribed (cheaper) fabric.
+    """
+
+    def __init__(self, hosts: int, hosts_per_leaf: int = 16,
+                 spines: int = None) -> None:  # type: ignore[assignment]
+        super().__init__(hosts)
+        if hosts_per_leaf < 1:
+            raise ValueError("hosts_per_leaf must be >= 1")
+        self.hosts_per_leaf = hosts_per_leaf
+        self.num_leaves = -(-hosts // hosts_per_leaf)  # ceil division
+        self.num_spines = hosts_per_leaf if spines is None else spines
+        if self.num_spines < 1:
+            raise ValueError("need at least one spine")
+        for leaf in range(self.num_leaves):
+            leaf_node = ("s", leaf)
+            for spine in range(self.num_spines):
+                self.graph.add_edge(leaf_node,
+                                    ("s", self.num_leaves + spine))
+        for rank in range(hosts):
+            self.graph.add_edge(self.host_node(rank),
+                                ("s", rank // hosts_per_leaf))
+
+    @property
+    def oversubscription(self) -> float:
+        """Downlinks per uplink (1.0 == full bisection)."""
+        return self.hosts_per_leaf / self.num_spines
+
+    def _leaf_of(self, rank: int) -> Node:
+        return ("s", rank // self.hosts_per_leaf)
+
+    def _spine_for(self, src: int, dst: int) -> Node:
+        # Deterministic spreading: same pair always picks the same spine.
+        index = (src * 1_000_003 + dst) % self.num_spines
+        return ("s", self.num_leaves + index)
+
+    def route(self, src: int, dst: int) -> List[Edge]:
+        """2 hops intra-leaf, 4 hops through a (deterministic) spine."""
+        if src == dst:
+            return []
+        a, b = self.host_node(src), self.host_node(dst)
+        leaf_a, leaf_b = self._leaf_of(src), self._leaf_of(dst)
+        if leaf_a == leaf_b:
+            return [_directed(a, leaf_a), _directed(leaf_a, b)]
+        spine = self._spine_for(src, dst)
+        return [
+            _directed(a, leaf_a),
+            _directed(leaf_a, spine),
+            _directed(spine, leaf_b),
+            _directed(leaf_b, b),
+        ]
+
+    def diameter_hops(self) -> int:
+        """4 hops once more than one leaf exists (2 within one leaf)."""
+        if self.hosts <= 1:
+            return 0
+        return 2 if self.num_leaves == 1 else 4
+
+    def bisection_links(self) -> int:
+        """Half the leaves' uplinks (host links if only one leaf)."""
+        # The cut separates half the leaves from the other half; each leaf
+        # contributes its uplinks.  With one leaf the cut is through hosts.
+        if self.num_leaves == 1:
+            return self.hosts // 2
+        return (self.num_leaves // 2) * self.num_spines
+
+
+class TorusTopology(Topology):
+    """k-ary n-dimensional torus; hosts double as routers.
+
+    ``shape`` like ``(8, 8)`` or ``(4, 4, 4)``.  Dimension-ordered routing
+    with shortest wraparound direction; ties (exactly half way around an
+    even ring) break toward increasing coordinates, deterministically.
+    """
+
+    def __init__(self, shape: Tuple[int, ...]) -> None:
+        if not shape or any(k < 2 for k in shape):
+            raise ValueError(f"every torus dimension must be >= 2, got {shape}")
+        hosts = 1
+        for k in shape:
+            hosts *= k
+        super().__init__(hosts)
+        self.shape = tuple(shape)
+        self._strides = []
+        stride = 1
+        for k in reversed(self.shape):
+            self._strides.append(stride)
+            stride *= k
+        self._strides.reverse()
+        for rank in range(hosts):
+            coords = self.coords_of(rank)
+            for dim, k in enumerate(self.shape):
+                neighbour = list(coords)
+                neighbour[dim] = (coords[dim] + 1) % k
+                self.graph.add_edge(self.host_node(rank),
+                                    self.host_node(self.rank_of(tuple(neighbour))))
+
+    def coords_of(self, rank: int) -> Tuple[int, ...]:
+        """Grid coordinates of a host rank."""
+        coords = []
+        for stride, k in zip(self._strides, self.shape):
+            coords.append((rank // stride) % k)
+        return tuple(coords)
+
+    def rank_of(self, coords: Tuple[int, ...]) -> int:
+        """Host rank at grid coordinates."""
+        if len(coords) != len(self.shape):
+            raise ValueError("coordinate arity mismatch")
+        rank = 0
+        for c, stride, k in zip(coords, self._strides, self.shape):
+            if not 0 <= c < k:
+                raise ValueError(f"coordinate {c} out of ring size {k}")
+            rank += c * stride
+        return rank
+
+    def route(self, src: int, dst: int) -> List[Edge]:
+        """Dimension-ordered route with shortest wraparound direction."""
+        if src == dst:
+            return []
+        edges: List[Edge] = []
+        position = list(self.coords_of(src))
+        target = self.coords_of(dst)
+        for dim, k in enumerate(self.shape):
+            while position[dim] != target[dim]:
+                forward = (target[dim] - position[dim]) % k
+                backward = (position[dim] - target[dim]) % k
+                step = 1 if forward <= backward else -1
+                here = self.rank_of(tuple(position))
+                position[dim] = (position[dim] + step) % k
+                there = self.rank_of(tuple(position))
+                edges.append(_directed(self.host_node(here),
+                                        self.host_node(there)))
+        return edges
+
+    def diameter_hops(self) -> int:
+        """Sum of half-ring distances over the dimensions."""
+        return sum(k // 2 for k in self.shape)
+
+    def bisection_links(self) -> int:
+        """Cut the largest ring in half: 2 links per ring instance."""
+        k = max(self.shape)
+        return 2 * (self.hosts // k)
+
+
+class HypercubeTopology(Topology):
+    """Binary d-cube with e-cube (ascending-dimension) routing."""
+
+    def __init__(self, dimension: int) -> None:
+        if dimension < 1:
+            raise ValueError("dimension must be >= 1")
+        super().__init__(2 ** dimension)
+        self.dimension = dimension
+        for rank in range(self.hosts):
+            for bit in range(dimension):
+                neighbour = rank ^ (1 << bit)
+                if neighbour > rank:
+                    self.graph.add_edge(self.host_node(rank),
+                                        self.host_node(neighbour))
+
+    def route(self, src: int, dst: int) -> List[Edge]:
+        """E-cube route: correct differing bits in ascending order."""
+        if src == dst:
+            return []
+        edges: List[Edge] = []
+        position = src
+        difference = src ^ dst
+        for bit in range(self.dimension):
+            if difference & (1 << bit):
+                nxt = position ^ (1 << bit)
+                edges.append(_directed(self.host_node(position),
+                                        self.host_node(nxt)))
+                position = nxt
+        return edges
+
+    def diameter_hops(self) -> int:
+        """The cube dimension (maximum Hamming distance)."""
+        return self.dimension
+
+    def bisection_links(self) -> int:
+        """Half the hosts: one dimension's worth of links crosses."""
+        return self.hosts // 2
+
+
+#: Routing cache shared by fabrics: topologies are immutable after build.
+class RouteCache:
+    """Memoises ``topology.route`` — route computation dominates large
+    simulated collectives otherwise."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._cache: Dict[Tuple[int, int], List[Edge]] = {}
+
+    def route(self, src: int, dst: int) -> List[Edge]:
+        key = (src, dst)
+        hit = self._cache.get(key)
+        if hit is None:
+            hit = self.topology.route(src, dst)
+            self._cache[key] = hit
+        return hit

@@ -1,0 +1,48 @@
+"""Node architecture models.
+
+The keynote's central argument is that cluster futures are driven by
+"revolutionary structures embodied by the nodes": blade packaging, SMP /
+system-on-a-chip integration, and processor-in-memory (PIM).  This package
+models each as a parametric :class:`NodeSpec` derived from a technology
+roadmap, plus a roofline performance model that turns a spec and a kernel's
+arithmetic intensity into attainable performance — the quantity on which
+the architectures actually differ.
+
+Public surface
+--------------
+:class:`NodeSpec`, :class:`MemoryLevel`, :class:`MemoryHierarchy`
+    The hardware description record.
+:func:`make_node` / :data:`ARCHITECTURES`
+    Factory keyed by architecture name and year.
+:class:`BladeEnclosure`
+    Chassis-level packaging shared by blade nodes.
+:class:`RooflineModel`, :class:`KernelCharacter`
+    Attainable-performance model.
+"""
+
+from repro.nodes.base import MemoryHierarchy, MemoryLevel, NodeSpec
+from repro.nodes.catalog import ARCHITECTURES, make_node, node_family
+from repro.nodes.blade import BladeEnclosure, make_blade_node
+from repro.nodes.conventional import make_conventional_node
+from repro.nodes.smp import make_smp_node
+from repro.nodes.soc import make_soc_node
+from repro.nodes.pim import make_pim_node
+from repro.nodes.roofline import KernelCharacter, REFERENCE_KERNELS, RooflineModel
+
+__all__ = [
+    "ARCHITECTURES",
+    "REFERENCE_KERNELS",
+    "BladeEnclosure",
+    "KernelCharacter",
+    "MemoryHierarchy",
+    "MemoryLevel",
+    "NodeSpec",
+    "RooflineModel",
+    "make_blade_node",
+    "make_conventional_node",
+    "make_node",
+    "make_pim_node",
+    "make_smp_node",
+    "make_soc_node",
+    "node_family",
+]

@@ -1,0 +1,191 @@
+"""Node hardware description records.
+
+:class:`NodeSpec` is the lingua franca between the technology roadmap, the
+cluster assembler, the roofline model, and the simulator: a frozen record of
+everything a model downstream needs to know about one node.  Architecture
+factories (:mod:`repro.nodes.conventional` etc.) construct these from a
+roadmap + year; nothing else in the codebase hard-codes hardware numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+__all__ = ["MemoryLevel", "MemoryHierarchy", "NodeSpec"]
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """One level of the memory hierarchy.
+
+    ``bandwidth`` is sustained bytes/second from this level to the cores;
+    ``latency`` is the load-to-use time in seconds.
+    """
+
+    name: str
+    capacity_bytes: float
+    bandwidth_bytes: float
+    latency_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError(f"{self.name}: capacity must be positive")
+        if self.bandwidth_bytes <= 0:
+            raise ValueError(f"{self.name}: bandwidth must be positive")
+        if self.latency_seconds < 0:
+            raise ValueError(f"{self.name}: latency must be non-negative")
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """An ordered tuple of levels, fastest/smallest first.
+
+    :meth:`effective_bandwidth` returns the bandwidth of the smallest level
+    that holds a given working set — the simple inclusive-cache model used
+    by the roofline estimator.
+    """
+
+    levels: Tuple[MemoryLevel, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("hierarchy needs at least one level")
+        for upper, lower in zip(self.levels, self.levels[1:]):
+            if upper.capacity_bytes >= lower.capacity_bytes:
+                raise ValueError(
+                    f"levels must grow: {upper.name} >= {lower.name}"
+                )
+            if upper.bandwidth_bytes < lower.bandwidth_bytes:
+                raise ValueError(
+                    f"levels must slow down: {upper.name} slower than {lower.name}"
+                )
+
+    @property
+    def main_memory(self) -> MemoryLevel:
+        """The last (largest, slowest) level — DRAM."""
+        return self.levels[-1]
+
+    def level_for(self, working_set_bytes: float) -> MemoryLevel:
+        """Smallest level that can hold ``working_set_bytes``.
+
+        Working sets larger than main memory still return main memory: we
+        model out-of-core behaviour at a higher layer (or not at all), and
+        callers who care check ``fits_in_memory`` themselves.
+        """
+        if working_set_bytes < 0:
+            raise ValueError("working set must be non-negative")
+        for level in self.levels:
+            if working_set_bytes <= level.capacity_bytes:
+                return level
+        return self.levels[-1]
+
+    def effective_bandwidth(self, working_set_bytes: float) -> float:
+        """Sustained bandwidth feeding the cores for this working set."""
+        return self.level_for(working_set_bytes).bandwidth_bytes
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Complete description of one compute node.
+
+    All rates/capacities are node-level aggregates (summed over sockets and
+    cores).  ``architecture`` names the factory that built the spec
+    (``"conventional"``, ``"blade"``, ``"smp"``, ``"soc"``, ``"pim"``).
+    """
+
+    architecture: str
+    year: float
+    #: Aggregate peak floating-point rate (FLOPS).
+    peak_flops: float
+    #: Core topology, informational (peak already aggregates it).
+    sockets: int
+    cores_per_socket: int
+    #: DRAM capacity (bytes) and sustained node memory bandwidth (bytes/s).
+    memory_bytes: float
+    memory_bandwidth: float
+    #: Whole-node power under load (watts) and purchase cost (dollars).
+    power_watts: float
+    cost_dollars: float
+    #: Physical size in rack units (may be fractional for blades/SoC).
+    rack_units: float
+    #: Local disk (bytes); zero for diskless blades.
+    disk_bytes: float = 0.0
+    #: Optional detailed hierarchy; main memory must agree with the
+    #: aggregate fields above.
+    memory: MemoryHierarchy = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        for name in ("peak_flops", "memory_bytes", "memory_bandwidth",
+                     "power_watts", "cost_dollars", "rack_units"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.sockets < 1 or self.cores_per_socket < 1:
+            raise ValueError("need at least one socket and one core")
+        if self.disk_bytes < 0:
+            raise ValueError("disk_bytes must be non-negative")
+        if self.memory is None:
+            object.__setattr__(self, "memory", self._default_hierarchy())
+
+    def _default_hierarchy(self) -> MemoryHierarchy:
+        """A generic two-level cache + DRAM hierarchy scaled to the node.
+
+        Cache sizes follow the era's rule of thumb (L2 ~ 0.5 MiB/core) and
+        cache bandwidth tracks peak compute so that cache-resident kernels
+        are compute-bound, which is how real kernels behave.
+        """
+        cores = self.sockets * self.cores_per_socket
+        l1 = MemoryLevel(
+            name="L1",
+            capacity_bytes=16 * 2**10 * cores,
+            bandwidth_bytes=max(self.peak_flops * 8.0, self.memory_bandwidth * 4),
+            latency_seconds=1e-9,
+        )
+        l2 = MemoryLevel(
+            name="L2",
+            capacity_bytes=512 * 2**10 * cores,
+            bandwidth_bytes=max(self.peak_flops * 4.0, self.memory_bandwidth * 2),
+            latency_seconds=5e-9,
+        )
+        dram = MemoryLevel(
+            name="DRAM",
+            capacity_bytes=self.memory_bytes,
+            bandwidth_bytes=self.memory_bandwidth,
+            latency_seconds=120e-9,
+        )
+        return MemoryHierarchy(levels=(l1, l2, dram))
+
+    # -- derived figures of merit ---------------------------------------
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def machine_balance(self) -> float:
+        """FLOPs per byte the node *needs* to stay compute-bound.
+
+        Kernels with arithmetic intensity below this are memory-bound on
+        this node — the crux of the PIM argument.
+        """
+        return self.peak_flops / self.memory_bandwidth
+
+    @property
+    def flops_per_watt(self) -> float:
+        return self.peak_flops / self.power_watts
+
+    @property
+    def flops_per_dollar(self) -> float:
+        return self.peak_flops / self.cost_dollars
+
+    @property
+    def bytes_per_flops(self) -> float:
+        """Memory balance (capacity per peak FLOPS)."""
+        return self.memory_bytes / self.peak_flops
+
+    def with_overrides(self, **changes) -> "NodeSpec":
+        """A copy with selected fields replaced (hierarchy re-derived
+        unless explicitly provided)."""
+        if "memory" not in changes:
+            changes["memory"] = None
+        return replace(self, **changes)

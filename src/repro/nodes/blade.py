@@ -1,0 +1,84 @@
+"""Blade nodes and enclosures.
+
+"Perhaps of more impact are the changes anticipated in hardware architecture
+including blade technology" — blades trade a little per-node compute (lower-
+power parts, shared infrastructure) for a large win in density and power:
+many diskless boards in one chassis with shared power supplies, cooling, and
+an integrated switch.
+
+The model: a blade node is a conventional node scaled by the ratios below,
+and a :class:`BladeEnclosure` amortises chassis cost/size/power across its
+slots.  Per-node *effective* rack units come from the enclosure, which is
+where the density win actually lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nodes.base import NodeSpec
+from repro.tech.roadmap import TechnologyRoadmap
+
+__all__ = ["make_blade_node", "BladeEnclosure"]
+
+# Ratios of a blade board vs the contemporaneous conventional 1U node.
+_PEAK_RATIO = 0.80          # mobile-derived parts clock lower
+_POWER_RATIO = 0.45         # the whole point: low-power silicon, no disk/fans
+_COST_RATIO = 0.85          # fewer parts per board (chassis billed separately)
+_BANDWIDTH_RATIO = 1.0      # same DRAM technology
+_MEMORY_RATIO = 1.0
+
+
+@dataclass(frozen=True)
+class BladeEnclosure:
+    """A chassis that holds ``slots`` blades in ``rack_units`` of space.
+
+    2002-era reference: 14 blades in a 7U chassis (IBM BladeCenter class).
+    Chassis cost and overhead power are amortised per occupied slot.
+    """
+
+    slots: int = 14
+    rack_units: float = 7.0
+    chassis_cost_dollars: float = 3000.0
+    #: Shared infrastructure draw (fans, management module, PSU losses).
+    overhead_watts: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.slots < 1:
+            raise ValueError("enclosure needs at least one slot")
+        if self.rack_units <= 0:
+            raise ValueError("rack_units must be positive")
+
+    @property
+    def rack_units_per_blade(self) -> float:
+        return self.rack_units / self.slots
+
+    def amortised_cost(self) -> float:
+        """Chassis dollars attributed to each blade (full enclosure)."""
+        return self.chassis_cost_dollars / self.slots
+
+    def amortised_power(self) -> float:
+        """Chassis watts attributed to each blade (full enclosure)."""
+        return self.overhead_watts / self.slots
+
+
+def make_blade_node(roadmap: TechnologyRoadmap, year: float,
+                    enclosure: BladeEnclosure = BladeEnclosure()) -> NodeSpec:
+    """A blade node (including its amortised share of the enclosure)."""
+    base_peak = roadmap.value("node_peak_flops", year)
+    return NodeSpec(
+        architecture="blade",
+        year=year,
+        peak_flops=base_peak * _PEAK_RATIO,
+        sockets=2,
+        cores_per_socket=max(1, int(2 ** max(0.0, (year - 2004.0) / 2.0))),
+        memory_bytes=roadmap.value("node_memory_bytes", year) * _MEMORY_RATIO,
+        memory_bandwidth=(roadmap.value("node_memory_bandwidth", year)
+                          * _BANDWIDTH_RATIO),
+        power_watts=(roadmap.value("node_power_watts", year) * _POWER_RATIO
+                     + enclosure.amortised_power()),
+        cost_dollars=(roadmap.value("node_cost_dollars", year) * _COST_RATIO
+                      + enclosure.amortised_cost()),
+        rack_units=enclosure.rack_units_per_blade,
+        disk_bytes=0.0,  # diskless: blades boot from the network
+    )

@@ -1,0 +1,58 @@
+"""Factory registry: build any architecture's node for any year.
+
+``make_node("blade", roadmap, 2006)`` is how the rest of the codebase asks
+for hardware; architecture availability windows (SoC from 2004, PIM from
+2005) are enforced by the individual factories and surfaced here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.nodes.base import NodeSpec
+from repro.nodes.blade import make_blade_node
+from repro.nodes.conventional import make_conventional_node
+from repro.nodes.pim import make_pim_node
+from repro.nodes.smp import make_smp_node
+from repro.nodes.soc import make_soc_node
+from repro.tech.roadmap import TechnologyRoadmap
+
+__all__ = ["ARCHITECTURES", "make_node", "node_family"]
+
+#: Architecture name -> factory(roadmap, year) -> NodeSpec.
+ARCHITECTURES: Dict[str, Callable[[TechnologyRoadmap, float], NodeSpec]] = {
+    "conventional": make_conventional_node,
+    "blade": make_blade_node,
+    "smp": make_smp_node,
+    "soc": make_soc_node,
+    "pim": make_pim_node,
+}
+
+
+def make_node(architecture: str, roadmap: TechnologyRoadmap,
+              year: float) -> NodeSpec:
+    """Build ``architecture``'s node at ``year`` under ``roadmap``.
+
+    Raises ``KeyError`` (listing valid names) for an unknown architecture
+    and ``ValueError`` for a year before the architecture exists.
+    """
+    try:
+        factory = ARCHITECTURES[architecture]
+    except KeyError:
+        raise KeyError(
+            f"unknown architecture {architecture!r}; choose from "
+            f"{sorted(ARCHITECTURES)}"
+        ) from None
+    return factory(roadmap, year)
+
+
+def node_family(roadmap: TechnologyRoadmap, year: float) -> List[NodeSpec]:
+    """Every architecture *available* at ``year`` (unavailable ones are
+    silently skipped, so 2003 returns only conventional/blade/smp)."""
+    family: List[NodeSpec] = []
+    for name in ARCHITECTURES:
+        try:
+            family.append(make_node(name, roadmap, year))
+        except ValueError:
+            continue
+    return family

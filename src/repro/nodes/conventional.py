@@ -1,0 +1,35 @@
+"""The conventional rack-mount node — the 2002 status quo baseline.
+
+A 1U "pizza box" with two commodity sockets, exactly the node the roadmap's
+anchor operating points describe.  Every other architecture factory is
+expressed as ratios against this one, so the conventional node *is* the
+roadmap, evaluated at a year.
+"""
+
+from __future__ import annotations
+
+from repro.nodes.base import NodeSpec
+from repro.tech.roadmap import TechnologyRoadmap
+
+__all__ = ["make_conventional_node"]
+
+
+def make_conventional_node(roadmap: TechnologyRoadmap, year: float) -> NodeSpec:
+    """A dual-socket 1U node at the roadmap's operating point for ``year``."""
+    # Cores per socket grow with the roadmap: one core per socket in 2002,
+    # doubling as SMT/CMP arrives (integer, at least 1).  Peak already
+    # aggregates this; the split is informational.
+    cores = max(1, int(2 ** max(0.0, (year - 2004.0) / 2.0)))
+    return NodeSpec(
+        architecture="conventional",
+        year=year,
+        peak_flops=roadmap.value("node_peak_flops", year),
+        sockets=2,
+        cores_per_socket=cores,
+        memory_bytes=roadmap.value("node_memory_bytes", year),
+        memory_bandwidth=roadmap.value("node_memory_bandwidth", year),
+        power_watts=roadmap.value("node_power_watts", year),
+        cost_dollars=roadmap.value("node_cost_dollars", year),
+        rack_units=1.0,
+        disk_bytes=roadmap.value("node_disk_bytes", year),
+    )

@@ -1,0 +1,61 @@
+"""Processor-in-memory (PIM) nodes.
+
+The most "revolutionary structure" in the keynote's list: put simple
+processing elements *inside* the DRAM arrays, where row-buffer bandwidth is
+two orders of magnitude above what a pin-limited front-side bus delivers.
+Sterling's own HTMT/Gilgamesh and the Berkeley IRAM line are the reference
+designs.
+
+The model captures the essential trade:
+
+* **memory bandwidth** — ×25 over the contemporaneous conventional node
+  (on-die row access vs pins);
+* **peak compute** — ×0.35: logic in a DRAM process is slower and the PEs
+  are simple (no wide FP pipelines);
+* lower power (no off-chip memory traffic), moderate cost premium
+  (non-commodity die), small capacity (logic steals array area).
+
+Consequence, measured by bench E10: PIM wins on *memory-bound* kernels
+(arithmetic intensity below the conventional machine balance) and loses on
+compute-bound ones — the crossover is the experiment's headline number.
+"""
+
+from __future__ import annotations
+
+from repro.nodes.base import NodeSpec
+from repro.tech.roadmap import TechnologyRoadmap
+
+__all__ = ["make_pim_node"]
+
+_PEAK_RATIO = 0.35          # DRAM-process logic, simple PEs
+_MEMORY_RATIO = 0.5         # PE logic displaces array area
+_BANDWIDTH_RATIO = 25.0     # on-die row-buffer bandwidth
+_POWER_RATIO = 0.40         # off-chip signalling eliminated
+_COST_RATIO = 1.3           # non-commodity part
+_RACK_UNITS = 0.5
+
+
+def make_pim_node(roadmap: TechnologyRoadmap, year: float) -> NodeSpec:
+    """A PIM node at the roadmap's operating point for ``year``.
+
+    PIM parts are modelled as available from 2005 (research prototypes
+    maturing mid-decade); earlier years raise.
+    """
+    if year < 2005.0:
+        raise ValueError(
+            f"PIM nodes are modelled as available from 2005 (asked for {year})"
+        )
+    return NodeSpec(
+        architecture="pim",
+        year=year,
+        peak_flops=roadmap.value("node_peak_flops", year) * _PEAK_RATIO,
+        sockets=1,
+        cores_per_socket=16,  # many simple PEs per die
+        memory_bytes=roadmap.value("node_memory_bytes", year) * _MEMORY_RATIO,
+        memory_bandwidth=(roadmap.value("node_memory_bandwidth", year)
+                          * _BANDWIDTH_RATIO),
+        power_watts=roadmap.value("node_power_watts", year) * _POWER_RATIO,
+        cost_dollars=roadmap.value("node_cost_dollars", year) * _COST_RATIO,
+        rack_units=_RACK_UNITS,
+        disk_bytes=0.0,
+    )

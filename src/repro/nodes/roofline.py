@@ -1,0 +1,129 @@
+"""Roofline attainable-performance model.
+
+The one-line model that separates the node architectures:
+
+    attainable(AI) = min(peak, AI x bandwidth)
+
+where *AI* is a kernel's arithmetic intensity in FLOPs per byte of memory
+traffic.  Kernels left of the ridge point (AI < peak/bandwidth) are
+memory-bound; PIM's x25 bandwidth moves its ridge far left, which is the
+entire PIM argument in one inequality.
+
+:class:`KernelCharacter` describes a kernel by its flop count and memory
+traffic; :class:`RooflineModel` evaluates attainable rate and execution
+time against a :class:`~repro.nodes.base.NodeSpec`, using the spec's memory
+hierarchy to pick the bandwidth for the kernel's working set (cache-resident
+kernels ride a higher roof).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Union
+
+import numpy as np
+
+from repro.nodes.base import NodeSpec
+
+__all__ = ["KernelCharacter", "RooflineModel", "REFERENCE_KERNELS"]
+
+
+@dataclass(frozen=True)
+class KernelCharacter:
+    """A kernel as the roofline sees it.
+
+    ``flops`` and ``bytes_moved`` are totals for one execution; the ratio
+    is the arithmetic intensity.  ``working_set_bytes`` sizes the data the
+    kernel streams over (defaults to ``bytes_moved``, i.e. streaming).
+    """
+
+    name: str
+    flops: float
+    bytes_moved: float
+    working_set_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.flops <= 0:
+            raise ValueError("flops must be positive")
+        if self.bytes_moved <= 0:
+            raise ValueError("bytes_moved must be positive")
+        if self.working_set_bytes < 0:
+            raise ValueError("working_set_bytes must be non-negative")
+        if self.working_set_bytes == 0.0:
+            object.__setattr__(self, "working_set_bytes", self.bytes_moved)
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of memory traffic."""
+        return self.flops / self.bytes_moved
+
+    @classmethod
+    def from_intensity(cls, name: str, intensity: float,
+                       flops: float = 1e9) -> "KernelCharacter":
+        """A synthetic kernel with a prescribed arithmetic intensity."""
+        if intensity <= 0:
+            raise ValueError("intensity must be positive")
+        return cls(name=name, flops=flops, bytes_moved=flops / intensity)
+
+
+#: Characteristic kernels of the era's workloads, for architecture tables.
+#: Intensities follow the standard operational analyses: STREAM triad is
+#: 2 flops / 24 bytes; SpMV ~0.25; stencils ~0.5; FFT ~1-2; DGEMM is
+#: blocked and lives far right of every ridge.
+REFERENCE_KERNELS: List[KernelCharacter] = [
+    KernelCharacter.from_intensity("stream_triad", 1.0 / 12.0),
+    KernelCharacter.from_intensity("spmv", 0.25),
+    KernelCharacter.from_intensity("stencil27", 0.5),
+    KernelCharacter.from_intensity("fft", 1.5),
+    KernelCharacter.from_intensity("nbody", 8.0),
+    KernelCharacter.from_intensity("dgemm_blocked", 32.0),
+]
+
+
+class RooflineModel:
+    """Evaluate attainable performance of kernels on a node spec."""
+
+    def __init__(self, node: NodeSpec) -> None:
+        self.node = node
+
+    @property
+    def ridge_point(self) -> float:
+        """Arithmetic intensity at which the node transitions from
+        memory-bound to compute-bound (using main-memory bandwidth)."""
+        return self.node.machine_balance
+
+    def bandwidth_for(self, kernel: KernelCharacter) -> float:
+        """Bandwidth roof applicable to the kernel's working set."""
+        return self.node.memory.effective_bandwidth(kernel.working_set_bytes)
+
+    def attainable_flops(self, kernel: KernelCharacter) -> float:
+        """min(peak, AI x applicable bandwidth) for this kernel."""
+        roof = kernel.arithmetic_intensity * self.bandwidth_for(kernel)
+        return min(self.node.peak_flops, roof)
+
+    def attainable_curve(self, intensities: Union[Iterable[float], np.ndarray]
+                         ) -> np.ndarray:
+        """Vectorised roofline over arithmetic intensities (main memory)."""
+        ai = np.asarray(list(intensities) if not isinstance(
+            intensities, np.ndarray) else intensities, dtype=float)
+        if np.any(ai <= 0):
+            raise ValueError("intensities must be positive")
+        return np.minimum(self.node.peak_flops,
+                          ai * self.node.memory_bandwidth)
+
+    def execution_time(self, kernel: KernelCharacter) -> float:
+        """Seconds to run the kernel once at its attainable rate.
+
+        Equivalent to ``max(flops/peak, bytes/bandwidth)`` — the
+        overlap-of-compute-and-memory roofline time model.
+        """
+        return kernel.flops / self.attainable_flops(kernel)
+
+    def efficiency(self, kernel: KernelCharacter) -> float:
+        """Attainable / peak, in (0, 1]."""
+        return self.attainable_flops(kernel) / self.node.peak_flops
+
+    def is_memory_bound(self, kernel: KernelCharacter) -> bool:
+        """True when the bandwidth roof, not peak, limits the kernel."""
+        return (kernel.arithmetic_intensity * self.bandwidth_for(kernel)
+                < self.node.peak_flops)

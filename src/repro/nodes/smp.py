@@ -1,0 +1,41 @@
+"""Fat SMP nodes.
+
+The classic alternative to thin pizza-boxes: four or more sockets sharing
+one coherent memory.  More compute and capacity per node, but the shared
+memory system does not scale linearly (bus/coherence contention) and the
+premium over commodity boards is steep — which is exactly why Beowulf-class
+thin nodes won the price/performance argument.
+"""
+
+from __future__ import annotations
+
+from repro.nodes.base import NodeSpec
+from repro.tech.roadmap import TechnologyRoadmap
+
+__all__ = ["make_smp_node"]
+
+_SOCKETS = 4
+_PEAK_RATIO = _SOCKETS / 2.0        # 4 sockets vs the baseline's 2
+_MEMORY_RATIO = 4.0
+_BANDWIDTH_RATIO = 2.6              # shared fabric: < 2x per extra socket pair
+_POWER_RATIO = 3.2
+_COST_RATIO = 5.0                   # the 4-socket premium
+_RACK_UNITS = 4.0
+
+
+def make_smp_node(roadmap: TechnologyRoadmap, year: float) -> NodeSpec:
+    """A 4-socket SMP node at the roadmap's operating point for ``year``."""
+    return NodeSpec(
+        architecture="smp",
+        year=year,
+        peak_flops=roadmap.value("node_peak_flops", year) * _PEAK_RATIO,
+        sockets=_SOCKETS,
+        cores_per_socket=max(1, int(2 ** max(0.0, (year - 2004.0) / 2.0))),
+        memory_bytes=roadmap.value("node_memory_bytes", year) * _MEMORY_RATIO,
+        memory_bandwidth=(roadmap.value("node_memory_bandwidth", year)
+                          * _BANDWIDTH_RATIO),
+        power_watts=roadmap.value("node_power_watts", year) * _POWER_RATIO,
+        cost_dollars=roadmap.value("node_cost_dollars", year) * _COST_RATIO,
+        rack_units=_RACK_UNITS,
+        disk_bytes=roadmap.value("node_disk_bytes", year) * 2,
+    )

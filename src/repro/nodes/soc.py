@@ -1,0 +1,58 @@
+"""System/SMP-on-a-chip (SoC) nodes.
+
+The keynote's "system and SMP on a chip": integrate multiple cores, the
+memory controller, and the network interface onto one die.  Integration
+buys three things the model captures:
+
+* **memory bandwidth** — an on-die controller removes the front-side-bus
+  bottleneck (ratio > 1);
+* **power** — no chip-to-chip I/O, lower voltage parts;
+* **density** — a node is a card, not a box.
+
+Peak per node is *lower* than a contemporaneous dual-socket box (one die,
+modest clock), so SoC wins only when performance-per-watt, per-dollar or
+per-U is the figure of merit — which is the talk's point, and what bench
+E3/E6 measure.  BlueGene-class machines later validated exactly this
+trade.
+"""
+
+from __future__ import annotations
+
+from repro.nodes.base import NodeSpec
+from repro.tech.roadmap import TechnologyRoadmap
+
+__all__ = ["make_soc_node"]
+
+_PEAK_RATIO = 0.45          # one modest-clock die vs two hot sockets
+_MEMORY_RATIO = 0.5         # less DRAM per (cheaper) node
+_BANDWIDTH_RATIO = 1.6      # integrated memory controller
+_POWER_RATIO = 0.18         # the headline win
+_COST_RATIO = 0.35
+_RACK_UNITS = 0.25          # card-level packaging
+
+
+def make_soc_node(roadmap: TechnologyRoadmap, year: float) -> NodeSpec:
+    """A system-on-chip node at the roadmap's operating point for ``year``.
+
+    SoC parts are modelled as arriving in 2004; asking for an earlier year
+    raises, because pre-2004 there was no commodity SoC node to buy.
+    """
+    if year < 2004.0:
+        raise ValueError(
+            f"SoC nodes enter the commodity market in 2004 (asked for {year})"
+        )
+    cores = max(2, int(2 ** ((year - 2002.0) / 1.5)))
+    return NodeSpec(
+        architecture="soc",
+        year=year,
+        peak_flops=roadmap.value("node_peak_flops", year) * _PEAK_RATIO,
+        sockets=1,
+        cores_per_socket=cores,
+        memory_bytes=roadmap.value("node_memory_bytes", year) * _MEMORY_RATIO,
+        memory_bandwidth=(roadmap.value("node_memory_bandwidth", year)
+                          * _BANDWIDTH_RATIO),
+        power_watts=roadmap.value("node_power_watts", year) * _POWER_RATIO,
+        cost_dollars=roadmap.value("node_cost_dollars", year) * _COST_RATIO,
+        rack_units=_RACK_UNITS,
+        disk_bytes=0.0,  # diskless, network boot
+    )

@@ -1,0 +1,79 @@
+"""Rigid parallel jobs, as the 2002 batch-scheduling literature models them.
+
+A job asks for a fixed number of nodes for an estimated runtime; the
+actual runtime is typically shorter (users overestimate to avoid the
+kill-at-limit).  The gap between estimate and actual is what makes
+backfilling interesting, so both are first-class here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Job", "JobRecord", "JobState"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job inside the batch system."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+@dataclass(frozen=True)
+class Job:
+    """An immutable job description (what the user submitted)."""
+
+    job_id: int
+    submit_time: float
+    nodes: int
+    runtime: float            # actual execution time (seconds)
+    estimate: float           # user's runtime estimate (>= runtime typically)
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"job {self.job_id}: nodes must be >= 1")
+        if self.runtime <= 0:
+            raise ValueError(f"job {self.job_id}: runtime must be positive")
+        if self.estimate <= 0:
+            raise ValueError(f"job {self.job_id}: estimate must be positive")
+        if self.submit_time < 0:
+            raise ValueError(f"job {self.job_id}: submit_time must be >= 0")
+
+    @property
+    def node_seconds(self) -> float:
+        """Work content: nodes × actual runtime."""
+        return self.nodes * self.runtime
+
+
+@dataclass
+class JobRecord:
+    """A job plus its scheduling outcome (filled in by the simulator)."""
+
+    job: Job
+    state: JobState = JobState.QUEUED
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+
+    @property
+    def wait_time(self) -> float:
+        if self.start_time is None:
+            raise RuntimeError(f"job {self.job.job_id} has not started")
+        return self.start_time - self.job.submit_time
+
+    @property
+    def response_time(self) -> float:
+        """Submit-to-completion (a.k.a. turnaround)."""
+        if self.end_time is None:
+            raise RuntimeError(f"job {self.job.job_id} has not finished")
+        return self.end_time - self.job.submit_time
+
+    def bounded_slowdown(self, threshold: float = 10.0) -> float:
+        """Feitelson's bounded slowdown: response over max(runtime, τ),
+        floored at 1 — the standard metric that keeps tiny jobs from
+        dominating the average."""
+        return max(1.0, self.response_time
+                   / max(self.job.runtime, threshold))

@@ -1,0 +1,68 @@
+"""Scheduling metrics: utilization, waits, bounded slowdown.
+
+Definitions follow the parallel-workloads literature so the E7 curves are
+comparable with published backfilling studies:
+
+* **utilization** — node-seconds of actual work divided by node-seconds of
+  capacity over the span from first submission to last completion;
+* **bounded slowdown** — per job, response time over ``max(runtime, 10 s)``
+  floored at 1; reported as mean and p95;
+* **wait** — start minus submit, mean and max.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.scheduler.simulator import ScheduleResult
+
+__all__ = ["ScheduleMetrics", "evaluate_schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """Summary of one schedule run."""
+
+    utilization: float
+    mean_wait: float
+    max_wait: float
+    mean_bounded_slowdown: float
+    p95_bounded_slowdown: float
+    mean_response: float
+    makespan: float
+    jobs: int
+
+    def row(self) -> dict:
+        """Flat dict for table printers."""
+        return {
+            "jobs": self.jobs,
+            "utilization": round(self.utilization, 4),
+            "mean_wait_s": round(self.mean_wait, 1),
+            "max_wait_s": round(self.max_wait, 1),
+            "mean_bsld": round(self.mean_bounded_slowdown, 2),
+            "p95_bsld": round(self.p95_bounded_slowdown, 2),
+        }
+
+
+def evaluate_schedule(result: ScheduleResult,
+                      slowdown_threshold: float = 10.0) -> ScheduleMetrics:
+    """Compute :class:`ScheduleMetrics` from a completed run."""
+    records = result.records
+    waits = np.array([r.wait_time for r in records])
+    responses = np.array([r.response_time for r in records])
+    slowdowns = np.array([r.bounded_slowdown(slowdown_threshold)
+                          for r in records])
+    work = sum(r.job.node_seconds for r in records)
+    capacity = result.total_nodes * max(result.horizon, 1e-12)
+    return ScheduleMetrics(
+        utilization=min(1.0, work / capacity),
+        mean_wait=float(waits.mean()),
+        max_wait=float(waits.max()),
+        mean_bounded_slowdown=float(slowdowns.mean()),
+        p95_bounded_slowdown=float(np.percentile(slowdowns, 95)),
+        mean_response=float(responses.mean()),
+        makespan=result.makespan,
+        jobs=len(records),
+    )

@@ -1,0 +1,164 @@
+"""Scheduling policies: FCFS, SJF, EASY and conservative backfilling.
+
+A policy is a pure decision function: given the clock, the queue (in
+arrival order), and what is running, return the jobs to start *now*.  The
+simulator re-invokes it at every arrival and completion, so policies keep
+no clock state of their own.
+
+Backfilling follows the canonical definitions (Lifka's EASY; Feitelson &
+Weil's conservative):
+
+* **EASY** — only the *head* job gets a reservation (the "shadow time");
+  any other queued job may start now if it fits and either finishes by the
+  shadow time (per its estimate) or uses only nodes the head job will not
+  need ("spare" nodes).
+* **conservative** — every queued job gets a reservation in queue order; a
+  job starts now exactly when its reservation is now.  Reservations are
+  recomputed from current state at each scheduling point (the standard
+  simulator simplification; actual runtimes shorter than estimates only
+  ever move reservations earlier, so no queued job is penalised).
+
+Estimates, not actual runtimes, drive all reservation arithmetic — the
+policies cannot see the future.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Type
+
+from repro.scheduler.job import Job
+from repro.scheduler.profile import FreeNodeProfile
+
+__all__ = [
+    "SchedulingPolicy",
+    "FcfsPolicy",
+    "SjfPolicy",
+    "EasyBackfill",
+    "ConservativeBackfill",
+    "get_policy",
+]
+
+#: ``running`` as policies see it: (estimated end time, width) pairs.
+RunningView = List[Tuple[float, int]]
+
+
+class SchedulingPolicy:
+    """Interface; subclasses implement :meth:`select`."""
+
+    name: str = "abstract"
+
+    def select(self, now: float, queue: List[Job], running: RunningView,
+               free_nodes: int, total_nodes: int) -> List[Job]:
+        """Jobs (subset of ``queue``) to start at ``now``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class FcfsPolicy(SchedulingPolicy):
+    """Strict first-come-first-served: never skip the queue head."""
+
+    name = "fcfs"
+
+    def select(self, now: float, queue: List[Job], running: RunningView,
+               free_nodes: int, total_nodes: int) -> List[Job]:
+        """Start the queue prefix that fits; stop at the first blocker."""
+        starts: List[Job] = []
+        for job in queue:
+            if job.nodes > free_nodes:
+                break  # head blocked: nobody behind it may pass
+            starts.append(job)
+            free_nodes -= job.nodes
+        return starts
+
+
+class SjfPolicy(SchedulingPolicy):
+    """Shortest (estimated) job first; starvation-prone by design — it is
+    the cautionary baseline in the E7 comparison."""
+
+    name = "sjf"
+
+    def select(self, now: float, queue: List[Job], running: RunningView,
+               free_nodes: int, total_nodes: int) -> List[Job]:
+        """Greedily start the shortest (estimated) jobs that fit."""
+        starts: List[Job] = []
+        for job in sorted(queue, key=lambda j: (j.estimate, j.submit_time)):
+            if job.nodes <= free_nodes:
+                starts.append(job)
+                free_nodes -= job.nodes
+        return starts
+
+
+class EasyBackfill(SchedulingPolicy):
+    """FCFS plus aggressive backfilling around a single head reservation."""
+
+    name = "easy"
+
+    def select(self, now: float, queue: List[Job], running: RunningView,
+               free_nodes: int, total_nodes: int) -> List[Job]:
+        """FCFS prefix, then backfill behind the head's reservation."""
+        starts: List[Job] = []
+        remaining = list(queue)
+
+        # Start the queue prefix FCFS-style.
+        while remaining and remaining[0].nodes <= free_nodes:
+            job = remaining.pop(0)
+            starts.append(job)
+            free_nodes -= job.nodes
+            running = running + [(now + job.estimate, job.nodes)]
+
+        if not remaining:
+            return starts
+
+        # Head is blocked: compute its shadow time and spare nodes.
+        head = remaining[0]
+        profile = FreeNodeProfile(now, total_nodes, running)
+        shadow = profile.earliest_start(head.nodes, head.estimate)
+        spare = profile.free_at(shadow) - head.nodes
+
+        for job in remaining[1:]:
+            if job.nodes > free_nodes:
+                continue
+            finishes_before_shadow = now + job.estimate <= shadow
+            fits_in_spare = job.nodes <= spare
+            if finishes_before_shadow or fits_in_spare:
+                starts.append(job)
+                free_nodes -= job.nodes
+                if not finishes_before_shadow:
+                    spare -= job.nodes
+        return starts
+
+
+class ConservativeBackfill(SchedulingPolicy):
+    """Every queued job holds a reservation; backfill may not delay any."""
+
+    name = "conservative"
+
+    def select(self, now: float, queue: List[Job], running: RunningView,
+               free_nodes: int, total_nodes: int) -> List[Job]:
+        """Reserve for every queued job; start those whose slot is now."""
+        starts: List[Job] = []
+        profile = FreeNodeProfile(now, total_nodes, running)
+        for job in queue:
+            start = profile.earliest_start(job.nodes, job.estimate)
+            profile.reserve(start, job.estimate, job.nodes)
+            if start <= now:
+                starts.append(job)
+        return starts
+
+
+_POLICIES: Dict[str, Type[SchedulingPolicy]] = {
+    policy.name: policy
+    for policy in (FcfsPolicy, SjfPolicy, EasyBackfill, ConservativeBackfill)
+}
+
+
+def get_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a policy by name; ``KeyError`` lists the options."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None

@@ -1,0 +1,132 @@
+"""Piecewise-constant free-node profile, the engine under backfilling.
+
+The profile answers two questions the backfill policies need:
+
+* ``earliest_start(width, duration)`` — first time a ``width``-node job
+  can run for ``duration`` without hitting a capacity dip;
+* ``reserve(start, duration, width)`` — commit capacity so later queries
+  see it.
+
+Times are absolute; the final segment extends to infinity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+__all__ = ["FreeNodeProfile"]
+
+
+class FreeNodeProfile:
+    """Free node count as a step function of time."""
+
+    def __init__(self, now: float, total_nodes: int,
+                 running: List[Tuple[float, int]]) -> None:
+        """``running`` is ``[(estimated_end_time, nodes), ...]`` for jobs
+        currently holding nodes; ends before ``now`` are treated as ending
+        at ``now`` (an overrun job still holds its nodes)."""
+        if total_nodes < 1:
+            raise ValueError("total_nodes must be >= 1")
+        self.total_nodes = total_nodes
+        in_use = sum(nodes for _end, nodes in running)
+        if in_use > total_nodes:
+            raise ValueError(
+                f"running jobs hold {in_use} > {total_nodes} nodes"
+            )
+        # Build release events.  A job that overran its estimate still
+        # holds its nodes *at* `now`; clamp its release to the instant
+        # strictly after `now` so "start now" queries see the truth while
+        # future queries treat the release as imminent.
+        overrun_release = math.nextafter(now, math.inf)
+        releases = sorted((max(end, overrun_release), nodes)
+                          for end, nodes in running)
+        self._times: List[float] = [now]
+        self._free: List[int] = [total_nodes - in_use]
+        for end, nodes in releases:
+            if end > self._times[-1]:
+                self._times.append(end)
+                self._free.append(self._free[-1] + nodes)
+            else:  # same instant: merge
+                self._free[-1] += nodes
+
+    # -- queries ------------------------------------------------------------
+
+    def free_at(self, time: float) -> int:
+        """Free nodes at an instant (segments are [t_i, t_{i+1}))."""
+        if time < self._times[0]:
+            raise ValueError(f"time {time} precedes profile start")
+        index = 0
+        for i, t in enumerate(self._times):
+            if t <= time:
+                index = i
+            else:
+                break
+        return self._free[index]
+
+    def earliest_start(self, width: int, duration: float) -> float:
+        """First time ``width`` nodes stay free for ``duration``."""
+        if width > self.total_nodes:
+            raise ValueError(
+                f"job wants {width} nodes; machine has {self.total_nodes}"
+            )
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        count = len(self._times)
+        anchor = 0
+        while anchor < count:
+            if self._free[anchor] < width:
+                anchor += 1
+                continue
+            start = self._times[anchor]
+            end = start + duration
+            # Verify every segment overlapping [start, end).
+            violated_at = None
+            for j in range(anchor + 1, count):
+                if self._times[j] >= end:
+                    break
+                if self._free[j] < width:
+                    violated_at = j
+                    break
+            if violated_at is None:
+                return start
+            anchor = violated_at + 1
+        # Only the final (infinite) segment remains; it must have full
+        # capacity free, so any width fits there.
+        return self._times[-1]
+
+    # -- mutation -------------------------------------------------------------
+
+    def reserve(self, start: float, duration: float, width: int) -> None:
+        """Subtract ``width`` nodes over [start, start+duration)."""
+        if duration <= 0 or width < 1:
+            raise ValueError("reserve needs positive duration and width")
+        end = start + duration
+        self._split_at(start)
+        self._split_at(end)
+        for i, t in enumerate(self._times):
+            if start <= t < end:
+                if self._free[i] < width:
+                    raise ValueError(
+                        f"overbooked at t={t}: {self._free[i]} free < {width}"
+                    )
+                self._free[i] -= width
+
+    def _split_at(self, time: float) -> None:
+        """Insert a breakpoint at ``time`` if within the profile span."""
+        if time <= self._times[0]:
+            return
+        for i, t in enumerate(self._times):
+            if t == time:
+                return
+            if t > time:
+                self._times.insert(i, time)
+                self._free.insert(i, self._free[i - 1])
+                return
+        # Beyond the last breakpoint: extend with the final value.
+        self._times.append(time)
+        self._free.append(self._free[-1])
+
+    def segments(self) -> List[Tuple[float, int]]:
+        """Copy of the (time, free) steps, for tests and debugging."""
+        return list(zip(self._times, self._free))

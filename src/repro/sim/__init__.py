@@ -1,0 +1,50 @@
+"""Discrete-event simulation kernel.
+
+A small, SimPy-flavoured engine: *processes* are Python generators that
+``yield`` events; the :class:`~repro.sim.engine.Simulator` advances virtual
+time from one event to the next.  All cluster behaviour in :mod:`repro`
+(message transfers, job execution, failures) happens in virtual time, so
+model latencies in the microsecond range are exact quantities rather than
+wall-clock measurements distorted by interpreter overhead.
+
+Public surface
+--------------
+:class:`Simulator`
+    The event loop: ``now``, :meth:`~repro.sim.engine.Simulator.process`,
+    :meth:`~repro.sim.engine.Simulator.timeout`,
+    :meth:`~repro.sim.engine.Simulator.run`.
+:class:`Event`, :class:`Timeout`, :class:`Process`
+    Awaitable primitives.
+:class:`AllOf`, :class:`AnyOf`
+    Event combinators.
+:class:`Resource`, :class:`Store`
+    Queueing primitives (capacity-limited server, FIFO buffer).
+:class:`RandomStreams`
+    Named, independent, reproducible RNG streams.
+:class:`Interrupt`
+    Exception injected into a process by ``Process.interrupt``.
+"""
+
+from repro.sim.event import AllOf, AnyOf, Event, EventStatus, Timeout
+from repro.sim.engine import Interrupt, Process, SimulationError, Simulator
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import NullTracer, RecordingTracer, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "EventStatus",
+    "Interrupt",
+    "NullTracer",
+    "Process",
+    "RandomStreams",
+    "RecordingTracer",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+]

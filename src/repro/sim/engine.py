@@ -1,0 +1,294 @@
+"""The event loop and process machinery.
+
+:class:`Simulator` owns a binary-heap event queue keyed by
+``(time, priority, sequence)``.  The ``sequence`` tiebreaker makes execution
+fully deterministic: two events scheduled for the same instant are delivered
+in scheduling order, so repeated runs with the same seeds produce identical
+traces — a property the test suite checks.
+
+Processes are plain generators.  Each ``yield`` hands the engine an
+:class:`~repro.sim.event.Event`; the engine resumes the generator with the
+event's value (or throws the event's exception into it) when it fires::
+
+    def worker(sim):
+        yield sim.timeout(1.5)          # sleep in virtual time
+        done = sim.event()
+        ...
+        value = yield done              # wait for someone to succeed(done)
+
+    sim = Simulator()
+    sim.process(worker(sim))
+    sim.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from repro.sim.event import Event, EventStatus, Timeout
+from repro.sim.trace import NullTracer, Tracer
+
+__all__ = ["Simulator", "Process", "Interrupt", "SimulationError"]
+
+#: Priority band for ordinary events.  Interrupts use URGENT so that a
+#: process interrupted at time *t* sees the interrupt before any regular
+#: event also due at *t*.
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for engine-level protocol violations (e.g. unhandled failure)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries arbitrary context (for fault injection it is the
+    failure record).
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """A running generator, awaitable like any other event.
+
+    The process event succeeds with the generator's return value when it
+    finishes, or fails with the exception that escaped it.  Waiting on a
+    process therefore composes: a parent can ``yield child_process``.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "_abandoned")
+
+    def __init__(self, sim: "Simulator",
+                 generator: Generator[Event, Any, Any],
+                 name: str = "") -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim, name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._abandoned: List[Event] = []
+        # Kick off the generator via an immediately-succeeding event.
+        bootstrap = Event(sim, f"init:{self.name}")
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        Interrupting a finished process is an error; interrupting a process
+        twice before it runs again delivers both interrupts in order.
+        """
+        if self.triggered:
+            raise RuntimeError(f"cannot interrupt finished {self!r}")
+        interrupt_event = Event(self.sim, f"interrupt:{self.name}")
+        interrupt_event.defused = True
+        interrupt_event.add_callback(self._resume_with_interrupt)
+        interrupt_event._status = EventStatus.FAILED
+        interrupt_event._value = Interrupt(cause)
+        self.sim._schedule_event(interrupt_event, 0.0, priority=URGENT)
+
+    # -- engine plumbing -------------------------------------------------
+
+    def _resume_with_interrupt(self, event: Event) -> None:
+        if self.triggered:
+            # The process finished between the interrupt being scheduled and
+            # delivered; interrupting a corpse is a silent no-op at this
+            # point (the caller's interrupt() already raced legitimately).
+            return
+        # Detach from whatever we were waiting on: when that event later
+        # fires, _resume must ignore it (we already moved on).
+        if self._waiting_on is not None:
+            self._abandoned.append(self._waiting_on)
+            self._waiting_on = None
+        self._step(event)
+
+    def _resume(self, event: Event) -> None:
+        if event in self._abandoned:
+            # Stale wakeup from an event we abandoned after an interrupt.
+            self._abandoned.remove(event)
+            if not event.ok:
+                event.defused = True
+            return
+        if self.triggered:
+            if not event.ok:
+                event.defused = True
+            return
+        self._waiting_on = None
+        self._step(event)
+
+    def _step(self, event: Event) -> None:
+        sim = self.sim
+        sim._active_process = self
+        try:
+            if event.ok:
+                target = self.generator.send(event._value)
+            else:
+                event.defused = True
+                target = self.generator.throw(event._value)
+        except StopIteration as stop:
+            sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            sim._active_process = None
+            self.fail(exc)
+            return
+        sim._active_process = None
+        if not isinstance(target, Event):
+            message = (
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances (use sim.timeout/sim.event)"
+            )
+            self.generator.close()
+            self.fail(SimulationError(message))
+            return
+        if target.sim is not sim:
+            self.generator.close()
+            self.fail(SimulationError("yielded event belongs to another simulator"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Simulator:
+    """Deterministic discrete-event loop.
+
+    Parameters
+    ----------
+    tracer:
+        Optional :class:`~repro.sim.trace.Tracer`; defaults to the no-op
+        tracer so hot paths stay cheap.
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+        self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+        self._event_count = 0
+
+    # -- time ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any (for diagnostics)."""
+        return self._active_process
+
+    @property
+    def events_executed(self) -> int:
+        """Total events delivered so far (a cheap progress metric)."""
+        return self._event_count
+
+    # -- factories -------------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event owned by this simulator."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that succeeds ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: str = "") -> Process:
+        """Register a generator as a process starting at the current time."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """An event that succeeds when every given event has succeeded."""
+        from repro.sim.event import AllOf
+
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """An event that fires with the first of the given events."""
+        from repro.sim.event import AnyOf
+
+        return AnyOf(self, list(events))
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule_event(self, event: Event, delay: float = 0.0,
+                        priority: int = NORMAL) -> None:
+        self._sequence += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._sequence, event)
+        )
+
+    # -- running ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Deliver the single next event, advancing virtual time to it."""
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        self._event_count += 1
+        self.tracer.record(when, event)
+        event._deliver()
+        if event._status is EventStatus.FAILED and not event.defused:
+            # A failure nobody waited on: surface it rather than lose it.
+            raise SimulationError(
+                f"unhandled failure in {event!r}"
+            ) from event._value
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run until the queue empties, ``until`` is reached, or
+        ``max_events`` more events have been delivered.
+
+        Returns the final virtual time.  When stopping on ``until``, the
+        clock is advanced exactly to ``until`` (events due later stay
+        queued), matching the convention measurement code expects.
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until} is in the past (now={self._now})")
+        delivered = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return self._now
+            if max_events is not None and delivered >= max_events:
+                return self._now
+            self.step()
+            delivered += 1
+        if until is not None:
+            self._now = until
+        return self._now
+
+    def run_process(self, generator: Generator[Event, Any, Any],
+                    name: str = "") -> Any:
+        """Convenience: spawn ``generator``, run to completion, return its
+        result (re-raising the exception if it failed)."""
+        proc = self.process(generator, name)
+        proc.defused = True  # we re-raise below; step() must not also raise
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} deadlocked: event queue drained while "
+                "it was still waiting"
+            )
+        if not proc.ok:
+            raise proc.value
+        return proc.value

@@ -1,0 +1,256 @@
+"""Events: the things simulation processes wait on.
+
+An :class:`Event` starts *pending*, is *triggered* exactly once (either
+succeeding with a value or failing with an exception), and then notifies
+every registered callback.  Processes register themselves as callbacks when
+they ``yield`` an event; the engine resumes them when it fires.
+
+Events deliberately mirror the SimPy contract (``succeed`` / ``fail`` /
+``triggered`` / ``value``) so that readers familiar with that library can
+navigate the codebase, but the implementation here is independent and much
+smaller.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.engine import Simulator
+
+__all__ = ["Event", "EventStatus", "Timeout", "AllOf", "AnyOf"]
+
+
+class EventStatus(enum.Enum):
+    """Lifecycle of an event."""
+
+    PENDING = "pending"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.  Triggering schedules callback delivery as an
+        immediate (zero-delay) occurrence on its event queue, which keeps
+        callback ordering deterministic.
+    name:
+        Optional label used in traces and ``repr``.
+    """
+
+    __slots__ = ("sim", "name", "_status", "_value", "_callbacks", "defused")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._status = EventStatus.PENDING
+        self._value: Any = None
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+        #: A failed event whose exception was never observed by any process
+        #: is re-raised by the engine unless ``defused`` is set.  Mirrors
+        #: SimPy semantics and catches silently-dropped failures in tests.
+        self.defused = False
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def status(self) -> EventStatus:
+        return self._status
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has succeeded or failed."""
+        return self._status is not EventStatus.PENDING
+
+    @property
+    def ok(self) -> bool:
+        """True iff the event succeeded."""
+        return self._status is EventStatus.SUCCEEDED
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception; raises while pending."""
+        if self._status is EventStatus.PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        self._trigger(EventStatus.SUCCEEDED, value)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters receive ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._trigger(EventStatus.FAILED, exception)
+        return self
+
+    def _trigger(self, status: EventStatus, value: Any) -> None:
+        if self._status is not EventStatus.PENDING:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._status = status
+        self._value = value
+        self.sim._schedule_event(self)
+
+    def _deliver(self) -> None:
+        """Run callbacks; invoked by the engine when this event is popped."""
+        callbacks, self._callbacks = self._callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+
+    # -- waiting ---------------------------------------------------------
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)``.
+
+        If the event has already been delivered, the callback is scheduled
+        as an immediate occurrence on the event queue (late waiters must not
+        block forever) — via the queue rather than synchronously, so chains
+        of already-triggered yields cannot blow the Python stack.
+        """
+        if self._callbacks is None:
+            _Soon(self.sim, self, callback)
+        else:
+            self._callbacks.append(callback)
+
+    # -- combinator sugar --------------------------------------------------
+
+    def __and__(self, other: "Event") -> "Event":
+        """``a & b`` waits for both (an :class:`AllOf` of the two)."""
+        if not isinstance(other, Event):
+            return NotImplemented
+        return AllOf(self.sim, [self, other])
+
+    def __or__(self, other: "Event") -> "Event":
+        """``a | b`` waits for whichever fires first (an :class:`AnyOf`)."""
+        if not isinstance(other, Event):
+            return NotImplemented
+        return AnyOf(self.sim, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or hex(id(self))
+        return f"<{type(self).__name__} {label} {self._status.value}>"
+
+
+class _Soon(Event):
+    """Internal: deliver one late-registered callback via the event queue."""
+
+    __slots__ = ("_target", "_late_callback")
+
+    def __init__(self, sim: "Simulator", target: Event,
+                 callback: Callable[[Event], None]) -> None:
+        super().__init__(sim, "soon")
+        self._target = target
+        self._late_callback = callback
+        self._status = target._status
+        self._value = target._value
+        self.defused = True  # the original event's failure was already handled
+        sim._schedule_event(self)
+
+    def _deliver(self) -> None:
+        self._callbacks = None
+        self._late_callback(self._target)
+
+
+class Timeout(Event):
+    """An event that succeeds after a fixed virtual-time delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None,
+                 name: str = "") -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name or f"timeout({delay:g})")
+        self.delay = delay
+        # Bypass succeed(): schedule the trigger directly at now+delay.
+        self._status = EventStatus.SUCCEEDED
+        self._value = value
+        sim._schedule_event(self, delay)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf combinators."""
+
+    __slots__ = ("events", "_pending_count")
+
+    def __init__(self, sim: "Simulator", events: Sequence[Event],
+                 name: str) -> None:
+        super().__init__(sim, name)
+        self.events = list(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise ValueError("cannot combine events from different simulators")
+        self._pending_count = len(self.events)
+        if not self.events:
+            self.succeed(self._result())
+        else:
+            for event in self.events:
+                event.add_callback(self._on_child)
+
+    def _result(self) -> List[Any]:
+        return [e._value for e in self.events if e.triggered]
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Succeeds when *every* child event has succeeded.
+
+    Fails as soon as any child fails (remaining children are left to run;
+    their failures are defused so the engine does not crash).
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Sequence[Event]) -> None:
+        super().__init__(sim, events, f"allof[{len(events)}]")
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            event.defused = True
+            return
+        if not event.ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._pending_count -= 1
+        if self._pending_count == 0:
+            self.succeed([e._value for e in self.events])
+
+
+class AnyOf(_Condition):
+    """Succeeds (or fails) with the first child event that triggers.
+
+    The value delivered is ``(index, value)`` of the winning child so a
+    waiter can tell which event fired.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Sequence[Event]) -> None:
+        if not events:
+            raise ValueError("AnyOf requires at least one event")
+        super().__init__(sim, events, f"anyof[{len(events)}]")
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                event.defused = True
+            return
+        index = self.events.index(event)
+        if event.ok:
+            self.succeed((index, event._value))
+        else:
+            event.defused = True
+            self.fail(event._value)

@@ -1,0 +1,73 @@
+"""Simulation tracing.
+
+Tracers observe every delivered event.  The default :class:`NullTracer`
+costs one attribute lookup per event; :class:`RecordingTracer` accumulates
+:class:`TraceRecord` rows for debugging and for tests that assert on event
+ordering determinism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.event import Event
+
+__all__ = ["Tracer", "NullTracer", "RecordingTracer", "TraceRecord"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One delivered event: when, what kind, its label, and outcome."""
+
+    time: float
+    kind: str
+    name: str
+    status: str
+
+
+class Tracer:
+    """Interface: receives each event at delivery time."""
+
+    def record(self, time: float, event: "Event") -> None:
+        raise NotImplementedError
+
+
+class NullTracer(Tracer):
+    """Discards everything (the default)."""
+
+    def record(self, time: float, event: "Event") -> None:
+        """Discard the event."""
+
+
+class RecordingTracer(Tracer):
+    """Keeps an in-memory list of :class:`TraceRecord` rows.
+
+    Parameters
+    ----------
+    limit:
+        Stop recording (silently) after this many rows so a runaway
+        simulation cannot exhaust memory through its own trace.
+    """
+
+    def __init__(self, limit: int = 1_000_000) -> None:
+        self.records: List[TraceRecord] = []
+        self.limit = limit
+
+    def record(self, time: float, event: "Event") -> None:
+        """Append a TraceRecord for the delivered event (up to limit)."""
+        if len(self.records) >= self.limit:
+            return
+        self.records.append(
+            TraceRecord(
+                time=time,
+                kind=type(event).__name__,
+                name=event.name,
+                status=event.status.value,
+            )
+        )
+
+    def names(self) -> List[str]:
+        """Event labels in delivery order (convenient for assertions)."""
+        return [r.name for r in self.records]

@@ -1,0 +1,45 @@
+"""Technology projection models.
+
+Sterling's keynote promises to "examine current projections of device
+technology to anticipate the performance, capacity, power, size, and cost
+curves of future commodity clusters".  This package is that examination as
+code: exponential/piecewise projection primitives, a 2002-anchored commodity
+technology roadmap (ITRS-2001-flavoured constants), and named growth
+scenarios.
+
+Public surface
+--------------
+:class:`ExponentialProjection`, :class:`PiecewiseProjection`
+    Projection primitives with forward evaluation and target-crossing
+    inversion.
+:class:`TechnologyRoadmap`
+    A bundle of named projections for every quantity the models consume.
+:data:`SCENARIOS` / :func:`get_scenario`
+    ``conservative`` / ``nominal`` / ``aggressive`` roadmaps.
+:func:`technology_curve`
+    Tabulate any roadmap quantity over a span of years.
+"""
+
+from repro.tech.projection import ExponentialProjection, PiecewiseProjection, Projection
+from repro.tech.roadmap import (
+    BASE_YEAR,
+    SCENARIOS,
+    TechnologyRoadmap,
+    get_scenario,
+    nominal_roadmap,
+)
+from repro.tech.curves import CurvePoint, technology_curve, curve_table
+
+__all__ = [
+    "BASE_YEAR",
+    "CurvePoint",
+    "ExponentialProjection",
+    "PiecewiseProjection",
+    "Projection",
+    "SCENARIOS",
+    "TechnologyRoadmap",
+    "curve_table",
+    "get_scenario",
+    "nominal_roadmap",
+    "technology_curve",
+]

@@ -1,0 +1,224 @@
+"""Projection primitives: how a technology quantity evolves over years.
+
+Two shapes cover everything the roadmap needs:
+
+* :class:`ExponentialProjection` — constant compound annual growth (or
+  decline, for costs and latencies).  This is "Moore's Law" in its general
+  form.
+* :class:`PiecewiseProjection` — a chain of exponential segments, used for
+  quantities whose growth rate changes (e.g. clock frequency flattening, or
+  a conservative scenario where density gains slow late in the decade).
+
+Both support forward evaluation (vectorised over numpy arrays of years) and
+inversion: *when does the quantity cross a target value?* — the primitive
+behind every "year of the first commodity petaflops" style question.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Projection", "ExponentialProjection", "PiecewiseProjection"]
+
+YearLike = Union[float, np.ndarray]
+
+
+class Projection:
+    """Interface for a scalar quantity as a function of calendar year."""
+
+    def value(self, year: YearLike) -> YearLike:
+        """Quantity at ``year`` (fractional years allowed)."""
+        raise NotImplementedError
+
+    def year_reaching(self, target: float) -> float:
+        """First (fractional) year at which the quantity reaches ``target``.
+
+        Raises :class:`ValueError` if the projection never reaches it.
+        """
+        raise NotImplementedError
+
+    def __call__(self, year: YearLike) -> YearLike:
+        return self.value(year)
+
+
+class ExponentialProjection(Projection):
+    """``value(year) = base_value * (1 + cagr) ** (year - base_year)``.
+
+    Parameters
+    ----------
+    base_year, base_value:
+        The anchor operating point (e.g. 2002, 9.6 GFLOPS).
+    cagr:
+        Compound annual growth rate, fractional.  Negative values model
+        improving costs/latencies (e.g. ``-0.35`` for $/GFLOPS falling 35 %
+        a year).  Must be > -1.
+    """
+
+    def __init__(self, base_year: float, base_value: float, cagr: float) -> None:
+        if base_value <= 0:
+            raise ValueError(f"base_value must be positive, got {base_value}")
+        if cagr <= -1.0:
+            raise ValueError(f"cagr must exceed -100%, got {cagr}")
+        self.base_year = float(base_year)
+        self.base_value = float(base_value)
+        self.cagr = float(cagr)
+
+    @classmethod
+    def from_doubling_time(cls, base_year: float, base_value: float,
+                           years_to_double: float) -> "ExponentialProjection":
+        """Anchor + doubling period, e.g. the classic 18-month Moore cadence
+        is ``years_to_double=1.5``."""
+        if years_to_double <= 0:
+            raise ValueError("doubling time must be positive")
+        return cls(base_year, base_value, 2.0 ** (1.0 / years_to_double) - 1.0)
+
+    @classmethod
+    def fit(cls, points: Sequence[Tuple[float, float]]
+            ) -> "ExponentialProjection":
+        """Least-squares exponential through observed ``(year, value)``
+        points (log-linear regression) — how the roadmap's growth rates
+        would be calibrated from real data, e.g. the Top500 record."""
+        if len(points) < 2:
+            raise ValueError("need at least two points to fit")
+        years = np.array([p[0] for p in points], dtype=float)
+        values = np.array([p[1] for p in points], dtype=float)
+        if np.any(values <= 0):
+            raise ValueError("values must be positive to fit an exponential")
+        slope, intercept = np.polyfit(years, np.log(values), 1)
+        base_year = float(years[0])
+        base_value = float(np.exp(intercept + slope * base_year))
+        return cls(base_year, base_value, float(np.expm1(slope)))
+
+    @classmethod
+    def through_points(cls, year_a: float, value_a: float,
+                       year_b: float, value_b: float) -> "ExponentialProjection":
+        """Fit the unique exponential through two observed operating points."""
+        if year_b == year_a:
+            raise ValueError("points must be at distinct years")
+        if value_a <= 0 or value_b <= 0:
+            raise ValueError("values must be positive")
+        cagr = (value_b / value_a) ** (1.0 / (year_b - year_a)) - 1.0
+        return cls(year_a, value_a, cagr)
+
+    def value(self, year: YearLike) -> YearLike:
+        """Quantity at ``year`` (scalar or numpy array of years)."""
+        years = np.asarray(year, dtype=float) - self.base_year
+        result = self.base_value * np.power(1.0 + self.cagr, years)
+        if np.isscalar(year) or getattr(year, "ndim", 1) == 0:
+            return float(result)
+        return result
+
+    def year_reaching(self, target: float) -> float:
+        """Year at which the exponential crosses ``target``."""
+        if target <= 0:
+            raise ValueError("target must be positive")
+        if target == self.base_value:
+            return self.base_year
+        if self.cagr == 0:
+            raise ValueError("flat projection never reaches a different target")
+        exponent = math.log(target / self.base_value) / math.log1p(self.cagr)
+        # A growing projection only reaches larger targets going forward and
+        # a shrinking one only smaller; in both cases the formula already
+        # yields the correct (possibly past) year.
+        return self.base_year + exponent
+
+    def doubling_time(self) -> float:
+        """Years per doubling (or per halving, for negative growth)."""
+        if self.cagr == 0:
+            return math.inf
+        return abs(math.log(2.0) / math.log1p(self.cagr))
+
+    def scaled(self, factor: float) -> "ExponentialProjection":
+        """Same growth law with the anchor value multiplied by ``factor``.
+
+        Used to derive per-architecture variants from a common roadmap
+        (e.g. a blade node at 0.8x the compute of a fat node).
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return ExponentialProjection(self.base_year, self.base_value * factor,
+                                     self.cagr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ExponentialProjection({self.base_year:g}, "
+                f"{self.base_value:.4g}, cagr={self.cagr:+.3f})")
+
+
+class PiecewiseProjection(Projection):
+    """A chain of exponential segments over contiguous year intervals.
+
+    ``breakpoints`` are the years where the growth rate changes; segment
+    ``i`` applies from ``breakpoints[i]`` (inclusive) to ``breakpoints[i+1]``.
+    The value is continuous across breakpoints by construction: each segment
+    is re-anchored to the previous segment's endpoint value.
+    """
+
+    def __init__(self, base_year: float, base_value: float,
+                 segments: Sequence[Tuple[float, float]]) -> None:
+        """``segments`` is a list of ``(until_year, cagr)`` pairs; the last
+        ``until_year`` may be ``math.inf``."""
+        if not segments:
+            raise ValueError("need at least one segment")
+        self.base_year = float(base_year)
+        self.base_value = float(base_value)
+        self._pieces: List[ExponentialProjection] = []
+        self._ends: List[float] = []
+        anchor_year, anchor_value = self.base_year, self.base_value
+        previous_end = self.base_year
+        for until_year, cagr in segments:
+            if until_year <= previous_end:
+                raise ValueError("segment end years must strictly increase")
+            piece = ExponentialProjection(anchor_year, anchor_value, cagr)
+            self._pieces.append(piece)
+            self._ends.append(float(until_year))
+            if math.isfinite(until_year):
+                anchor_value = piece.value(until_year)
+                anchor_year = until_year
+            previous_end = until_year
+
+    def _piece_for(self, year: float) -> ExponentialProjection:
+        for piece, end in zip(self._pieces, self._ends):
+            if year <= end:
+                return piece
+        return self._pieces[-1]
+
+    def value(self, year: YearLike) -> YearLike:
+        """Quantity at ``year``, segment-aware (arrays supported)."""
+        if np.isscalar(year) or getattr(year, "ndim", 1) == 0:
+            y = float(year)
+            if y < self.base_year:
+                # Extrapolate backwards with the first segment's law.
+                return float(self._pieces[0].value(y))
+            return float(self._piece_for(y).value(y))
+        years = np.asarray(year, dtype=float)
+        return np.array([self.value(float(y)) for y in years])
+
+    def year_reaching(self, target: float) -> float:
+        """First year any segment crosses ``target`` (ValueError if none)."""
+        if target <= 0:
+            raise ValueError("target must be positive")
+        start = self.base_year
+        for piece, end in zip(self._pieces, self._ends):
+            value_at_start = piece.value(start)
+            value_at_end = piece.value(end) if math.isfinite(end) else None
+            crossed = (
+                (value_at_start <= target and
+                 (value_at_end is None or value_at_end >= target) and piece.cagr > 0)
+                or
+                (value_at_start >= target and
+                 (value_at_end is None or value_at_end <= target) and piece.cagr < 0)
+                or value_at_start == target
+            )
+            if crossed:
+                year = piece.year_reaching(target)
+                if year >= start - 1e-9 and (not math.isfinite(end) or year <= end + 1e-9):
+                    return year
+            start = end
+        raise ValueError(f"projection never reaches {target!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PiecewiseProjection({self.base_year:g}, {self.base_value:.4g},"
+                f" {len(self._pieces)} segments)")

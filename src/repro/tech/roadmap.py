@@ -1,0 +1,213 @@
+"""The 2002-anchored commodity technology roadmap.
+
+Anchor operating points describe a typical Beowulf-class node as purchasable
+in September 2002 (when the keynote was delivered): a dual-socket Pentium 4
+Xeon box at ~2.4 GHz with SSE2 (2 DP flops/clock/socket), 2 GB of DDR
+SDRAM, and Fast/Gigabit Ethernet or an early high-speed interconnect.
+
+Growth rates are the "current projections of device technology" the talk
+refers to: the ITRS-2001 cadence for logic and DRAM, historical Top500
+growth for system-level peak, and published trend lines for disk, network,
+and cost quantities.  They parameterise three named scenarios:
+
+``conservative``
+    Moore doubling every 24 months, density/network gains slow after 2007.
+``nominal``
+    The classic 18-month doubling everywhere it historically applied.
+``aggressive``
+    12-month doubling plus faster interconnect/packaging gains — the
+    "revolutionary structures" upside the talk argues for.
+
+All quantities are **per node** unless the name says otherwise, in base
+units (FLOPS, bytes, watts, dollars, seconds, rack-units).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.tech.projection import ExponentialProjection, PiecewiseProjection, Projection
+
+__all__ = [
+    "BASE_YEAR",
+    "TechnologyRoadmap",
+    "SCENARIOS",
+    "get_scenario",
+    "nominal_roadmap",
+]
+
+#: Anchor year for every projection: the keynote's "now".
+BASE_YEAR = 2002.75  # September 2002
+
+#: 2002 commodity-node anchor values (dual 2.4 GHz Xeon class).
+ANCHORS_2002: Dict[str, float] = {
+    # 2 sockets x 2.4e9 Hz x 2 DP flops/clock (SSE2).
+    "node_peak_flops": 9.6e9,
+    # 2 GB DDR per node was the workhorse configuration.
+    "node_memory_bytes": 2.0 * 2**30,
+    # ~2 GB/s per-node memory bandwidth (PC2100 DDR, dual channel).
+    "node_memory_bandwidth": 2.1e9,
+    # Whole-node draw under load, including disk and fans.
+    "node_power_watts": 250.0,
+    # Street price of a dual-Xeon compute node.
+    "node_cost_dollars": 3000.0,
+    # 1U pizza-box form factor.
+    "node_size_rack_units": 1.0,
+    # 80 GB commodity IDE disk.
+    "node_disk_bytes": 80e9,
+    # Commodity cluster network: GigE-class data rate (bytes/s) ...
+    "link_bandwidth_bytes": 125e6,
+    # ... and its MPI-level short-message latency.
+    "link_latency_seconds": 60e-6,
+}
+
+#: Nominal compound annual growth rates ("current projections").
+NOMINAL_CAGR: Dict[str, float] = {
+    "node_peak_flops": 2.0 ** (1 / 1.5) - 1.0,     # 18-month doubling
+    "node_memory_bytes": 2.0 ** (1 / 2.0) - 1.0,   # DRAM: 24-month doubling
+    "node_memory_bandwidth": 0.26,                  # lags logic badly (the wall)
+    "node_power_watts": 0.05,                       # creeping up per node
+    "node_cost_dollars": 0.0,                       # constant dollars per node
+    "node_size_rack_units": -0.15,                  # densification (blades)
+    "node_disk_bytes": 2.0 ** (1 / 1.0) - 1.0,     # disk areal density boom
+    "link_bandwidth_bytes": 2.0 ** (1 / 1.5) - 1.0,
+    "link_latency_seconds": -0.30,                  # latency improves slowly
+}
+
+
+@dataclass(frozen=True)
+class TechnologyRoadmap:
+    """A named bundle of projections, one per roadmap quantity.
+
+    Derived quantities (``dollars_per_flops``, ``watts_per_flops``,
+    ``flops_per_rack_unit``) are computed from the primaries so the bundle
+    can never be internally inconsistent.
+    """
+
+    name: str
+    projections: Mapping[str, Projection] = field(repr=False)
+
+    QUANTITIES = tuple(ANCHORS_2002)
+
+    def __post_init__(self) -> None:
+        missing = set(self.QUANTITIES) - set(self.projections)
+        if missing:
+            raise ValueError(f"roadmap {self.name!r} missing projections: "
+                             f"{sorted(missing)}")
+
+    def quantity(self, name: str) -> Projection:
+        """The projection for a primary quantity."""
+        try:
+            return self.projections[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown roadmap quantity {name!r}; primaries are "
+                f"{sorted(self.QUANTITIES)}"
+            ) from None
+
+    def value(self, name: str, year: float) -> float:
+        """Primary quantity value at ``year``."""
+        return float(self.quantity(name).value(year))
+
+    # -- derived curves ----------------------------------------------------
+
+    def dollars_per_flops(self, year: float) -> float:
+        """Node cost divided by node peak — the price/performance curve."""
+        return self.value("node_cost_dollars", year) / self.value(
+            "node_peak_flops", year)
+
+    def watts_per_flops(self, year: float) -> float:
+        """Power efficiency curve (W per peak FLOPS)."""
+        return self.value("node_power_watts", year) / self.value(
+            "node_peak_flops", year)
+
+    def flops_per_rack_unit(self, year: float) -> float:
+        """Packaging density curve (peak FLOPS per rack unit)."""
+        return self.value("node_peak_flops", year) / self.value(
+            "node_size_rack_units", year)
+
+    def bytes_per_flops(self, year: float) -> float:
+        """Memory balance (bytes of DRAM per peak FLOPS)."""
+        return self.value("node_memory_bytes", year) / self.value(
+            "node_peak_flops", year)
+
+    def year_of_cluster_peak(self, target_flops: float,
+                             node_count: int) -> float:
+        """First year an ``node_count``-node cluster's peak reaches
+        ``target_flops``."""
+        if node_count < 1:
+            raise ValueError("node_count must be >= 1")
+        return self.quantity("node_peak_flops").year_reaching(
+            target_flops / node_count)
+
+    def affordable_nodes(self, budget_dollars: float, year: float,
+                         node_cost_overhead: float = 1.25) -> int:
+        """How many nodes ``budget_dollars`` buys at ``year``.
+
+        ``node_cost_overhead`` accounts for the non-node share of a cluster
+        purchase (network, racks, storage, integration) as a multiplier on
+        node cost; 1.25 reflects the rule-of-thumb 20 % network share of a
+        Beowulf budget.
+        """
+        if budget_dollars <= 0:
+            raise ValueError("budget must be positive")
+        per_node = self.value("node_cost_dollars", year) * node_cost_overhead
+        return int(budget_dollars // per_node)
+
+
+def _roadmap_from_rates(name: str, cagr: Mapping[str, float]) -> TechnologyRoadmap:
+    projections: Dict[str, Projection] = {
+        quantity: ExponentialProjection(BASE_YEAR, ANCHORS_2002[quantity],
+                                        cagr[quantity])
+        for quantity in ANCHORS_2002
+    }
+    return TechnologyRoadmap(name=name, projections=projections)
+
+
+def _conservative_roadmap() -> TechnologyRoadmap:
+    rates = dict(NOMINAL_CAGR)
+    rates["node_peak_flops"] = 2.0 ** (1 / 2.0) - 1.0   # 24-month doubling
+    rates["node_disk_bytes"] = 2.0 ** (1 / 1.5) - 1.0
+    rates["link_bandwidth_bytes"] = 2.0 ** (1 / 2.0) - 1.0
+    rates["link_latency_seconds"] = -0.20
+    roadmap = _roadmap_from_rates("conservative", rates)
+    # Density gains stall after 2007 in the conservative outlook.
+    projections = dict(roadmap.projections)
+    projections["node_size_rack_units"] = PiecewiseProjection(
+        BASE_YEAR, ANCHORS_2002["node_size_rack_units"],
+        segments=[(2007.0, -0.15), (math.inf, 0.0)],
+    )
+    return TechnologyRoadmap("conservative", projections)
+
+
+def _aggressive_roadmap() -> TechnologyRoadmap:
+    rates = dict(NOMINAL_CAGR)
+    rates["node_peak_flops"] = 1.0                       # 12-month doubling
+    rates["node_size_rack_units"] = -0.25                # blades + SoC win
+    rates["link_bandwidth_bytes"] = 1.0                  # IB 4x -> 12x -> optical
+    rates["link_latency_seconds"] = -0.40
+    return _roadmap_from_rates("aggressive", rates)
+
+
+def nominal_roadmap() -> TechnologyRoadmap:
+    """The 18-month-doubling baseline roadmap."""
+    return _roadmap_from_rates("nominal", NOMINAL_CAGR)
+
+
+SCENARIOS: Dict[str, TechnologyRoadmap] = {
+    "conservative": _conservative_roadmap(),
+    "nominal": nominal_roadmap(),
+    "aggressive": _aggressive_roadmap(),
+}
+
+
+def get_scenario(name: str) -> TechnologyRoadmap:
+    """Look up a named scenario roadmap (KeyError lists the options)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None

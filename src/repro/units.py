@@ -1,0 +1,256 @@
+"""Unit helpers for the quantities the cluster-futures models trade in.
+
+Everything in :mod:`repro` is stored internally in *base SI-ish* units:
+
+* compute rate   — FLOPS (floating point operations per second)
+* capacity       — bytes
+* time           — seconds
+* power          — watts
+* money          — US dollars (nominal, no inflation adjustment)
+* area           — square metres
+
+These helpers exist so model code and reports never juggle magic
+``1e9``-style constants: parse human strings (``"4.5 GFLOPS"``,
+``"512 MB"``), scale values, and format them back for tables.
+
+The module is dependency-free (stdlib only) so every layer may import it.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Tuple
+
+__all__ = [
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "TERA",
+    "PETA",
+    "EXA",
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "parse_flops",
+    "parse_bytes",
+    "parse_time",
+    "format_flops",
+    "format_bytes",
+    "format_time",
+    "format_power",
+    "format_dollars",
+    "format_si",
+    "doubling_time_from_cagr",
+    "cagr_from_doubling_time",
+    "UnitError",
+]
+
+# Decimal (SI) prefixes — used for rates (FLOPS, bit/s) and money.
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+PETA = 1e15
+EXA = 1e18
+
+# Binary prefixes — used for memory capacities when exactness matters.
+KIB = 2**10
+MIB = 2**20
+GIB = 2**30
+TIB = 2**40
+
+_SI_PREFIXES: Dict[str, float] = {
+    "": 1.0,
+    "k": KILO,
+    "K": KILO,
+    "M": MEGA,
+    "G": GIGA,
+    "T": TERA,
+    "P": PETA,
+    "E": EXA,
+}
+
+_BINARY_PREFIXES: Dict[str, float] = {
+    "Ki": KIB,
+    "Mi": MIB,
+    "Gi": GIB,
+    "Ti": TIB,
+}
+
+_TIME_SUFFIXES: Dict[str, float] = {
+    "ns": 1e-9,
+    "us": 1e-6,
+    "µs": 1e-6,
+    "ms": 1e-3,
+    "s": 1.0,
+    "min": 60.0,
+    "m": 60.0,
+    "h": 3600.0,
+    "hr": 3600.0,
+    "d": 86400.0,
+    "day": 86400.0,
+    "days": 86400.0,
+    "y": 365.25 * 86400.0,
+    "yr": 365.25 * 86400.0,
+}
+
+
+class UnitError(ValueError):
+    """Raised when a quantity string cannot be parsed."""
+
+
+_NUMBER_RE = re.compile(
+    r"^\s*([-+]?\d+(?:\.\d*)?(?:[eE][-+]?\d+)?)\s*([A-Za-zµ/]*)\s*$"
+)
+
+
+def _split(text: str) -> Tuple[float, str]:
+    """Split ``"12.5 GFLOPS"`` into ``(12.5, "GFLOPS")``."""
+    match = _NUMBER_RE.match(text)
+    if match is None:
+        raise UnitError(f"cannot parse quantity: {text!r}")
+    return float(match.group(1)), match.group(2)
+
+
+def parse_flops(text: str) -> float:
+    """Parse a compute rate like ``"2 GFLOPS"`` or ``"1.5 Tflops"`` to FLOPS.
+
+    A bare number (``"3e9"``) is taken to already be in FLOPS.
+    """
+    value, unit = _split(text)
+    if unit == "":
+        return value
+    lowered = unit.lower()
+    if not lowered.endswith(("flops", "flop/s")):
+        raise UnitError(f"not a FLOPS quantity: {text!r}")
+    prefix = unit[: len(unit) - (6 if lowered.endswith("flop/s") else 5)]
+    try:
+        return value * _SI_PREFIXES[prefix]
+    except KeyError:
+        raise UnitError(f"unknown FLOPS prefix {prefix!r} in {text!r}") from None
+
+
+def parse_bytes(text: str) -> float:
+    """Parse a capacity like ``"512 MB"``, ``"16 GiB"`` or ``"2TB"`` to bytes.
+
+    Decimal prefixes (``MB``) are powers of ten; binary prefixes (``MiB``)
+    are powers of two, matching universal storage-industry practice.
+    """
+    value, unit = _split(text)
+    if unit == "":
+        return value
+    if not unit.endswith("B"):
+        raise UnitError(f"not a byte quantity: {text!r}")
+    prefix = unit[:-1]
+    if prefix in _BINARY_PREFIXES:
+        return value * _BINARY_PREFIXES[prefix]
+    try:
+        return value * _SI_PREFIXES[prefix]
+    except KeyError:
+        raise UnitError(f"unknown byte prefix {prefix!r} in {text!r}") from None
+
+
+def parse_time(text: str) -> float:
+    """Parse a duration like ``"5 us"``, ``"1.5 h"`` or ``"30"`` to seconds."""
+    value, unit = _split(text)
+    if unit == "":
+        return value
+    try:
+        return value * _TIME_SUFFIXES[unit]
+    except KeyError:
+        raise UnitError(f"unknown time suffix {unit!r} in {text!r}") from None
+
+
+def format_si(value: float, unit: str, precision: int = 3) -> str:
+    """Format ``value`` with the best decimal prefix, e.g. ``format_si(2.5e9,
+    "FLOPS")`` -> ``"2.5 GFLOPS"``.
+
+    Values below 1 fall back to scientific notation rather than milli-
+    prefixes, since sub-unit rates never appear in our reports.
+    """
+    if value == 0:
+        return f"0 {unit}"
+    if not math.isfinite(value):
+        return f"{value} {unit}"
+    magnitude = abs(value)
+    for prefix, factor in (
+        ("E", EXA),
+        ("P", PETA),
+        ("T", TERA),
+        ("G", GIGA),
+        ("M", MEGA),
+        ("k", KILO),
+    ):
+        if magnitude >= factor:
+            return f"{value / factor:.{precision}g} {prefix}{unit}"
+    if magnitude >= 1:
+        return f"{value:.{precision}g} {unit}"
+    return f"{value:.{precision}e} {unit}"
+
+
+def format_flops(value: float, precision: int = 3) -> str:
+    """Format a FLOPS rate with the best SI prefix."""
+    return format_si(value, "FLOPS", precision)
+
+
+def format_bytes(value: float, precision: int = 3) -> str:
+    """Format a byte capacity with the best *binary* prefix (``GiB`` etc.)."""
+    if value == 0:
+        return "0 B"
+    magnitude = abs(value)
+    for prefix, factor in (("Ti", TIB), ("Gi", GIB), ("Mi", MIB), ("Ki", KIB)):
+        if magnitude >= factor:
+            return f"{value / factor:.{precision}g} {prefix}B"
+    return f"{value:.{precision}g} B"
+
+
+def format_time(value: float, precision: int = 3) -> str:
+    """Format a duration using the most readable unit (ns up to years)."""
+    if value == 0:
+        return "0 s"
+    magnitude = abs(value)
+    for suffix, factor in (
+        ("y", _TIME_SUFFIXES["y"]),
+        ("d", 86400.0),
+        ("h", 3600.0),
+        ("min", 60.0),
+        ("s", 1.0),
+        ("ms", 1e-3),
+        ("us", 1e-6),
+        ("ns", 1e-9),
+    ):
+        if magnitude >= factor:
+            return f"{value / factor:.{precision}g} {suffix}"
+    return f"{value:.{precision}e} s"
+
+
+def format_power(value: float, precision: int = 3) -> str:
+    """Format a power draw with the best SI prefix (``kW``, ``MW``)."""
+    return format_si(value, "W", precision)
+
+
+def format_dollars(value: float) -> str:
+    """Format a dollar amount with thousands separators (``$1,250,000``)."""
+    if value >= 1e7:
+        return f"${value / 1e6:,.1f}M"
+    return f"${value:,.0f}"
+
+
+def doubling_time_from_cagr(cagr: float) -> float:
+    """Years to double given a compound annual growth rate.
+
+    ``cagr`` is fractional: 0.6 means +60 %/year (classic Moore cadence for
+    transistor counts is ~0.41, i.e. doubling every ~2 years).
+    """
+    if cagr <= 0:
+        raise ValueError("CAGR must be positive to define a doubling time")
+    return math.log(2.0) / math.log1p(cagr)
+
+
+def cagr_from_doubling_time(years: float) -> float:
+    """Compound annual growth rate implied by a doubling time in years."""
+    if years <= 0:
+        raise ValueError("doubling time must be positive")
+    return 2.0 ** (1.0 / years) - 1.0

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim import RandomStreams, Simulator
+from repro.tech import get_scenario
+
+
+@pytest.fixture
+def sim():
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def streams():
+    """Deterministic RNG streams (seed 12345)."""
+    return RandomStreams(seed=12345)
+
+
+@pytest.fixture
+def nominal():
+    """The nominal technology roadmap."""
+    return get_scenario("nominal")

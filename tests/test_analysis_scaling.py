@@ -1,0 +1,134 @@
+"""Speedup laws and the historical record."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.scaling import (
+    amdahl_speedup,
+    fit_serial_fraction,
+    gustafson_speedup,
+    isoefficiency_problem_size,
+    karp_flatt,
+)
+from repro.tech.history import (
+    TOP500_NUMBER_ONES,
+    first_commodity_petaflops_year,
+    historical_slope,
+)
+
+
+class TestAmdahl:
+    def test_limits(self):
+        assert amdahl_speedup(0.0, 64) == pytest.approx(64.0)
+        assert amdahl_speedup(1.0, 64) == pytest.approx(1.0)
+
+    def test_asymptote_is_inverse_serial_fraction(self):
+        assert amdahl_speedup(0.05, 1e9) == pytest.approx(20.0, rel=1e-6)
+
+    def test_vectorised(self):
+        curve = amdahl_speedup(0.1, [1, 2, 4])
+        assert np.allclose(curve, [1.0, 1.0 / 0.55, 1.0 / 0.325])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(-0.1, 4)
+        with pytest.raises(ValueError):
+            amdahl_speedup(0.5, 0)
+
+
+class TestGustafson:
+    def test_limits(self):
+        assert gustafson_speedup(0.0, 64) == pytest.approx(64.0)
+        assert gustafson_speedup(1.0, 64) == pytest.approx(1.0)
+
+    def test_linear_in_ranks(self):
+        curve = gustafson_speedup(0.1, np.array([10.0, 20.0]))
+        assert curve[1] - curve[0] == pytest.approx(0.9 * 10.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.integers(min_value=2, max_value=10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_gustafson_never_below_amdahl(self, fraction, ranks):
+        """The scaled reading is always at least as optimistic."""
+        assert (gustafson_speedup(fraction, ranks)
+                >= amdahl_speedup(fraction, ranks) - 1e-9)
+
+
+class TestKarpFlatt:
+    def test_recovers_exact_serial_fraction(self):
+        for fraction in (0.01, 0.1, 0.3):
+            speedup = amdahl_speedup(fraction, 16)
+            assert karp_flatt(speedup, 16) == pytest.approx(fraction)
+
+    def test_ideal_speedup_gives_zero(self):
+        assert karp_flatt(8.0, 8) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            karp_flatt(2.0, 1)
+        with pytest.raises(ValueError):
+            karp_flatt(0.0, 4)
+
+
+class TestFit:
+    def test_exact_amdahl_curve_recovered(self):
+        ranks = [1, 2, 4, 8, 16, 32]
+        speedups = amdahl_speedup(0.07, ranks)
+        fraction, rms = fit_serial_fraction(ranks, speedups)
+        assert fraction == pytest.approx(0.07, abs=1e-9)
+        assert rms == pytest.approx(0.0, abs=1e-9)
+
+    def test_noisy_curve_close(self):
+        rng = np.random.default_rng(0)
+        ranks = [1, 2, 4, 8, 16, 32, 64]
+        speedups = amdahl_speedup(0.05, ranks) * rng.normal(1.0, 0.01,
+                                                            size=7)
+        fraction, _rms = fit_serial_fraction(ranks, speedups)
+        assert fraction == pytest.approx(0.05, abs=0.02)
+
+    def test_clipped_into_unit_interval(self):
+        # Superlinear data would fit a negative fraction; must clip to 0.
+        fraction, _ = fit_serial_fraction([1, 2, 4], [1.0, 2.5, 6.0])
+        assert fraction == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_serial_fraction([1], [1.0])
+        with pytest.raises(ValueError):
+            fit_serial_fraction([1, 2], [1.0, -2.0])
+
+
+class TestIsoefficiency:
+    def test_linear_overhead(self):
+        assert isoefficiency_problem_size(100.0, 4, 16) == pytest.approx(400.0)
+
+    def test_superlinear_overhead(self):
+        grown = isoefficiency_problem_size(100.0, 4, 16,
+                                           overhead_exponent=1.5)
+        assert grown == pytest.approx(100.0 * 4 ** 1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            isoefficiency_problem_size(0.0, 1, 2)
+        with pytest.raises(ValueError):
+            isoefficiency_problem_size(1.0, 1, 2, overhead_exponent=-1)
+
+
+class TestHistory:
+    def test_record_is_chronological_and_growing_overall(self):
+        years = [e.year for e in TOP500_NUMBER_ONES]
+        assert years == sorted(years)
+        assert (TOP500_NUMBER_ONES[-1].rmax_tflops
+                > 1000 * TOP500_NUMBER_ONES[0].rmax_tflops)
+
+    def test_famous_slope(self):
+        """The full-record slope is the celebrated ~1.9x/year."""
+        assert 1.7 < historical_slope() < 2.0
+
+    def test_first_commodity_petaflops_is_roadrunner(self):
+        assert first_commodity_petaflops_year() == pytest.approx(2008.5)
+
+    def test_slope_needs_two_points(self):
+        with pytest.raises(ValueError):
+            historical_slope(2008.4, 2008.6)

@@ -1,0 +1,134 @@
+"""API hygiene: exports resolve, everything public is documented, and
+the layering rules DESIGN.md promises actually hold."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.tech",
+    "repro.nodes",
+    "repro.network",
+    "repro.messaging",
+    "repro.cluster",
+    "repro.scheduler",
+    "repro.fault",
+    "repro.apps",
+    "repro.io",
+    "repro.analysis",
+]
+
+
+def all_modules():
+    names = set(PACKAGES)
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        if hasattr(package, "__path__"):
+            for info in pkgutil.iter_modules(package.__path__):
+                names.add(f"{package_name}.{info.name}")
+    return sorted(names)
+
+
+class TestExports:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_names_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        assert hasattr(package, "__all__"), f"{package_name} lacks __all__"
+        for name in package.__all__:
+            assert hasattr(package, name), (
+                f"{package_name}.__all__ lists {name!r} but it is missing"
+            )
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_is_sorted_unique(self, package_name):
+        package = importlib.import_module(package_name)
+        exported = list(package.__all__)
+        assert len(exported) == len(set(exported)), (
+            f"{package_name}.__all__ has duplicates"
+        )
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize("module_name", all_modules())
+    def test_every_module_has_a_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip(), (
+            f"{module_name} has no module docstring"
+        )
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_every_public_item_documented(self, package_name):
+        package = importlib.import_module(package_name)
+        undocumented = []
+        for name in package.__all__:
+            item = getattr(package, name)
+            if inspect.isclass(item) or inspect.isfunction(item):
+                if not (item.__doc__ and item.__doc__.strip()):
+                    undocumented.append(name)
+        assert not undocumented, (
+            f"{package_name}: public items without docstrings: "
+            f"{undocumented}"
+        )
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_public_classes_document_their_methods(self, package_name):
+        package = importlib.import_module(package_name)
+        gaps = []
+        for name in package.__all__:
+            item = getattr(package, name)
+            if not inspect.isclass(item):
+                continue
+            for method_name, method in vars(item).items():
+                if method_name.startswith("_"):
+                    continue
+                if inspect.isfunction(method) and not (
+                        method.__doc__ and method.__doc__.strip()):
+                    gaps.append(f"{name}.{method_name}")
+        assert not gaps, f"{package_name}: undocumented methods: {gaps}"
+
+
+class TestLayering:
+    """DESIGN.md: no module imports a higher layer."""
+
+    FORBIDDEN = {
+        "repro.sim": ["repro.tech", "repro.nodes", "repro.network",
+                      "repro.messaging", "repro.cluster", "repro.scheduler",
+                      "repro.fault", "repro.apps", "repro.io",
+                      "repro.analysis"],
+        "repro.tech": ["repro.nodes", "repro.network", "repro.messaging",
+                       "repro.cluster", "repro.apps"],
+        "repro.nodes": ["repro.network", "repro.messaging", "repro.cluster",
+                        "repro.apps"],
+        "repro.network": ["repro.messaging", "repro.cluster", "repro.apps"],
+        "repro.messaging": ["repro.cluster", "repro.scheduler", "repro.apps"],
+        "repro.analysis": ["repro.sim", "repro.network", "repro.messaging",
+                           "repro.cluster", "repro.scheduler", "repro.apps"],
+    }
+
+    @pytest.mark.parametrize("package_name", sorted(FORBIDDEN))
+    def test_no_upward_imports(self, package_name):
+        import sys
+
+        package = importlib.import_module(package_name)
+        forbidden = self.FORBIDDEN[package_name]
+        # Inspect the source of each submodule for forbidden imports
+        # (runtime sys.modules checks would be confounded by other
+        # packages importing both).
+        offenders = []
+        for info in pkgutil.iter_modules(package.__path__):
+            module = importlib.import_module(f"{package_name}.{info.name}")
+            try:
+                source = inspect.getsource(module)
+            except OSError:  # pragma: no cover
+                continue
+            for target in forbidden:
+                if (f"from {target}" in source
+                        or f"import {target}" in source):
+                    offenders.append((module.__name__, target))
+        assert not offenders, f"upward imports: {offenders}"

@@ -1,0 +1,67 @@
+"""The HPL analytic model: efficiency shapes and Top500-style sanity."""
+
+import pytest
+
+from repro.apps import HplModel
+from repro.cluster import design_cluster
+
+
+@pytest.fixture
+def cluster_2005(nominal):
+    return design_cluster("c", nominal, 2005, 1024, "conventional",
+                          "infiniband_4x")
+
+
+class TestHplModel:
+    def test_efficiency_in_published_band(self, cluster_2005):
+        """Commodity systems of the era ran HPL at ~50-85 % of peak."""
+        estimate = HplModel().estimate(cluster_2005)
+        assert 0.5 < estimate.efficiency < 0.85
+
+    def test_problem_size_fills_memory(self, cluster_2005):
+        model = HplModel(memory_fill=0.8)
+        n = model.problem_size(cluster_2005)
+        assert 8 * n * n <= 0.8 * cluster_2005.memory_bytes
+        assert 8 * (n + 1) ** 2 > 0.8 * cluster_2005.memory_bytes * 0.99
+
+    def test_bigger_problem_higher_efficiency(self, cluster_2005):
+        model = HplModel()
+        full = model.estimate(cluster_2005)
+        small = model.estimate(cluster_2005,
+                               problem_size=full.problem_size // 8)
+        assert small.efficiency < full.efficiency
+
+    def test_better_network_higher_rmax(self, nominal):
+        model = HplModel()
+        slow = model.estimate(design_cluster(
+            "s", nominal, 2005, 1024, "conventional", "gigabit_ethernet"))
+        fast = model.estimate(design_cluster(
+            "f", nominal, 2005, 1024, "conventional", "infiniband_4x"))
+        assert fast.rmax_flops > slow.rmax_flops
+
+    def test_grid_is_near_square_factorisation(self):
+        model = HplModel()
+        for count in (1024, 1000, 36, 17):
+            p, q = model.process_grid(count)
+            assert p * q == count
+            assert p <= q
+
+    def test_rmax_below_rpeak_always(self, cluster_2005):
+        estimate = HplModel().estimate(cluster_2005)
+        assert estimate.rmax_flops < estimate.rpeak_flops
+
+    def test_validation(self, cluster_2005):
+        with pytest.raises(ValueError):
+            HplModel(sustained_fraction=0.0)
+        with pytest.raises(ValueError):
+            HplModel(memory_fill=2.0)
+        with pytest.raises(ValueError):
+            HplModel().estimate(cluster_2005, problem_size=0)
+
+    def test_rmax_grows_with_scale(self, nominal):
+        model = HplModel()
+        small = model.estimate(design_cluster(
+            "a", nominal, 2005, 256, "conventional", "infiniband_4x"))
+        large = model.estimate(design_cluster(
+            "b", nominal, 2005, 4096, "conventional", "infiniband_4x"))
+        assert large.rmax_flops > 8 * small.rmax_flops

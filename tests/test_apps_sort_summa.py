@@ -1,0 +1,104 @@
+"""Sample sort and SUMMA: correctness against numpy, balance, shapes."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ComputeCharge, run_sample_sort, run_summa
+
+
+def reference_keys(n, ranks, seed, skew=0.0):
+    """Rebuild the exact global key set the ranks generate."""
+    parts = []
+    for rank in range(ranks):
+        rng = np.random.default_rng(seed + rank)
+        local = n // ranks + (1 if rank < n % ranks else 0)
+        parts.append(rng.random(local) ** (1.0 + skew))
+    return np.sort(np.concatenate(parts))
+
+
+class TestSampleSort:
+    @pytest.mark.parametrize("ranks", [1, 2, 3, 4, 8])
+    def test_sorts_correctly(self, ranks):
+        result = run_sample_sort(ranks, 4000, seed=7)
+        assert np.allclose(result.keys, reference_keys(4000, ranks, 7))
+        assert len(result.keys) == 4000
+
+    def test_output_is_monotone(self):
+        result = run_sample_sort(5, 3000, seed=1)
+        assert np.all(np.diff(result.keys) >= 0)
+
+    def test_skewed_keys_still_sorted_and_balanced(self):
+        """The splitter sampling must absorb a skewed distribution."""
+        result = run_sample_sort(8, 20_000, seed=3, skew=3.0)
+        assert np.allclose(result.keys,
+                           reference_keys(20_000, 8, 3, skew=3.0))
+        assert result.balance < 1.5
+
+    def test_oversampling_improves_balance(self):
+        coarse = run_sample_sort(8, 20_000, oversample=4, seed=5, skew=2.0)
+        fine = run_sample_sort(8, 20_000, oversample=128, seed=5, skew=2.0)
+        assert fine.balance <= coarse.balance * 1.05
+
+    def test_uneven_division(self):
+        result = run_sample_sort(3, 1000, seed=9)  # 1000 % 3 != 0
+        assert len(result.keys) == 1000
+
+    def test_faster_network_helps(self):
+        charge = ComputeCharge(effective_flops=3e9)
+        slow = run_sample_sort(8, 200_000, charge=charge, seed=2,
+                               technology="fast_ethernet")
+        fast = run_sample_sort(8, 200_000, charge=charge, seed=2,
+                               technology="infiniband_4x")
+        assert fast.elapsed < slow.elapsed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_sample_sort(8, 4)
+        with pytest.raises(ValueError):
+            run_sample_sort(2, 100, oversample=0)
+        with pytest.raises(ValueError):
+            run_sample_sort(2, 100, skew=-1.0)
+
+
+class TestSumma:
+    @pytest.mark.parametrize("ranks", [1, 4, 9, 16])
+    def test_matches_numpy_product(self, ranks):
+        result = run_summa(ranks, 36, seed=11)
+        rng = np.random.default_rng(11)
+        a = rng.standard_normal((36, 36))
+        b = rng.standard_normal((36, 36))
+        assert np.allclose(result.product, a @ b)
+        assert result.grid ** 2 == ranks
+
+    def test_uneven_blocks(self):
+        """n not divisible by the grid dimension still works."""
+        result = run_summa(4, 35, seed=2)
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((35, 35))
+        b = rng.standard_normal((35, 35))
+        assert np.allclose(result.product, a @ b)
+
+    def test_compute_bound_at_scale(self):
+        """Large blocks make SUMMA compute-dominated: interconnect choice
+        moves it far less than its broadcast volume suggests."""
+        charge = ComputeCharge(effective_flops=3e9)
+        slow = run_summa(4, 512, charge=charge,
+                         technology="gigabit_ethernet")
+        fast = run_summa(4, 512, charge=charge,
+                         technology="infiniband_4x")
+        assert slow.elapsed < 2.0 * fast.elapsed
+
+    def test_scales_with_ranks(self):
+        charge = ComputeCharge(effective_flops=3e9)
+        one = run_summa(1, 256, charge=charge, technology="infiniband_4x")
+        sixteen = run_summa(16, 256, charge=charge,
+                            technology="infiniband_4x")
+        assert sixteen.elapsed < one.elapsed / 4
+
+    def test_non_square_rank_count_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            run_summa(6, 32)
+
+    def test_tiny_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            run_summa(16, 2)

@@ -1,0 +1,58 @@
+"""The python -m repro command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_roadmap(self, capsys):
+        assert main(["roadmap", "--years", "2003:2005"]) == 0
+        out = capsys.readouterr().out
+        assert "2003" in out and "GFLOPS" in out
+
+    def test_roadmap_scenario_choice_enforced(self):
+        with pytest.raises(SystemExit):
+            main(["roadmap", "--scenario", "wild"])
+
+    def test_nodes(self, capsys):
+        assert main(["nodes", "--year", "2006"]) == 0
+        out = capsys.readouterr().out
+        for architecture in ("conventional", "blade", "soc", "pim"):
+            assert architecture in out
+
+    def test_nodes_respects_availability(self, capsys):
+        assert main(["nodes", "--year", "2003"]) == 0
+        out = capsys.readouterr().out
+        assert "pim" not in out
+
+    def test_design(self, capsys):
+        assert main(["design", "--budget", "2e6", "--year", "2005"]) == 0
+        out = capsys.readouterr().out
+        assert "nodes" in out and "price" in out
+
+    def test_interconnects(self, capsys):
+        assert main(["interconnects", "--year", "2003"]) == 0
+        out = capsys.readouterr().out
+        assert "infiniband_4x" in out
+        assert "infiniband_12x" not in out  # ships 2005
+
+    def test_faults(self, capsys):
+        assert main(["faults", "--nodes", "10000"]) == 0
+        out = capsys.readouterr().out
+        assert "Daly interval" in out
+
+    def test_fabrics(self, capsys):
+        assert main(["fabrics", "--hosts", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "leaf-spine 1:1" in out
+        assert "bisection" in out
+
+    def test_fleet(self, capsys):
+        assert main(["fleet", "--annual-budget", "1e6"]) == 0
+        out = capsys.readouterr().out
+        assert "rolling" in out and "forklift 3y" in out
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

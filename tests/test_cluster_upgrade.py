@@ -1,0 +1,100 @@
+"""Fleet evolution: rolling vs forklift procurement."""
+
+import pytest
+
+from repro.cluster import simulate_fleet, time_averaged_peak
+from repro.cluster.upgrade import Cohort
+from repro.nodes import make_node
+
+
+class TestFleetMechanics:
+    def test_rolling_retires_at_lifetime(self, nominal):
+        timeline = simulate_fleet(nominal, 2003, 2010, 1e6,
+                                  strategy="rolling", lifetime_years=3.0)
+        # After warm-up the fleet holds exactly `lifetime` cohorts.
+        assert [fy.cohort_count for fy in timeline[:3]] == [1, 2, 3]
+        assert all(fy.cohort_count == 3 for fy in timeline[3:])
+        for fleet_year in timeline:
+            for cohort in fleet_year.cohorts:
+                assert fleet_year.year - cohort.purchase_year < 3.0
+
+    def test_forklift_single_cohort_and_cadence(self, nominal):
+        timeline = simulate_fleet(nominal, 2003, 2010, 1e6,
+                                  strategy="forklift",
+                                  forklift_interval_years=3.0)
+        assert all(fy.cohort_count == 1 for fy in timeline)
+        purchases = [fy.year for fy in timeline if fy.spent_dollars > 0]
+        assert purchases == [2003.0, 2006.0, 2009.0]
+        # Banked budget is spent in full at each forklift.
+        assert timeline[3].spent_dollars == pytest.approx(3e6)
+
+    def test_rolling_spends_every_year(self, nominal):
+        timeline = simulate_fleet(nominal, 2003, 2008, 1e6,
+                                  strategy="rolling")
+        assert all(fy.spent_dollars == pytest.approx(1e6)
+                   for fy in timeline)
+
+    def test_budgets_buy_more_later(self, nominal):
+        """Constant dollars + falling $/FLOPS: each rolling cohort out-
+        peaks the previous one."""
+        timeline = simulate_fleet(nominal, 2003, 2010, 1e6,
+                                  strategy="rolling")
+        newest = [fy.cohorts[-1].peak_flops for fy in timeline]
+        assert newest == sorted(newest)
+
+    def test_validation(self, nominal):
+        with pytest.raises(ValueError):
+            simulate_fleet(nominal, 2003, 2010, -1.0)
+        with pytest.raises(ValueError):
+            simulate_fleet(nominal, 2010, 2003, 1e6)
+        with pytest.raises(ValueError):
+            simulate_fleet(nominal, 2003, 2010, 1e6, strategy="teleport")
+        with pytest.raises(ValueError):
+            simulate_fleet(nominal, 2003, 2010, 1e6, lifetime_years=0.0)
+        with pytest.raises(ValueError):
+            time_averaged_peak([])
+
+
+class TestStrategyTrade:
+    def test_rolling_beats_forklift_on_time_average(self, nominal):
+        """The headline: same dollars, more lived capability."""
+        rolling = simulate_fleet(nominal, 2003, 2010, 2e6,
+                                 strategy="rolling")
+        forklift = simulate_fleet(nominal, 2003, 2010, 2e6,
+                                  strategy="forklift",
+                                  forklift_interval_years=3.0)
+        assert (time_averaged_peak(rolling)
+                > time_averaged_peak(forklift))
+
+    def test_rolling_beats_every_forklift_cadence(self, nominal):
+        """Forklift cadence is non-monotone (banking longer buys later,
+        better tech in bigger chunks — there is an interior optimum),
+        but no cadence catches the rolling fleet over this horizon."""
+        rolling = time_averaged_peak(simulate_fleet(
+            nominal, 2003, 2010, 2e6, strategy="rolling"))
+        forklift = {
+            interval: time_averaged_peak(simulate_fleet(
+                nominal, 2003, 2010, 2e6, strategy="forklift",
+                forklift_interval_years=interval))
+            for interval in (2.0, 3.0, 4.0)
+        }
+        assert all(rolling > value for value in forklift.values())
+        # The interior optimum: 3-year banking beats both neighbours here.
+        assert forklift[3.0] > forklift[2.0]
+        assert forklift[3.0] > forklift[4.0]
+
+    def test_heterogeneity_is_the_price(self, nominal):
+        rolling = simulate_fleet(nominal, 2003, 2010, 2e6,
+                                 strategy="rolling", lifetime_years=4.0)
+        forklift = simulate_fleet(nominal, 2003, 2010, 2e6,
+                                  strategy="forklift")
+        assert max(fy.cohort_count for fy in rolling) > \
+            max(fy.cohort_count for fy in forklift)
+
+
+class TestCohort:
+    def test_aggregates(self, nominal):
+        node = make_node("conventional", nominal, 2005)
+        cohort = Cohort(2005.0, 10, node)
+        assert cohort.peak_flops == pytest.approx(10 * node.peak_flops)
+        assert cohort.power_watts == pytest.approx(10 * node.power_watts)

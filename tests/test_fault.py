@@ -1,0 +1,240 @@
+"""Failure models, checkpoint economics, injection, recovery."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fault import (
+    CheckpointParams,
+    ExponentialFailures,
+    FaultInjector,
+    WeibullFailures,
+    compare_strategies,
+    daly_interval,
+    efficiency,
+    expected_runtime,
+    simulate_checkpoint_run,
+    system_mtbf,
+    waste_fraction,
+    young_interval,
+)
+from repro.sim import Interrupt, RandomStreams, Simulator
+
+YEAR = 365.25 * 86400.0
+
+
+class TestFailureModels:
+    def test_system_mtbf_inverse_in_nodes(self):
+        assert system_mtbf(1000.0, 10) == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            system_mtbf(-1.0, 10)
+        with pytest.raises(ValueError):
+            system_mtbf(1.0, 0)
+
+    def test_exponential_mean(self, streams):
+        model = ExponentialFailures(mtbf_seconds=500.0)
+        samples = model.sample_interarrivals(streams.get("t"), 200_000)
+        assert samples.mean() == pytest.approx(500.0, rel=0.02)
+
+    def test_exponential_for_system(self):
+        model = ExponentialFailures(3 * YEAR).for_system(10_000)
+        assert model.mtbf() == pytest.approx(3 * YEAR / 10_000)
+
+    def test_weibull_mean_matches_formula(self, streams):
+        model = WeibullFailures.from_mtbf(mtbf_seconds=1000.0, shape=0.7)
+        assert model.mtbf() == pytest.approx(1000.0)
+        samples = model.sample_interarrivals(streams.get("w"), 300_000)
+        assert samples.mean() == pytest.approx(1000.0, rel=0.03)
+
+    def test_weibull_infant_mortality_shape(self, streams):
+        """Shape < 1: more short gaps than exponential (heavier head)."""
+        exponential = ExponentialFailures(1000.0)
+        weibull = WeibullFailures.from_mtbf(1000.0, shape=0.6)
+        exp_samples = exponential.sample_interarrivals(streams.get("a"), 100_000)
+        wei_samples = weibull.sample_interarrivals(streams.get("b"), 100_000)
+        threshold = 100.0
+        assert (np.mean(wei_samples < threshold)
+                > np.mean(exp_samples < threshold))
+
+    def test_weibull_system_scaling_preserves_mean_rate(self):
+        model = WeibullFailures.from_mtbf(1000.0, shape=0.8)
+        scaled = model.for_system(10)
+        assert scaled.mtbf() == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialFailures(0.0)
+        with pytest.raises(ValueError):
+            WeibullFailures(shape=0.0, scale=1.0)
+
+
+class TestCheckpointMath:
+    def params(self, delta=300.0, restart=600.0, mtbf=10_000.0):
+        return CheckpointParams(checkpoint_seconds=delta,
+                                restart_seconds=restart,
+                                system_mtbf_seconds=mtbf)
+
+    def test_young_formula(self):
+        params = self.params(delta=200.0, mtbf=10_000.0)
+        assert young_interval(params) == pytest.approx(
+            math.sqrt(2 * 200.0 * 10_000.0))
+
+    def test_daly_close_to_young_when_failures_rare(self):
+        params = self.params(delta=10.0, mtbf=1e7)
+        assert daly_interval(params) == pytest.approx(
+            young_interval(params), rel=0.01)
+
+    def test_daly_caps_at_mtbf_when_hopeless(self):
+        params = self.params(delta=1000.0, mtbf=400.0)  # delta > 2M
+        assert daly_interval(params) == 400.0
+
+    def test_daly_interval_is_near_optimal(self):
+        """The analytic optimum must beat every nearby interval on the
+        exact expected-runtime model."""
+        params = self.params()
+        best = daly_interval(params)
+        best_time = expected_runtime(params, 1e6, best)
+        for factor in (0.25, 0.5, 2.0, 4.0):
+            other = expected_runtime(params, 1e6, best * factor)
+            assert best_time <= other * (1 + 1e-9)
+
+    def test_efficiency_decreases_with_scale(self):
+        deltas = []
+        for nodes in (100, 1_000, 10_000, 100_000):
+            params = CheckpointParams(300.0, 600.0,
+                                      system_mtbf(3 * YEAR, nodes))
+            deltas.append(efficiency(params, daly_interval(params)))
+        assert deltas == sorted(deltas, reverse=True)
+        assert deltas[0] > 0.95      # 100 nodes: nearly no loss
+        assert deltas[-1] < 0.5      # 100k nodes: fault-dominated
+
+    def test_waste_approximates_exact_at_low_failure_rates(self):
+        params = self.params(delta=30.0, mtbf=1e6)
+        tau = daly_interval(params)
+        assert 1 - efficiency(params, tau) == pytest.approx(
+            waste_fraction(params, tau), rel=0.1)
+
+    def test_expected_runtime_exceeds_work(self):
+        params = self.params()
+        assert expected_runtime(params, 1000.0, 500.0) > 1000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointParams(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            expected_runtime(self.params(), -1.0, 10.0)
+        with pytest.raises(ValueError):
+            efficiency(self.params(), 0.0)
+
+    @given(st.floats(min_value=1.0, max_value=1e4),
+           st.floats(min_value=1e3, max_value=1e8))
+    @settings(max_examples=100, deadline=None)
+    def test_daly_never_worse_than_young(self, delta, mtbf):
+        params = CheckpointParams(delta, 0.0, mtbf)
+        work = 1e6
+        daly_time = expected_runtime(params, work, daly_interval(params))
+        young_time = expected_runtime(params, work, young_interval(params))
+        assert daly_time <= young_time * (1 + 1e-6)
+
+
+class TestInjection:
+    def test_injector_interrupts_until_victim_dies(self, sim, streams):
+        hits = []
+
+        def victim_body(sim):
+            for _ in range(3):
+                try:
+                    yield sim.timeout(1e9)
+                except Interrupt as interrupt:
+                    hits.append(interrupt.cause)
+            return "survived 3"
+
+        victim = sim.process(victim_body(sim))
+        injector = FaultInjector(sim, ExponentialFailures(100.0),
+                                 streams.get("inj"))
+        injector.attach(victim)
+        sim.run()
+        assert victim.value == "survived 3"
+        assert len(hits) == 3
+        assert all(cause[0] == "failure" for cause in hits)
+
+    def test_monte_carlo_matches_analytic(self):
+        """The headline validation: simulated makespan within a few
+        percent of Daly's expectation."""
+        mtbf = system_mtbf(3 * YEAR, 5_000)
+        params = CheckpointParams(300.0, 600.0, mtbf)
+        tau = daly_interval(params)
+        work = 50 * 3600.0
+        analytic = expected_runtime(params, work, tau)
+        runs = [
+            simulate_checkpoint_run(work, params, tau,
+                                    ExponentialFailures(mtbf),
+                                    RandomStreams(17), replication)
+            for replication in range(24)
+        ]
+        measured = np.mean([run.makespan for run in runs])
+        assert measured == pytest.approx(analytic, rel=0.08)
+
+    def test_no_failures_means_pure_overhead(self):
+        """With an astronomically long MTBF the run is work + checkpoints."""
+        params = CheckpointParams(10.0, 5.0, 1e15)
+        stats = simulate_checkpoint_run(1000.0, params, 100.0,
+                                        ExponentialFailures(1e15))
+        assert stats.failures == 0
+        assert stats.useful_seconds == pytest.approx(1000.0)
+        # 10 intervals, checkpoint after all but the last.
+        assert stats.makespan == pytest.approx(1000.0 + 9 * 10.0)
+
+    def test_accounting_adds_up(self):
+        mtbf = 5_000.0
+        params = CheckpointParams(50.0, 100.0, mtbf)
+        stats = simulate_checkpoint_run(20_000.0, params, 500.0,
+                                        ExponentialFailures(mtbf),
+                                        RandomStreams(5))
+        total = (stats.useful_seconds + stats.checkpoint_seconds
+                 + stats.lost_seconds + stats.restart_seconds)
+        assert total == pytest.approx(stats.makespan, rel=1e-9)
+        assert stats.useful_seconds == pytest.approx(20_000.0)
+        assert 0 < stats.efficiency < 1
+
+    def test_validation(self):
+        params = CheckpointParams(1.0, 1.0, 100.0)
+        with pytest.raises(ValueError):
+            simulate_checkpoint_run(0.0, params, 10.0,
+                                    ExponentialFailures(100.0))
+        with pytest.raises(ValueError):
+            simulate_checkpoint_run(10.0, params, 0.0,
+                                    ExponentialFailures(100.0))
+
+
+class TestRecovery:
+    def test_ordering_of_strategies(self):
+        outcomes = compare_strategies(
+            work_seconds=7 * 86400.0,
+            node_mtbf_seconds=3 * YEAR,
+            node_count=10_000,
+            checkpoint_seconds=300.0,
+            restart_seconds=600.0,
+        )
+        assert (outcomes["none"].efficiency
+                < outcomes["checkpoint"].efficiency
+                < outcomes["checkpoint+spares"].efficiency)
+        # At 10k nodes a week-long job without checkpointing is hopeless.
+        assert outcomes["none"].efficiency < 1e-6
+        assert outcomes["checkpoint"].efficiency > 0.5
+
+    def test_small_systems_barely_care(self):
+        outcomes = compare_strategies(
+            work_seconds=86400.0,
+            node_mtbf_seconds=3 * YEAR,
+            node_count=16,
+            checkpoint_seconds=300.0,
+            restart_seconds=600.0,
+        )
+        assert outcomes["checkpoint"].efficiency > 0.97
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare_strategies(0.0, YEAR, 10, 1.0, 1.0)

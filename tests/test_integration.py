@@ -1,0 +1,141 @@
+"""Cross-module integration: full workflows a user would actually run."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CheckpointParams,
+    ExponentialFailures,
+    HplModel,
+    RandomStreams,
+    SUM,
+    WorkloadGenerator,
+    WorkloadParams,
+    cluster_metrics,
+    daly_interval,
+    design_to_budget,
+    get_policy,
+    get_scenario,
+    run_cg,
+    run_spmd,
+    simulate_checkpoint_run,
+    system_mtbf,
+)
+from repro.apps import ComputeCharge
+from repro.cluster import design_cluster
+from repro.network import FatTreeTopology
+from repro.scheduler import BatchSimulator, evaluate_schedule
+
+
+class TestDesignToSimulationFlow:
+    """Design a machine from the roadmap, then run an application on a
+    fabric with that machine's interconnect and node roofline — the full
+    stack in one test."""
+
+    def test_budget_machine_runs_cg(self, nominal):
+        spec = design_to_budget(1e6, nominal, 2005, "conventional",
+                                "infiniband_4x")
+        assert spec.node_count > 100
+        charge = ComputeCharge(node=spec.node)
+        result = run_cg(16, n=512, charge=charge,
+                        technology=spec.interconnect,
+                        topology=FatTreeTopology(16, hosts_per_leaf=8))
+        assert result.converged
+        assert np.allclose(result.x, 1.0, atol=1e-5)
+
+    def test_architectures_rank_consistently(self, nominal):
+        """Blade and SoC must beat conventional on density and power at
+        equal peak, at the whole-cluster level."""
+        results = {}
+        for architecture in ("conventional", "blade", "soc"):
+            spec = design_cluster("m", nominal, 2006, 1000, architecture,
+                                  "infiniband_4x")
+            results[architecture] = cluster_metrics(spec)
+        per_peak = {a: m.total_watts / m.peak_flops
+                    for a, m in results.items()}
+        assert per_peak["soc"] < per_peak["blade"] < per_peak["conventional"]
+
+    def test_hpl_of_designed_machine(self, nominal):
+        spec = design_to_budget(5e6, nominal, 2006)
+        estimate = HplModel().estimate(spec)
+        assert 0.4 < estimate.efficiency < 0.9
+
+
+class TestVirtualTimeEndToEnd:
+    def test_application_time_uses_node_roofline(self, nominal):
+        """The same program on a 2003 node vs a 2009 node must speed up
+        by roughly the roadmap's peak ratio (compute-bound program)."""
+        def body(comm, charge):
+            yield comm.sim.timeout(charge.seconds(flops=1e9,
+                                                  bytes_moved=1e6))
+            yield from comm.allreduce(1.0, SUM)
+            return comm.sim.now
+
+        old = ComputeCharge(node=__import__("repro").make_node(
+            "conventional", nominal, 2003))
+        new = ComputeCharge(node=__import__("repro").make_node(
+            "conventional", nominal, 2009))
+        t_old = run_spmd(4, body, old, technology="infiniband_4x").elapsed
+        t_new = run_spmd(4, body, new, technology="infiniband_4x").elapsed
+        expected_ratio = (nominal.value("node_peak_flops", 2009)
+                          / nominal.value("node_peak_flops", 2003))
+        assert t_old / t_new == pytest.approx(expected_ratio, rel=0.1)
+
+    def test_determinism_across_runs(self):
+        """Identical SPMD runs produce bit-identical virtual times."""
+        def body(comm):
+            value = yield from comm.allreduce(comm.rank * 1.5, SUM)
+            yield from comm.barrier()
+            return value, comm.sim.now
+
+        first = run_spmd(8, body, technology="myrinet_2000")
+        second = run_spmd(8, body, technology="myrinet_2000")
+        assert first.results == second.results
+        assert first.elapsed == second.elapsed
+
+
+class TestScaleStory:
+    """The keynote's core quantitative narrative, end to end: a petaflops
+    machine is buildable this decade, but only with the new resource
+    management and fault recovery software."""
+
+    def test_petaflops_feasible_but_fault_dominated(self, nominal):
+        # A petaflops-peak blade machine late in the decade:
+        from repro import design_to_peak
+        spec = design_to_peak(1e15, nominal, 2009.5, "blade",
+                              "infiniband_12x")
+        assert spec.node_count < 100_000  # buildable node count
+
+        # Without checkpointing a week-long job essentially never ends;
+        # with Daly checkpointing it finishes with reasonable efficiency.
+        mtbf = system_mtbf(3 * 365.25 * 86400, spec.node_count)
+        params = CheckpointParams(checkpoint_seconds=600.0,
+                                  restart_seconds=900.0,
+                                  system_mtbf_seconds=mtbf)
+        tau = daly_interval(params)
+        stats = simulate_checkpoint_run(
+            12 * 3600.0, params, tau, ExponentialFailures(mtbf),
+            RandomStreams(2), replication=0)
+        assert stats.failures > 0            # failures DID happen
+        assert stats.efficiency > 0.35       # and the job still finished
+
+    def test_scheduler_keeps_big_machine_busy(self):
+        generator = WorkloadGenerator(
+            WorkloadParams(max_nodes=1024, offered_load=0.85),
+            RandomStreams(seed=8))
+        jobs = generator.generate(600)
+        result = BatchSimulator(1024, get_policy("easy")).run(jobs)
+        metrics = evaluate_schedule(result)
+        assert metrics.utilization > 0.6
+
+
+class TestScenarioConsistency:
+    def test_crossing_years_ordered_by_scenario(self):
+        """Aggressive roadmap reaches any fixed capability before nominal,
+        nominal before conservative."""
+        years = {}
+        for name in ("conservative", "nominal", "aggressive"):
+            roadmap = get_scenario(name)
+            years[name] = roadmap.year_of_cluster_peak(1e15, 20_000)
+        assert (years["aggressive"] < years["nominal"]
+                < years["conservative"])

@@ -1,0 +1,275 @@
+"""Parallel file system: striping geometry, timing, scaling, checkpoint
+integration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fault import daly_interval, efficiency
+from repro.io import (
+    DiskModel,
+    ParallelFileSystem,
+    checkpoint_write_time,
+    derive_checkpoint_params,
+    simulate_checkpoint_write,
+)
+from repro.network import Fabric, SingleSwitchTopology, get_interconnect
+from repro.sim import Simulator
+
+
+def make_pfs(servers=2, stripe=64 * 1024, hosts=8, disk=DiskModel(),
+             technology="infiniband_4x"):
+    sim = Simulator()
+    fabric = Fabric(sim, SingleSwitchTopology(hosts),
+                    get_interconnect(technology))
+    pfs = ParallelFileSystem(
+        sim, fabric,
+        server_hosts=list(range(hosts - servers, hosts)),
+        stripe_bytes=stripe, disk=disk,
+    )
+    return sim, pfs
+
+
+class TestDiskModel:
+    def test_access_time_components(self):
+        disk = DiskModel(seek_seconds=0.01, transfer_bytes_per_second=50e6)
+        assert disk.access_time(50e6) == pytest.approx(1.01)
+        assert disk.access_time(50e6, sequential=True) == pytest.approx(1.0)
+
+    def test_streaming_bandwidth_approaches_media_rate(self):
+        disk = DiskModel()
+        small = disk.streaming_bandwidth(4 * 1024)
+        large = disk.streaming_bandwidth(64 * 1024 * 1024)
+        assert small < 0.05 * disk.transfer_bytes_per_second
+        assert large > 0.95 * disk.transfer_bytes_per_second
+
+    def test_scaled(self):
+        newer = DiskModel().scaled(4.0)
+        assert newer.transfer_bytes_per_second == pytest.approx(160e6)
+        assert newer.seek_seconds == DiskModel().seek_seconds  # mechanics
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskModel(transfer_bytes_per_second=0.0)
+        with pytest.raises(ValueError):
+            DiskModel().access_time(-1)
+
+
+class TestStriping:
+    def test_round_robin_layout(self):
+        _sim, pfs = make_pfs(servers=2, stripe=100)
+        chunks = pfs.map_range(0, 400)
+        assert [(c.server_index, c.server_offset, c.nbytes)
+                for c in chunks] == [
+            (0, 0, 100), (1, 0, 100), (0, 100, 100), (1, 100, 100),
+        ]
+
+    def test_unaligned_range(self):
+        _sim, pfs = make_pfs(servers=2, stripe=100)
+        chunks = pfs.map_range(50, 400)
+        assert chunks[0].nbytes == 50          # partial first stripe
+        assert chunks[0].server_offset == 50
+        assert sum(c.nbytes for c in chunks) == 400
+
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=7),
+           st.integers(min_value=1, max_value=512))
+    @settings(max_examples=100, deadline=None)
+    def test_chunks_cover_range_exactly(self, offset, nbytes, servers,
+                                        stripe):
+        _sim, pfs = make_pfs(servers=servers, stripe=stripe,
+                             hosts=servers + 2)
+        chunks = pfs.map_range(offset, nbytes)
+        assert sum(c.nbytes for c in chunks) == nbytes
+        # Replay the chunks against the striping arithmetic: walking the
+        # file positions must visit servers round-robin by stripe index.
+        position = offset
+        for chunk in chunks:
+            stripe_index = position // stripe
+            assert chunk.server_index == stripe_index % servers
+            assert 0 < chunk.nbytes <= stripe
+            position += chunk.nbytes
+
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=16, max_value=256))
+    @settings(max_examples=50, deadline=None)
+    def test_server_regions_disjoint(self, servers, stripe):
+        """No two chunks of one range may overlap on a server."""
+        _sim, pfs = make_pfs(servers=servers, stripe=stripe,
+                             hosts=servers + 2)
+        chunks = pfs.map_range(0, 40 * stripe + 7)
+        seen = {}
+        for chunk in chunks:
+            spans = seen.setdefault(chunk.server_index, [])
+            new = (chunk.server_offset, chunk.server_offset + chunk.nbytes)
+            for old in spans:
+                assert new[1] <= old[0] or new[0] >= old[1]
+            spans.append(new)
+
+
+class TestIoTiming:
+    def test_write_timing_order_of_magnitude(self):
+        sim, pfs = make_pfs(servers=4, stripe=1 << 20)
+
+        def client():
+            yield from pfs.write(0, 0, 16 << 20)
+            return sim.now
+
+        elapsed = sim.run_process(client())
+        # 16 MiB over 4 servers: disk-bound floor is 4 MiB/40 MB/s ~ 0.1 s;
+        # one client link at 1 GB/s adds ~16 ms; seeks add 16 x 13 ms / 4.
+        assert 0.1 < elapsed < 0.5
+
+    def test_more_servers_faster(self):
+        def run(servers):
+            sim, pfs = make_pfs(servers=servers, stripe=1 << 20,
+                                hosts=servers + 4)
+
+            def client():
+                yield from pfs.write(0, 0, 64 << 20)
+                return sim.now
+
+            return sim.run_process(client())
+
+        assert run(8) < run(2) / 2
+
+    def test_tiny_stripes_are_seek_bound(self):
+        """The classic misconfiguration: small stripes turn a streaming
+        write into a seek storm."""
+        def run(stripe):
+            sim, pfs = make_pfs(servers=2, stripe=stripe)
+
+            def client():
+                yield from pfs.write(0, 0, 1 << 20)
+                return sim.now
+
+            return sim.run_process(client())
+
+        assert run(4 * 1024) > 10 * run(1 << 20)
+
+    def test_read_returns_and_accounts(self):
+        sim, pfs = make_pfs(servers=2)
+
+        def client():
+            wrote = yield from pfs.write(0, 0, 1 << 20)
+            read = yield from pfs.read(1, 0, 1 << 20)
+            return wrote, read
+
+        wrote, read = sim.run_process(client())
+        assert wrote == read == 1 << 20
+        assert pfs.total_bytes_written == 1 << 20
+        assert pfs.total_bytes_read == 1 << 20
+
+    def test_zero_byte_io_is_free(self):
+        sim, pfs = make_pfs()
+
+        def client():
+            result = yield from pfs.write(0, 0, 0)
+            return result, sim.now
+
+        result, now = sim.run_process(client())
+        assert result == 0 and now == 0.0
+
+    def test_balance_even_for_aligned_writes(self):
+        sim, pfs = make_pfs(servers=4, stripe=1 << 16)
+
+        def client():
+            yield from pfs.write(0, 0, 64 << 16)
+            return None
+
+        sim.run_process(client())
+        assert pfs.server_balance() == pytest.approx(1.0)
+
+    def test_concurrent_clients_share_servers(self):
+        sim, pfs = make_pfs(servers=2, stripe=1 << 20, hosts=8)
+        finish = {}
+
+        def client(host):
+            yield from pfs.write(host, host * (8 << 20), 8 << 20)
+            finish[host] = sim.now
+
+        for host in range(4):
+            sim.process(client(host))
+        sim.run()
+        solo_sim, solo_pfs = make_pfs(servers=2, stripe=1 << 20, hosts=8)
+
+        def solo(host=0):
+            yield from solo_pfs.write(0, 0, 8 << 20)
+            return solo_sim.now
+
+        solo_time = solo_sim.run_process(solo())
+        # Four clients over the same two disks: much slower than one.
+        assert max(finish.values()) > 2 * solo_time
+
+    def test_validation(self):
+        sim, pfs = make_pfs()
+        with pytest.raises(ValueError):
+            pfs.map_range(-1, 10)
+        with pytest.raises(ValueError):
+            ParallelFileSystem(sim, pfs.fabric, server_hosts=[])
+        with pytest.raises(ValueError):
+            ParallelFileSystem(sim, pfs.fabric, server_hosts=[1, 1])
+        with pytest.raises(ValueError):
+            ParallelFileSystem(sim, pfs.fabric, server_hosts=[99])
+
+
+class TestCheckpointIo:
+    def test_analytic_bottleneck_selection(self):
+        disk = DiskModel(transfer_bytes_per_second=40e6)
+        # Few servers: disks bind.
+        disk_bound = checkpoint_write_time(1e9, 64, 4, 1e9, disk)
+        assert disk_bound == pytest.approx(64e9 / (4 * 40e6))
+        # Many servers: the client's own link binds.
+        client_bound = checkpoint_write_time(1e9, 64, 10_000, 1e9, disk)
+        assert client_bound == pytest.approx(1.0)
+
+    def test_simulated_within_factor_of_analytic(self):
+        technology = get_interconnect("infiniband_4x")
+        for servers in (2, 8):
+            analytic = checkpoint_write_time(
+                1 << 20, 16, servers, technology.loggp.bandwidth)
+            simulated = simulate_checkpoint_write(16, servers, 1 << 20,
+                                                  technology)
+            assert analytic <= simulated < 4 * analytic
+
+    def test_simulated_scales_with_servers(self):
+        technology = get_interconnect("infiniband_4x")
+        slow = simulate_checkpoint_write(16, 2, 1 << 20, technology)
+        fast = simulate_checkpoint_write(16, 8, 1 << 20, technology)
+        assert fast < slow / 2
+
+    def test_derived_params_feed_daly(self):
+        params = derive_checkpoint_params(
+            memory_bytes_per_node=2 * 2**30,
+            node_count=1024,
+            server_count=32,
+            link_bandwidth=1e9,
+            node_mtbf_seconds=3 * 365.25 * 86400,
+        )
+        tau = daly_interval(params)
+        assert params.checkpoint_seconds > 0
+        assert params.restart_seconds == pytest.approx(
+            2 * params.checkpoint_seconds)
+        assert 0 < efficiency(params, tau) < 1
+
+    def test_fixed_io_collapses_with_scale(self):
+        """The E14 phenomenon in miniature: fixed servers, growing
+        machine -> efficiency collapse; scaled servers -> graceful."""
+        def eff(nodes, servers):
+            params = derive_checkpoint_params(
+                2 * 2**30, nodes, servers, 1e9, 3 * 365.25 * 86400)
+            return efficiency(params, daly_interval(params))
+
+        fixed = [eff(n, 16) for n in (256, 2048, 16384)]
+        scaled = [eff(n, max(16, n // 64)) for n in (256, 2048, 16384)]
+        assert fixed == sorted(fixed, reverse=True)
+        assert fixed[-1] < 0.3
+        assert scaled[-1] > fixed[-1] + 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            checkpoint_write_time(-1, 1, 1, 1e9)
+        with pytest.raises(ValueError):
+            derive_checkpoint_params(1e9, 10, 2, 1e9, 1e8, dump_fraction=0.0)
+        with pytest.raises(ValueError):
+            derive_checkpoint_params(1e9, 10, 2, 1e9, 1e8, restart_factor=0.5)

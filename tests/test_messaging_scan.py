@@ -1,0 +1,141 @@
+"""scan / exscan / reduce_scatter collectives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.messaging import MAX, SUM, run_spmd
+
+SIZES = [1, 2, 3, 5, 8, 13]
+
+
+class TestScan:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_inclusive_prefix_sum(self, size):
+        def body(comm):
+            value = yield from comm.scan(comm.rank + 1, SUM)
+            return value
+
+        result = run_spmd(size, body)
+        expected = [sum(range(1, r + 2)) for r in range(size)]
+        assert result.results == expected
+
+    def test_array_payloads(self):
+        def body(comm):
+            value = yield from comm.scan(np.full(10, float(comm.rank)), SUM)
+            return value
+
+        result = run_spmd(4, body)
+        for rank, value in enumerate(result.results):
+            assert np.allclose(value, sum(range(rank + 1)))
+
+    def test_max_scan(self):
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+
+        def body(comm):
+            out = yield from comm.scan(values[comm.rank], MAX)
+            return out
+
+        result = run_spmd(8, body)
+        assert result.results == [3, 3, 4, 4, 5, 9, 9, 9]
+
+    def test_non_commutative_op_rank_order(self):
+        """Scan must combine strictly in rank order even for a
+        non-commutative operation (string concatenation)."""
+        def body(comm):
+            out = yield from comm.scan(chr(ord("a") + comm.rank),
+                                       lambda x, y: x + y)
+            return out
+
+        result = run_spmd(5, body)
+        assert result.results == ["a", "ab", "abc", "abcd", "abcde"]
+
+    @given(st.integers(min_value=1, max_value=10),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_scan_equals_numpy_cumsum(self, size, seed):
+        values = np.random.default_rng(seed).integers(-100, 100, size=size)
+
+        def body(comm):
+            out = yield from comm.scan(int(values[comm.rank]), SUM)
+            return out
+
+        result = run_spmd(size, body)
+        assert result.results == list(np.cumsum(values))
+
+
+class TestExscan:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_exclusive_prefix(self, size):
+        def body(comm):
+            value = yield from comm.exscan(comm.rank + 1, SUM)
+            return value
+
+        result = run_spmd(size, body)
+        assert result.results[0] is None
+        for rank in range(1, size):
+            assert result.results[rank] == sum(range(1, rank + 1))
+
+    def test_exscan_plus_own_equals_scan(self):
+        def body(comm):
+            inclusive = yield from comm.scan(comm.rank * 2 + 1, SUM)
+            exclusive = yield from comm.exscan(comm.rank * 2 + 1, SUM)
+            return inclusive, exclusive
+
+        result = run_spmd(6, body)
+        for rank, (inclusive, exclusive) in enumerate(result.results):
+            own = rank * 2 + 1
+            if rank == 0:
+                assert exclusive is None
+            else:
+                assert exclusive + own == inclusive
+
+
+class TestReduceScatter:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_scalar_blocks(self, size):
+        def body(comm):
+            # objs[d] is the contribution of this rank to destination d.
+            contributions = [comm.rank * 100 + d for d in range(comm.size)]
+            value = yield from comm.reduce_scatter(contributions, SUM)
+            return value
+
+        result = run_spmd(size, body)
+        for dest in range(size):
+            expected = sum(src * 100 + dest for src in range(size))
+            assert result.results[dest] == expected
+
+    def test_array_blocks(self):
+        def body(comm):
+            contributions = [np.full(5, float(comm.rank + dest))
+                             for dest in range(comm.size)]
+            value = yield from comm.reduce_scatter(contributions, SUM)
+            return value
+
+        result = run_spmd(4, body)
+        for dest, value in enumerate(result.results):
+            expected = sum(src + dest for src in range(4))
+            assert np.allclose(value, expected)
+
+    def test_matches_reduce_then_scatter(self):
+        def body(comm):
+            contributions = [(comm.rank + 1) * (dest + 1)
+                             for dest in range(comm.size)]
+            fast = yield from comm.reduce_scatter(contributions, SUM)
+            total = yield from comm.reduce(contributions,
+                                           lambda a, b: [x + y for x, y
+                                                         in zip(a, b)],
+                                           root=0)
+            slow_parts = yield from comm.scatter(total, root=0)
+            return fast, slow_parts
+
+        result = run_spmd(5, body)
+        for fast, slow in result.results:
+            assert fast == slow
+
+    def test_length_validated(self):
+        def body(comm):
+            yield from comm.reduce_scatter([1], SUM)
+
+        with pytest.raises(ValueError, match="exactly"):
+            run_spmd(3, body)

@@ -1,0 +1,180 @@
+"""Communicator split: sub-communicators, contexts, isolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.messaging import SUM, run_spmd
+from repro.messaging.comm import SubCommunicator
+
+
+class TestSplitBasics:
+    def test_grid_row_and_column_communicators(self):
+        def body(comm):
+            grid = 3
+            row, col = divmod(comm.rank, grid)
+            row_comm = yield from comm.split(row, key=col)
+            col_comm = yield from comm.split(col, key=row)
+            return (row_comm.rank, row_comm.size,
+                    col_comm.rank, col_comm.size)
+
+        result = run_spmd(9, body)
+        for rank, (row_rank, row_size, col_rank, col_size) in enumerate(
+                result.results):
+            row, col = divmod(rank, 3)
+            assert (row_rank, row_size) == (col, 3)
+            assert (col_rank, col_size) == (row, 3)
+
+    def test_key_orders_members(self):
+        def body(comm):
+            # Reverse the ordering with a descending key.
+            sub = yield from comm.split(0, key=-comm.rank)
+            return sub.rank
+
+        result = run_spmd(4, body)
+        assert result.results == [3, 2, 1, 0]
+
+    def test_color_none_opts_out(self):
+        def body(comm):
+            sub = yield from comm.split(
+                "in" if comm.rank % 2 == 0 else None)
+            if sub is None:
+                return None
+            return sub.size
+
+        result = run_spmd(6, body)
+        assert result.results == [3, None, 3, None, 3, None]
+
+    def test_singleton_split(self):
+        def body(comm):
+            sub = yield from comm.split(comm.rank)  # everyone alone
+            total = yield from sub.allreduce(comm.rank, SUM)
+            return sub.size, total
+
+        result = run_spmd(4, body)
+        assert result.results == [(1, 0), (1, 1), (1, 2), (1, 3)]
+
+
+class TestContextIsolation:
+    def test_sibling_subcomms_do_not_cross_talk(self):
+        """Rank 0 of the 'even' subcomm and rank 0 of the 'odd' subcomm
+        both send tag 5 to their local rank 1; contexts keep the
+        messages apart even though world mailboxes are shared."""
+        def body(comm):
+            sub = yield from comm.split(comm.rank % 2)
+            if sub.rank == 0:
+                yield from sub.send(f"from-{comm.rank % 2}", 1, tag=5)
+                return None
+            payload = yield from sub.recv(0, tag=5)
+            return payload
+
+        result = run_spmd(4, body)
+        assert result.results[2] == "from-0"
+        assert result.results[3] == "from-1"
+
+    def test_parent_and_child_traffic_coexist(self):
+        def body(comm):
+            sub = yield from comm.split(comm.rank // 2)
+            if comm.rank == 0:
+                yield from comm.send("world-msg", 3, tag=7)
+            if sub.rank == 0:
+                yield from sub.send("sub-msg", 1, tag=7)
+            results = []
+            if sub.rank == 1:
+                results.append((yield from sub.recv(0, tag=7)))
+            if comm.rank == 3:
+                results.append((yield from comm.recv(0, tag=7)))
+            return results
+
+        result = run_spmd(4, body)
+        assert result.results[1] == ["sub-msg"]
+        assert result.results[3] == ["sub-msg", "world-msg"]
+
+    def test_nested_split(self):
+        def body(comm):
+            half = yield from comm.split(comm.rank // 4)       # two halves
+            quarter = yield from half.split(half.rank // 2)    # two quarters
+            total = yield from quarter.allreduce(comm.rank, SUM)
+            return quarter.size, total
+
+        result = run_spmd(8, body)
+        expected_totals = [0 + 1, 0 + 1, 2 + 3, 2 + 3,
+                           4 + 5, 4 + 5, 6 + 7, 6 + 7]
+        assert [r[1] for r in result.results] == expected_totals
+        assert all(r[0] == 2 for r in result.results)
+
+    def test_repeated_splits_get_fresh_contexts(self):
+        def body(comm):
+            first = yield from comm.split(0)
+            second = yield from comm.split(0)
+            assert first._context != second._context
+            a = yield from first.allreduce(1, SUM)
+            b = yield from second.allreduce(2, SUM)
+            return a, b
+
+        result = run_spmd(3, body)
+        assert all(r == (3, 6) for r in result.results)
+
+
+class TestSubCommCollectives:
+    @pytest.mark.parametrize("colors", [2, 3])
+    def test_all_collectives_inside_subcomm(self, colors):
+        def body(comm):
+            sub = yield from comm.split(comm.rank % colors)
+            total = yield from sub.allreduce(comm.rank, SUM)
+            gathered = yield from sub.gather(comm.rank, root=0)
+            yield from sub.barrier()
+            broadcast = yield from sub.bcast(
+                total if sub.rank == 0 else None, root=0)
+            return total, gathered, broadcast
+
+        result = run_spmd(6, body)
+        for rank, (total, gathered, broadcast) in enumerate(result.results):
+            members = [r for r in range(6) if r % colors == rank % colors]
+            assert total == sum(members)
+            assert broadcast == total
+            if rank == members[0]:
+                assert gathered == members
+            else:
+                assert gathered is None
+
+    def test_array_allreduce_in_subcomm(self):
+        def body(comm):
+            sub = yield from comm.split(comm.rank % 2)
+            out = yield from sub.allreduce(np.full(100, float(comm.rank)),
+                                           SUM, algorithm="ring")
+            return float(out[0])
+
+        result = run_spmd(8, body)
+        assert result.results[0] == pytest.approx(0 + 2 + 4 + 6)
+        assert result.results[1] == pytest.approx(1 + 3 + 5 + 7)
+
+
+class TestSubCommValidation:
+    def test_peer_range_is_local(self):
+        def body(comm):
+            sub = yield from comm.split(comm.rank % 2)
+            yield from sub.send(1, 3)  # subcomm only has 2 members
+
+        with pytest.raises(IndexError):
+            run_spmd(4, body)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SubCommunicator(None, [], 0, "ctx")
+        with pytest.raises(ValueError):
+            SubCommunicator(None, [1, 1], 0, "ctx")
+
+    @given(st.integers(min_value=2, max_value=9),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_split_partitions_exactly(self, size, colors):
+        def body(comm):
+            sub = yield from comm.split(comm.rank % colors)
+            members = yield from sub.allgather(comm.rank)
+            return sorted(members)
+
+        result = run_spmd(size, body)
+        for rank, members in enumerate(result.results):
+            assert members == [r for r in range(size)
+                               if r % colors == rank % colors]

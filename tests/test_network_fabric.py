@@ -1,0 +1,195 @@
+"""Fabric transfer timing, contention, and circuit-switching behaviour."""
+
+import pytest
+
+from repro.network import Fabric, SingleSwitchTopology, TorusTopology, get_interconnect
+from repro.sim import Simulator
+
+
+def build_fabric(hosts=4, technology="gigabit_ethernet", **kwargs):
+    sim = Simulator()
+    fabric = Fabric(sim, SingleSwitchTopology(hosts),
+                    get_interconnect(technology), **kwargs)
+    return sim, fabric
+
+
+class TestUncontendedTiming:
+    def test_matches_closed_form(self):
+        sim, fabric = build_fabric()
+
+        def body():
+            end = yield from fabric.transfer(0, 1, 10_000)
+            return end
+
+        result = sim.run_process(body())
+        assert result == pytest.approx(fabric.uncontended_time(0, 1, 10_000))
+
+    def test_self_transfer_is_cheap(self):
+        sim, fabric = build_fabric()
+
+        def body():
+            yield from fabric.transfer(2, 2, 1_000_000)
+            return sim.now
+
+        elapsed = sim.run_process(body())
+        params = fabric.technology.loggp
+        # Far cheaper than the network path for the same size.
+        assert elapsed < fabric.uncontended_time(0, 1, 1_000_000)
+        assert elapsed >= params.overhead
+
+    def test_larger_messages_take_longer(self):
+        _sim, fabric = build_fabric()
+        assert (fabric.uncontended_time(0, 1, 1 << 20)
+                > fabric.uncontended_time(0, 1, 1 << 10))
+
+    def test_multi_hop_charges_hop_latency(self):
+        sim = Simulator()
+        technology = get_interconnect("infiniband_4x")
+        fabric = Fabric(sim, TorusTopology((4, 4)), technology)
+        near = fabric.uncontended_time(0, 1, 0)       # 1 hop
+        far = fabric.uncontended_time(0, 2, 0)        # 2 hops
+        assert far - near == pytest.approx(technology.hop_latency)
+
+    def test_validation(self):
+        sim, fabric = build_fabric()
+
+        def bad_size():
+            yield from fabric.transfer(0, 1, -5)
+
+        with pytest.raises(ValueError):
+            sim.run_process(bad_size())
+
+        def bad_host():
+            yield from fabric.transfer(0, 99, 5)
+
+        with pytest.raises(IndexError):
+            sim.run_process(bad_host())
+
+
+class TestContention:
+    def test_shared_link_serializes(self):
+        """Two large transfers into the same destination share its host
+        link; the second must finish roughly one serialization later."""
+        sim, fabric = build_fabric(contention=True)
+        nbytes = 10_000_000
+        ends = {}
+
+        def sender(name, src):
+            end = yield from fabric.transfer(src, 3, nbytes)
+            ends[name] = end
+
+        sim.process(sender("a", 0))
+        sim.process(sender("b", 1))
+        sim.run()
+        serialization = nbytes * fabric.technology.loggp.gap_per_byte
+        assert abs(ends["a"] - ends["b"]) == pytest.approx(serialization,
+                                                           rel=0.05)
+
+    def test_disjoint_paths_do_not_interfere(self):
+        sim, fabric = build_fabric(hosts=4, contention=True)
+        nbytes = 10_000_000
+        ends = {}
+
+        def sender(name, src, dst):
+            end = yield from fabric.transfer(src, dst, nbytes)
+            ends[name] = end
+
+        sim.process(sender("a", 0, 1))
+        sim.process(sender("b", 2, 3))
+        sim.run()
+        assert ends["a"] == pytest.approx(ends["b"])
+        assert ends["a"] == pytest.approx(fabric.uncontended_time(0, 1, nbytes))
+
+    def test_contention_off_lets_transfers_overlap(self):
+        sim, fabric = build_fabric(contention=False)
+        nbytes = 10_000_000
+        ends = []
+
+        def sender(src):
+            end = yield from fabric.transfer(src, 3, nbytes)
+            ends.append(end)
+
+        sim.process(sender(0))
+        sim.process(sender(1))
+        sim.run()
+        assert ends[0] == pytest.approx(ends[1])
+
+    def test_no_deadlock_under_crossing_traffic(self):
+        """All-pairs simultaneous transfers on a torus complete (the
+        total-order acquisition claim)."""
+        sim = Simulator()
+        fabric = Fabric(sim, TorusTopology((3, 3)),
+                        get_interconnect("infiniband_4x"), contention=True)
+        done = []
+
+        def sender(src, dst):
+            yield from fabric.transfer(src, dst, 100_000)
+            done.append((src, dst))
+
+        for src in range(9):
+            for dst in range(9):
+                if src != dst:
+                    sim.process(sender(src, dst))
+        sim.run()
+        assert len(done) == 72
+
+
+class TestCircuitSwitching:
+    def test_first_transfer_pays_setup(self):
+        sim = Simulator()
+        technology = get_interconnect("optical_circuit")
+        fabric = Fabric(sim, SingleSwitchTopology(4), technology)
+        ends = []
+
+        def body():
+            first = yield from fabric.transfer(0, 1, 1_000)
+            ends.append(first)
+            second = yield from fabric.transfer(0, 1, 1_000)
+            ends.append(second)
+
+        sim.run_process(body())
+        first_duration = ends[0]
+        second_duration = ends[1] - ends[0]
+        assert first_duration - second_duration == pytest.approx(
+            technology.circuit_setup_seconds)
+
+    def test_circuits_are_per_pair(self):
+        sim = Simulator()
+        technology = get_interconnect("optical_circuit")
+        fabric = Fabric(sim, SingleSwitchTopology(4), technology)
+
+        def body():
+            yield from fabric.transfer(0, 1, 0)
+            t_before = sim.now
+            yield from fabric.transfer(0, 2, 0)   # new pair: pays setup
+            return sim.now - t_before
+
+        duration = sim.run_process(body())
+        assert duration >= technology.circuit_setup_seconds
+
+
+class TestAccounting:
+    def test_bytes_and_counts(self):
+        sim, fabric = build_fabric(record_transfers=True)
+
+        def body():
+            yield from fabric.transfer(0, 1, 500)
+            yield from fabric.transfer(1, 2, 700)
+
+        sim.run_process(body())
+        assert fabric.bytes_moved == 1200
+        assert fabric.transfer_count == 2
+        assert len(fabric.records) == 2
+        record = fabric.records[0]
+        assert (record.src, record.dst, record.nbytes) == (0, 1, 500)
+        assert record.duration > 0
+        assert record.hops == 2
+
+    def test_recording_off_by_default(self):
+        sim, fabric = build_fabric()
+
+        def body():
+            yield from fabric.transfer(0, 1, 500)
+
+        sim.run_process(body())
+        assert fabric.records == []

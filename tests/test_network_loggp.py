@@ -1,0 +1,110 @@
+"""LogGP cost model and the interconnect technology catalog."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network import (
+    INTERCONNECTS,
+    LogGPParams,
+    available_interconnects,
+    get_interconnect,
+)
+
+
+def params(latency=10e-6, overhead=1e-6, gap=2e-6, bandwidth=1e8):
+    return LogGPParams(latency=latency, overhead=overhead, gap=gap,
+                       gap_per_byte=1.0 / bandwidth)
+
+
+class TestLogGP:
+    def test_bandwidth_is_reciprocal_gap(self):
+        assert params(bandwidth=2.5e8).bandwidth == pytest.approx(2.5e8)
+
+    def test_zero_byte_message_pays_startup(self):
+        p = params()
+        assert p.message_time(0) == pytest.approx(2e-6 + 10e-6)
+
+    def test_message_time_linear_in_size(self):
+        p = params()
+        small = p.message_time(1_000)
+        large = p.message_time(2_000)
+        assert large - small == pytest.approx(1_000 * p.gap_per_byte)
+
+    def test_effective_bandwidth_approaches_asymptote(self):
+        p = params()
+        assert p.effective_bandwidth(64) < 0.5 * p.bandwidth
+        assert p.effective_bandwidth(100_000_000) > 0.95 * p.bandwidth
+
+    def test_n_half_delivers_half_bandwidth(self):
+        p = params()
+        n_half = p.n_half()
+        assert p.effective_bandwidth(int(n_half)) == pytest.approx(
+            p.bandwidth / 2, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogGPParams(latency=-1, overhead=0, gap=0, gap_per_byte=1e-8)
+        with pytest.raises(ValueError):
+            LogGPParams(latency=0, overhead=0, gap=0, gap_per_byte=0)
+        with pytest.raises(ValueError):
+            params().message_time(-1)
+        with pytest.raises(ValueError):
+            params().effective_bandwidth(0)
+
+    def test_scaled(self):
+        p = params()
+        better = p.scaled(latency_factor=0.5, bandwidth_factor=4.0)
+        assert better.latency == pytest.approx(p.latency / 2)
+        assert better.bandwidth == pytest.approx(p.bandwidth * 4)
+        with pytest.raises(ValueError):
+            p.scaled(latency_factor=0.0)
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=100, deadline=None)
+    def test_message_time_monotone_in_size(self, nbytes):
+        p = params()
+        assert p.message_time(nbytes + 1) >= p.message_time(nbytes)
+
+
+class TestCatalog:
+    def test_expected_technologies_present(self):
+        for name in ("fast_ethernet", "gigabit_ethernet", "myrinet_2000",
+                     "infiniband_1x", "infiniband_4x", "infiniband_12x",
+                     "optical_circuit"):
+            assert name in INTERCONNECTS
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(KeyError, match="infiniband_4x"):
+            get_interconnect("carrier_pigeon")
+
+    def test_generation_ordering(self):
+        """Each IB generation is strictly faster than the last; optics top
+        the bandwidth chart; ethernet brings up the latency rear."""
+        ib1 = get_interconnect("infiniband_1x").loggp
+        ib4 = get_interconnect("infiniband_4x").loggp
+        ib12 = get_interconnect("infiniband_12x").loggp
+        optical = get_interconnect("optical_circuit").loggp
+        feth = get_interconnect("fast_ethernet").loggp
+        assert ib1.bandwidth < ib4.bandwidth < ib12.bandwidth < optical.bandwidth
+        assert feth.latency > ib4.latency
+
+    def test_era_latency_magnitudes(self):
+        """Sanity against published MPI-level numbers of the era."""
+        assert 20e-6 < INTERCONNECTS["gigabit_ethernet"].loggp.message_time(0) < 60e-6
+        assert 3e-6 < INTERCONNECTS["infiniband_4x"].loggp.message_time(0) < 10e-6
+
+    def test_availability_filter(self):
+        names_2000 = {t.name for t in available_interconnects(2000.0)}
+        assert "infiniband_4x" not in names_2000
+        assert "fast_ethernet" in names_2000
+        names_2007 = {t.name for t in available_interconnects(2007.0)}
+        assert names_2007 == set(INTERCONNECTS)
+
+    def test_availability_sorted_by_port_cost(self):
+        techs = available_interconnects(2007.0)
+        costs = [t.cost_per_port for t in techs]
+        assert costs == sorted(costs)
+
+    def test_only_optics_circuit_switched(self):
+        for name, tech in INTERCONNECTS.items():
+            assert tech.is_circuit_switched == (name == "optical_circuit")

@@ -1,0 +1,184 @@
+"""Node specs, memory hierarchies, and the architecture factories."""
+
+import pytest
+
+from repro.nodes import (
+    ARCHITECTURES,
+    BladeEnclosure,
+    MemoryHierarchy,
+    MemoryLevel,
+    NodeSpec,
+    make_blade_node,
+    make_node,
+    make_pim_node,
+    make_soc_node,
+    node_family,
+)
+
+
+def spec_kwargs(**overrides):
+    base = dict(
+        architecture="test", year=2005.0, peak_flops=1e10, sockets=2,
+        cores_per_socket=1, memory_bytes=2 * 2**30, memory_bandwidth=2e9,
+        power_watts=250.0, cost_dollars=3000.0, rack_units=1.0,
+    )
+    base.update(overrides)
+    return base
+
+
+class TestNodeSpec:
+    def test_derived_figures(self):
+        node = NodeSpec(**spec_kwargs())
+        assert node.total_cores == 2
+        assert node.machine_balance == pytest.approx(5.0)
+        assert node.flops_per_watt == pytest.approx(4e7)
+        assert node.flops_per_dollar == pytest.approx(1e10 / 3000)
+        assert node.bytes_per_flops == pytest.approx(2 * 2**30 / 1e10)
+
+    @pytest.mark.parametrize("field", [
+        "peak_flops", "memory_bytes", "memory_bandwidth", "power_watts",
+        "cost_dollars", "rack_units",
+    ])
+    def test_positive_fields_enforced(self, field):
+        with pytest.raises(ValueError):
+            NodeSpec(**spec_kwargs(**{field: 0.0}))
+
+    def test_socket_validation(self):
+        with pytest.raises(ValueError):
+            NodeSpec(**spec_kwargs(sockets=0))
+
+    def test_default_hierarchy_built(self):
+        node = NodeSpec(**spec_kwargs())
+        names = [level.name for level in node.memory.levels]
+        assert names == ["L1", "L2", "DRAM"]
+        assert node.memory.main_memory.bandwidth_bytes == pytest.approx(2e9)
+
+    def test_with_overrides_rebuilds_hierarchy(self):
+        node = NodeSpec(**spec_kwargs())
+        faster = node.with_overrides(memory_bandwidth=8e9)
+        assert faster.memory.main_memory.bandwidth_bytes == pytest.approx(8e9)
+        assert faster.peak_flops == node.peak_flops
+
+
+class TestMemoryHierarchy:
+    def build(self):
+        return MemoryHierarchy(levels=(
+            MemoryLevel("L1", 64e3, 100e9, 1e-9),
+            MemoryLevel("L2", 1e6, 50e9, 5e-9),
+            MemoryLevel("DRAM", 2e9, 2e9, 100e-9),
+        ))
+
+    def test_level_selection_by_working_set(self):
+        hierarchy = self.build()
+        assert hierarchy.level_for(10e3).name == "L1"
+        assert hierarchy.level_for(500e3).name == "L2"
+        assert hierarchy.level_for(1e9).name == "DRAM"
+
+    def test_oversized_working_set_maps_to_dram(self):
+        assert self.build().level_for(1e12).name == "DRAM"
+
+    def test_effective_bandwidth(self):
+        hierarchy = self.build()
+        assert hierarchy.effective_bandwidth(10e3) == pytest.approx(100e9)
+        assert hierarchy.effective_bandwidth(1e9) == pytest.approx(2e9)
+
+    def test_capacity_must_grow(self):
+        with pytest.raises(ValueError, match="grow"):
+            MemoryHierarchy(levels=(
+                MemoryLevel("L1", 1e6, 100e9, 1e-9),
+                MemoryLevel("L2", 1e6, 50e9, 5e-9),
+            ))
+
+    def test_bandwidth_must_shrink(self):
+        with pytest.raises(ValueError, match="slow"):
+            MemoryHierarchy(levels=(
+                MemoryLevel("L1", 64e3, 10e9, 1e-9),
+                MemoryLevel("L2", 1e6, 50e9, 5e-9),
+            ))
+
+    def test_negative_working_set_rejected(self):
+        with pytest.raises(ValueError):
+            self.build().level_for(-1.0)
+
+
+class TestArchitectureFactories:
+    def test_all_architectures_registered(self):
+        assert set(ARCHITECTURES) == {
+            "conventional", "blade", "smp", "soc", "pim"
+        }
+
+    def test_unknown_architecture_lists_options(self, nominal):
+        with pytest.raises(KeyError, match="blade"):
+            make_node("quantum", nominal, 2006)
+
+    @pytest.mark.parametrize("architecture", sorted(ARCHITECTURES))
+    def test_specs_are_positive_and_labeled(self, nominal, architecture):
+        node = make_node(architecture, nominal, 2006)
+        assert node.architecture == architecture
+        assert node.peak_flops > 0 and node.power_watts > 0
+
+    def test_availability_windows(self, nominal):
+        with pytest.raises(ValueError, match="2004"):
+            make_soc_node(nominal, 2003.0)
+        with pytest.raises(ValueError, match="2005"):
+            make_pim_node(nominal, 2004.0)
+
+    def test_node_family_respects_availability(self, nominal):
+        early = {n.architecture for n in node_family(nominal, 2003)}
+        late = {n.architecture for n in node_family(nominal, 2006)}
+        assert "pim" not in early and "soc" not in early
+        assert late == set(ARCHITECTURES)
+
+    def test_pim_bandwidth_dominates(self, nominal):
+        """The PIM premise: order(s)-of-magnitude more memory bandwidth."""
+        family = {n.architecture: n for n in node_family(nominal, 2006)}
+        assert (family["pim"].memory_bandwidth
+                > 10 * family["conventional"].memory_bandwidth)
+        assert family["pim"].peak_flops < family["conventional"].peak_flops
+        assert family["pim"].machine_balance < 1.0
+
+    def test_blade_is_denser_and_cooler(self, nominal):
+        family = {n.architecture: n for n in node_family(nominal, 2006)}
+        assert family["blade"].rack_units < family["conventional"].rack_units
+        assert family["blade"].power_watts < family["conventional"].power_watts
+
+    def test_soc_wins_performance_per_watt(self, nominal):
+        family = {n.architecture: n for n in node_family(nominal, 2006)}
+        assert family["soc"].flops_per_watt > family["conventional"].flops_per_watt
+        assert family["soc"].flops_per_watt > family["smp"].flops_per_watt
+
+    def test_smp_costs_a_premium(self, nominal):
+        family = {n.architecture: n for n in node_family(nominal, 2006)}
+        smp_per_flop = family["smp"].cost_dollars / family["smp"].peak_flops
+        thin_per_flop = (family["conventional"].cost_dollars
+                         / family["conventional"].peak_flops)
+        assert smp_per_flop > 2 * thin_per_flop
+
+    def test_specs_track_roadmap_growth(self, nominal):
+        early = make_node("conventional", nominal, 2003)
+        late = make_node("conventional", nominal, 2009)
+        assert late.peak_flops > 8 * early.peak_flops
+        assert late.cost_dollars == pytest.approx(early.cost_dollars)
+
+
+class TestBladeEnclosure:
+    def test_amortisation(self):
+        enclosure = BladeEnclosure(slots=14, rack_units=7.0,
+                                   chassis_cost_dollars=2800.0,
+                                   overhead_watts=280.0)
+        assert enclosure.rack_units_per_blade == pytest.approx(0.5)
+        assert enclosure.amortised_cost() == pytest.approx(200.0)
+        assert enclosure.amortised_power() == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BladeEnclosure(slots=0)
+        with pytest.raises(ValueError):
+            BladeEnclosure(rack_units=0.0)
+
+    def test_enclosure_shapes_blade_spec(self, nominal):
+        small = BladeEnclosure(slots=7, rack_units=7.0)
+        large = BladeEnclosure(slots=28, rack_units=7.0)
+        dense = make_blade_node(nominal, 2006, enclosure=large)
+        sparse = make_blade_node(nominal, 2006, enclosure=small)
+        assert dense.rack_units < sparse.rack_units

@@ -1,0 +1,140 @@
+"""Roofline model: ridge points, attainable rates, architecture contrasts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nodes import (
+    KernelCharacter,
+    NodeSpec,
+    REFERENCE_KERNELS,
+    RooflineModel,
+    make_node,
+)
+
+
+def flat_node(peak=1e10, bandwidth=2e9):
+    return NodeSpec(
+        architecture="test", year=2005.0, peak_flops=peak, sockets=1,
+        cores_per_socket=1, memory_bytes=2 * 2**30,
+        memory_bandwidth=bandwidth, power_watts=100.0, cost_dollars=1000.0,
+        rack_units=1.0,
+    )
+
+
+class TestKernelCharacter:
+    def test_intensity(self):
+        kernel = KernelCharacter("k", flops=100.0, bytes_moved=50.0)
+        assert kernel.arithmetic_intensity == pytest.approx(2.0)
+
+    def test_from_intensity(self):
+        kernel = KernelCharacter.from_intensity("k", 0.25)
+        assert kernel.arithmetic_intensity == pytest.approx(0.25)
+
+    def test_working_set_defaults_to_traffic(self):
+        kernel = KernelCharacter("k", flops=10.0, bytes_moved=40.0)
+        assert kernel.working_set_bytes == 40.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelCharacter("k", flops=0.0, bytes_moved=1.0)
+        with pytest.raises(ValueError):
+            KernelCharacter.from_intensity("k", -1.0)
+
+    def test_reference_kernels_span_the_ridge(self):
+        intensities = [k.arithmetic_intensity for k in REFERENCE_KERNELS]
+        assert min(intensities) < 0.5 < 8.0 <= max(intensities)
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        model = RooflineModel(flat_node(peak=1e10, bandwidth=2e9))
+        assert model.ridge_point == pytest.approx(5.0)
+
+    def test_memory_bound_below_ridge(self):
+        model = RooflineModel(flat_node())
+        # Big working set so the DRAM roof applies.
+        kernel = KernelCharacter("k", flops=1e9, bytes_moved=1e9,
+                                 working_set_bytes=1e9)
+        assert model.is_memory_bound(kernel)
+        assert model.attainable_flops(kernel) == pytest.approx(2e9)
+
+    def test_compute_bound_above_ridge(self):
+        model = RooflineModel(flat_node())
+        kernel = KernelCharacter("k", flops=1e10, bytes_moved=1e8,
+                                 working_set_bytes=1e9)
+        assert not model.is_memory_bound(kernel)
+        assert model.attainable_flops(kernel) == pytest.approx(1e10)
+
+    def test_cache_resident_kernel_rides_higher_roof(self):
+        node = flat_node()
+        model = RooflineModel(node)
+        streaming = KernelCharacter("s", flops=1e6, bytes_moved=4e6,
+                                    working_set_bytes=1e9)
+        cached = KernelCharacter("c", flops=1e6, bytes_moved=4e6,
+                                 working_set_bytes=8e3)  # fits in L1
+        assert (model.attainable_flops(cached)
+                > model.attainable_flops(streaming))
+
+    def test_execution_time_is_flops_over_attainable(self):
+        model = RooflineModel(flat_node())
+        kernel = KernelCharacter("k", flops=4e9, bytes_moved=4e9,
+                                 working_set_bytes=4e9)
+        expected = 4e9 / model.attainable_flops(kernel)
+        assert model.execution_time(kernel) == pytest.approx(expected)
+
+    def test_attainable_curve_monotone_then_flat(self):
+        model = RooflineModel(flat_node())
+        intensities = np.logspace(-2, 3, 50)
+        curve = model.attainable_curve(intensities)
+        assert np.all(np.diff(curve) >= -1e-9)          # non-decreasing
+        assert curve[-1] == pytest.approx(1e10)          # hits peak
+        assert curve[0] == pytest.approx(intensities[0] * 2e9)
+
+    def test_curve_rejects_nonpositive_intensity(self):
+        model = RooflineModel(flat_node())
+        with pytest.raises(ValueError):
+            model.attainable_curve([0.0, 1.0])
+
+    @given(st.floats(min_value=1e-3, max_value=1e3))
+    @settings(max_examples=100, deadline=None)
+    def test_attainable_never_exceeds_either_roof(self, intensity):
+        node = flat_node()
+        model = RooflineModel(node)
+        kernel = KernelCharacter.from_intensity("k", intensity)
+        attainable = model.attainable_flops(kernel)
+        assert attainable <= node.peak_flops + 1e-6
+        assert attainable <= (intensity * model.bandwidth_for(kernel)
+                              * (1 + 1e-9))
+        assert 0 < model.efficiency(kernel) <= 1.0
+
+
+class TestArchitectureContrast:
+    """The E3/E10 headline shapes, asserted as invariants."""
+
+    def test_pim_wins_left_of_conventional_ridge(self, nominal):
+        pim = RooflineModel(make_node("pim", nominal, 2006))
+        conventional = RooflineModel(make_node("conventional", nominal, 2006))
+        memory_bound = KernelCharacter.from_intensity("triad", 1 / 12,
+                                                      flops=1e9)
+        assert (pim.attainable_flops(memory_bound)
+                > 10 * conventional.attainable_flops(memory_bound))
+
+    def test_conventional_wins_compute_bound(self, nominal):
+        pim = RooflineModel(make_node("pim", nominal, 2006))
+        conventional = RooflineModel(make_node("conventional", nominal, 2006))
+        dgemm = KernelCharacter.from_intensity("dgemm", 32.0, flops=1e9)
+        assert (conventional.attainable_flops(dgemm)
+                > pim.attainable_flops(dgemm))
+
+    def test_crossover_exists_between_ridges(self, nominal):
+        """Somewhere between the two ridge points the winner flips."""
+        pim = RooflineModel(make_node("pim", nominal, 2006))
+        conventional = RooflineModel(make_node("conventional", nominal, 2006))
+        intensities = np.logspace(-2, 2, 200)
+        pim_wins = (pim.attainable_curve(intensities)
+                    > conventional.attainable_curve(intensities))
+        assert pim_wins[0] and not pim_wins[-1]
+        flip = int(np.argmin(pim_wins))
+        crossover = intensities[flip]
+        assert pim.ridge_point / 2 < crossover < conventional.ridge_point * 2

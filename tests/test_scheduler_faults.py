@@ -1,0 +1,170 @@
+"""Fault-aware batch operation: failures, repairs, checkpoint restart."""
+
+import math
+
+import pytest
+
+from repro.scheduler import (
+    FaultyBatchSimulator,
+    Job,
+    WorkloadGenerator,
+    WorkloadParams,
+    get_policy,
+)
+from repro.sim import RandomStreams
+
+YEAR = 365.25 * 86400.0
+
+
+def workload(count=200, nodes=64, load=0.7, seed=3):
+    generator = WorkloadGenerator(
+        WorkloadParams(max_nodes=nodes, offered_load=load),
+        RandomStreams(seed))
+    return generator.generate(count)
+
+
+class TestNoFailureEquivalence:
+    def test_infinite_mtbf_matches_plain_simulator(self):
+        """With failures off, the fault-aware simulator must reproduce
+        the plain simulator's outcome exactly."""
+        from repro.scheduler import BatchSimulator, evaluate_schedule
+
+        jobs = workload()
+        plain = BatchSimulator(64, get_policy("easy")).run(jobs)
+        faulty = FaultyBatchSimulator(64, get_policy("easy"),
+                                      math.inf).run(jobs)
+        assert faulty.failures == 0
+        assert faulty.job_kills == 0
+        assert faulty.lost_node_seconds == 0.0
+        assert len(faulty.completions) == len(jobs)
+        plain_metrics = evaluate_schedule(plain)
+        assert faulty.goodput_utilization == pytest.approx(
+            plain_metrics.utilization, rel=1e-6)
+        for record in plain.records:
+            submit, end = faulty.completions[record.job.job_id]
+            assert end == pytest.approx(record.end_time)
+
+
+class TestFailureSemantics:
+    def test_all_jobs_still_finish(self):
+        result = FaultyBatchSimulator(
+            64, get_policy("easy"), node_mtbf_seconds=0.02 * YEAR,
+            streams=RandomStreams(5)).run(workload())
+        assert len(result.completions) == 200
+        assert result.failures > 0
+
+    def test_goodput_conserved(self):
+        """Total goodput equals total submitted work, failures or not —
+        everything eventually completes and durable work is credited
+        exactly once."""
+        jobs = workload(count=150)
+        total_work = sum(job.node_seconds for job in jobs)
+        for ckpt in (None, 1800.0):
+            result = FaultyBatchSimulator(
+                64, get_policy("easy"), node_mtbf_seconds=0.1 * YEAR,
+                checkpoint_interval=ckpt,
+                streams=RandomStreams(8)).run(jobs)
+            assert result.goodput_node_seconds == pytest.approx(total_work,
+                                                                rel=1e-9)
+
+    def test_failures_extend_responses(self):
+        jobs = workload(count=150)
+        clean = FaultyBatchSimulator(64, get_policy("easy"),
+                                     math.inf).run(jobs)
+        faulty = FaultyBatchSimulator(
+            64, get_policy("easy"), node_mtbf_seconds=0.05 * YEAR,
+            streams=RandomStreams(4)).run(jobs)
+        assert faulty.job_kills > 0
+        assert faulty.mean_response() > clean.mean_response()
+
+    def test_checkpointing_reduces_waste(self):
+        jobs = workload(count=200)
+        outcomes = {}
+        for label, ckpt in (("none", None), ("hourly", 3600.0)):
+            outcomes[label] = FaultyBatchSimulator(
+                64, get_policy("easy"), node_mtbf_seconds=0.02 * YEAR,
+                checkpoint_interval=ckpt,
+                streams=RandomStreams(11)).run(jobs)
+        assert (outcomes["hourly"].lost_node_seconds
+                < outcomes["none"].lost_node_seconds)
+        assert (outcomes["hourly"].waste_fraction
+                < outcomes["none"].waste_fraction)
+
+    def test_lower_mtbf_more_waste(self):
+        jobs = workload(count=150)
+
+        def waste(mtbf):
+            return FaultyBatchSimulator(
+                64, get_policy("easy"), node_mtbf_seconds=mtbf,
+                streams=RandomStreams(13)).run(jobs).waste_fraction
+
+        assert waste(0.02 * YEAR) > waste(0.5 * YEAR)
+
+    def test_wide_jobs_die_more(self):
+        """Kill probability proportional to width: with one huge job and
+        many tiny ones running, the huge one takes most of the hits."""
+        jobs = [Job(0, 0.0, nodes=60, runtime=50_000.0, estimate=60_000.0)]
+        jobs += [Job(i, 0.0, nodes=1, runtime=50_000.0, estimate=60_000.0)
+                 for i in range(1, 5)]
+        result = FaultyBatchSimulator(
+            64, get_policy("fcfs"), node_mtbf_seconds=30_000.0 * 64,
+            checkpoint_interval=10_000.0,
+            streams=RandomStreams(17)).run(jobs)
+        # All jobs complete despite the hostile environment.
+        assert len(result.completions) == 5
+
+    def test_virtual_time_guard(self):
+        """A machine whose MTBF is far below the only job's runtime can
+        never finish without checkpointing — the guard must fire."""
+        job = Job(0, 0.0, nodes=4, runtime=1e6, estimate=1e6)
+        simulator = FaultyBatchSimulator(
+            4, get_policy("fcfs"), node_mtbf_seconds=4e4,  # sys MTBF 1e4
+            repair_seconds=10.0, streams=RandomStreams(23))
+        with pytest.raises(RuntimeError, match="guard|drain"):
+            simulator.run([job], max_virtual_seconds=3e7)
+
+    def test_checkpoint_rescues_impossible_job(self):
+        """The same hopeless job finishes once checkpoint restart keeps
+        its durable progress."""
+        job = Job(0, 0.0, nodes=4, runtime=1e6, estimate=1e6)
+        result = FaultyBatchSimulator(
+            4, get_policy("fcfs"), node_mtbf_seconds=4e4,
+            repair_seconds=10.0, checkpoint_interval=2000.0,
+            streams=RandomStreams(23)).run([job])
+        assert 0 in result.completions
+        assert result.job_kills > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultyBatchSimulator(0, get_policy("fcfs"), 1e6)
+        with pytest.raises(ValueError):
+            FaultyBatchSimulator(4, get_policy("fcfs"), 0.0)
+        with pytest.raises(ValueError):
+            FaultyBatchSimulator(4, get_policy("fcfs"), 1e6,
+                                 checkpoint_interval=0.0)
+        with pytest.raises(ValueError):
+            FaultyBatchSimulator(4, get_policy("fcfs"), 1e6).run([])
+
+
+class TestDegradedScheduling:
+    def test_policies_work_degraded(self):
+        """Every policy keeps functioning while nodes are down (the
+        pseudo-job repair representation)."""
+        jobs = workload(count=100, nodes=32)
+        for policy in ("fcfs", "easy", "conservative", "sjf"):
+            result = FaultyBatchSimulator(
+                32, get_policy(policy), node_mtbf_seconds=0.05 * YEAR,
+                repair_seconds=7200.0,
+                streams=RandomStreams(29)).run(jobs)
+            assert len(result.completions) == 100
+
+    def test_full_width_job_waits_for_repair(self):
+        """A job needing the whole machine must wait out a repair window
+        rather than deadlock or overcommit."""
+        jobs = [Job(0, 0.0, nodes=8, runtime=5000.0, estimate=5000.0),
+                Job(1, 100.0, nodes=8, runtime=5000.0, estimate=5000.0)]
+        result = FaultyBatchSimulator(
+            8, get_policy("easy"), node_mtbf_seconds=8 * 2000.0,
+            repair_seconds=3600.0, checkpoint_interval=500.0,
+            streams=RandomStreams(31)).run(jobs)
+        assert set(result.completions) == {0, 1}

@@ -1,0 +1,217 @@
+"""Policy semantics and the end-to-end batch simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scheduler import (
+    BatchSimulator,
+    ConservativeBackfill,
+    EasyBackfill,
+    FcfsPolicy,
+    Job,
+    JobState,
+    SjfPolicy,
+    WorkloadGenerator,
+    WorkloadParams,
+    evaluate_schedule,
+    get_policy,
+)
+from repro.sim import RandomStreams
+
+
+def J(job_id, submit, nodes, runtime, estimate=None):
+    return Job(job_id=job_id, submit_time=submit, nodes=nodes,
+               runtime=runtime, estimate=estimate or runtime)
+
+
+def run(policy, jobs, nodes=10):
+    return BatchSimulator(nodes, policy).run(jobs)
+
+
+def starts(result):
+    return {r.job.job_id: r.start_time for r in result.records}
+
+
+class TestFcfs:
+    def test_head_blocks_queue(self):
+        """FCFS: a wide head job blocks a narrow one behind it even though
+        the narrow one would fit — the defining (bad) behaviour."""
+        jobs = [
+            J(0, 0.0, nodes=8, runtime=100.0),
+            J(1, 1.0, nodes=8, runtime=10.0),   # blocked behind 0
+            J(2, 2.0, nodes=2, runtime=10.0),   # would fit but must wait
+        ]
+        result = run(FcfsPolicy(), jobs)
+        s = starts(result)
+        assert s[0] == 0.0
+        assert s[1] == pytest.approx(100.0)
+        assert s[2] >= s[1]  # never passes job 1
+
+    def test_parallel_starts_when_room(self):
+        jobs = [J(0, 0.0, 4, 50.0), J(1, 0.0, 4, 50.0), J(2, 0.0, 2, 50.0)]
+        result = run(FcfsPolicy(), jobs)
+        assert all(t == 0.0 for t in starts(result).values())
+
+
+class TestEasyBackfill:
+    def test_backfills_around_blocked_head(self):
+        jobs = [
+            J(0, 0.0, nodes=8, runtime=100.0),
+            J(1, 1.0, nodes=8, runtime=50.0),    # blocked head: shadow=100
+            J(2, 2.0, nodes=2, runtime=10.0),    # fits now, ends by shadow
+        ]
+        result = run(EasyBackfill(), jobs)
+        s = starts(result)
+        assert s[2] == pytest.approx(2.0)        # backfilled
+        assert s[1] == pytest.approx(100.0)      # not delayed
+
+    def test_backfill_never_delays_head(self):
+        """A backfill candidate that would overrun the shadow time and eat
+        reserved nodes must not start."""
+        jobs = [
+            J(0, 0.0, nodes=8, runtime=100.0),
+            J(1, 1.0, nodes=10, runtime=50.0),   # head needs whole machine
+            J(2, 2.0, nodes=2, runtime=500.0),   # too long, uses head nodes
+        ]
+        result = run(EasyBackfill(), jobs)
+        s = starts(result)
+        assert s[1] == pytest.approx(100.0)      # head on time
+        assert s[2] >= 100.0                      # candidate was refused
+
+    def test_spare_node_backfill(self):
+        """A long narrow job may backfill if it fits in nodes the head
+        will not need at its shadow time."""
+        jobs = [
+            J(0, 0.0, nodes=6, runtime=100.0),
+            J(1, 1.0, nodes=6, runtime=50.0),    # shadow=100, spare=4-?...
+            J(2, 2.0, nodes=3, runtime=1000.0),  # 3 <= spare nodes: ok
+        ]
+        result = run(EasyBackfill(), jobs)
+        s = starts(result)
+        assert s[2] == pytest.approx(2.0)
+        assert s[1] == pytest.approx(100.0)
+
+
+class TestConservativeBackfill:
+    def test_backfill_cannot_delay_anyone(self):
+        """Conservative refuses a backfill that would delay job 2's
+        reservation, where EASY would allow it."""
+        jobs = [
+            J(0, 0.0, nodes=8, runtime=100.0),
+            J(1, 1.0, nodes=10, runtime=10.0),    # reserved at 100
+            J(2, 2.0, nodes=4, runtime=10.0),     # reserved at 110
+            J(3, 3.0, nodes=2, runtime=300.0),    # would delay 2's slot
+        ]
+        conservative = run(ConservativeBackfill(), jobs)
+        s = starts(conservative)
+        assert s[1] == pytest.approx(100.0)
+        assert s[2] == pytest.approx(110.0)
+        # Job 3 fits beside job 2 at 110 (4+2 <= 10) but not before.
+        assert s[3] >= 100.0
+
+    def test_simple_backfill_still_happens(self):
+        jobs = [
+            J(0, 0.0, nodes=8, runtime=100.0),
+            J(1, 1.0, nodes=8, runtime=50.0),
+            J(2, 2.0, nodes=2, runtime=10.0),    # harmless: backfills
+        ]
+        result = run(ConservativeBackfill(), jobs)
+        assert starts(result)[2] == pytest.approx(2.0)
+
+
+class TestSjf:
+    def test_shortest_first(self):
+        jobs = [
+            J(0, 0.0, nodes=10, runtime=100.0),
+            J(1, 1.0, nodes=10, runtime=50.0),
+            J(2, 2.0, nodes=10, runtime=10.0),
+        ]
+        result = run(SjfPolicy(), jobs)
+        s = starts(result)
+        assert s[2] < s[1]  # short job jumps the queue
+
+
+class TestSimulatorInvariants:
+    def make_workload(self, count=400, load=0.8, nodes=64):
+        generator = WorkloadGenerator(
+            WorkloadParams(max_nodes=nodes, offered_load=load),
+            RandomStreams(seed=3))
+        return generator.generate(count)
+
+    @pytest.mark.parametrize("policy_name",
+                             ["fcfs", "sjf", "easy", "conservative"])
+    def test_conservation_laws(self, policy_name):
+        """No job lost, none started early, all run exactly runtime."""
+        jobs = self.make_workload()
+        result = BatchSimulator(64, get_policy(policy_name)).run(jobs)
+        assert len(result.records) == len(jobs)
+        for record in result.records:
+            assert record.state is JobState.FINISHED
+            assert record.start_time >= record.job.submit_time
+            assert record.end_time == pytest.approx(
+                record.start_time + record.job.runtime)
+
+    @pytest.mark.parametrize("policy_name",
+                             ["fcfs", "sjf", "easy", "conservative"])
+    def test_capacity_never_exceeded(self, policy_name):
+        """Reconstruct the allocation timeline and check the machine is
+        never oversubscribed."""
+        jobs = self.make_workload(count=200)
+        result = BatchSimulator(64, get_policy(policy_name)).run(jobs)
+        events = []
+        for record in result.records:
+            events.append((record.start_time, record.job.nodes))
+            events.append((record.end_time, -record.job.nodes))
+        events.sort()
+        in_use = 0
+        peak = 0
+        for _time, delta in events:
+            in_use += delta
+            peak = max(peak, in_use)
+        assert peak <= 64
+        assert in_use == 0
+
+    def test_backfilling_beats_fcfs(self):
+        """The headline E7 shape: EASY/conservative beat FCFS on both
+        utilization and slowdown at high load."""
+        jobs = self.make_workload(count=800, load=0.85)
+        metrics = {}
+        for name in ("fcfs", "easy", "conservative"):
+            result = BatchSimulator(64, get_policy(name)).run(jobs)
+            metrics[name] = evaluate_schedule(result)
+        assert metrics["easy"].utilization > metrics["fcfs"].utilization
+        assert (metrics["easy"].mean_bounded_slowdown
+                < metrics["fcfs"].mean_bounded_slowdown / 2)
+        assert (metrics["conservative"].utilization
+                > metrics["fcfs"].utilization)
+
+    def test_oversized_job_rejected(self):
+        with pytest.raises(ValueError, match="machine has"):
+            BatchSimulator(4, FcfsPolicy()).run([J(0, 0.0, 8, 10.0)])
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            BatchSimulator(4, FcfsPolicy()).run([])
+
+    def test_metrics_row(self):
+        jobs = self.make_workload(count=50)
+        result = BatchSimulator(64, FcfsPolicy()).run(jobs)
+        row = evaluate_schedule(result).row()
+        assert row["jobs"] == 50
+        assert 0 < row["utilization"] <= 1.0
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_policies_agree_under_no_contention(self, seed):
+        """With a machine big enough for everything at once, every policy
+        starts every job at its arrival — they can only differ under
+        scarcity."""
+        generator = WorkloadGenerator(
+            WorkloadParams(max_nodes=8, offered_load=0.5),
+            RandomStreams(seed=seed))
+        jobs = generator.generate(30)
+        for name in ("fcfs", "sjf", "easy", "conservative"):
+            result = BatchSimulator(8 * 30, get_policy(name)).run(jobs)
+            for record in result.records:
+                assert record.start_time == pytest.approx(
+                    record.job.submit_time)

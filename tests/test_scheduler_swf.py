@@ -1,0 +1,105 @@
+"""SWF trace import/export."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scheduler import BatchSimulator, WorkloadGenerator, WorkloadParams, get_policy
+from repro.scheduler.swf import dump_swf, format_swf, load_swf, parse_swf
+from repro.sim import RandomStreams
+
+#: A tiny hand-written trace in the archive's style.
+SAMPLE = """\
+; Sample trace
+; MaxProcs: 64
+; UnixStartTime: 0
+1 0 5 120 8 -1 -1 8 300 -1 1 1 1 1 -1 -1 -1 -1
+2 30 -1 600 16 -1 -1 16 900 -1 1 2 1 1 -1 -1 -1 -1
+3 60 -1 -1 4 -1 -1 4 100 -1 0 3 1 1 -1 -1 -1 -1
+4 90 -1 45 1 -1 -1 1 -1 -1 1 4 1 1 -1 -1 -1 -1
+"""
+
+
+class TestParse:
+    def test_parses_valid_jobs(self):
+        jobs = parse_swf(SAMPLE)
+        # Job 3 has unknown runtime (-1) and is skipped.
+        assert [job.job_id for job in jobs] == [1, 2, 4]
+
+    def test_field_mapping(self):
+        job = parse_swf(SAMPLE)[0]
+        assert job.submit_time == 0.0
+        assert job.runtime == 120.0
+        assert job.nodes == 8
+        assert job.estimate == 300.0
+
+    def test_missing_estimate_falls_back_to_runtime(self):
+        job = next(j for j in parse_swf(SAMPLE) if j.job_id == 4)
+        assert job.estimate == job.runtime == 45.0
+
+    def test_comments_and_blanks_ignored(self):
+        jobs = parse_swf(";only comments\n\n; more\n")
+        assert jobs == []
+
+    def test_sorted_by_submit(self):
+        shuffled = "\n".join(reversed(SAMPLE.splitlines()))
+        jobs = parse_swf(shuffled)
+        submits = [job.submit_time for job in jobs]
+        assert submits == sorted(submits)
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError, match="expected 18"):
+            parse_swf("1 2 3\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_swf("x " + " ".join(["-1"] * 17) + "\n")
+
+
+class TestRoundTrip:
+    def test_format_then_parse_preserves_jobs(self, streams):
+        generator = WorkloadGenerator(
+            WorkloadParams(max_nodes=32, offered_load=0.5), streams)
+        original = generator.generate(50)
+        recovered = parse_swf(format_swf(original, max_nodes=32))
+        assert len(recovered) == 50
+        for before, after in zip(original, recovered):
+            assert after.job_id == before.job_id
+            assert after.nodes == before.nodes
+            # Times are rounded to whole seconds on export.
+            assert after.submit_time == pytest.approx(before.submit_time,
+                                                      abs=0.5)
+            assert after.runtime == pytest.approx(before.runtime, abs=0.5)
+
+    def test_stream_io(self, streams):
+        generator = WorkloadGenerator(
+            WorkloadParams(max_nodes=16, offered_load=0.5), streams)
+        jobs = generator.generate(10)
+        buffer = io.StringIO()
+        dump_swf(jobs, buffer, max_nodes=16, comment="round trip")
+        buffer.seek(0)
+        assert len(load_swf(buffer)) == 10
+
+    def test_file_io(self, streams, tmp_path):
+        generator = WorkloadGenerator(
+            WorkloadParams(max_nodes=16, offered_load=0.5), streams)
+        jobs = generator.generate(10)
+        path = str(tmp_path / "trace.swf")
+        dump_swf(jobs, path, max_nodes=16)
+        assert len(load_swf(path)) == 10
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_any_size(self, count):
+        generator = WorkloadGenerator(
+            WorkloadParams(max_nodes=64, offered_load=0.7),
+            RandomStreams(seed=count))
+        jobs = generator.generate(count)
+        assert len(parse_swf(format_swf(jobs))) == count
+
+
+class TestEndToEnd:
+    def test_imported_trace_schedules(self):
+        """A trace loaded from SWF runs through the batch simulator."""
+        jobs = parse_swf(SAMPLE)
+        result = BatchSimulator(64, get_policy("easy")).run(jobs)
+        assert len(result.records) == 3

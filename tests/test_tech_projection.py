@@ -1,0 +1,141 @@
+"""Projection primitives: forward evaluation and inversion."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tech import ExponentialProjection, PiecewiseProjection
+
+
+class TestExponential:
+    def test_anchor_value(self):
+        projection = ExponentialProjection(2002, 10.0, 0.5)
+        assert projection.value(2002) == pytest.approx(10.0)
+
+    def test_doubling(self):
+        projection = ExponentialProjection.from_doubling_time(2002, 8.0, 1.5)
+        assert projection.value(2003.5) == pytest.approx(16.0)
+        assert projection.value(2005.0) == pytest.approx(32.0)
+        assert projection.doubling_time() == pytest.approx(1.5)
+
+    def test_backwards_extrapolation(self):
+        projection = ExponentialProjection.from_doubling_time(2002, 8.0, 2.0)
+        assert projection.value(2000.0) == pytest.approx(4.0)
+
+    def test_decline(self):
+        projection = ExponentialProjection(2002, 100.0, -0.5)
+        assert projection.value(2003) == pytest.approx(50.0)
+
+    def test_vectorised_over_years(self):
+        projection = ExponentialProjection(2002, 1.0, 1.0)
+        values = projection.value(np.array([2002.0, 2003.0, 2004.0]))
+        assert np.allclose(values, [1.0, 2.0, 4.0])
+
+    def test_year_reaching_forward(self):
+        projection = ExponentialProjection.from_doubling_time(2002, 1.0, 1.0)
+        assert projection.year_reaching(8.0) == pytest.approx(2005.0)
+
+    def test_year_reaching_for_decline(self):
+        projection = ExponentialProjection(2002, 100.0, -0.5)
+        assert projection.year_reaching(25.0) == pytest.approx(2004.0)
+
+    def test_year_reaching_anchor(self):
+        projection = ExponentialProjection(2002, 5.0, 0.3)
+        assert projection.year_reaching(5.0) == 2002
+
+    def test_flat_projection_cannot_invert(self):
+        projection = ExponentialProjection(2002, 5.0, 0.0)
+        with pytest.raises(ValueError):
+            projection.year_reaching(10.0)
+
+    def test_through_points(self):
+        projection = ExponentialProjection.through_points(2000, 2.0, 2004, 32.0)
+        assert projection.value(2002) == pytest.approx(8.0)
+
+    def test_scaled_preserves_growth(self):
+        base = ExponentialProjection(2002, 10.0, 0.4)
+        scaled = base.scaled(0.5)
+        assert scaled.value(2002) == pytest.approx(5.0)
+        assert scaled.cagr == base.cagr
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialProjection(2002, -1.0, 0.5)
+        with pytest.raises(ValueError):
+            ExponentialProjection(2002, 1.0, -1.0)
+        with pytest.raises(ValueError):
+            ExponentialProjection.from_doubling_time(2002, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            ExponentialProjection.through_points(2002, 1.0, 2002, 2.0)
+
+    @given(
+        st.floats(min_value=0.01, max_value=1e6),
+        st.floats(min_value=-0.5, max_value=2.0),
+        st.floats(min_value=-10.0, max_value=10.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_inversion(self, base_value, cagr, offset):
+        """value(year_reaching(v)) == v wherever inversion is defined."""
+        if abs(cagr) < 1e-6:
+            return
+        projection = ExponentialProjection(2002, base_value, cagr)
+        target = projection.value(2002 + offset)
+        year = projection.year_reaching(target)
+        assert year == pytest.approx(2002 + offset, abs=1e-6)
+
+
+class TestPiecewise:
+    def build(self):
+        # 100%/yr until 2005, flat until 2008, then -20%/yr.
+        return PiecewiseProjection(2002, 1.0, segments=[
+            (2005.0, 1.0), (2008.0, 0.0), (math.inf, -0.2),
+        ])
+
+    def test_continuity_at_breakpoints(self):
+        projection = self.build()
+        for breakpoint in (2005.0, 2008.0):
+            below = projection.value(breakpoint - 1e-9)
+            above = projection.value(breakpoint + 1e-9)
+            assert below == pytest.approx(above, rel=1e-6)
+
+    def test_segment_values(self):
+        projection = self.build()
+        assert projection.value(2003) == pytest.approx(2.0)
+        assert projection.value(2005) == pytest.approx(8.0)
+        assert projection.value(2007) == pytest.approx(8.0)   # flat era
+        assert projection.value(2009) == pytest.approx(8.0 * 0.8)
+
+    def test_vectorised(self):
+        projection = self.build()
+        values = projection.value(np.array([2003.0, 2009.0]))
+        assert values[0] == pytest.approx(2.0)
+
+    def test_year_reaching_in_first_segment(self):
+        projection = self.build()
+        assert projection.year_reaching(4.0) == pytest.approx(2004.0)
+
+    def test_year_reaching_in_declining_tail(self):
+        # Values below the anchor (1.0) are only ever reached in the
+        # declining tail, never during growth.
+        projection = self.build()
+        year = projection.year_reaching(0.5)
+        assert year > 2008.0
+        assert projection.value(year) == pytest.approx(0.5)
+
+    def test_unreachable_raises(self):
+        projection = self.build()
+        with pytest.raises(ValueError):
+            projection.year_reaching(1000.0)  # growth stopped at 8
+
+    def test_backwards_extrapolation_uses_first_segment(self):
+        projection = self.build()
+        assert projection.value(2001.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseProjection(2002, 1.0, segments=[])
+        with pytest.raises(ValueError):
+            PiecewiseProjection(2002, 1.0,
+                                segments=[(2005.0, 0.5), (2004.0, 0.5)])

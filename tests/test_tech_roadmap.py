@@ -1,0 +1,111 @@
+"""Roadmap scenarios: anchors, derived curves, scenario ordering."""
+
+import pytest
+
+from repro.tech import BASE_YEAR, SCENARIOS, get_scenario, technology_curve
+from repro.tech.roadmap import ANCHORS_2002, TechnologyRoadmap
+
+
+class TestAnchors:
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_every_scenario_agrees_at_base_year(self, scenario):
+        """All scenarios share the 2002 operating point; they only differ
+        in growth rates."""
+        roadmap = get_scenario(scenario)
+        for quantity, anchor in ANCHORS_2002.items():
+            assert roadmap.value(quantity, BASE_YEAR) == pytest.approx(anchor)
+
+    def test_2002_node_is_dual_xeon_class(self):
+        roadmap = get_scenario("nominal")
+        assert roadmap.value("node_peak_flops", BASE_YEAR) == pytest.approx(9.6e9)
+        assert roadmap.value("node_cost_dollars", BASE_YEAR) == 3000.0
+
+
+class TestScenarioOrdering:
+    def test_aggressive_beats_nominal_beats_conservative(self):
+        """The defining property of the scenario family."""
+        year = 2008.0
+        conservative = get_scenario("conservative")
+        nominal = get_scenario("nominal")
+        aggressive = get_scenario("aggressive")
+        for roadmaps in [(conservative, nominal), (nominal, aggressive)]:
+            low, high = roadmaps
+            assert (low.value("node_peak_flops", year)
+                    < high.value("node_peak_flops", year))
+            assert (low.value("link_bandwidth_bytes", year)
+                    < high.value("link_bandwidth_bytes", year))
+
+    def test_latency_improves_in_every_scenario(self):
+        for name in SCENARIOS:
+            roadmap = get_scenario(name)
+            assert (roadmap.value("link_latency_seconds", 2008)
+                    < roadmap.value("link_latency_seconds", 2003))
+
+    def test_conservative_density_stalls_after_2007(self):
+        roadmap = get_scenario("conservative")
+        assert roadmap.value("node_size_rack_units", 2009) == pytest.approx(
+            roadmap.value("node_size_rack_units", 2007.5))
+
+
+class TestDerivedCurves:
+    def test_dollars_per_flops_falls(self, nominal):
+        assert nominal.dollars_per_flops(2008) < nominal.dollars_per_flops(2003)
+
+    def test_watts_per_flops_falls(self, nominal):
+        assert nominal.watts_per_flops(2008) < nominal.watts_per_flops(2003)
+
+    def test_machine_balance_worsens(self, nominal):
+        """Memory bandwidth lags flops: bytes/flops shrinks — the memory
+        wall that motivates PIM."""
+        assert nominal.bytes_per_flops(2008) < nominal.bytes_per_flops(2003)
+
+    def test_density_improves(self, nominal):
+        assert nominal.flops_per_rack_unit(2008) > nominal.flops_per_rack_unit(2003)
+
+
+class TestPetaflopsArithmetic:
+    def test_year_of_cluster_peak_monotone_in_node_count(self, nominal):
+        sooner = nominal.year_of_cluster_peak(1e15, 50_000)
+        later = nominal.year_of_cluster_peak(1e15, 10_000)
+        assert sooner < later
+
+    def test_petaflops_lands_mid_decade_for_large_machines(self, nominal):
+        """25k nodes reach 1 PFLOPS peak somewhere in 2004-2010 under the
+        18-month cadence — the keynote's 'this decade' claim."""
+        year = nominal.year_of_cluster_peak(1e15, 25_000)
+        assert 2004.0 < year < 2010.0
+
+    def test_affordable_nodes_scale_with_budget(self, nominal):
+        small = nominal.affordable_nodes(1e6, 2005)
+        large = nominal.affordable_nodes(1e7, 2005)
+        assert 9 <= large / max(small, 1) <= 11
+
+    def test_affordable_nodes_validation(self, nominal):
+        with pytest.raises(ValueError):
+            nominal.affordable_nodes(-5.0, 2005)
+        with pytest.raises(ValueError):
+            nominal.year_of_cluster_peak(1e15, 0)
+
+
+class TestRoadmapContract:
+    def test_unknown_scenario_lists_options(self):
+        with pytest.raises(KeyError, match="nominal"):
+            get_scenario("wildly_optimistic")
+
+    def test_unknown_quantity_lists_options(self, nominal):
+        with pytest.raises(KeyError, match="node_peak_flops"):
+            nominal.quantity("node_speed")
+
+    def test_missing_projection_rejected(self, nominal):
+        with pytest.raises(ValueError, match="missing"):
+            TechnologyRoadmap(name="broken", projections={})
+
+    def test_curve_helper_matches_roadmap(self, nominal):
+        years = [2003.0, 2005.0, 2007.0]
+        curve = technology_curve(nominal, "node_peak_flops", years)
+        for year, value in zip(years, curve):
+            assert value == pytest.approx(nominal.value("node_peak_flops", year))
+
+    def test_derived_curve_by_name(self, nominal):
+        curve = technology_curve(nominal, "dollars_per_flops", [2004.0])
+        assert curve[0] == pytest.approx(nominal.dollars_per_flops(2004.0))
