@@ -7,6 +7,7 @@
     python -m repro design --budget 25e6 --year 2006 [--arch blade]
     python -m repro interconnects [--year 2006]
     python -m repro faults --nodes 10000 [--checkpoint 300]
+    python -m repro lint [--format text|json] [--baseline FILE]
 
 Each subcommand prints one of the library's standard tables; the full
 experiment suite lives in ``benchmarks/`` (pytest-benchmark).
@@ -25,6 +26,8 @@ from repro.network import available_interconnects
 from repro.nodes import node_family
 from repro.tech import SCENARIOS, get_scenario
 from repro.units import (
+    GIGA,
+    MEGA,
     format_bytes,
     format_dollars,
     format_flops,
@@ -32,13 +35,15 @@ from repro.units import (
     format_time,
 )
 
+__all__ = ["build_parser", "main"]
+
 
 def _parse_years(text: str):
     start, _, end = text.partition(":")
     return float(start), float(end or start)
 
 
-def cmd_roadmap(args: argparse.Namespace) -> int:
+def _cmd_roadmap(args: argparse.Namespace) -> int:
     roadmap = get_scenario(args.scenario)
     start, end = _parse_years(args.years)
     table = Table(["year", "peak/node", "DRAM/node", "$/GFLOPS",
@@ -52,15 +57,15 @@ def cmd_roadmap(args: argparse.Namespace) -> int:
             year,
             format_flops(roadmap.value("node_peak_flops", year)),
             format_bytes(roadmap.value("node_memory_bytes", year)),
-            roadmap.dollars_per_flops(year) * 1e9,
-            roadmap.watts_per_flops(year) * 1e9,
+            roadmap.dollars_per_flops(year) * GIGA,
+            roadmap.watts_per_flops(year) * GIGA,
         ])
         year += 1.0
     print(table.render())
     return 0
 
 
-def cmd_nodes(args: argparse.Namespace) -> int:
+def _cmd_nodes(args: argparse.Namespace) -> int:
     roadmap = get_scenario(args.scenario)
     table = Table(["arch", "peak", "DRAM", "balance F/B", "W", "$",
                    "rack-U"],
@@ -76,7 +81,7 @@ def cmd_nodes(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_design(args: argparse.Namespace) -> int:
+def _cmd_design(args: argparse.Namespace) -> int:
     roadmap = get_scenario(args.scenario)
     spec = design_to_budget(args.budget, roadmap, args.year, args.arch)
     metrics = cluster_metrics(spec)
@@ -93,21 +98,21 @@ def cmd_design(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_interconnects(args: argparse.Namespace) -> int:
+def _cmd_interconnects(args: argparse.Namespace) -> int:
     table = Table(["name", "bandwidth", "0B latency", "$/port"],
                   formats={"$/port": "{:.0f}"},
                   title=f"purchasable in {args.year:g}")
     for technology in available_interconnects(args.year):
         params = technology.loggp
         table.add_row([technology.name,
-                       f"{params.bandwidth / 1e6:.0f} MB/s",
+                       f"{params.bandwidth / MEGA:.0f} MB/s",
                        format_time(params.message_time(0)),
                        technology.cost_per_port])
     print(table.render())
     return 0
 
 
-def cmd_faults(args: argparse.Namespace) -> int:
+def _cmd_faults(args: argparse.Namespace) -> int:
     mtbf = system_mtbf(args.node_mtbf_years * 365.25 * 86400, args.nodes)
     params = CheckpointParams(args.checkpoint, args.restart, mtbf)
     tau = daly_interval(params)
@@ -121,7 +126,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_fabrics(args: argparse.Namespace) -> int:
+def _cmd_fabrics(args: argparse.Namespace) -> int:
     """Price the fabric design alternatives for a host count."""
     from repro.network import compare_fabrics, get_interconnect
 
@@ -140,7 +145,7 @@ def cmd_fabrics(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_fleet(args: argparse.Namespace) -> int:
+def _cmd_fleet(args: argparse.Namespace) -> int:
     """Compare rolling vs forklift procurement over a span."""
     from repro.cluster import simulate_fleet, time_averaged_peak
 
@@ -165,6 +170,13 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the AST-based invariant checker (see ``repro.lint``)."""
+    from repro.lint import cli as lint_cli
+
+    return lint_cli.run(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -177,13 +189,13 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=sorted(SCENARIOS))
     roadmap.add_argument("--years", default="2003:2010",
                          help="start:end, e.g. 2003:2010")
-    roadmap.set_defaults(func=cmd_roadmap)
+    roadmap.set_defaults(func=_cmd_roadmap)
 
     nodes = sub.add_parser("nodes", help="node architecture table")
     nodes.add_argument("--year", type=float, default=2006.0)
     nodes.add_argument("--scenario", default="nominal",
                        choices=sorted(SCENARIOS))
-    nodes.set_defaults(func=cmd_nodes)
+    nodes.set_defaults(func=_cmd_nodes)
 
     design = sub.add_parser("design", help="budget-sized cluster")
     design.add_argument("--budget", type=float, required=True)
@@ -191,17 +203,17 @@ def build_parser() -> argparse.ArgumentParser:
     design.add_argument("--arch", default="conventional")
     design.add_argument("--scenario", default="nominal",
                         choices=sorted(SCENARIOS))
-    design.set_defaults(func=cmd_design)
+    design.set_defaults(func=_cmd_design)
 
     interconnects = sub.add_parser("interconnects",
                                    help="interconnect catalog")
     interconnects.add_argument("--year", type=float, default=2006.0)
-    interconnects.set_defaults(func=cmd_interconnects)
+    interconnects.set_defaults(func=_cmd_interconnects)
 
     fabrics = sub.add_parser("fabrics", help="price fabric designs")
     fabrics.add_argument("--hosts", type=int, required=True)
     fabrics.add_argument("--technology", default="infiniband_4x")
-    fabrics.set_defaults(func=cmd_fabrics)
+    fabrics.set_defaults(func=_cmd_fabrics)
 
     fleet = sub.add_parser("fleet", help="procurement strategy comparison")
     fleet.add_argument("--annual-budget", type=float, default=2e6)
@@ -209,14 +221,21 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--end", type=float, default=2010.0)
     fleet.add_argument("--scenario", default="nominal",
                        choices=sorted(SCENARIOS))
-    fleet.set_defaults(func=cmd_fleet)
+    fleet.set_defaults(func=_cmd_fleet)
+
+    lint = sub.add_parser("lint",
+                          help="check determinism/units/API invariants")
+    from repro.lint import cli as lint_cli
+
+    lint_cli.add_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     faults = sub.add_parser("faults", help="reliability at a scale")
     faults.add_argument("--nodes", type=int, required=True)
     faults.add_argument("--node-mtbf-years", type=float, default=3.0)
     faults.add_argument("--checkpoint", type=float, default=300.0)
     faults.add_argument("--restart", type=float, default=600.0)
-    faults.set_defaults(func=cmd_faults)
+    faults.set_defaults(func=_cmd_faults)
 
     return parser
 

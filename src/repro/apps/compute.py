@@ -14,12 +14,13 @@ from typing import Optional
 
 from repro.nodes.base import NodeSpec
 from repro.nodes.roofline import KernelCharacter, RooflineModel
+from repro.units import GIGA
 
 __all__ = ["ComputeCharge"]
 
 #: Default effective rate when no node spec is given: a deliberately
 #: round 1 GFLOPS sustained, typical of a 2002 node on real code.
-_DEFAULT_EFFECTIVE_FLOPS = 1e9
+_DEFAULT_EFFECTIVE_FLOPS = GIGA
 
 
 class ComputeCharge:

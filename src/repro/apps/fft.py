@@ -20,8 +20,12 @@ import numpy as np
 from repro.apps.compute import ComputeCharge
 from repro.messaging.comm import Communicator
 from repro.messaging.program import SpmdResult, run_spmd
+from repro.sim.rng import RandomStreams
 
 __all__ = ["FftResult", "run_fft2d"]
+
+#: Stream name every rank derives the (identical) input matrix from.
+_INPUT_STREAM = "apps.fft.input"
 
 
 @dataclass(frozen=True)
@@ -61,13 +65,15 @@ def _transpose_distributed(comm: Communicator, local: np.ndarray,
     return stacked.T.copy()                  # (my_cols, n) = my transposed rows
 
 
-def _fft_rank(comm: Communicator, n: int, charge: ComputeCharge, seed: int):
+def _fft_rank(comm: Communicator, n: int, charge: ComputeCharge,
+              streams: RandomStreams):
     size, rank = comm.size, comm.rank
     bounds = _block_bounds(n, size)
     my_rows = bounds[rank + 1] - bounds[rank]
 
-    # Deterministic input: every rank derives its rows of the global matrix.
-    rng = np.random.default_rng(seed)
+    # Deterministic input: every rank derives its rows of the global
+    # matrix from a fresh (uncached) copy of the same named stream.
+    rng = streams.fresh(_INPUT_STREAM)
     full_input = rng.standard_normal((n, n))
     local = full_input[bounds[rank]:bounds[rank + 1], :].astype(complex)
 
@@ -97,12 +103,19 @@ def _fft_rank(comm: Communicator, n: int, charge: ComputeCharge, seed: int):
 
 
 def run_fft2d(ranks: int, n: int, charge: Optional[ComputeCharge] = None,
-              seed: int = 0, **spmd_kwargs) -> FftResult:
-    """Distributed 2D FFT of a seeded random n×n matrix."""
+              seed: int = 0, streams: Optional[RandomStreams] = None,
+              **spmd_kwargs) -> FftResult:
+    """Distributed 2D FFT of a seeded random n×n matrix.
+
+    The input matrix is drawn from the ``apps.fft.input`` stream of
+    ``streams`` (default: ``RandomStreams(seed)``), so experiments can
+    share one stream registry across kernels without cross-talk.
+    """
     if n < ranks:
         raise ValueError(f"need at least one row per rank ({ranks} > {n})")
     charge = charge if charge is not None else ComputeCharge()
-    result: SpmdResult = run_spmd(ranks, _fft_rank, n, charge, seed,
+    streams = streams if streams is not None else RandomStreams(seed)
+    result: SpmdResult = run_spmd(ranks, _fft_rank, n, charge, streams,
                                   **spmd_kwargs)
     return FftResult(
         spectrum=result.results[0][1],

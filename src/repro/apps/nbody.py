@@ -20,12 +20,16 @@ import numpy as np
 from repro.apps.compute import ComputeCharge
 from repro.messaging.comm import Communicator
 from repro.messaging.program import SpmdResult, run_spmd
+from repro.sim.rng import RandomStreams
 
 __all__ = ["NbodyResult", "run_nbody", "direct_forces_reference",
            "make_particles"]
 
 _RING_TAG = 301
 _SOFTENING = 1e-3
+
+#: Stream name the particle set is derived from.
+_PARTICLE_STREAM = "apps.nbody.particles"
 
 
 @dataclass(frozen=True)
@@ -53,18 +57,23 @@ def _blocks(n: int, size: int) -> List[slice]:
     return [slice(bounds[r], bounds[r + 1]) for r in range(size)]
 
 
-def make_particles(n: int, seed: int):
+def make_particles(n: int, seed: int = 0,
+                   streams: Optional[RandomStreams] = None):
     """The deterministic particle set every rank (and the serial
-    reference) derives from ``(n, seed)``: positions (n, 3) and masses."""
-    rng = np.random.default_rng(seed)
+    reference) derives from the ``apps.nbody.particles`` stream of
+    ``streams`` (default: ``RandomStreams(seed)``): positions (n, 3)
+    and masses."""
+    streams = streams if streams is not None else RandomStreams(seed)
+    rng = streams.fresh(_PARTICLE_STREAM)
     positions = rng.standard_normal((n, 3))
     masses = rng.uniform(0.5, 2.0, size=n)
     return positions, masses
 
 
-def _nbody_rank(comm: Communicator, n: int, charge: ComputeCharge, seed: int):
+def _nbody_rank(comm: Communicator, n: int, charge: ComputeCharge,
+                streams: RandomStreams):
     size, rank = comm.size, comm.rank
-    positions, masses = make_particles(n, seed)
+    positions, masses = make_particles(n, streams=streams)
     mine = _blocks(n, size)[rank]
     my_positions = positions[mine].copy()
 
@@ -98,12 +107,14 @@ def _nbody_rank(comm: Communicator, n: int, charge: ComputeCharge, seed: int):
 
 
 def run_nbody(ranks: int, n: int, charge: Optional[ComputeCharge] = None,
-              seed: int = 0, **spmd_kwargs) -> NbodyResult:
+              seed: int = 0, streams: Optional[RandomStreams] = None,
+              **spmd_kwargs) -> NbodyResult:
     """One all-pairs force evaluation over ``n`` seeded particles."""
     if n < ranks:
         raise ValueError(f"need at least one particle per rank ({ranks} > {n})")
     charge = charge if charge is not None else ComputeCharge()
-    result: SpmdResult = run_spmd(ranks, _nbody_rank, n, charge, seed,
+    streams = streams if streams is not None else RandomStreams(seed)
+    result: SpmdResult = run_spmd(ranks, _nbody_rank, n, charge, streams,
                                   **spmd_kwargs)
     return NbodyResult(
         forces=result.results[0][1],
@@ -113,7 +124,9 @@ def run_nbody(ranks: int, n: int, charge: Optional[ComputeCharge] = None,
     )
 
 
-def direct_forces_reference(n: int, seed: int = 0) -> np.ndarray:
+def direct_forces_reference(n: int, seed: int = 0,
+                            streams: Optional[RandomStreams] = None
+                            ) -> np.ndarray:
     """Serial all-pairs forces — ground truth for tests."""
-    positions, masses = make_particles(n, seed)
+    positions, masses = make_particles(n, seed, streams=streams)
     return _pairwise_forces(positions, positions, masses)

@@ -21,11 +21,17 @@ import numpy as np
 from repro.apps.compute import ComputeCharge
 from repro.messaging.comm import Communicator
 from repro.messaging.program import SpmdResult, run_spmd
+from repro.sim.rng import RandomStreams
 
-__all__ = ["SortResult", "run_sample_sort"]
+__all__ = ["SortResult", "rank_stream_name", "run_sample_sort"]
 
 #: Charged cost per key comparison (flops-equivalent).
 _COMPARE_FLOPS = 4.0
+
+
+def rank_stream_name(rank: int) -> str:
+    """Name of the stream rank ``rank`` draws its local keys from."""
+    return f"apps.sort.rank{rank:04d}"
 
 
 @dataclass(frozen=True)
@@ -42,9 +48,9 @@ class SortResult:
 
 
 def _sort_rank(comm: Communicator, n: int, oversample: int,
-               charge: ComputeCharge, seed: int, skew: float):
+               charge: ComputeCharge, streams: RandomStreams, skew: float):
     size, rank = comm.size, comm.rank
-    rng = np.random.default_rng(seed + rank)
+    rng = streams.fresh(rank_stream_name(rank))
     local_n = n // size + (1 if rank < n % size else 0)
     # Optional skew: a power transform concentrates keys near 0, which
     # uniform splitters would misload without sampling.
@@ -96,11 +102,15 @@ def _sort_rank(comm: Communicator, n: int, oversample: int,
 def run_sample_sort(ranks: int, n: int, oversample: int = 32,
                     charge: Optional[ComputeCharge] = None,
                     seed: int = 0, skew: float = 0.0,
+                    streams: Optional[RandomStreams] = None,
                     **spmd_kwargs) -> SortResult:
     """Sort ``n`` seeded random keys across ``ranks`` processes.
 
     ``skew > 0`` makes the key distribution non-uniform, exercising the
     splitter sampling; ``oversample`` trades sampling traffic for balance.
+    Rank ``r`` draws its keys from the :func:`rank_stream_name` stream of
+    ``streams`` (default: ``RandomStreams(seed)``), so every rank's keys
+    are independent and the whole input is reproducible per seed.
     """
     if n < ranks:
         raise ValueError(f"need at least one key per rank ({ranks} > {n})")
@@ -109,8 +119,9 @@ def run_sample_sort(ranks: int, n: int, oversample: int = 32,
     if skew < 0:
         raise ValueError("skew must be non-negative")
     charge = charge if charge is not None else ComputeCharge()
+    streams = streams if streams is not None else RandomStreams(seed)
     result: SpmdResult = run_spmd(ranks, _sort_rank, n, oversample, charge,
-                                  seed, skew, **spmd_kwargs)
+                                  streams, skew, **spmd_kwargs)
     if ranks == 1:
         keys, _count = result.results[0]
         return SortResult(keys=keys, elapsed=result.elapsed, n=n,

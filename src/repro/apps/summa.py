@@ -25,8 +25,12 @@ import numpy as np
 from repro.apps.compute import ComputeCharge
 from repro.messaging.comm import Communicator
 from repro.messaging.program import SpmdResult, run_spmd
+from repro.sim.rng import RandomStreams
 
 __all__ = ["SummaResult", "run_summa"]
+
+#: Stream name every rank derives the (identical) A and B matrices from.
+_INPUT_STREAM = "apps.summa.input"
 
 
 @dataclass(frozen=True)
@@ -45,13 +49,13 @@ def _block_bounds(n: int, q: int) -> List[int]:
 
 
 def _summa_rank(comm: Communicator, n: int, charge: ComputeCharge,
-                seed: int):
+                streams: RandomStreams):
     size, rank = comm.size, comm.rank
     grid = int(math.isqrt(size))
     row, col = divmod(rank, grid)
     bounds = _block_bounds(n, grid)
 
-    rng = np.random.default_rng(seed)
+    rng = streams.fresh(_INPUT_STREAM)
     a_full = rng.standard_normal((n, n))
     b_full = rng.standard_normal((n, n))
     rows = slice(bounds[row], bounds[row + 1])
@@ -93,10 +97,13 @@ def _summa_rank(comm: Communicator, n: int, charge: ComputeCharge,
 
 
 def run_summa(ranks: int, n: int, charge: Optional[ComputeCharge] = None,
-              seed: int = 0, **spmd_kwargs) -> SummaResult:
+              seed: int = 0, streams: Optional[RandomStreams] = None,
+              **spmd_kwargs) -> SummaResult:
     """``C = A @ B`` for seeded random n×n matrices on a √p×√p grid.
 
-    ``ranks`` must be a perfect square and ``n >= sqrt(ranks)``.
+    ``ranks`` must be a perfect square and ``n >= sqrt(ranks)``.  A and B
+    are drawn (in that order) from the ``apps.summa.input`` stream of
+    ``streams`` (default: ``RandomStreams(seed)``).
     """
     grid = int(math.isqrt(ranks))
     if grid * grid != ranks:
@@ -104,7 +111,8 @@ def run_summa(ranks: int, n: int, charge: Optional[ComputeCharge] = None,
     if n < grid:
         raise ValueError(f"need at least one row per grid row ({grid} > {n})")
     charge = charge if charge is not None else ComputeCharge()
-    result: SpmdResult = run_spmd(ranks, _summa_rank, n, charge, seed,
+    streams = streams if streams is not None else RandomStreams(seed)
+    result: SpmdResult = run_spmd(ranks, _summa_rank, n, charge, streams,
                                   **spmd_kwargs)
     return SummaResult(
         product=result.results[0][1],

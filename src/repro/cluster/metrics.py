@@ -8,6 +8,7 @@ from repro.cluster.cost import CostModel
 from repro.cluster.packaging import Packaging, RackConfig, pack_cluster
 from repro.cluster.power import PowerModel
 from repro.cluster.spec import ClusterSpec
+from repro.units import GIGA, KILO
 
 __all__ = ["ClusterMetrics", "cluster_metrics"]
 
@@ -30,7 +31,7 @@ class ClusterMetrics:
     @property
     def gflops_per_kw(self) -> float:
         """Popular efficiency figure: GFLOPS per kilowatt of facility load."""
-        return (self.peak_flops / 1e9) / (self.total_watts / 1e3)
+        return (self.peak_flops / GIGA) / (self.total_watts / KILO)
 
 
 def cluster_metrics(spec: ClusterSpec,

@@ -34,7 +34,7 @@ from repro.nodes.catalog import make_node
 from repro.network.technologies import available_interconnects
 from repro.tech.roadmap import TechnologyRoadmap
 
-__all__ = ["Cohort", "FleetYear", "simulate_fleet"]
+__all__ = ["Cohort", "FleetYear", "simulate_fleet", "time_averaged_peak"]
 
 
 @dataclass(frozen=True)

@@ -94,7 +94,7 @@ def spares_for_sla(required_nodes: int, availability: float,
     _check(required_nodes, availability)
     if not 0 < confidence < 1:
         raise ValueError("confidence must be in (0, 1)")
-    if availability == 1.0:
+    if availability >= 1.0:
         return 0
     spares = 0
     while probability_at_least(required_nodes, required_nodes + spares,

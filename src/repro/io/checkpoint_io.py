@@ -30,6 +30,7 @@ from repro.network.fabric import Fabric
 from repro.network.technologies import InterconnectTechnology
 from repro.network.topology import FatTreeTopology
 from repro.sim.engine import Simulator
+from repro.units import MIB
 
 __all__ = [
     "checkpoint_write_time",
@@ -66,7 +67,7 @@ def checkpoint_write_time(dump_bytes_per_node: float, node_count: int,
 def simulate_checkpoint_write(node_count: int, server_count: int,
                               dump_bytes_per_node: int,
                               technology: InterconnectTechnology,
-                              stripe_bytes: int = 1 << 20,
+                              stripe_bytes: int = MIB,
                               disk: DiskModel = DiskModel()) -> float:
     """Execute the dump on a simulated fabric + PFS; returns seconds.
 

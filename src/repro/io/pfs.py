@@ -21,6 +21,7 @@ from repro.io.disk import DiskModel
 from repro.network.fabric import Fabric
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
+from repro.units import KIB
 
 __all__ = ["StorageNode", "StripeChunk", "ParallelFileSystem"]
 
@@ -69,7 +70,7 @@ class ParallelFileSystem:
 
     def __init__(self, sim: Simulator, fabric: Fabric,
                  server_hosts: Sequence[int],
-                 stripe_bytes: int = 64 * 1024,
+                 stripe_bytes: int = 64 * KIB,
                  disk: DiskModel = DiskModel()) -> None:
         if not server_hosts:
             raise ValueError("need at least one storage server")

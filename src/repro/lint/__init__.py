@@ -1,0 +1,56 @@
+"""``repro.lint`` — AST-based invariant checker for the reproduction.
+
+The simulator's credibility rests on conventions no test can see from the
+outside: every stochastic draw flows through
+:class:`~repro.sim.rng.RandomStreams`, every quantity is in base SI units
+via :mod:`repro.units`, simulated time never reads the wall clock, and
+the DESIGN.md layering holds.  This package machine-checks those
+conventions (REP001-REP008) instead of trusting comments:
+
+* ``python -m repro lint`` — run the checker (see :mod:`repro.lint.cli`);
+* ``tests/test_lint_self.py`` — CI gate: the codebase lints clean;
+* DESIGN.md "Rule catalog" — what each rule enforces and why.
+
+The engine is stdlib-``ast`` only and layered above everything else:
+nothing in the model imports ``repro.lint``.
+"""
+
+from repro.lint.engine import (
+    ERROR,
+    WARNING,
+    Finding,
+    ImportMap,
+    LintResult,
+    ModuleInfo,
+    Rule,
+    RuleVisitor,
+    apply_baseline,
+    iter_python_files,
+    lint_module,
+    lint_paths,
+    load_baseline,
+    resolve_dotted,
+    write_baseline,
+)
+from repro.lint.rules import LAYERS, RULES, get_rules
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Finding",
+    "ImportMap",
+    "LAYERS",
+    "LintResult",
+    "ModuleInfo",
+    "RULES",
+    "Rule",
+    "RuleVisitor",
+    "apply_baseline",
+    "get_rules",
+    "iter_python_files",
+    "lint_module",
+    "lint_paths",
+    "load_baseline",
+    "resolve_dotted",
+    "write_baseline",
+]

@@ -1,0 +1,147 @@
+"""Command-line front end: ``python -m repro lint``.
+
+::
+
+    python -m repro lint                         # lint src/repro, text output
+    python -m repro lint --format json           # machine-readable findings
+    python -m repro lint --select REP001,REP007  # subset of rules
+    python -m repro lint --write-baseline        # grandfather current findings
+    python -m repro lint --no-baseline           # ignore the baseline file
+    python -m repro lint --list-rules            # print the rule catalog
+    python -m repro lint path/to/file.py ...     # explicit targets
+
+Exit status: 0 when no error-severity findings remain after baseline and
+``# repro: noqa`` suppression, 1 otherwise, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import LintResult, lint_paths, load_baseline, \
+    write_baseline
+from repro.lint.rules import RULES, get_rules
+
+__all__ = ["add_arguments", "default_root", "default_targets", "main", "run"]
+
+#: Baseline filename looked up at the lint root when ``--baseline`` is
+#: not given explicitly.
+BASELINE_NAME = "lint-baseline.json"
+
+
+def default_root() -> Path:
+    """The repository root when running from a src-layout checkout.
+
+    Falls back to the installed package's parent directory, which keeps
+    finding paths stable (``src/repro/...``) wherever possible.
+    """
+    package_dir = Path(__file__).resolve().parent.parent
+    if package_dir.parent.name == "src":
+        return package_dir.parent.parent
+    return package_dir.parent
+
+
+def default_targets(root: Path) -> List[Path]:
+    """What to lint when no paths are given: the ``repro`` package."""
+    src_layout = root / "src" / "repro"
+    if src_layout.is_dir():
+        return [src_layout]
+    return [Path(__file__).resolve().parent.parent]
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (shared with ``repro.__main__``)."""
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories (default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help=f"baseline file (default: {BASELINE_NAME} "
+                             f"at the repo root, when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record current findings as the new baseline "
+                             "and exit 0")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule codes to run "
+                             "(e.g. REP001,REP007)")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="directory findings paths are relative to")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+
+
+def _render_text(result: LintResult, baseline_note: str) -> str:
+    lines = [finding.render() for finding in result.findings]
+    errors = len(result.errors)
+    warnings = len(result.findings) - errors
+    summary = (f"{errors} error(s), {warnings} warning(s) in "
+               f"{result.files_scanned} file(s){baseline_note}")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _render_json(result: LintResult) -> str:
+    return json.dumps({
+        "findings": [finding.as_dict() for finding in result.findings],
+        "errors": len(result.errors),
+        "files_scanned": result.files_scanned,
+        "baselined": result.baselined,
+    }, indent=2)
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation and print its report."""
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.code}  {rule.name:20s} [{rule.severity}] "
+                  f"{rule.description}")
+        return 0
+
+    try:
+        select = (None if args.select is None
+                  else [c for c in args.select.split(",") if c.strip()])
+        rules = get_rules(select)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    root = (args.root or default_root()).resolve()
+    paths = [p for p in (args.paths or default_targets(root))]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): "
+              f"{', '.join(str(p) for p in missing)}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or (root / BASELINE_NAME)
+    baseline = set() if args.no_baseline else load_baseline(baseline_path)
+
+    if args.write_baseline:
+        raw = lint_paths(paths, root, rules, baseline=None)
+        write_baseline(baseline_path, raw.findings)
+        print(f"wrote {len(raw.findings)} finding(s) to {baseline_path}")
+        return 0
+
+    result = lint_paths(paths, root, rules, baseline=baseline)
+    note = f", {result.baselined} baselined" if result.baselined else ""
+    if args.format == "json":
+        print(_render_json(result))
+    else:
+        print(_render_text(result, note))
+    return result.exit_code
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="AST-based invariant checker for the repro codebase",
+    )
+    add_arguments(parser)
+    return run(parser.parse_args(argv))

@@ -1,0 +1,366 @@
+"""Core machinery of the invariant checker: findings, modules, rules, runner.
+
+The engine is deliberately small and dependency-free (stdlib ``ast`` only)
+so it can run anywhere the library runs — in CI, in a pre-PR checklist,
+and inside its own test suite.  It provides:
+
+* :class:`Finding` — one diagnostic, with a stable :meth:`Finding.key`
+  used by the baseline mechanism;
+* :class:`ModuleInfo` — a parsed source file plus the derived facts every
+  rule needs (dotted module name, package layer, import aliases,
+  ``# repro: noqa[...]`` suppressions);
+* :class:`Rule` / :class:`RuleVisitor` — the visitor framework rules are
+  written against;
+* :func:`lint_paths` / :func:`lint_module` — the runner;
+* :func:`load_baseline` / :func:`write_baseline` — grandfathered findings.
+
+Suppressions are inline comments on the *reported* line::
+
+    tag_base = 1 << 20  # repro: noqa[REP003] tag namespace, not bytes
+
+A bare ``# repro: noqa`` suppresses every rule on that line.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Finding",
+    "ImportMap",
+    "LintResult",
+    "ModuleInfo",
+    "Rule",
+    "RuleVisitor",
+    "apply_baseline",
+    "iter_python_files",
+    "lint_module",
+    "lint_paths",
+    "load_baseline",
+    "resolve_dotted",
+    "write_baseline",
+]
+
+#: Severity levels.  ``error`` findings fail the run; ``warning`` findings
+#: are reported but do not affect the exit status.
+ERROR = "error"
+WARNING = "warning"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic produced by a rule at a source location."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+    severity: str = ERROR
+
+    def key(self) -> str:
+        """Stable identity for the baseline: survives line-number drift."""
+        return f"{self.path}::{self.rule}::{self.message}"
+
+    def render(self) -> str:
+        """One-line human-readable form (``path:line:col: CODE message``)."""
+        return (f"{self.path}:{self.line}:{self.column}: "
+                f"{self.rule} [{self.severity}] {self.message}")
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form for ``--format json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+class ImportMap:
+    """Local-name -> dotted-origin aliases harvested from a module's imports.
+
+    ``modules`` maps names bound by ``import`` statements (``np`` ->
+    ``numpy``); ``members`` maps names bound by ``from X import y [as z]``
+    (``default_rng`` -> ``numpy.random.default_rng``).
+    """
+
+    def __init__(self, tree: ast.AST, dotted: str = "") -> None:
+        self.modules: Dict[str, str] = {}
+        self.members: Dict[str, str] = {}
+        package = dotted.rsplit(".", 1)[0] if "." in dotted else ""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.modules[alias.asname] = alias.name
+                    else:
+                        self.modules[alias.name.split(".")[0]] = \
+                            alias.name.split(".")[0]
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    context = package.split(".") if package else []
+                    context = context[: len(context) - (node.level - 1)]
+                    base = ".".join(context + ([base] if base else []))
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    origin = f"{base}.{alias.name}" if base else alias.name
+                    self.members[local] = origin
+
+
+def resolve_dotted(node: ast.AST, imports: ImportMap) -> Optional[str]:
+    """Canonical dotted path of an attribute chain, or ``None``.
+
+    ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+    when ``np`` aliases ``numpy``; names that were never imported resolve
+    to ``None`` so local variables cannot trigger import-based rules.
+    """
+    attrs: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        attrs.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    base = imports.modules.get(current.id)
+    if base is None:
+        base = imports.members.get(current.id)
+    if base is None:
+        return None
+    return ".".join([base] + list(reversed(attrs)))
+
+
+class ModuleInfo:
+    """A parsed source file plus the facts rules need about it."""
+
+    def __init__(self, path: Path, rel: str, source: str,
+                 tree: ast.Module) -> None:
+        self.path = path
+        self.rel = rel
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.dotted = self._dotted_name(rel)
+        parts = self.dotted.split(".")
+        self.package = parts[1] if len(parts) > 1 else ""
+        self.imports = ImportMap(tree, self.dotted)
+        self.noqa = self._parse_noqa(self.lines)
+
+    @staticmethod
+    def _dotted_name(rel: str) -> str:
+        parts = list(Path(rel).parts)
+        if "repro" in parts:
+            parts = parts[parts.index("repro"):]
+        if parts and parts[-1].endswith(".py"):
+            parts[-1] = parts[-1][: -len(".py")]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    @staticmethod
+    def _parse_noqa(lines: Sequence[str]) -> Dict[int, Optional[Set[str]]]:
+        suppressions: Dict[int, Optional[Set[str]]] = {}
+        for number, text in enumerate(lines, start=1):
+            match = _NOQA_RE.search(text)
+            if match is None:
+                continue
+            codes = match.group("codes")
+            if codes is None:
+                suppressions[number] = None          # suppress everything
+            else:
+                suppressions[number] = {
+                    code.strip().upper()
+                    for code in codes.split(",") if code.strip()
+                }
+        return suppressions
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """True when a ``# repro: noqa`` comment covers ``code`` on ``line``."""
+        if line not in self.noqa:
+            return False
+        codes = self.noqa[line]
+        return codes is None or code.upper() in codes
+
+    def segment(self, node: ast.AST) -> str:
+        """Raw source text of ``node`` (empty string when unavailable)."""
+        return ast.get_source_segment(self.source, node) or ""
+
+
+class Rule:
+    """Base class for one checkable invariant.
+
+    Subclasses set the class attributes and either point ``visitor`` at a
+    :class:`RuleVisitor` subclass or override :meth:`check` outright.
+    """
+
+    code: str = "REP000"
+    name: str = "unnamed"
+    severity: str = ERROR
+    description: str = ""
+    visitor: Optional[type] = None
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        """Run the rule over one module, returning raw findings."""
+        if self.visitor is None:  # pragma: no cover - abstract guard
+            raise NotImplementedError(f"{self.code} defines no visitor")
+        walker = self.visitor(self, module)
+        walker.visit(module.tree)
+        return walker.findings
+
+    def finding(self, module: ModuleInfo, node: ast.AST,
+                message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            path=module.rel,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            rule=self.code,
+            message=message,
+            severity=self.severity,
+        )
+
+
+class RuleVisitor(ast.NodeVisitor):
+    """``ast.NodeVisitor`` with finding collection bound to one rule."""
+
+    def __init__(self, rule: Rule, module: ModuleInfo) -> None:
+        self.rule = rule
+        self.module = module
+        self.findings: List[Finding] = []
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record a finding for ``node``."""
+        self.findings.append(self.rule.finding(self.module, node, message))
+
+
+@dataclass
+class LintResult:
+    """Outcome of a lint run: visible findings plus bookkeeping counts."""
+
+    findings: List[Finding]
+    files_scanned: int
+    baselined: int
+
+    @property
+    def errors(self) -> List[Finding]:
+        """Findings that should fail the run."""
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when no error-severity findings remain."""
+        return 1 if self.errors else 0
+
+
+class _ParseFailure(Rule):
+    """Pseudo-rule used to report unparseable files."""
+
+    code = "REP000"
+    name = "parse-failure"
+    description = "file could not be parsed as Python source"
+
+
+_PARSE_FAILURE = _ParseFailure()
+
+
+def _load_module(path: Path, root: Path) -> Tuple[Optional[ModuleInfo],
+                                                  Optional[Finding]]:
+    try:
+        rel = path.relative_to(root).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        finding = Finding(path=rel, line=error.lineno or 1,
+                          column=(error.offset or 0) + 1,
+                          rule=_PARSE_FAILURE.code,
+                          message=f"syntax error: {error.msg}")
+        return None, finding
+    return ModuleInfo(path, rel, source, tree), None
+
+
+def lint_module(module: ModuleInfo, rules: Sequence[Rule]) -> List[Finding]:
+    """All non-suppressed findings for one parsed module."""
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(module):
+            if not module.suppressed(finding.line, finding.rule):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            for found in path.rglob("*.py"):
+                if "__pycache__" not in found.parts:
+                    seen.add(found.resolve())
+        elif path.suffix == ".py":
+            seen.add(path.resolve())
+    return sorted(seen)
+
+
+def lint_paths(paths: Iterable[Path], root: Path, rules: Sequence[Rule],
+               baseline: Optional[Set[str]] = None) -> LintResult:
+    """Lint every ``.py`` file under ``paths``.
+
+    ``root`` anchors the relative paths recorded in findings (and therefore
+    baseline keys); ``baseline`` holds keys of grandfathered findings to
+    hide from the result.
+    """
+    root = root.resolve()
+    findings: List[Finding] = []
+    files = iter_python_files(paths)
+    for path in files:
+        module, failure = _load_module(path, root)
+        if failure is not None:
+            findings.append(failure)
+            continue
+        assert module is not None
+        findings.extend(lint_module(module, rules))
+    visible, baselined = apply_baseline(sorted(findings), baseline or set())
+    return LintResult(findings=visible, files_scanned=len(files),
+                      baselined=baselined)
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   baseline: Set[str]) -> Tuple[List[Finding], int]:
+    """Split findings into (visible, grandfathered-count)."""
+    visible = [f for f in findings if f.key() not in baseline]
+    return visible, len(findings) - len(visible)
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    return set(data.get("findings", []))
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write the baseline for ``findings`` (sorted keys, stable output)."""
+    payload = {
+        "version": 1,
+        "tool": "repro.lint",
+        "findings": sorted({finding.key() for finding in findings}),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,525 @@
+"""The invariant catalog: REP001-REP008.
+
+Each rule encodes one convention the reproduction's credibility rests on
+(see DESIGN.md "Static analysis & invariants" for the full catalog with
+rationale).  Rules are small :class:`~repro.lint.engine.RuleVisitor`
+subclasses registered in :data:`RULES`; adding REP009 means adding a
+class and one registry entry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    RuleVisitor,
+    resolve_dotted,
+)
+from repro.units import EXA, GIB, GIGA, KIB, KILO, MEGA, MIB, PETA, TERA, TIB
+
+__all__ = [
+    "LAYERS",
+    "RULES",
+    "CrossLayerImportRule",
+    "ExportListRule",
+    "FloatEqualityRule",
+    "MagicScaleLiteralRule",
+    "MutableDefaultRule",
+    "RandomSourceRule",
+    "SeededConstructorRule",
+    "WallClockRule",
+    "get_rules",
+]
+
+#: Modules allowed to construct raw generators: the sanctioned RNG façade.
+_RNG_MODULE = "repro.sim.rng"
+
+#: Generator constructors that bypass RandomStreams.
+_GENERATOR_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+    "numpy.random.PCG64",
+    "numpy.random.MT19937",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+    "random.Random",
+    "random.SystemRandom",
+}
+
+#: Wall-clock sources that must never leak into model code (virtual time
+#: comes from the simulator; benchmarks measuring the library itself are
+#: exempt).
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.today",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+#: DESIGN.md layering, as ranks: a package may only import strictly lower
+#: ranks.  ``units`` is importable by everyone; ``lint`` sits on top as a
+#: tool (imported by nothing).
+LAYERS: Dict[str, int] = {
+    "units": 0,
+    "sim": 10,
+    "tech": 10,
+    "analysis": 10,
+    "network": 20,
+    "nodes": 20,
+    "scheduler": 20,
+    "cluster": 30,
+    "messaging": 30,
+    "fault": 30,
+    "io": 40,
+    "apps": 50,
+    "lint": 60,
+}
+
+#: Decimal scale values with the repro.units name to use instead.  Only
+#: exponent-notation literals (``1e9``) are flagged: ``1000.0`` written
+#: out is assumed deliberate.
+_DECIMAL_SCALES: Dict[float, str] = {
+    KILO: "KILO",
+    MEGA: "MEGA",
+    GIGA: "GIGA",
+    TERA: "TERA",
+    PETA: "PETA",
+    EXA: "EXA",
+}
+
+#: Binary scale values (as ints) with their repro.units names.
+_BINARY_SCALES: Dict[int, str] = {
+    int(KIB): "KIB",
+    int(MIB): "MIB",
+    int(GIB): "GIB",
+    int(TIB): "TIB",
+}
+
+#: ``1 << k`` / ``2 ** k`` shift/exponent forms of the binary scales.
+_BINARY_EXPONENTS: Dict[int, str] = {
+    10: "KIB",
+    20: "MIB",
+    30: "GIB",
+    40: "TIB",
+}
+
+
+def _in_test_or_benchmark(module: ModuleInfo) -> bool:
+    parts = module.rel.split("/")
+    return "benchmarks" in parts or "tests" in parts
+
+
+class _RandomSourceVisitor(RuleVisitor):
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = resolve_dotted(node.func, self.module.imports)
+        if dotted is not None:
+            head = dotted.split(".")
+            if head[0] == "random" and len(head) > 1:
+                self.report(node, f"stochastic call '{dotted}' outside "
+                                  f"{_RNG_MODULE}; draw from a RandomStreams "
+                                  f"stream instead")
+            elif dotted.startswith("numpy.random."):
+                self.report(node, f"stochastic call '{dotted}' outside "
+                                  f"{_RNG_MODULE}; draw from a RandomStreams "
+                                  f"stream instead")
+        self.generic_visit(node)
+
+
+class RandomSourceRule(Rule):
+    """REP001: all randomness flows through ``repro.sim.rng``."""
+
+    code = "REP001"
+    name = "ad-hoc-randomness"
+    description = ("no random.* / numpy.random.* calls outside "
+                   "repro.sim.rng; use RandomStreams")
+    visitor = _RandomSourceVisitor
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        """Skip the sanctioned RNG module itself."""
+        if module.dotted == _RNG_MODULE:
+            return []
+        return super().check(module)
+
+
+class _WallClockVisitor(RuleVisitor):
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = resolve_dotted(node.func, self.module.imports)
+        if dotted in _WALL_CLOCK:
+            self.report(node, f"wall-clock call '{dotted}' in model code; "
+                              f"simulated time comes from the event engine")
+        self.generic_visit(node)
+
+
+class WallClockRule(Rule):
+    """REP002: model code never reads wall-clock time."""
+
+    code = "REP002"
+    name = "wall-clock-leak"
+    description = ("no time.time/perf_counter/datetime.now in model code "
+                   "(benchmarks and tests exempt)")
+    visitor = _WallClockVisitor
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        """Benchmarks time the library itself, so they are exempt."""
+        if _in_test_or_benchmark(module):
+            return []
+        return super().check(module)
+
+
+class _MagicScaleVisitor(RuleVisitor):
+    def _flag(self, node: ast.AST, name: str) -> None:
+        text = self.module.segment(node) or "literal"
+        self.report(node, f"magic scale literal '{text}'; use "
+                          f"repro.units.{name}")
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        value = node.value
+        if isinstance(value, float) and value in _DECIMAL_SCALES:
+            text = self.module.segment(node)
+            if "e" in text or "E" in text:
+                self._flag(node, _DECIMAL_SCALES[value])
+        elif (isinstance(value, int) and not isinstance(value, bool)
+                and value in _BINARY_SCALES):
+            self._flag(node, _BINARY_SCALES[value])
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        base = node.left
+        exponent = node.right
+        if (isinstance(base, ast.Constant) and isinstance(exponent, ast.Constant)
+                and isinstance(base.value, int)
+                and isinstance(exponent.value, int)
+                and exponent.value in _BINARY_EXPONENTS):
+            form = None
+            if isinstance(node.op, ast.LShift) and base.value == 1:
+                form = _BINARY_EXPONENTS[exponent.value]
+            elif isinstance(node.op, ast.Pow) and base.value == 2:
+                form = _BINARY_EXPONENTS[exponent.value]
+            if form is not None:
+                self._flag(node, form)
+                return
+        self.generic_visit(node)
+
+
+class MagicScaleLiteralRule(Rule):
+    """REP003: scale factors come from ``repro.units``, not magic numbers."""
+
+    code = "REP003"
+    name = "magic-scale-literal"
+    description = ("no 1e9 / 1 << 30-style scale literals where a "
+                   "repro.units constant exists")
+    visitor = _MagicScaleVisitor
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        """``repro.units`` defines the constants, so it is exempt."""
+        if module.dotted == "repro.units":
+            return []
+        return super().check(module)
+
+
+class _FloatEqualityVisitor(RuleVisitor):
+    def visit_Compare(self, node: ast.Compare) -> None:
+        has_eq = any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops)
+        operands = [node.left] + list(node.comparators)
+        has_float = any(
+            isinstance(operand, ast.Constant)
+            and isinstance(operand.value, float)
+            for operand in operands
+        )
+        if has_eq and has_float:
+            self.report(node, "exact ==/!= against a float literal; use "
+                              "math.isclose or an ordered comparison")
+        self.generic_visit(node)
+
+
+class FloatEqualityRule(Rule):
+    """REP004: no exact equality against float literals."""
+
+    code = "REP004"
+    name = "float-equality"
+    description = "no ==/!= comparisons against float literals"
+    visitor = _FloatEqualityVisitor
+
+
+class _MutableDefaultVisitor(RuleVisitor):
+    _MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict",
+                      "OrderedDict", "Counter", "deque"}
+
+    def _is_mutable(self, node: Optional[ast.AST]) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = None
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            return name in self._MUTABLE_CALLS
+        return False
+
+    def _check_function(self, node: ast.AST) -> None:
+        arguments = node.args
+        for default in list(arguments.defaults) + list(arguments.kw_defaults):
+            if self._is_mutable(default):
+                self.report(default, f"mutable default argument in "
+                                     f"'{node.name}'; use None and create "
+                                     f"inside the body")
+        self.generic_visit(node)
+
+    visit_FunctionDef = _check_function
+    visit_AsyncFunctionDef = _check_function
+
+
+class MutableDefaultRule(Rule):
+    """REP005: no mutable default arguments."""
+
+    code = "REP005"
+    name = "mutable-default"
+    description = "no list/dict/set literals (or constructors) as defaults"
+    visitor = _MutableDefaultVisitor
+
+
+def _bound_names(body: Iterable[ast.stmt]) -> Set[str]:
+    """Names bound at (conditional) top level: defs, assigns, imports."""
+    names: Set[str] = set()
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for child in ast.walk(target):
+                    if isinstance(child, ast.Name):
+                        names.add(child.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    names.add(alias.asname or alias.name)
+        elif isinstance(node, ast.If):
+            names |= _bound_names(node.body)
+            names |= _bound_names(node.orelse)
+        elif isinstance(node, ast.Try):
+            names |= _bound_names(node.body)
+            names |= _bound_names(node.orelse)
+            names |= _bound_names(node.finalbody)
+            for handler in node.handlers:
+                names |= _bound_names(handler.body)
+    return names
+
+
+def _public_defs(body: Iterable[ast.stmt]) -> List[ast.stmt]:
+    """Top-level public def/class statements (recursing into If/Try)."""
+    defs: List[ast.stmt] = []
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            if not node.name.startswith("_"):
+                defs.append(node)
+        elif isinstance(node, ast.If):
+            defs.extend(_public_defs(node.body))
+            defs.extend(_public_defs(node.orelse))
+        elif isinstance(node, ast.Try):
+            defs.extend(_public_defs(node.body))
+    return defs
+
+
+class ExportListRule(Rule):
+    """REP006: ``__all__`` exists and matches the public surface."""
+
+    code = "REP006"
+    name = "export-list"
+    description = ("every module defines __all__; every public def/class "
+                   "is listed; every entry is bound")
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        """Compare ``__all__`` against the module's top-level bindings."""
+        findings: List[Finding] = []
+        declaration: Optional[ast.stmt] = None
+        exported: Optional[List[str]] = None
+        for node in module.tree.body:
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    declaration = node
+                    try:
+                        value = ast.literal_eval(node.value)  # type: ignore[arg-type]
+                    except (ValueError, SyntaxError):
+                        value = None
+                    if (isinstance(value, (list, tuple))
+                            and all(isinstance(item, str) for item in value)):
+                        exported = list(value)
+                    else:
+                        findings.append(self.finding(
+                            module, node, "__all__ is not a literal "
+                                          "list/tuple of strings"))
+        if declaration is None:
+            anchor = module.tree.body[0] if module.tree.body else module.tree
+            findings.append(self.finding(
+                module, anchor, "module defines no __all__"))
+            return findings
+        if exported is None:
+            return findings
+        if len(set(exported)) != len(exported):
+            findings.append(self.finding(
+                module, declaration, "__all__ has duplicate entries"))
+        bound = _bound_names(module.tree.body)
+        for name in exported:
+            if name not in bound:
+                findings.append(self.finding(
+                    module, declaration,
+                    f"__all__ lists '{name}' but the module never binds it"))
+        for public in _public_defs(module.tree.body):
+            if public.name not in exported:  # type: ignore[attr-defined]
+                findings.append(self.finding(
+                    module, public,
+                    f"public definition '{public.name}' missing from "  # type: ignore[attr-defined]
+                    f"__all__ (export it or prefix with _)"))
+        return findings
+
+
+class _CrossLayerVisitor(RuleVisitor):
+    def _target_package(self, dotted: str) -> Optional[str]:
+        parts = dotted.split(".")
+        if parts[0] != "repro":
+            return None
+        return parts[1] if len(parts) > 1 else ""
+
+    def _check_target(self, node: ast.AST, dotted: str) -> None:
+        target = self._target_package(dotted)
+        if target is None:
+            return
+        source = self.module.package
+        source_rank = LAYERS.get(source)
+        if source_rank is None:
+            return
+        if target == "":
+            self.report(node, f"repro.{source} imports the package root "
+                              f"'repro' (cyclic); import the concrete "
+                              f"module instead")
+            return
+        if target == source:
+            return
+        target_rank = LAYERS.get(target)
+        if target_rank is None:
+            return
+        if target_rank >= source_rank:
+            self.report(node, f"layer violation: repro.{source} "
+                              f"(layer {source_rank}) may not import "
+                              f"repro.{target} (layer {target_rank})")
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "repro" or alias.name.startswith("repro."):
+                self._check_target(node, alias.name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level:
+            package = self.module.dotted.rsplit(".", 1)[0]
+            context = package.split(".")
+            context = context[: len(context) - (node.level - 1)]
+            dotted = ".".join(context + ([node.module] if node.module else []))
+        else:
+            dotted = node.module or ""
+        if dotted == "repro" or dotted.startswith("repro."):
+            self._check_target(node, dotted)
+
+
+class CrossLayerImportRule(Rule):
+    """REP007: DESIGN.md layering holds (no same- or upward-layer imports)."""
+
+    code = "REP007"
+    name = "cross-layer-import"
+    description = ("packages import strictly lower DESIGN.md layers only "
+                   "(units < sim/tech/analysis < network/nodes/scheduler "
+                   "< cluster/messaging/fault < io < apps < lint)")
+    visitor = _CrossLayerVisitor
+
+
+class _SeededConstructorVisitor(RuleVisitor):
+    _PARAMS = {"seed", "rng"}
+
+    def _check_function(self, node: ast.AST) -> None:
+        if node.name.startswith("_"):
+            self.generic_visit(node)
+            return
+        arguments = node.args
+        names = [arg.arg for arg in (arguments.posonlyargs + arguments.args
+                                     + arguments.kwonlyargs)]
+        trigger = next((n for n in names if n in self._PARAMS), None)
+        if trigger is not None:
+            for child in ast.walk(node):
+                if isinstance(child, ast.Call):
+                    dotted = resolve_dotted(child.func, self.module.imports)
+                    if dotted in _GENERATOR_CONSTRUCTORS:
+                        self.report(child,
+                                    f"public function '{node.name}' takes "
+                                    f"'{trigger}' but constructs its own "
+                                    f"generator via '{dotted}'; derive it "
+                                    f"from RandomStreams")
+        self.generic_visit(node)
+
+    visit_FunctionDef = _check_function
+    visit_AsyncFunctionDef = _check_function
+
+
+class SeededConstructorRule(Rule):
+    """REP008: seeded public APIs accept RandomStreams-derived generators."""
+
+    code = "REP008"
+    name = "seeded-constructor"
+    description = ("public functions with a seed/rng parameter must not "
+                   "construct raw generators; derive from RandomStreams")
+    visitor = _SeededConstructorVisitor
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        """Skip the sanctioned RNG module itself."""
+        if module.dotted == _RNG_MODULE:
+            return []
+        return super().check(module)
+
+
+#: The registry, in catalog order.
+RULES: Tuple[Rule, ...] = (
+    RandomSourceRule(),
+    WallClockRule(),
+    MagicScaleLiteralRule(),
+    FloatEqualityRule(),
+    MutableDefaultRule(),
+    ExportListRule(),
+    CrossLayerImportRule(),
+    SeededConstructorRule(),
+)
+
+
+def get_rules(select: Optional[Sequence[str]] = None) -> Tuple[Rule, ...]:
+    """The registered rules, optionally filtered to the given codes."""
+    if select is None:
+        return RULES
+    wanted = {code.upper() for code in select}
+    unknown = wanted - {rule.code for rule in RULES}
+    if unknown:
+        raise ValueError(f"unknown rule codes: {sorted(unknown)}")
+    return tuple(rule for rule in RULES if rule.code in wanted)

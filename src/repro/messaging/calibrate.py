@@ -15,10 +15,11 @@ from typing import Dict, Sequence, Tuple
 import numpy as np
 
 from repro.network.loggp_fit import LogGPFit, fit_loggp
+from repro.units import KIB, MIB
 
 __all__ = ["measure_and_fit"]
 
-_DEFAULT_SIZES = (0, 1024, 16 * 1024, 256 * 1024, 1 << 20)
+_DEFAULT_SIZES = (0, KIB, 16 * KIB, 256 * KIB, MIB)
 
 
 def measure_and_fit(technology,

@@ -49,7 +49,7 @@ __all__ = [
 ]
 
 #: Collective tags live far above any user tag.
-COLLECTIVE_TAG_BASE = 1 << 20
+COLLECTIVE_TAG_BASE = 1 << 20  # repro: noqa[REP003] tag namespace offset, not bytes
 
 #: Zero-byte token for synchronisation-only messages.
 _TOKEN = b""

@@ -37,7 +37,8 @@ from repro.network.fabric import Fabric
 from repro.sim.engine import Process, Simulator
 from repro.sim.resources import Store
 
-__all__ = ["Communicator", "Request", "CommWorld"]
+__all__ = ["Communicator", "Request", "CommWorld", "SubCommunicator",
+           "waitall", "waitany"]
 
 
 class CommWorld:

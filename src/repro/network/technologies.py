@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.network.loggp import LogGPParams
+from repro.units import GIGA
 
 __all__ = [
     "InterconnectTechnology",
@@ -89,7 +90,7 @@ INTERCONNECTS: Dict[str, InterconnectTechnology] = {
         _tech("myrinet_2000",     250e6,  4.0e-6, 1.2e-6, 2000.0, 1200.0, 8.0, 0.4e-6),
         _tech("quadrics_elan3",   340e6,  2.7e-6, 0.9e-6, 2001.0, 2500.0, 10.0, 0.3e-6),
         _tech("infiniband_1x",    250e6,  4.0e-6, 1.0e-6, 2002.0,  800.0, 8.0, 0.3e-6),
-        _tech("infiniband_4x",    1.0e9,  3.5e-6, 1.0e-6, 2003.0, 1000.0, 10.0, 0.25e-6),
+        _tech("infiniband_4x",    GIGA,  3.5e-6, 1.0e-6, 2003.0, 1000.0, 10.0, 0.25e-6),
         _tech("infiniband_12x",   3.0e9,  3.0e-6, 1.0e-6, 2005.0, 1800.0, 14.0, 0.2e-6),
         _tech("optical_circuit",  5.0e9,  1.0e-6, 0.25e-6, 2007.0, 3000.0, 12.0,
               0.05e-6, setup=30e-6),

@@ -31,6 +31,7 @@ __all__ = [
     "FatTreeTopology",
     "TorusTopology",
     "HypercubeTopology",
+    "RouteCache",
 ]
 
 Node = Tuple[str, int]

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Tuple
 
+from repro.units import KIB
+
 __all__ = ["MemoryLevel", "MemoryHierarchy", "NodeSpec"]
 
 
@@ -137,13 +139,13 @@ class NodeSpec:
         cores = self.sockets * self.cores_per_socket
         l1 = MemoryLevel(
             name="L1",
-            capacity_bytes=16 * 2**10 * cores,
+            capacity_bytes=16 * KIB * cores,
             bandwidth_bytes=max(self.peak_flops * 8.0, self.memory_bandwidth * 4),
             latency_seconds=1e-9,
         )
         l2 = MemoryLevel(
             name="L2",
-            capacity_bytes=512 * 2**10 * cores,
+            capacity_bytes=512 * KIB * cores,
             bandwidth_bytes=max(self.peak_flops * 4.0, self.memory_bandwidth * 2),
             latency_seconds=5e-9,
         )

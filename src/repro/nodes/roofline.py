@@ -24,6 +24,7 @@ from typing import Iterable, List, Union
 import numpy as np
 
 from repro.nodes.base import NodeSpec
+from repro.units import GIGA
 
 __all__ = ["KernelCharacter", "RooflineModel", "REFERENCE_KERNELS"]
 
@@ -49,7 +50,7 @@ class KernelCharacter:
             raise ValueError("bytes_moved must be positive")
         if self.working_set_bytes < 0:
             raise ValueError("working_set_bytes must be non-negative")
-        if self.working_set_bytes == 0.0:
+        if self.working_set_bytes <= 0.0:
             object.__setattr__(self, "working_set_bytes", self.bytes_moved)
 
     @property
@@ -59,7 +60,7 @@ class KernelCharacter:
 
     @classmethod
     def from_intensity(cls, name: str, intensity: float,
-                       flops: float = 1e9) -> "KernelCharacter":
+                       flops: float = GIGA) -> "KernelCharacter":
         """A synthetic kernel with a prescribed arithmetic intensity."""
         if intensity <= 0:
             raise ValueError("intensity must be positive")

@@ -36,19 +36,31 @@ class RandomStreams:
         self.seed = int(seed)
         self._generators: Dict[str, np.random.Generator] = {}
 
+    def _sequence(self, name: str) -> np.random.SeedSequence:
+        # Mix the stream name into the entropy deterministically.  The
+        # digest is stable across processes (unlike hash()) because it
+        # uses the bytes of the name itself.
+        name_key = tuple(name.encode("utf-8"))
+        return np.random.SeedSequence(entropy=self.seed, spawn_key=name_key)
+
     def get(self, name: str) -> np.random.Generator:
         """Return the generator for ``name``, creating it on first use."""
         generator = self._generators.get(name)
         if generator is None:
-            # Mix the stream name into the entropy deterministically.  The
-            # digest is stable across processes (unlike hash()) because it
-            # uses the bytes of the name itself.
-            name_key = [b for b in name.encode("utf-8")]
-            sequence = np.random.SeedSequence(entropy=self.seed,
-                                              spawn_key=tuple(name_key))
-            generator = np.random.default_rng(sequence)
+            generator = np.random.default_rng(self._sequence(name))
             self._generators[name] = generator
         return generator
+
+    def fresh(self, name: str) -> np.random.Generator:
+        """A NEW generator for ``name`` in its deterministic initial state.
+
+        Unlike :meth:`get`, the result is not cached: every call returns
+        an independent generator object starting from the same state.
+        SPMD programs use this so every simulated rank can derive
+        identical input data without sharing (and therefore perturbing)
+        one generator's state.
+        """
+        return np.random.default_rng(self._sequence(name))
 
     def fork(self, salt: int) -> "RandomStreams":
         """A new registry whose streams are independent of this one.

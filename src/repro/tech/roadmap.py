@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Mapping
 
 from repro.tech.projection import ExponentialProjection, PiecewiseProjection, Projection
+from repro.units import GIB
 
 __all__ = [
     "BASE_YEAR",
@@ -46,7 +47,7 @@ ANCHORS_2002: Dict[str, float] = {
     # 2 sockets x 2.4e9 Hz x 2 DP flops/clock (SSE2).
     "node_peak_flops": 9.6e9,
     # 2 GB DDR per node was the workhorse configuration.
-    "node_memory_bytes": 2.0 * 2**30,
+    "node_memory_bytes": 2.0 * GIB,
     # ~2 GB/s per-node memory bandwidth (PC2100 DDR, dual channel).
     "node_memory_bandwidth": 2.1e9,
     # Whole-node draw under load, including disk and fans.

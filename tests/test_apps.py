@@ -4,6 +4,7 @@ plus the virtual-time charging model."""
 import numpy as np
 import pytest
 
+from repro import RandomStreams
 from repro.apps import (
     ComputeCharge,
     run_cg,
@@ -112,13 +113,13 @@ class TestFft:
     def test_matches_numpy_fft2(self, ranks):
         result = run_fft2d(ranks, n=32, seed=7)
         reference = np.fft.fft2(
-            np.random.default_rng(7).standard_normal((32, 32)))
+            RandomStreams(7).fresh("apps.fft.input").standard_normal((32, 32)))
         assert np.allclose(result.spectrum, reference)
 
     def test_uneven_partition(self):
         result = run_fft2d(3, n=32, seed=1)
         reference = np.fft.fft2(
-            np.random.default_rng(1).standard_normal((32, 32)))
+            RandomStreams(1).fresh("apps.fft.input").standard_normal((32, 32)))
         assert np.allclose(result.spectrum, reference)
 
     def test_bisection_sensitivity(self):

@@ -3,14 +3,17 @@
 import numpy as np
 import pytest
 
+from repro import RandomStreams
 from repro.apps import ComputeCharge, run_sample_sort, run_summa
+from repro.apps.sort import rank_stream_name
 
 
 def reference_keys(n, ranks, seed, skew=0.0):
     """Rebuild the exact global key set the ranks generate."""
+    streams = RandomStreams(seed)
     parts = []
     for rank in range(ranks):
-        rng = np.random.default_rng(seed + rank)
+        rng = streams.fresh(rank_stream_name(rank))
         local = n // ranks + (1 if rank < n % ranks else 0)
         parts.append(rng.random(local) ** (1.0 + skew))
     return np.sort(np.concatenate(parts))
@@ -64,7 +67,7 @@ class TestSumma:
     @pytest.mark.parametrize("ranks", [1, 4, 9, 16])
     def test_matches_numpy_product(self, ranks):
         result = run_summa(ranks, 36, seed=11)
-        rng = np.random.default_rng(11)
+        rng = RandomStreams(11).fresh("apps.summa.input")
         a = rng.standard_normal((36, 36))
         b = rng.standard_normal((36, 36))
         assert np.allclose(result.product, a @ b)
@@ -73,7 +76,7 @@ class TestSumma:
     def test_uneven_blocks(self):
         """n not divisible by the grid dimension still works."""
         result = run_summa(4, 35, seed=2)
-        rng = np.random.default_rng(2)
+        rng = RandomStreams(2).fresh("apps.summa.input")
         a = rng.standard_normal((35, 35))
         b = rng.standard_normal((35, 35))
         assert np.allclose(result.product, a @ b)

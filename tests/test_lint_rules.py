@@ -1,0 +1,429 @@
+"""Unit tests for the repro.lint engine: one positive and one negative
+fixture per rule, suppression comments, and the baseline round trip."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    RULES,
+    Finding,
+    get_rules,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.cli import main as lint_main
+
+
+def run_lint(tmp_path, source, codes=None, filename="repro/model.py"):
+    """Lint one fixture file and return its findings."""
+    path = tmp_path / filename
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    rules = get_rules(codes) if codes else RULES
+    return lint_paths([path], tmp_path, rules).findings
+
+
+def codes_of(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestRegistry:
+    def test_eight_rules_with_unique_codes(self):
+        codes = [rule.code for rule in RULES]
+        assert codes == sorted(codes)
+        assert len(set(codes)) == len(codes) == 8
+
+    def test_select_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="REP999"):
+            get_rules(["REP999"])
+
+
+class TestRep001RandomSource:
+    def test_flags_numpy_default_rng(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            import numpy as np
+            rng = np.random.default_rng(3)
+        """, ["REP001"])
+        assert codes_of(findings) == ["REP001"]
+
+    def test_flags_stdlib_random(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            import random
+            x = random.random()
+        """, ["REP001"])
+        assert codes_of(findings) == ["REP001"]
+
+    def test_flags_from_import_member(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            from numpy.random import default_rng
+            rng = default_rng(0)
+        """, ["REP001"])
+        assert codes_of(findings) == ["REP001"]
+
+    def test_rng_module_is_exempt(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            import numpy as np
+            g = np.random.default_rng(0)
+        """, ["REP001"], filename="repro/sim/rng.py")
+        assert findings == []
+
+    def test_randomstreams_usage_is_clean(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            from repro.sim.rng import RandomStreams
+            rng = RandomStreams(7).get("model.jitter")
+            value = rng.normal()
+        """, ["REP001"])
+        assert findings == []
+
+
+class TestRep002WallClock:
+    def test_flags_time_time(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            import time
+            start = time.time()
+        """, ["REP002"])
+        assert codes_of(findings) == ["REP002"]
+
+    def test_flags_member_import(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            from time import perf_counter
+            start = perf_counter()
+        """, ["REP002"])
+        assert codes_of(findings) == ["REP002"]
+
+    def test_flags_datetime_now(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            from datetime import datetime
+            stamp = datetime.now()
+        """, ["REP002"])
+        assert codes_of(findings) == ["REP002"]
+
+    def test_benchmarks_are_exempt(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            import time
+            start = time.time()
+        """, ["REP002"], filename="benchmarks/bench_perf.py")
+        assert findings == []
+
+    def test_virtual_time_is_clean(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def elapsed(sim):
+                return sim.now
+        """, ["REP002"])
+        assert findings == []
+
+
+class TestRep003MagicScale:
+    def test_flags_exponent_notation(self, tmp_path):
+        findings = run_lint(tmp_path, "RATE = 1e9\n", ["REP003"])
+        assert codes_of(findings) == ["REP003"]
+        assert "GIGA" in findings[0].message
+
+    def test_flags_shift_and_power_forms(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            STRIPE = 1 << 20
+            CACHE = 2**30
+            BUF = 64 * 1024
+        """, ["REP003"])
+        assert codes_of(findings) == ["REP003", "REP003", "REP003"]
+        messages = " ".join(f.message for f in findings)
+        assert "MIB" in messages and "GIB" in messages and "KIB" in messages
+
+    def test_written_out_floats_are_deliberate(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            THRESHOLD_TFLOPS = 1000.0
+            BANDWIDTH = 2.1e9
+            PRIME = 1_000_003
+        """, ["REP003"])
+        assert findings == []
+
+    def test_units_module_is_exempt(self, tmp_path):
+        findings = run_lint(tmp_path, "GIGA = 1e9\n", ["REP003"],
+                            filename="repro/units.py")
+        assert findings == []
+
+
+class TestRep004FloatEquality:
+    def test_flags_float_literal_equality(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def check(x):
+                return x == 1.0 or x != 0.5
+        """, ["REP004"])
+        assert codes_of(findings) == ["REP004", "REP004"]
+
+    def test_integer_and_ordered_comparisons_clean(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def check(x):
+                return x == 1 or x >= 1.0
+        """, ["REP004"])
+        assert findings == []
+
+
+class TestRep005MutableDefault:
+    def test_flags_literal_and_constructor_defaults(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def f(items=[], table=dict()):
+                return items, table
+        """, ["REP005"])
+        assert codes_of(findings) == ["REP005", "REP005"]
+
+    def test_none_default_is_clean(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def f(items=None, scale=1.5):
+                return items if items is not None else []
+        """, ["REP005"])
+        assert findings == []
+
+
+class TestRep006ExportList:
+    def test_missing_all_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def public():
+                return 1
+        """, ["REP006"])
+        assert "no __all__" in findings[0].message
+
+    def test_unlisted_public_def_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            __all__ = ["listed"]
+
+            def listed():
+                return 1
+
+            def unlisted():
+                return 2
+        """, ["REP006"])
+        assert codes_of(findings) == ["REP006"]
+        assert "unlisted" in findings[0].message
+
+    def test_ghost_entry_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            __all__ = ["ghost"]
+        """, ["REP006"])
+        assert "ghost" in findings[0].message
+
+    def test_clean_module_passes(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            from collections import OrderedDict
+
+            __all__ = ["CONSTANT", "OrderedDict", "helper"]
+
+            CONSTANT = 7
+
+            def helper():
+                return CONSTANT
+
+            def _private():
+                return 0
+        """, ["REP006"])
+        assert findings == []
+
+    def test_duplicates_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            __all__ = ["f", "f"]
+
+            def f():
+                return 1
+        """, ["REP006"])
+        assert any("duplicate" in f.message for f in findings)
+
+
+class TestRep007CrossLayer:
+    def test_upward_import_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            from repro.scheduler import BatchSimulator
+        """, ["REP007"], filename="repro/tech/roadmap.py")
+        assert codes_of(findings) == ["REP007"]
+        assert "layer" in findings[0].message
+
+    def test_same_layer_import_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            from repro.tech import get_scenario
+        """, ["REP007"], filename="repro/sim/engine.py")
+        assert codes_of(findings) == ["REP007"]
+
+    def test_root_import_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            from repro import RandomStreams
+        """, ["REP007"], filename="repro/apps/kernel.py")
+        assert "package root" in findings[0].message
+
+    def test_downward_import_clean(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            from repro.units import GIGA
+            from repro.sim.engine import Simulator
+            from repro.network.fabric import Fabric
+        """, ["REP007"], filename="repro/messaging/comm.py")
+        assert findings == []
+
+    def test_relative_import_resolved(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            from ..scheduler import policies
+        """, ["REP007"], filename="repro/tech/curves.py")
+        assert codes_of(findings) == ["REP007"]
+
+
+class TestRep008SeededConstructor:
+    def test_public_seeded_function_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            import numpy as np
+
+            def run_model(seed):
+                rng = np.random.default_rng(seed)
+                return rng.normal()
+        """, ["REP008"])
+        assert codes_of(findings) == ["REP008"]
+        assert "run_model" in findings[0].message
+
+    def test_randomstreams_derivation_clean(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            from repro.sim.rng import RandomStreams
+
+            def run_model(seed, streams=None):
+                streams = streams if streams is not None else RandomStreams(seed)
+                return streams.get("model").normal()
+        """, ["REP008"])
+        assert findings == []
+
+    def test_private_helper_not_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            import numpy as np
+
+            def _internal(seed):
+                return np.random.default_rng(seed)
+        """, ["REP008"])
+        assert findings == []
+
+
+class TestSuppression:
+    def test_scoped_noqa_suppresses_named_rule(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            TAG_BASE = 1 << 20  # repro: noqa[REP003] tag namespace
+        """, ["REP003"])
+        assert findings == []
+
+    def test_scoped_noqa_leaves_other_rules(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            RATE = 1e9  # repro: noqa[REP004]
+        """, ["REP003"])
+        assert codes_of(findings) == ["REP003"]
+
+    def test_bare_noqa_suppresses_everything(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            RATE = 1e9  # repro: noqa
+        """, ["REP003"])
+        assert findings == []
+
+    def test_noqa_only_covers_its_line(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            A = 1e9  # repro: noqa[REP003]
+            B = 1e9
+        """, ["REP003"])
+        assert len(findings) == 1
+        assert findings[0].line == 3
+
+
+class TestBaseline:
+    def test_round_trip_hides_grandfathered_findings(self, tmp_path):
+        path = tmp_path / "repro" / "legacy.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("RATE = 1e9\n")
+        rules = get_rules(["REP003"])
+
+        raw = lint_paths([path], tmp_path, rules)
+        assert len(raw.findings) == 1
+
+        baseline_path = tmp_path / "lint-baseline.json"
+        write_baseline(baseline_path, raw.findings)
+        keys = load_baseline(baseline_path)
+        assert len(keys) == 1
+
+        clean = lint_paths([path], tmp_path, rules, baseline=keys)
+        assert clean.findings == []
+        assert clean.baselined == 1
+        assert clean.exit_code == 0
+
+    def test_new_findings_still_fail_after_baseline(self, tmp_path):
+        path = tmp_path / "repro" / "legacy.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("RATE = 1e9\n")
+        rules = get_rules(["REP003"])
+        baseline_path = tmp_path / "lint-baseline.json"
+        write_baseline(baseline_path, lint_paths([path], tmp_path,
+                                                 rules).findings)
+
+        path.write_text("RATE = 1e9\nCAP = 1 << 30\n")
+        result = lint_paths([path], tmp_path, rules,
+                            baseline=load_baseline(baseline_path))
+        assert len(result.findings) == 1
+        assert "GIB" in result.findings[0].message
+        assert result.exit_code == 1
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == set()
+
+
+class TestFindingModel:
+    def test_key_is_line_number_independent(self):
+        a = Finding("repro/x.py", 10, 1, "REP003", "magic scale literal")
+        b = Finding("repro/x.py", 99, 7, "REP003", "magic scale literal")
+        assert a.key() == b.key()
+
+    def test_render_and_dict_forms(self):
+        finding = Finding("repro/x.py", 3, 5, "REP001", "bad call")
+        assert "repro/x.py:3:5" in finding.render()
+        assert finding.as_dict()["rule"] == "REP001"
+
+    def test_syntax_error_reported_as_rep000(self, tmp_path):
+        path = tmp_path / "repro" / "broken.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("def broken(:\n")
+        result = lint_paths([path], tmp_path, RULES)
+        assert codes_of(result.findings) == ["REP000"]
+
+
+class TestCli:
+    def test_text_output_and_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "repro" / "bad.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("__all__ = []\nRATE = 1e9\n")
+        code = lint_main(["--root", str(tmp_path), "--select", "REP003",
+                          str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REP003" in out and "1 error(s)" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "repro" / "bad.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("RATE = 1e9\n")
+        code = lint_main(["--root", str(tmp_path), "--select", "REP003",
+                          "--format", "json", str(path)])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["errors"] == 1
+        assert payload["findings"][0]["rule"] == "REP003"
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        path = tmp_path / "repro" / "bad.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("RATE = 1e9\n")
+        args = ["--root", str(tmp_path), "--select", "REP003", str(path)]
+        assert lint_main(args + ["--write-baseline"]) == 0
+        capsys.readouterr()
+        assert lint_main(args) == 0
+        assert lint_main(args + ["--no-baseline"]) == 1
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP001", "REP008"):
+            assert code in out
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert lint_main(["--root", str(tmp_path),
+                          str(tmp_path / "absent.py")]) == 2

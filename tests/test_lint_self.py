@@ -1,0 +1,71 @@
+"""The repository must pass its own invariant checker.
+
+This is the enforcement point: ``python -m repro lint`` in CI and this
+test are the same gate, so a change that introduces a violation fails
+the suite before it reaches review.
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.lint import RULES, lint_paths, load_baseline
+from repro.lint.cli import BASELINE_NAME, main as lint_main
+
+REPO_ROOT = Path(repro.__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+
+pytestmark = pytest.mark.skipif(
+    not SRC.is_dir(), reason="requires the src-layout checkout")
+
+
+def test_source_tree_is_clean():
+    """Zero non-baselined findings across every rule in src/repro."""
+    baseline = load_baseline(REPO_ROOT / BASELINE_NAME)
+    result = lint_paths([SRC], REPO_ROOT, RULES, baseline=baseline)
+    assert result.files_scanned > 30
+    rendered = "\n".join(f.render() for f in result.findings)
+    assert result.findings == [], f"lint violations:\n{rendered}"
+    assert result.exit_code == 0
+
+
+def test_baseline_stays_near_empty():
+    """The baseline is an escape hatch for grandfathered debt, not a
+    dumping ground: new code must be fixed, not baselined."""
+    baseline = load_baseline(REPO_ROOT / BASELINE_NAME)
+    assert len(baseline) <= 5
+
+
+def test_cli_exits_zero_on_repo(capsys):
+    assert lint_main(["--root", str(REPO_ROOT)]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_cli_exits_nonzero_on_violations(tmp_path, capsys):
+    """A fixture violating each of the 8 rules must fail the gate."""
+    fixture = tmp_path / "repro" / "apps" / "offender.py"
+    fixture.parent.mkdir(parents=True)
+    fixture.write_text(
+        "import random\n"
+        "import time\n"
+        "import numpy as np\n"
+        "from repro.lint import engine\n"     # REP007: apps -> lint is upward
+        "\n"
+        "CAP = 1 << 30\n"                     # REP003
+        "\n"
+        "\n"
+        "def jitter(seed, history=[]):\n"     # REP005; REP008 via body
+        "    rng = np.random.default_rng(seed)\n"   # REP001 + REP008
+        "    if rng.random() == 0.5:\n"       # REP004
+        "        history.append(time.time())\n"     # REP002
+        "    return random.gauss(0.0, 1.0)\n"       # REP001
+        # no __all__ -> REP006
+    )
+    code = lint_main(["--root", str(tmp_path), "--no-baseline",
+                      str(fixture)])
+    out = capsys.readouterr().out
+    assert code == 1
+    for rule in ("REP001", "REP002", "REP003", "REP004",
+                 "REP005", "REP006", "REP007", "REP008"):
+        assert rule in out, f"{rule} missing from:\n{out}"
