@@ -7,6 +7,7 @@
     python -m repro design --budget 25e6 --year 2006 [--arch blade]
     python -m repro interconnects [--year 2006]
     python -m repro faults --nodes 10000 [--checkpoint 300]
+    python -m repro campaign --kernel summa [--ranks 4] [--faults 3]
     python -m repro lint [--format text|json] [--baseline FILE]
 
 Each subcommand prints one of the library's standard tables; the full
@@ -126,6 +127,41 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """Run one end-to-end fault campaign and print the report."""
+    import repro.apps.campaigns  # noqa: F401  (registers kernels)
+    from repro.fault import (
+        CampaignSpec,
+        LinkFaultSpec,
+        NodeFaultSpec,
+        run_campaign,
+    )
+
+    node_faults = tuple(
+        NodeFaultSpec(time=args.first_fault * (index + 1),
+                      rank=index % args.ranks)
+        for index in range(args.faults)
+    )
+    link_faults = (
+        LinkFaultSpec(start=0.0, duration=args.first_fault * 4,
+                      a=("h", 0), b=("s", 0)),
+        LinkFaultSpec(start=0.0, duration=args.first_fault * 20,
+                      a=("s", 0), b=("s", 2)),
+    ) if args.link_faults else ()
+    spec = CampaignSpec(
+        kernel=args.kernel,
+        ranks=args.ranks,
+        node_faults=node_faults,
+        link_faults=link_faults,
+        seed=args.seed,
+        restart_seconds=2e-4,
+        checkpoint_write_seconds=1e-4,
+    )
+    report = run_campaign(spec)
+    print(report.summary())
+    return 0 if report.answers_match else 1
+
+
 def _cmd_fabrics(args: argparse.Namespace) -> int:
     """Price the fabric design alternatives for a host count."""
     from repro.network import compare_fabrics, get_interconnect
@@ -229,6 +265,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint_cli.add_arguments(lint)
     lint.set_defaults(func=_cmd_lint)
+
+    campaign = sub.add_parser(
+        "campaign", help="fault campaign on a real kernel")
+    campaign.add_argument("--kernel", default="summa",
+                          help="registered kernel name (summa, stencil2d)")
+    campaign.add_argument("--ranks", type=int, default=4)
+    campaign.add_argument("--faults", type=int, default=3,
+                          help="number of scheduled node faults")
+    campaign.add_argument("--first-fault", type=float, default=6e-4,
+                          help="virtual seconds until the first fault")
+    campaign.add_argument("--seed", type=int, default=7)
+    campaign.add_argument("--no-link-faults", dest="link_faults",
+                          action="store_false",
+                          help="skip the default link down windows")
+    campaign.set_defaults(func=_cmd_campaign)
 
     faults = sub.add_parser("faults", help="reliability at a scale")
     faults.add_argument("--nodes", type=int, required=True)

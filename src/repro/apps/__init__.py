@@ -24,6 +24,7 @@ Kernels
     Top500-style projections.
 """
 
+from repro.apps.campaigns import stencil2d_kernel, summa_kernel
 from repro.apps.compute import ComputeCharge
 from repro.apps.stencil import StencilResult, run_stencil, serial_stencil_reference
 from repro.apps.stencil2d import Stencil2DResult, process_grid, run_stencil2d
@@ -57,4 +58,6 @@ __all__ = [
     "run_summa",
     "run_sweep",
     "serial_stencil_reference",
+    "stencil2d_kernel",
+    "summa_kernel",
 ]

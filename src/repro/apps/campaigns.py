@@ -1,0 +1,91 @@
+"""Standard app kernels registered for fault campaigns.
+
+Importing this module registers checkpointable variants of the real
+kernels with :mod:`repro.fault.campaign`:
+
+* ``"summa"`` — the broadcast-shaped distributed matrix multiply
+  (:mod:`repro.apps.summa`); checkpoints ``(step, C_local)``;
+* ``"stencil2d"`` — the 2D-decomposed Jacobi stencil
+  (:mod:`repro.apps.stencil2d`); checkpoints ``(iter, block)``.
+
+Each factory closes over the campaign's :class:`~repro.sim.rng.
+RandomStreams`, so inputs are re-derived identically every incarnation
+(named streams are the reproducibility contract, not pickled state),
+and returns a rank body ``body(comm, ckpt)`` whose answer is just the
+numerical result — timing is the campaign's to measure, not part of
+the bit-identity check.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+from repro.apps.compute import ComputeCharge
+from repro.apps.stencil2d import _stencil2d_rank, process_grid
+from repro.apps.summa import _summa_rank
+from repro.fault.campaign import register_kernel
+from repro.messaging.comm import Communicator
+from repro.sim.rng import RandomStreams
+
+__all__ = ["summa_kernel", "stencil2d_kernel"]
+
+
+def _charge_from(app_args: Dict[str, Any]) -> ComputeCharge:
+    charge: Optional[ComputeCharge] = app_args.get("charge")
+    return charge if charge is not None else ComputeCharge()
+
+
+def summa_kernel(ranks: int, streams: RandomStreams,
+                 app_args: Dict[str, Any]):
+    """Kernel factory for campaigns: SUMMA ``C = A @ B``.
+
+    ``app_args``: ``n`` (matrix dimension, default 8) and optionally a
+    ``charge`` (:class:`~repro.apps.compute.ComputeCharge`).
+    """
+    n = int(app_args.get("n", 8))
+    grid = int(math.isqrt(ranks))
+    if grid * grid != ranks:
+        raise ValueError(f"SUMMA needs a square rank count, got {ranks}")
+    if n < grid:
+        raise ValueError(f"need at least one row per grid row ({grid} > {n})")
+    charge = _charge_from(app_args)
+
+    def body(comm: Communicator, ckpt):
+        _loop_end, product = yield from _summa_rank(
+            comm, n, charge, streams, ckpt)
+        return product
+
+    return body
+
+
+def stencil2d_kernel(ranks: int, streams: RandomStreams,
+                     app_args: Dict[str, Any]):
+    """Kernel factory for campaigns: 2D-decomposed Jacobi stencil.
+
+    ``app_args``: ``n`` (grid extent, default 12), ``iterations``
+    (default 6), optionally a ``charge``.  The stencil's initial
+    condition is analytic, so ``streams`` is unused — the signature is
+    the registry contract.
+    """
+    del streams  # analytic initial condition; nothing random to derive
+    n = int(app_args.get("n", 12))
+    iterations = int(app_args.get("iterations", 6))
+    grid_rows, grid_cols = process_grid(ranks)
+    if n < 4 or grid_rows > n - 2 or grid_cols > n - 2:
+        raise ValueError(f"{ranks} ranks ({grid_rows}x{grid_cols}) need a "
+                         f"bigger grid than {n}x{n}")
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    charge = _charge_from(app_args)
+
+    def body(comm: Communicator, ckpt):
+        _loop_end, result = yield from _stencil2d_rank(
+            comm, n, iterations, charge, ckpt)
+        return result
+
+    return body
+
+
+register_kernel("summa", summa_kernel)
+register_kernel("stencil2d", stencil2d_kernel)

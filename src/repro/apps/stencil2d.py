@@ -57,7 +57,14 @@ def _bounds(extent: int, parts: int) -> List[int]:
 
 
 def _stencil2d_rank(comm: Communicator, n: int, iterations: int,
-                    charge: ComputeCharge):
+                    charge: ComputeCharge, ckpt=None):
+    """One rank's stencil loop; optionally checkpointable.
+
+    ``ckpt`` (duck-typed; see :class:`repro.fault.campaign.RankCheckpoint`)
+    checkpoints the halo block and resume iteration, so a restarted run
+    recomputes exactly the remaining iterations — bit-identical to an
+    uninterrupted run.
+    """
     size, rank = comm.size, comm.rank
     grid_rows, grid_cols = process_grid(size)
     my_row, my_col = divmod(rank, grid_cols)
@@ -77,7 +84,12 @@ def _stencil2d_rank(comm: Communicator, n: int, iterations: int,
     west = rank - 1 if my_col > 0 else None
     east = rank + 1 if my_col < grid_cols - 1 else None
 
-    for _step in range(iterations):
+    start_iter = 0
+    if ckpt is not None and ckpt.restored is not None:
+        start_iter = ckpt.restored["iter"]
+        block = ckpt.restored["block"].copy()
+
+    for _step in range(start_iter, iterations):
         # Post all four receives, then all four sends (columns packed
         # into contiguous buffers — the vector-datatype move).
         recvs = {}
@@ -119,6 +131,10 @@ def _stencil2d_rank(comm: Communicator, n: int, iterations: int,
         points = (r1 - r0) * (c1 - c0)
         yield comm.sim.timeout(charge.seconds(flops=4.0 * points,
                                               bytes_moved=40.0 * points))
+        if (ckpt is not None and _step + 1 < iterations
+                and ckpt.due(_step + 1)):
+            yield from ckpt.save(_step + 1,
+                                 {"iter": _step + 1, "block": block.copy()})
 
     loop_end = comm.sim.now
 

@@ -49,7 +49,16 @@ def _block_bounds(n: int, q: int) -> List[int]:
 
 
 def _summa_rank(comm: Communicator, n: int, charge: ComputeCharge,
-                streams: RandomStreams):
+                streams: RandomStreams, ckpt=None):
+    """One rank's SUMMA loop; optionally checkpointable.
+
+    ``ckpt`` (duck-typed; see :class:`repro.fault.campaign.RankCheckpoint`)
+    enables coordinated checkpoint/restart: inputs are recomputed from
+    the named stream (identical every incarnation), only the accumulator
+    and resume step are checkpointed, and the grid-step loop resumes
+    exactly where the last committed checkpoint left it — bit-identical
+    to an uninterrupted run.
+    """
     size, rank = comm.size, comm.rank
     grid = int(math.isqrt(size))
     row, col = divmod(rank, grid)
@@ -64,12 +73,17 @@ def _summa_rank(comm: Communicator, n: int, charge: ComputeCharge,
     b_local = b_full[rows, cols].copy()
     c_local = np.zeros((rows.stop - rows.start, cols.stop - cols.start))
 
+    start_step = 0
+    if ckpt is not None and ckpt.restored is not None:
+        start_step = ckpt.restored["step"]
+        c_local = ckpt.restored["c"].copy()
+
     # The canonical SUMMA communicator structure: one communicator per
     # process row (ranked by column) and one per column (ranked by row).
     row_comm = yield from comm.split(row, key=col)
     col_comm = yield from comm.split(col, key=row)
 
-    for step in range(grid):
+    for step in range(start_step, grid):
         # A's step-th block-column travels along my process row...
         a_panel = yield from row_comm.bcast(
             a_local if col == step else None, root=step)
@@ -82,6 +96,10 @@ def _summa_rank(comm: Communicator, n: int, charge: ComputeCharge,
         yield comm.sim.timeout(charge.seconds(
             flops=2.0 * m * k * p_cols,
             bytes_moved=8.0 * (m * k + k * p_cols + m * p_cols)))
+        if (ckpt is not None and step + 1 < grid
+                and ckpt.due(step + 1)):
+            yield from ckpt.save(step + 1,
+                                 {"step": step + 1, "c": c_local.copy()})
 
     # Timing stops here; gather is verification plumbing.
     loop_end = comm.sim.now

@@ -12,7 +12,10 @@ is the keynote's canonical example.  This package quantifies the claim:
   kernel, plus a Monte-Carlo checkpoint/restart simulator that validates
   the analytic model;
 * :mod:`~repro.fault.recovery` — recovery strategies (cold restart vs
-  checkpoint restart vs spare-node pools) compared on completion time.
+  checkpoint restart vs spare-node pools) compared on completion time;
+* :mod:`~repro.fault.campaign` — declarative end-to-end fault campaigns:
+  a real app kernel under scheduled node/link faults with coordinated
+  checkpoint/restart, verified bit-identical to the failure-free run.
 """
 
 from repro.fault.models import (
@@ -30,6 +33,20 @@ from repro.fault.checkpoint import (
     young_interval,
 )
 from repro.fault.injection import FaultInjector, simulate_checkpoint_run
+from repro.fault.campaign import (
+    CampaignReport,
+    CampaignSpec,
+    CheckpointVault,
+    LinkFaultSpec,
+    NodeFaultSpec,
+    RankCheckpoint,
+    RunOutcome,
+    SwitchFaultSpec,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+    run_campaign,
+)
 from repro.fault.recovery import RecoveryOutcome, compare_strategies
 from repro.fault.availability import (
     NodeAvailability,
@@ -40,13 +57,22 @@ from repro.fault.availability import (
 )
 
 __all__ = [
+    "CampaignReport",
+    "CampaignSpec",
     "CheckpointParams",
+    "CheckpointVault",
     "ExponentialFailures",
     "FailureModel",
     "FaultInjector",
+    "LinkFaultSpec",
     "NodeAvailability",
+    "NodeFaultSpec",
+    "RankCheckpoint",
     "RecoveryOutcome",
+    "RunOutcome",
+    "SwitchFaultSpec",
     "WeibullFailures",
+    "available_kernels",
     "compare_strategies",
     "daly_interval",
     "efficiency",
@@ -54,6 +80,9 @@ __all__ = [
     "node_availability",
     "probability_at_least",
     "expected_runtime",
+    "get_kernel",
+    "register_kernel",
+    "run_campaign",
     "simulate_checkpoint_run",
     "spares_for_sla",
     "system_mtbf",

@@ -1,0 +1,538 @@
+"""Declarative fault campaigns: real kernels under injected failures.
+
+A *campaign* runs one application kernel (registered via
+:func:`register_kernel`) across simulated ranks while a schedule of
+**node faults** (a rank's machine dies, the job is torn down and
+restarted from the last coordinated checkpoint) and **link/switch down
+windows** (the fabric drops or re-routes traffic) plays out.  The runner
+then re-executes the identical workload with faults disabled and checks
+the answers are **bit-identical** — the end-to-end proof that recovery
+preserved correctness, not just liveness.
+
+The moving parts, bottom-up:
+
+* :class:`CheckpointVault` — in-memory coordinated checkpoint store; a
+  version commits only when *every* rank has staged it, so a failure
+  mid-checkpoint rolls back to the previous complete version;
+* :class:`RankCheckpoint` — the per-rank handle kernels see: a
+  ``restored`` state (or ``None`` on fresh start) and a coordinated
+  ``save`` (barrier, write cost, stage);
+* :func:`run_campaign` — the supervisor: spawns an incarnation of the
+  job, advances virtual time to the next scheduled node fault, tears the
+  job down (every rank interrupted, the victim with a
+  :class:`~repro.sim.causes.FailureCause`), pays the restart cost, and
+  respawns from the vault — repeating until the job completes; then
+  replays the failure-free run and compares answers.
+
+Everything is deterministic for a fixed seed: fault times are declared,
+retry jitter and random loss draw from named
+:class:`~repro.sim.rng.RandomStreams` streams, and the event kernel
+breaks ties by scheduling order — so the same spec reproduces the same
+failure trace, retry counts, and metrics, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.messaging.comm import CommConfig, CommWorld, Communicator
+from repro.network.fabric import Fabric, FabricFaultPlan
+from repro.network.technologies import get_interconnect
+from repro.network.topology import FatTreeTopology, Node
+from repro.sim.causes import AbortCause, FailureCause
+from repro.sim.engine import Process, SimulationError, Simulator
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "NodeFaultSpec",
+    "LinkFaultSpec",
+    "SwitchFaultSpec",
+    "CampaignSpec",
+    "CampaignReport",
+    "CheckpointVault",
+    "RankCheckpoint",
+    "RunOutcome",
+    "register_kernel",
+    "get_kernel",
+    "available_kernels",
+    "run_campaign",
+]
+
+#: A kernel factory maps (ranks, streams, app_args) to a rank body
+#: ``body(comm, ckpt)`` — a generator returning the rank's answer.
+KernelFactory = Callable[[int, RandomStreams, Dict[str, Any]],
+                         Callable[[Communicator, "RankCheckpoint"], Any]]
+
+_KERNELS: Dict[str, KernelFactory] = {}
+
+
+def register_kernel(name: str, factory: KernelFactory) -> None:
+    """Register an app kernel for campaigns (idempotent per name)."""
+    _KERNELS[name] = factory
+
+
+def get_kernel(name: str) -> KernelFactory:
+    """Look up a registered kernel factory by name."""
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {available_kernels()} "
+            "(import repro.apps.campaigns to register the standard ones)"
+        ) from None
+
+
+def available_kernels() -> List[str]:
+    """Registered kernel names, sorted."""
+    return sorted(_KERNELS)
+
+
+# -- fault schedule specs --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NodeFaultSpec:
+    """At virtual ``time``, the node hosting ``rank`` dies: the job is
+    torn down and restarted from the last committed checkpoint."""
+
+    time: float
+    rank: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("fault time must be >= 0")
+        if self.rank < 0:
+            raise ValueError("victim rank must be >= 0")
+
+
+@dataclass(frozen=True)
+class LinkFaultSpec:
+    """The link between graph nodes ``a`` and ``b`` is down for
+    ``[start, start + duration)``; traffic re-routes or retries."""
+
+    start: float
+    duration: float
+    a: Node
+    b: Node
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError("need start >= 0 and duration > 0")
+
+
+@dataclass(frozen=True)
+class SwitchFaultSpec:
+    """Switch ``node`` is down for ``[start, start + duration)``."""
+
+    start: float
+    duration: float
+    node: Node
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError("need start >= 0 and duration > 0")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One declarative fault campaign.
+
+    ``app_args`` is a tuple of ``(key, value)`` pairs (hashable stand-in
+    for a dict) handed to the kernel factory.  ``checkpoint_every``
+    checkpoints after every k-th kernel step.  The messaging layer runs
+    reliable + fault-aware by default — a campaign without reliable
+    delivery deadlocks on the first lost message, which is itself a
+    result (the "no-recovery cliff" of bench E20).
+    """
+
+    kernel: str
+    ranks: int
+    name: str = ""
+    app_args: Tuple[Tuple[str, Any], ...] = ()
+    node_faults: Tuple[NodeFaultSpec, ...] = ()
+    link_faults: Tuple[LinkFaultSpec, ...] = ()
+    switch_faults: Tuple[SwitchFaultSpec, ...] = ()
+    seed: int = 0
+    technology: str = "gigabit_ethernet"
+    hosts_per_leaf: Optional[int] = None
+    checkpoint_every: int = 1
+    checkpoint_write_seconds: float = 1e-3
+    restart_seconds: float = 5e-3
+    drop_probability: float = 0.0
+    corrupt_probability: float = 0.0
+    reliable: bool = True
+    fault_aware: bool = True
+    op_timeout: Optional[float] = None
+    max_retries: int = 12
+
+    def __post_init__(self) -> None:
+        if self.ranks < 1:
+            raise ValueError("need at least one rank")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.checkpoint_write_seconds < 0 or self.restart_seconds < 0:
+            raise ValueError("checkpoint/restart costs must be >= 0")
+        for fault in self.node_faults:
+            if fault.rank >= self.ranks:
+                raise ValueError(
+                    f"node fault victim {fault.rank} >= ranks {self.ranks}")
+
+    def comm_config(self) -> CommConfig:
+        """The messaging configuration this campaign runs under."""
+        return CommConfig(reliable=self.reliable,
+                          fault_aware=self.fault_aware,
+                          op_timeout=self.op_timeout,
+                          max_retries=self.max_retries)
+
+    def topology(self) -> FatTreeTopology:
+        """Full-bisection fat tree (spine redundancy enables re-routing)."""
+        per_leaf = self.hosts_per_leaf
+        if per_leaf is None:
+            per_leaf = max(2, -(-self.ranks // 4))  # ceil(ranks / 4)
+        return FatTreeTopology(self.ranks, hosts_per_leaf=per_leaf,
+                               spines=per_leaf)
+
+
+# -- coordinated checkpointing ---------------------------------------------
+
+
+class CheckpointVault:
+    """Versioned, coordinated checkpoint store (reliable storage model).
+
+    A version commits only once every rank has staged it; partial stages
+    (a failure landed mid-checkpoint) are discarded on rollback, so
+    restarts only ever see complete, consistent cuts.
+    """
+
+    def __init__(self, ranks: int) -> None:
+        if ranks < 1:
+            raise ValueError("need at least one rank")
+        self.ranks = ranks
+        self._staged: Dict[int, Dict[int, Any]] = {}
+        self._committed: Optional[Tuple[int, Dict[int, Any]]] = None
+        self.commits = 0
+        #: ``(virtual time, step)`` of every commit, in order.
+        self.commit_times: List[Tuple[float, int]] = []
+
+    def stage(self, rank: int, step: int, state: Any, now: float) -> None:
+        """Record one rank's state for version ``step``; commits the
+        version when the last rank arrives."""
+        bucket = self._staged.setdefault(step, {})
+        bucket[rank] = state
+        if len(bucket) == self.ranks:
+            self._committed = (step, bucket)
+            self.commits += 1
+            self.commit_times.append((now, step))
+            for stale in [s for s in self._staged if s <= step]:
+                del self._staged[stale]
+
+    def rollback(self) -> None:
+        """Discard partial stages (called at teardown after a fault)."""
+        self._staged.clear()
+
+    @property
+    def latest(self) -> Optional[Tuple[int, Dict[int, Any]]]:
+        """The newest committed ``(step, {rank: state})``, or ``None``."""
+        return self._committed
+
+    @property
+    def last_commit_time(self) -> Optional[float]:
+        return self.commit_times[-1][0] if self.commit_times else None
+
+
+class RankCheckpoint:
+    """Per-rank checkpoint handle handed to kernels.
+
+    ``restored`` is this rank's state from the newest committed version
+    (``None`` on a fresh start); ``interval`` is how many kernel steps
+    between checkpoints; :meth:`save` is the coordinated write.
+    """
+
+    def __init__(self, vault: CheckpointVault, comm: Communicator,
+                 write_seconds: float, interval: int = 1) -> None:
+        self.vault = vault
+        self.comm = comm
+        self.write_seconds = write_seconds
+        self.interval = interval
+        committed = vault.latest
+        self.restored_step: Optional[int] = None
+        self.restored: Optional[Any] = None
+        if committed is not None:
+            self.restored_step = committed[0]
+            self.restored = committed[1].get(comm.rank)
+
+    def due(self, completed_steps: int) -> bool:
+        """Should the kernel checkpoint after ``completed_steps`` steps?"""
+        return completed_steps % self.interval == 0
+
+    def save(self, step: int, state: Any):
+        """Generator: coordinated checkpoint of ``state`` as version
+        ``step`` — barrier (every rank quiesces at the same cut), write
+        cost, then stage into the vault."""
+        yield from self.comm.barrier()
+        if self.write_seconds > 0:
+            yield self.comm.sim.timeout(self.write_seconds)
+        self.vault.stage(self.comm.rank, step, state, self.comm.sim.now)
+
+
+# -- campaign execution ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """One full execution (clean or faulty) of the campaign workload."""
+
+    elapsed: float
+    answers: Tuple[Any, ...]
+    incarnations: int
+    commits: int
+    fault_trace: Tuple[Tuple[float, int, Optional[int]], ...]
+    lost_work_seconds: float
+    recovery_seconds: float
+    comm_stats: Dict[str, int]
+    fabric_counters: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """What a campaign measured, plus the correctness verdict."""
+
+    spec: CampaignSpec
+    clean: RunOutcome
+    faulty: RunOutcome
+    answers_match: bool
+
+    @property
+    def goodput(self) -> float:
+        """Failure-free elapsed time over faulty elapsed time (1.0 means
+        faults cost nothing; the no-recovery cliff drives this to 0)."""
+        if self.faulty.elapsed <= 0:
+            return 1.0
+        return self.clean.elapsed / self.faulty.elapsed
+
+    @property
+    def retries(self) -> int:
+        return self.faulty.comm_stats.get("retries", 0)
+
+    def summary(self) -> str:
+        """One paragraph for CLI output."""
+        f = self.faulty
+        return (
+            f"campaign {self.spec.name or self.spec.kernel!r}: "
+            f"{len(f.fault_trace)} node fault(s), "
+            f"{self.spec.topology().num_switches} switches, "
+            f"{f.incarnations - 1} restart(s), {f.commits} checkpoint "
+            f"commit(s), {f.comm_stats.get('retries', 0)} retransmit(s); "
+            f"elapsed {f.elapsed:.6f}s vs {self.clean.elapsed:.6f}s clean "
+            f"(goodput {self.goodput:.3f}); lost work "
+            f"{f.lost_work_seconds:.6f}s; answers "
+            f"{'bit-identical' if self.answers_match else 'DIVERGED'}"
+        )
+
+
+def _answers_equal(left: Any, right: Any) -> bool:
+    """Bit-identical comparison across per-rank answer structures."""
+    if left is None or right is None:
+        return left is None and right is None
+    if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+        return bool(np.array_equal(np.asarray(left), np.asarray(right)))
+    return bool(left == right)
+
+
+def _build_plan(spec: CampaignSpec, streams: RandomStreams,
+                topology: FatTreeTopology) -> Optional[FabricFaultPlan]:
+    """The fabric fault plan for the faulty run (None when no fabric
+    faults are declared).  Endpoints are validated against the topology
+    so a typo'd node name fails loudly instead of silently never
+    matching a route (hosts are ``("h", rank)``, switches ``("s", i)``)."""
+    random_faults = (spec.drop_probability > 0
+                     or spec.corrupt_probability > 0)
+    if not (spec.link_faults or spec.switch_faults or random_faults):
+        return None
+    rng = streams.get("network.faults") if random_faults else None
+    plan = FabricFaultPlan(drop_probability=spec.drop_probability,
+                           corrupt_probability=spec.corrupt_probability,
+                           rng=rng)
+    for lf in spec.link_faults:
+        if not topology.graph.has_edge(lf.a, lf.b):
+            raise ValueError(
+                f"link fault on {lf.a!r}--{lf.b!r}: no such link in the "
+                f"campaign topology (hosts are ('h', rank), switches "
+                f"('s', i))")
+        plan.link_down(lf.a, lf.b, lf.start, lf.start + lf.duration)
+    for sf in spec.switch_faults:
+        if sf.node not in topology.graph:
+            raise ValueError(
+                f"switch fault on {sf.node!r}: no such node in the "
+                f"campaign topology")
+        plan.node_down(sf.node, sf.start, sf.start + sf.duration)
+    return plan
+
+
+def _teardown(procs: List[Process], victim: int, index: int) -> None:
+    """Interrupt every live rank of the incarnation.
+
+    A process whose pending wakeup is due at this very instant no-ops
+    the first interrupt (it "finished first" — the same-timestamp rule),
+    so the caller drains the queue and calls this again; the second pass
+    always lands because survivors then wait on strictly-future events.
+    """
+    for rank, process in enumerate(procs):
+        if process.is_alive:
+            if rank == victim:
+                process.interrupt(FailureCause.numbered(index))
+            else:
+                process.interrupt(AbortCause.numbered(victim, index))
+
+
+def _run_once(spec: CampaignSpec, faults_enabled: bool) -> RunOutcome:
+    """Execute the campaign workload once, with or without faults."""
+    streams = RandomStreams(seed=spec.seed)
+    sim = Simulator()
+    topology = spec.topology()
+    plan = (_build_plan(spec, streams, topology)
+            if faults_enabled else None)
+    # One fabric for the whole run: outage schedules, degraded-route
+    # caches, and traffic counters span incarnations, as on a real
+    # machine.  Each incarnation gets a fresh CommWorld so stale traffic
+    # from a torn-down job can never match a restarted rank's receives.
+    fabric = Fabric(sim, topology, get_interconnect(spec.technology),
+                    fault_plan=plan)
+    config = spec.comm_config()
+    vault = CheckpointVault(spec.ranks)
+    factory = get_kernel(spec.kernel)
+    body_fn = factory(spec.ranks, streams, dict(spec.app_args))
+
+    node_faults = (sorted(spec.node_faults, key=lambda f: (f.time, f.rank))
+                   if faults_enabled else [])
+    fault_trace: List[Tuple[float, int, Optional[int]]] = []
+    lost_work = 0.0
+    recovery = 0.0
+    incarnations = 0
+    next_fault = 0
+    worlds: List[CommWorld] = []
+    finished_at = [float("nan")] * spec.ranks
+    answers: List[Any] = [None] * spec.ranks
+
+    while True:
+        incarnations += 1
+        incarnation_start = sim.now
+        world = CommWorld(sim, fabric, config=config, streams=streams)
+        worlds.append(world)
+        procs: List[Process] = []
+
+        def rank_body(comm: Communicator, ckpt: RankCheckpoint):
+            result = yield from body_fn(comm, ckpt)
+            finished_at[comm.rank] = sim.now
+            answers[comm.rank] = result
+            return result
+
+        for rank in range(spec.ranks):
+            comm = world.communicator(rank)
+            ckpt = RankCheckpoint(vault, comm,
+                                  spec.checkpoint_write_seconds,
+                                  spec.checkpoint_every)
+            process = sim.process(rank_body(comm, ckpt),
+                                  name=f"rank{rank}.{incarnations}")
+            process.defused = True
+            procs.append(process)
+
+        if next_fault < len(node_faults):
+            fault = node_faults[next_fault]
+            # A fault scheduled before `now` struck while the job was
+            # down (mid-restart): it hits the new incarnation the
+            # instant it comes up.
+            sim.run(until=max(fault.time, sim.now))
+            if all(p.triggered for p in procs):
+                # The job beat the fault; it hits an idle machine.
+                next_fault += 1
+                break
+            next_fault += 1
+            struck_at = sim.now
+            committed = vault.latest
+            committed_step = committed[0] if committed is not None else None
+            # Work lost = progress made *this incarnation* past the last
+            # committed cut (a commit from a previous incarnation cannot
+            # move the base before this incarnation even started).
+            last_commit = vault.last_commit_time
+            base = incarnation_start
+            if last_commit is not None and last_commit > base:
+                base = last_commit
+            lost_work += sim.now - base
+            world.fail_rank(fault.rank)
+            _teardown(procs, fault.rank, len(fault_trace))
+            sim.run(until=sim.now)
+            # Survivors of the same-timestamp no-op rule get a second,
+            # always-landing interrupt now that due wakeups have fired.
+            _teardown(procs, fault.rank, len(fault_trace))
+            sim.run(until=sim.now)
+            vault.rollback()
+            fault_trace.append((struck_at, fault.rank, committed_step))
+            recovery += spec.restart_seconds
+            sim.run(until=sim.now + spec.restart_seconds)
+            continue
+
+        sim.run()
+        break
+
+    for rank, process in enumerate(procs):
+        if process.triggered and not process.ok:
+            raise process.value
+        if not process.triggered:
+            raise SimulationError(
+                f"campaign deadlock: rank {rank} still blocked after the "
+                "event queue drained (message lost without reliable "
+                "delivery, or an un-recovered failure)"
+            )
+
+    elapsed = max(finished_at)
+    counters: Dict[str, int] = {
+        "drops": 0, "corruptions": 0, "reroutes": 0, "unreachable": 0,
+        "link_outages": 0,
+    }
+    if plan is not None:
+        counters = {
+            "drops": plan.drops,
+            "corruptions": plan.corruptions,
+            "reroutes": plan.reroutes,
+            "unreachable": plan.unreachable,
+            "link_outages": plan.link_outages,
+        }
+    # Messaging stats accumulate per incarnation's world; sum them so
+    # retransmits from torn-down incarnations still count.
+    comm_stats: Dict[str, int] = {}
+    for world in worlds:
+        for key, value in world.stats.snapshot().items():
+            comm_stats[key] = comm_stats.get(key, 0) + value
+    return RunOutcome(
+        elapsed=elapsed,
+        answers=tuple(answers),
+        incarnations=incarnations,
+        commits=vault.commits,
+        fault_trace=tuple(fault_trace),
+        lost_work_seconds=lost_work,
+        recovery_seconds=recovery,
+        comm_stats=comm_stats,
+        fabric_counters=counters,
+    )
+
+
+def run_campaign(spec: CampaignSpec) -> CampaignReport:
+    """Run the faulty campaign, then the failure-free reference, and
+    verify the answers are bit-identical.
+
+    Both runs use the same seed, so they derive identical inputs; the
+    fault machinery must therefore change *when* things happen, never
+    *what* is computed — which is exactly what the comparison checks.
+    """
+    faulty = _run_once(spec, faults_enabled=True)
+    clean = _run_once(spec, faults_enabled=False)
+    match = all(
+        _answers_equal(c, f)
+        for c, f in zip(clean.answers, faulty.answers)
+    )
+    return CampaignReport(spec=spec, clean=clean, faulty=faulty,
+                          answers_match=match)

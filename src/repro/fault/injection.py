@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.fault.checkpoint import CheckpointParams
 from repro.fault.models import FailureModel
+from repro.sim.causes import FailureCause
 from repro.sim.engine import Interrupt, Process, Simulator
 from repro.sim.rng import RandomStreams
 
@@ -32,8 +33,11 @@ class FaultInjector:
     """Interrupts a victim process at sampled failure times.
 
     The injector stops on its own when the victim finishes; each interrupt
-    carries a ``("failure", index)`` cause so victims can distinguish
-    injected faults from other interrupts.
+    carries a :class:`~repro.sim.causes.FailureCause` — which compares
+    equal to the legacy ``("failure", index)`` tuple — so victims can
+    distinguish injected faults from other interrupts.  An interrupt that
+    lands at the exact instant the victim's current wait is due is a
+    no-op (the victim "finished first"; see ``Process.interrupt``).
     """
 
     def __init__(self, sim: Simulator, model: FailureModel,
@@ -54,7 +58,7 @@ class FaultInjector:
             yield self.sim.timeout(gap)
             if not victim.is_alive:
                 break
-            victim.interrupt(("failure", index))
+            victim.interrupt(FailureCause.numbered(index))
             self.failures_injected += 1
             index += 1
         return self.failures_injected

@@ -5,7 +5,7 @@ outside: every stochastic draw flows through
 :class:`~repro.sim.rng.RandomStreams`, every quantity is in base SI units
 via :mod:`repro.units`, simulated time never reads the wall clock, and
 the DESIGN.md layering holds.  This package machine-checks those
-conventions (REP001-REP008) instead of trusting comments:
+conventions (REP001-REP008, REP010) instead of trusting comments:
 
 * ``python -m repro lint`` — run the checker (see :mod:`repro.lint.cli`);
 * ``tests/test_lint_self.py`` — CI gate: the codebase lints clean;

@@ -24,6 +24,7 @@ from repro.units import EXA, GIB, GIGA, KIB, KILO, MEGA, MIB, PETA, TERA, TIB
 __all__ = [
     "LAYERS",
     "RULES",
+    "BroadExceptRule",
     "CrossLayerImportRule",
     "ExportListRule",
     "FloatEqualityRule",
@@ -82,7 +83,7 @@ LAYERS: Dict[str, int] = {
     "scheduler": 20,
     "cluster": 30,
     "messaging": 30,
-    "fault": 30,
+    "fault": 35,
     "io": 40,
     "apps": 50,
     "lint": 60,
@@ -454,7 +455,7 @@ class CrossLayerImportRule(Rule):
     name = "cross-layer-import"
     description = ("packages import strictly lower DESIGN.md layers only "
                    "(units < sim/tech/analysis < network/nodes/scheduler "
-                   "< cluster/messaging/fault < io < apps < lint)")
+                   "< cluster/messaging < fault < io < apps < lint)")
     visitor = _CrossLayerVisitor
 
 
@@ -501,6 +502,54 @@ class SeededConstructorRule(Rule):
         return super().check(module)
 
 
+class _BroadExceptVisitor(RuleVisitor):
+    _BROAD = {"Exception", "BaseException"}
+
+    def _broad_name(self, expr: ast.expr) -> Optional[str]:
+        if isinstance(expr, ast.Name) and expr.id in self._BROAD:
+            return expr.id
+        dotted = resolve_dotted(expr, self.module.imports)
+        if dotted in {"builtins.Exception", "builtins.BaseException"}:
+            return dotted.rsplit(".", 1)[1]
+        return None
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(node, "bare 'except:' swallows injected faults "
+                              "(Interrupt, RankFailure); catch the specific "
+                              "errors the block can actually handle")
+        else:
+            exprs = (node.type.elts if isinstance(node.type, ast.Tuple)
+                     else [node.type])
+            for expr in exprs:
+                broad = self._broad_name(expr)
+                if broad is not None:
+                    self.report(expr,
+                                f"'except {broad}:' swallows injected "
+                                f"faults (Interrupt, RankFailure); catch "
+                                f"the specific errors the block can "
+                                f"actually handle")
+        self.generic_visit(node)
+
+
+class BroadExceptRule(Rule):
+    """REP010: no blanket exception handlers in model code."""
+
+    code = "REP010"
+    name = "broad-except"
+    description = ("no bare 'except:' / 'except Exception:' / "
+                   "'except BaseException:' in model code — blanket "
+                   "handlers swallow injected faults and simulator "
+                   "interrupts (benchmarks and tests exempt)")
+    visitor = _BroadExceptVisitor
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        """Test harnesses legitimately catch everything."""
+        if _in_test_or_benchmark(module):
+            return []
+        return super().check(module)
+
+
 #: The registry, in catalog order.
 RULES: Tuple[Rule, ...] = (
     RandomSourceRule(),
@@ -511,6 +560,7 @@ RULES: Tuple[Rule, ...] = (
     ExportListRule(),
     CrossLayerImportRule(),
     SeededConstructorRule(),
+    BroadExceptRule(),
 )
 
 

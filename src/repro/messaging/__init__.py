@@ -39,7 +39,17 @@ from repro.messaging.message import (
     Status,
     payload_nbytes,
 )
-from repro.messaging.comm import Communicator, Request, SubCommunicator
+from repro.messaging.comm import (
+    CommConfig,
+    CommStats,
+    CommTimeout,
+    CommWorld,
+    Communicator,
+    DeliveryError,
+    RankFailure,
+    Request,
+    SubCommunicator,
+)
 from repro.messaging.program import SpmdResult, make_world, run_spmd
 from repro.messaging.calibrate import measure_and_fit
 
@@ -47,12 +57,18 @@ __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "BAND",
+    "CommConfig",
+    "CommStats",
+    "CommTimeout",
+    "CommWorld",
     "Communicator",
+    "DeliveryError",
     "Envelope",
     "LOR",
     "MAX",
     "MIN",
     "PROD",
+    "RankFailure",
     "Request",
     "SUM",
     "SpmdResult",

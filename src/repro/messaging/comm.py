@@ -20,7 +20,18 @@ methods here delegate so user code only ever touches ``Communicator``.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
@@ -28,34 +39,199 @@ from repro.messaging import collectives as _collectives
 from repro.messaging.message import (
     ANY_SOURCE,
     ANY_TAG,
+    ENVELOPE_BYTES,
     Envelope,
     Status,
     SUM,
     payload_nbytes,
 )
-from repro.network.fabric import Fabric
+from repro.network.fabric import Fabric, NetworkUnreachable, TransferDropped
 from repro.sim.engine import Process, Simulator
+from repro.sim.event import Event
 from repro.sim.resources import Store
+from repro.sim.rng import RandomStreams
 
 __all__ = ["Communicator", "Request", "CommWorld", "SubCommunicator",
-           "waitall", "waitany"]
+           "CommConfig", "CommStats", "RankFailure", "CommTimeout",
+           "DeliveryError", "waitall", "waitany"]
+
+
+class RankFailure(RuntimeError):
+    """A peer rank has failed; the operation cannot complete.
+
+    Raised by fault-aware receives, sends to dead peers, and at
+    collective entry (so collectives error out instead of hanging, in
+    the FT-MPI/ULFM tradition).  ``ranks`` holds the failed ranks in the
+    raising communicator's local numbering.
+    """
+
+    def __init__(self, ranks: Iterable[int], message: str = "") -> None:
+        self.ranks: FrozenSet[int] = frozenset(ranks)
+        super().__init__(
+            message or f"rank(s) {sorted(self.ranks)} failed"
+        )
+
+
+class CommTimeout(RuntimeError):
+    """A blocking operation exceeded its timeout without completing."""
+
+
+class DeliveryError(RuntimeError):
+    """Reliable delivery gave up after exhausting its retry budget."""
+
+
+@dataclass(frozen=True)
+class CommConfig:
+    """Fault-tolerance knobs for a :class:`CommWorld`.
+
+    The zero-argument default leaves every new code path disabled, so a
+    plain world behaves (and times) exactly as before this machinery
+    existed.  ``reliable`` turns sends into retransmit-until-acked
+    delivery; ``fault_aware`` arms failure notices so blocked receives
+    and collectives raise :class:`RankFailure` instead of hanging when
+    a peer dies; ``op_timeout`` bounds blocking operations.
+    """
+
+    #: Retransmit-until-acknowledged sends (drops/corruption survivable).
+    reliable: bool = False
+    #: Raise RankFailure from receives/collectives when a peer has died.
+    fault_aware: bool = False
+    #: Timeout for blocking ops (seconds of virtual time; None = forever).
+    op_timeout: Optional[float] = None
+    #: Ack round-trip allowance before retransmit (None = adaptive,
+    #: derived from the fabric's uncontended transfer time).
+    ack_timeout: Optional[float] = None
+    #: Retransmissions after the first attempt before DeliveryError.
+    max_retries: int = 8
+    #: Exponential backoff: sleep min(cap, base * factor**(attempt-1)).
+    backoff_base: float = 20e-6
+    backoff_factor: float = 2.0
+    backoff_cap: float = 50e-3
+    #: Jitter fraction: backoff *= 1 + jitter * U[0,1) (needs streams).
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base <= 0 or self.backoff_factor < 1:
+            raise ValueError("backoff_base must be > 0, factor >= 1")
+        if self.backoff_cap < self.backoff_base:
+            raise ValueError("backoff_cap must be >= backoff_base")
+        if not 0 <= self.jitter:
+            raise ValueError("jitter must be >= 0")
+        for name in ("op_timeout", "ack_timeout"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive or None")
+
+    @property
+    def active(self) -> bool:
+        """True when any fault-tolerance machinery is enabled."""
+        return (self.reliable or self.fault_aware
+                or self.op_timeout is not None)
+
+
+@dataclass
+class CommStats:
+    """Counters the fault-tolerance machinery accumulates per world."""
+
+    retries: int = 0
+    acks: int = 0
+    duplicates: int = 0
+    losses: int = 0
+    corrupt_discarded: int = 0
+    op_timeouts: int = 0
+    delivery_failures: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict copy, for campaign reports and determinism checks."""
+        return {
+            "retries": self.retries,
+            "acks": self.acks,
+            "duplicates": self.duplicates,
+            "losses": self.losses,
+            "corrupt_discarded": self.corrupt_discarded,
+            "op_timeouts": self.op_timeouts,
+            "delivery_failures": self.delivery_failures,
+        }
 
 
 class CommWorld:
     """Shared state for one set of communicating ranks: the simulator, the
-    fabric, and one mailbox per rank."""
+    fabric, one mailbox per rank, and (optionally) the fault-tolerance
+    machinery configured by a :class:`CommConfig`."""
 
-    def __init__(self, sim: Simulator, fabric: Fabric) -> None:
+    def __init__(self, sim: Simulator, fabric: Fabric,
+                 config: Optional[CommConfig] = None,
+                 streams: Optional[RandomStreams] = None) -> None:
         self.sim = sim
         self.fabric = fabric
         self.size = fabric.topology.hosts
+        self.config = config if config is not None else CommConfig()
+        self.streams = streams
         self.mailboxes: List[Store] = [
             Store(sim, name=f"mbox{rank}") for rank in range(self.size)
         ]
+        #: World ranks known to have failed (fault-aware mode).
+        self.failed: Set[int] = set()
+        self.stats = CommStats()
+        self._failure_event: Event = sim.event("rank-failure")
+        self._failure_event.defused = True
+        self._seq = 0
+        #: Sequence numbers already deposited at their destination —
+        #: the receiver-side dedup table for reliable delivery.
+        self._delivered_seqs: Set[int] = set()
+        self._jitter_rng = (streams.get("messaging.retry.jitter")
+                            if streams is not None else None)
 
     def communicator(self, rank: int) -> "Communicator":
         """The rank-local view of this world."""
         return Communicator(self, rank)
+
+    # -- failure bookkeeping (fault-aware mode) ---------------------------
+
+    def fail_rank(self, rank: int) -> None:
+        """Declare a world rank dead: wakes every blocked fault-aware
+        operation so it can raise :class:`RankFailure`."""
+        if not 0 <= rank < self.size:
+            raise IndexError(f"rank {rank} out of range [0, {self.size})")
+        if rank in self.failed:
+            return
+        self.failed.add(rank)
+        notice, self._failure_event = (
+            self._failure_event, self.sim.event("rank-failure"))
+        self._failure_event.defused = True
+        notice.succeed(frozenset(self.failed))
+
+    def failure_notice(self) -> Event:
+        """The event that fires at the *next* rank failure."""
+        return self._failure_event
+
+    def next_seq(self) -> int:
+        """World-unique sequence number for reliable delivery."""
+        self._seq += 1
+        return self._seq
+
+    def ack_timeout_for(self, src_world: int, dst_world: int,
+                        nbytes: int) -> float:
+        """Retransmit allowance: configured, or a few uncontended RTTs."""
+        if self.config.ack_timeout is not None:
+            return self.config.ack_timeout
+        forward = self.fabric.uncontended_time(src_world, dst_world, nbytes)
+        back = self.fabric.uncontended_time(dst_world, src_world,
+                                            ENVELOPE_BYTES)
+        return 4.0 * (forward + back)
+
+    def retry_backoff(self, attempt: int) -> float:
+        """Backoff before retransmission ``attempt`` (1-based), with
+        jitter from the ``messaging.retry.jitter`` stream when streams
+        were provided (bit-reproducible for a fixed seed)."""
+        cfg = self.config
+        backoff = min(cfg.backoff_cap,
+                      cfg.backoff_base * cfg.backoff_factor ** (attempt - 1))
+        if self._jitter_rng is not None and cfg.jitter > 0:
+            backoff *= 1.0 + cfg.jitter * float(self._jitter_rng.random())
+        return backoff
 
 
 class Request:
@@ -166,67 +342,274 @@ class Communicator:
         ``dest`` is a *local* rank; routing happens in world coordinates,
         but the envelope records local ranks plus this communicator's
         context so receives match within the right communicator.
+
+        Under a fabric fault plan this is *unreliable* ("best effort")
+        delivery: dropped or corrupted transfers vanish silently (a NIC
+        discards a bad checksum), counted in the world's stats.  Use the
+        reliable path (``CommConfig.reliable``) to survive them.
         """
+        world = self.world
         dest_world = self._to_world(dest)
-        yield from self.world.fabric.transfer(self._to_world(self.rank),
-                                              dest_world, nbytes)
+        src_world = self._to_world(self.rank)
+        if world.fabric.fault_plan is not None:
+            try:
+                outcome = yield from world.fabric.transfer_ex(
+                    src_world, dest_world, nbytes)
+            except (TransferDropped, NetworkUnreachable):
+                world.stats.losses += 1
+                return
+            if outcome.corrupted:
+                world.stats.corrupt_discarded += 1
+                return
+        else:
+            yield from world.fabric.transfer(src_world, dest_world, nbytes)
         envelope = Envelope(source=self.rank, dest=dest, tag=tag,
                             payload=payload, nbytes=nbytes, ack=ack,
                             context=self._context)
-        yield self.world.mailboxes[dest_world].put(envelope)
+        yield world.mailboxes[dest_world].put(envelope)
 
     def _start_transfer(self, dest: int, tag: int, obj: Any,
                         ack=None) -> Tuple[Process, int]:
         payload = self._isolate(obj)
         nbytes = payload_nbytes(payload)
+        body = (self._reliable_body(dest, tag, payload, nbytes, ack)
+                if self.world.config.reliable
+                else self._transfer_body(dest, tag, payload, nbytes, ack))
         process = self.sim.process(
-            self._transfer_body(dest, tag, payload, nbytes, ack),
-            name=f"xfer{self.rank}->{dest}#{tag}",
+            body, name=f"xfer{self.rank}->{dest}#{tag}",
         )
         return process, nbytes
+
+    def _reliable_body(self, dest: int, tag: int, payload: Any, nbytes: int,
+                       ack=None):
+        """Process body: retransmit-until-acknowledged delivery.
+
+        Each attempt moves the bytes; corrupted arrivals are discarded by
+        the receiving NIC (no ack), so the sender retransmits after an
+        adaptive ack timeout plus exponential backoff with jitter.  A
+        successful deposit is acknowledged over the fabric; a lost ack
+        triggers a retransmission that the destination's dedup table
+        absorbs (the duplicate is re-acked, not re-delivered).  Gives up
+        with :class:`DeliveryError` after ``max_retries`` retransmits,
+        and with :class:`RankFailure` when the destination is known dead.
+        """
+        world = self.world
+        cfg = world.config
+        fabric = world.fabric
+        seq = world.next_seq()
+        dest_world = self._to_world(dest)
+        src_world = self._to_world(self.rank)
+        rto = world.ack_timeout_for(src_world, dest_world, nbytes)
+        attempt = 0
+        while True:
+            if cfg.fault_aware and dest_world in world.failed:
+                raise RankFailure({dest}, f"send to dead rank {dest}")
+            attempt += 1
+            try:
+                corrupted = False
+                if fabric.fault_plan is not None:
+                    outcome = yield from fabric.transfer_ex(
+                        src_world, dest_world, nbytes)
+                    corrupted = outcome.corrupted
+                else:
+                    yield from fabric.transfer(src_world, dest_world, nbytes)
+                if corrupted:
+                    # Receiver NIC drops the bad frame: no ack will come.
+                    world.stats.corrupt_discarded += 1
+                    raise TransferDropped("corrupted frame discarded")
+                if seq not in world._delivered_seqs:
+                    world._delivered_seqs.add(seq)
+                    envelope = Envelope(source=self.rank, dest=dest,
+                                        tag=tag, payload=payload,
+                                        nbytes=nbytes, ack=ack,
+                                        context=self._context,
+                                        reliable=True, seq=seq)
+                    yield world.mailboxes[dest_world].put(envelope)
+                else:
+                    world.stats.duplicates += 1
+                # Acknowledgment rides back over the fabric; its loss is
+                # survivable (the retransmit hits the dedup table).
+                yield from fabric.transfer(dest_world, src_world,
+                                           ENVELOPE_BYTES)
+                world.stats.acks += 1
+                return None
+            except (TransferDropped, NetworkUnreachable):
+                if attempt > cfg.max_retries:
+                    world.stats.delivery_failures += 1
+                    raise DeliveryError(
+                        f"send {self.rank}->{dest} tag={tag} seq={seq} "
+                        f"undelivered after {attempt} attempt(s)"
+                    )
+                world.stats.retries += 1
+                yield self.sim.timeout(rto + world.retry_backoff(attempt))
+
+    def _dead_local_ranks(self) -> List[int]:
+        """Failed world ranks translated into this communicator's
+        numbering (empty when none of this communicator's peers died)."""
+        if not self.world.failed:
+            return []
+        return [local for local in range(self.size)
+                if self._to_world(local) in self.world.failed]
+
+    def _raise_if_dead(self, peer: int, what: str) -> None:
+        if (self.world.config.fault_aware
+                and self._to_world(peer) in self.world.failed):
+            raise RankFailure({peer}, f"{what} to failed rank {peer}")
 
     # -- point-to-point ----------------------------------------------------
 
     def send(self, obj: Any, dest: int, tag: int = 0):
-        """Buffered send: resumes after the local injection cost."""
+        """Buffered send: resumes after the local injection cost.
+
+        In reliable mode, delivery (retransmits included) continues in
+        the background; an exhausted retry budget is recorded in
+        ``world.stats.delivery_failures`` rather than raised here (use
+        :meth:`isend` + ``wait`` to observe per-message outcomes).
+        """
         self._check_peer(dest, "dest")
-        _process, nbytes = self._start_transfer(dest, tag, obj)
+        self._raise_if_dead(dest, "send")
+        process, nbytes = self._start_transfer(dest, tag, obj)
+        if self.world.config.active:
+            process.defused = True  # outcome tracked in world.stats
         params = self.world.fabric.technology.loggp
         local_cost = params.overhead + max(
             params.gap, nbytes * params.gap_per_byte
         )
         yield self.sim.timeout(local_cost)
 
-    def ssend(self, obj: Any, dest: int, tag: int = 0):
+    def ssend(self, obj: Any, dest: int, tag: int = 0,
+              timeout: Optional[float] = None):
         """Synchronous send: completes only when the receiver has matched
         the message (true MPI rendezvous semantics, via an ack event the
-        matching ``recv`` triggers)."""
+        matching ``recv`` triggers).  Fault-aware mode raises
+        :class:`RankFailure` if ``dest`` dies first and
+        :class:`CommTimeout` past the operation timeout."""
         self._check_peer(dest, "dest")
+        self._raise_if_dead(dest, "ssend")
+        cfg = self.world.config
         ack = self.sim.event(f"ssend-ack{self.rank}->{dest}")
-        self._start_transfer(dest, tag, obj, ack=ack)
-        yield ack
+        process, _nbytes = self._start_transfer(dest, tag, obj, ack=ack)
+        if not cfg.active and timeout is None:
+            yield ack
+            return
+        process.defused = True
+        op_timeout = timeout if timeout is not None else cfg.op_timeout
+        deadline = (self.sim.now + op_timeout
+                    if op_timeout is not None else None)
+        while True:
+            waiters: List[Event] = [ack]
+            if cfg.fault_aware:
+                waiters.append(self.world.failure_notice())
+            timer = None
+            if deadline is not None:
+                remaining = deadline - self.sim.now
+                if remaining <= 0:
+                    self.world.stats.op_timeouts += 1
+                    raise CommTimeout(f"ssend to {dest} timed out")
+                timer = self.sim.timeout(remaining)
+                waiters.append(timer)
+            if len(waiters) == 1:
+                yield ack
+                return
+            yield self.sim.any_of(waiters)
+            if ack.triggered:
+                return
+            self._raise_if_dead(dest, "ssend")
+            if timer is not None and timer.triggered:
+                self.world.stats.op_timeouts += 1
+                raise CommTimeout(f"ssend to {dest} timed out")
+            # Unrelated rank failed; keep waiting for the rendezvous.
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
-        """Non-blocking send; the request completes at delivery time."""
+        """Non-blocking send; the request completes at delivery time.
+
+        In reliable mode ``wait()`` raises :class:`DeliveryError` when
+        the retry budget runs out and :class:`RankFailure` when the
+        destination is known dead.
+        """
         self._check_peer(dest, "dest")
+        self._raise_if_dead(dest, "isend")
         process, _nbytes = self._start_transfer(dest, tag, obj)
         return Request(process)
 
-    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             timeout: Optional[float] = None):
         """Blocking receive; returns the payload object."""
-        obj, _status = yield from self.recv_with_status(source, tag)
+        obj, _status = yield from self.recv_with_status(source, tag,
+                                                        timeout)
         return obj
 
     def recv_with_status(self, source: int = ANY_SOURCE,
-                         tag: int = ANY_TAG):
-        """Blocking receive; returns ``(payload, Status)``."""
+                         tag: int = ANY_TAG,
+                         timeout: Optional[float] = None):
+        """Blocking receive; returns ``(payload, Status)``.
+
+        Fault-aware mode turns hangs into errors: a receive naming a
+        failed source raises :class:`RankFailure` (unless a matching
+        message is already queued — it was sent before the death and is
+        still deliverable); a wildcard receive raises when *any* peer
+        has failed, because the dead rank could have been the match.
+        ``timeout`` (or ``CommConfig.op_timeout``) bounds the wait with
+        :class:`CommTimeout`.
+        """
         if source != ANY_SOURCE:
             self._check_peer(source, "source")
+        cfg = self.world.config
         context = self._context
-        envelope: Envelope = yield self.world.mailboxes[
-            self._to_world(self.rank)].get(
-            lambda e: e.context == context and e.matches(source, tag)
-        )
+
+        def match(e: Envelope) -> bool:
+            return e.context == context and e.matches(source, tag)
+
+        mailbox = self.world.mailboxes[self._to_world(self.rank)]
+        if not cfg.active and timeout is None:
+            envelope: Envelope = yield mailbox.get(match)
+            return self._accept(envelope)
+        world = self.world
+        op_timeout = timeout if timeout is not None else cfg.op_timeout
+        deadline = (self.sim.now + op_timeout
+                    if op_timeout is not None else None)
+        while True:
+            if cfg.fault_aware and world.failed:
+                queued = any(match(item) for item in mailbox._items)
+                if not queued:
+                    if (source != ANY_SOURCE
+                            and self._to_world(source) in world.failed):
+                        raise RankFailure(
+                            {source}, f"recv from failed rank {source}")
+                    if source == ANY_SOURCE:
+                        dead = self._dead_local_ranks()
+                        if dead:
+                            raise RankFailure(
+                                dead, "wildcard recv with failed peer(s)")
+            get_event = mailbox.get(match)
+            waiters = [get_event]
+            if cfg.fault_aware:
+                waiters.append(world.failure_notice())
+            timer = None
+            if deadline is not None:
+                remaining = deadline - self.sim.now
+                if remaining <= 0:
+                    mailbox.cancel(get_event)
+                    world.stats.op_timeouts += 1
+                    raise CommTimeout(
+                        f"recv(source={source}, tag={tag}) timed out")
+                timer = self.sim.timeout(remaining)
+                waiters.append(timer)
+            if len(waiters) == 1:
+                envelope = yield get_event
+                return self._accept(envelope)
+            yield self.sim.any_of(waiters)
+            if get_event.triggered:
+                return self._accept(get_event.value)
+            mailbox.cancel(get_event)
+            if timer is not None and timer.triggered:
+                world.stats.op_timeouts += 1
+                raise CommTimeout(
+                    f"recv(source={source}, tag={tag}) timed out")
+            # A rank failed somewhere; loop to re-evaluate and re-post.
+
+    def _accept(self, envelope: Envelope) -> Tuple[Any, Status]:
+        """Deliver a matched envelope: rendezvous release + status."""
         if envelope.ack is not None:
             envelope.ack.succeed()  # rendezvous: release the ssend-er
         status = Status(source=envelope.source, tag=envelope.tag,
@@ -279,7 +662,19 @@ class Communicator:
     # -- collectives (delegating; algorithms in collectives.py) -----------
 
     def _next_tag(self) -> int:
-        """Collective tag sequencing (see SPMD contract in class docstring)."""
+        """Collective tag sequencing (see SPMD contract in class docstring).
+
+        Every collective enters through here, so in fault-aware mode this
+        single choke point makes *all* collectives raise
+        :class:`RankFailure` when a member has died — the ULM/FT-MPI
+        behaviour — instead of deadlocking on the dead rank's silence.
+        """
+        world = self.world
+        if world.config.fault_aware and world.failed:
+            dead = self._dead_local_ranks()
+            if dead:
+                raise RankFailure(
+                    dead, "collective entered with failed peer(s)")
         self._collective_seq += 1
         return _collectives.COLLECTIVE_TAG_BASE + self._collective_seq
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 import numpy as np
 
@@ -48,6 +48,12 @@ class Envelope:
     nbytes: int
     ack: Any = None
     context: Any = 0
+    #: True when the message travelled under the reliable-delivery
+    #: protocol (retransmit-until-acknowledged); ``seq`` is then its
+    #: world-unique sequence number.  Informational — deduplication
+    #: happens in the delivery process, not at match time.
+    reliable: bool = False
+    seq: Optional[int] = None
 
     def matches(self, source: int, tag: int) -> bool:
         """Does this envelope satisfy a receive posted for (source, tag)?"""

@@ -19,11 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Union
 
-from repro.messaging.comm import CommWorld, Communicator
-from repro.network.fabric import Fabric
+from repro.messaging.comm import CommConfig, CommWorld, Communicator
+from repro.network.fabric import Fabric, FabricFaultPlan
 from repro.network.technologies import InterconnectTechnology, get_interconnect
 from repro.network.topology import FatTreeTopology, SingleSwitchTopology, Topology
 from repro.sim.engine import SimulationError, Simulator
+from repro.sim.rng import RandomStreams
 
 __all__ = ["run_spmd", "make_world", "SpmdResult"]
 
@@ -67,12 +68,18 @@ def make_world(size: int, *,
                topology: Optional[Topology] = None,
                sim: Optional[Simulator] = None,
                contention: bool = True,
-               record_transfers: bool = False) -> CommWorld:
+               record_transfers: bool = False,
+               config: Optional[CommConfig] = None,
+               streams: Optional[RandomStreams] = None,
+               fault_plan: Optional[FabricFaultPlan] = None) -> CommWorld:
     """Assemble simulator + topology + fabric + mailboxes for ``size`` ranks.
 
     Useful when a caller wants to co-locate other processes (fault
     injectors, monitors) in the same simulation; otherwise use
-    :func:`run_spmd` directly.
+    :func:`run_spmd` directly.  ``config`` enables the fault-tolerant
+    messaging machinery, ``fault_plan`` injects fabric faults, and
+    ``streams`` supplies the named RNG streams (retry jitter) that keep
+    fault campaigns bit-reproducible.
     """
     if size < 1:
         raise ValueError(f"need at least one rank, got {size}")
@@ -87,8 +94,9 @@ def make_world(size: int, *,
     simulator = sim if sim is not None else Simulator()
     fabric = Fabric(simulator, topology, technology,
                     contention=contention,
-                    record_transfers=record_transfers)
-    return CommWorld(simulator, fabric)
+                    record_transfers=record_transfers,
+                    fault_plan=fault_plan)
+    return CommWorld(simulator, fabric, config=config, streams=streams)
 
 
 def run_spmd(size: int,
@@ -98,7 +106,10 @@ def run_spmd(size: int,
              topology: Optional[Topology] = None,
              contention: bool = True,
              record_transfers: bool = False,
-             max_events: Optional[int] = None) -> SpmdResult:
+             max_events: Optional[int] = None,
+             config: Optional[CommConfig] = None,
+             streams: Optional[RandomStreams] = None,
+             fault_plan: Optional[FabricFaultPlan] = None) -> SpmdResult:
     """Run ``body(comm, *args)`` as an SPMD program on ``size`` ranks.
 
     ``body`` must be a generator function; its return value becomes the
@@ -108,7 +119,9 @@ def run_spmd(size: int,
     """
     world = make_world(size, technology=technology, topology=topology,
                        contention=contention,
-                       record_transfers=record_transfers)
+                       record_transfers=record_transfers,
+                       config=config, streams=streams,
+                       fault_plan=fault_plan)
     sim = world.sim
 
     finish_times: List[float] = [float("nan")] * size

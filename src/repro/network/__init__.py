@@ -26,27 +26,42 @@ from repro.network.topology import (
     SingleSwitchTopology,
     Topology,
     TorusTopology,
+    canonical_link,
 )
-from repro.network.fabric import Fabric, TransferRecord
+from repro.network.fabric import (
+    DownWindow,
+    Fabric,
+    FabricFaultPlan,
+    NetworkUnreachable,
+    TransferDropped,
+    TransferOutcome,
+    TransferRecord,
+)
 from repro.network.fattree3 import ThreeLevelFatTreeTopology
 from repro.network.design import FabricBill, compare_fabrics, price_fabric
 from repro.network.loggp_fit import LogGPFit, fit_loggp
 
 __all__ = [
+    "DownWindow",
     "Fabric",
     "FabricBill",
+    "FabricFaultPlan",
     "FatTreeTopology",
     "HypercubeTopology",
     "INTERCONNECTS",
     "InterconnectTechnology",
     "LogGPFit",
     "LogGPParams",
+    "NetworkUnreachable",
     "SingleSwitchTopology",
     "ThreeLevelFatTreeTopology",
     "Topology",
     "TorusTopology",
+    "TransferDropped",
+    "TransferOutcome",
     "TransferRecord",
     "available_interconnects",
+    "canonical_link",
     "compare_fabrics",
     "price_fabric",
     "fit_loggp",

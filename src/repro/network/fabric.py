@@ -24,17 +24,39 @@ ablatable modelling choice (bench E13 runs it both ways via
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.network.technologies import InterconnectTechnology
-from repro.network.topology import Edge, RouteCache, Topology
+from repro.network.topology import (
+    Edge,
+    Node,
+    RouteCache,
+    Topology,
+    canonical_link,
+)
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
 
-__all__ = ["Fabric", "TransferRecord"]
+__all__ = [
+    "Fabric",
+    "TransferRecord",
+    "TransferOutcome",
+    "FabricFaultPlan",
+    "DownWindow",
+    "NetworkUnreachable",
+    "TransferDropped",
+]
 
 #: Local (intra-node) copy bandwidth used for rank-to-self transfers.
 _LOCAL_COPY_BANDWIDTH = 10e9
+
+
+class NetworkUnreachable(RuntimeError):
+    """No route between two hosts survives the currently-down elements."""
+
+
+class TransferDropped(RuntimeError):
+    """A transfer was lost in flight (down window hit it, or random drop)."""
 
 
 @dataclass(frozen=True)
@@ -53,20 +75,156 @@ class TransferRecord:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class TransferOutcome:
+    """Result of a fault-aware transfer that reached the destination."""
+
+    end: float
+    hops: int
+    corrupted: bool
+    rerouted: bool
+
+
+@dataclass(frozen=True)
+class DownWindow:
+    """Half-open outage interval ``[start, end)`` in virtual seconds."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start or self.start < 0:
+            raise ValueError(
+                f"down window must satisfy 0 <= start < end, got "
+                f"[{self.start}, {self.end})"
+            )
+
+    def active_at(self, t: float) -> bool:
+        """True while the element is out of service at instant ``t``."""
+        return self.start <= t < self.end
+
+    def overlaps(self, t0: float, t1: float) -> bool:
+        """True if the outage intersects the half-open span ``[t0, t1)``."""
+        return self.start < t1 and t0 < self.end
+
+
+class FabricFaultPlan:
+    """Declarative schedule of fabric faults, injected into a Fabric.
+
+    Three fault classes, all reproducible:
+
+    * **link down windows** — both directions of a physical link are out
+      of service for an interval;
+    * **switch/node down windows** — a graph node (usually a switch) is
+      out, taking all its links with it;
+    * **random loss** — each delivered transfer is independently dropped
+      with ``drop_probability`` or bit-corrupted with
+      ``corrupt_probability``, using draws from ``rng`` (pass a generator
+      from a named :class:`~repro.sim.rng.RandomStreams` stream so
+      campaigns stay bit-reproducible).
+
+    Counters (``drops``, ``corruptions``, ``reroutes``, ``unreachable``)
+    accumulate across the plan's lifetime for campaign reports.
+    """
+
+    def __init__(self, *, drop_probability: float = 0.0,
+                 corrupt_probability: float = 0.0,
+                 rng: Optional[Any] = None) -> None:
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError(f"drop_probability {drop_probability} not in "
+                             "[0, 1]")
+        if not 0.0 <= corrupt_probability <= 1.0:
+            raise ValueError(f"corrupt_probability {corrupt_probability} "
+                             "not in [0, 1]")
+        if drop_probability + corrupt_probability > 1.0:
+            raise ValueError("drop + corrupt probabilities exceed 1")
+        if (drop_probability > 0 or corrupt_probability > 0) and rng is None:
+            raise ValueError(
+                "random drop/corrupt faults need an rng (use a named "
+                "RandomStreams stream for reproducibility)"
+            )
+        self.drop_probability = drop_probability
+        self.corrupt_probability = corrupt_probability
+        self.rng = rng
+        self._link_windows: List[Tuple[Edge, DownWindow]] = []
+        self._node_windows: List[Tuple[Node, DownWindow]] = []
+        self.drops = 0
+        self.corruptions = 0
+        self.reroutes = 0
+        self.unreachable = 0
+
+    # -- schedule construction -------------------------------------------
+
+    def link_down(self, a: Node, b: Node, start: float,
+                  end: float) -> "FabricFaultPlan":
+        """Schedule the link between graph nodes ``a`` and ``b`` down for
+        ``[start, end)``; returns self for chaining."""
+        self._link_windows.append(
+            (canonical_link(a, b), DownWindow(start, end)))
+        return self
+
+    def node_down(self, node: Node, start: float,
+                  end: float) -> "FabricFaultPlan":
+        """Schedule a switch (or host NIC) node down for ``[start, end)``."""
+        self._node_windows.append((node, DownWindow(start, end)))
+        return self
+
+    @property
+    def has_random_faults(self) -> bool:
+        return self.drop_probability > 0 or self.corrupt_probability > 0
+
+    @property
+    def link_outages(self) -> int:
+        """Scheduled link down windows (for campaign accounting)."""
+        return len(self._link_windows)
+
+    # -- queries -----------------------------------------------------------
+
+    def down_links_at(self, t: float) -> FrozenSet[Edge]:
+        """Canonical links out of service at instant ``t``."""
+        return frozenset(link for link, w in self._link_windows
+                         if w.active_at(t))
+
+    def down_nodes_at(self, t: float) -> FrozenSet[Node]:
+        """Graph nodes out of service at instant ``t``."""
+        return frozenset(node for node, w in self._node_windows
+                         if w.active_at(t))
+
+    def route_hit_during(self, links: Set[Edge], nodes: Set[Node],
+                         t0: float, t1: float) -> bool:
+        """Did any of the given elements go down within ``[t0, t1)``?
+
+        Used for mid-flight loss: a message serializing onto a link when
+        the link dies is gone.
+        """
+        for link, window in self._link_windows:
+            if link in links and window.overlaps(t0, t1):
+                return True
+        for node, window in self._node_windows:
+            if node in nodes and window.overlaps(t0, t1):
+                return True
+        return False
+
+
 class Fabric:
     """Contention-aware byte transport over a topology + technology."""
 
     def __init__(self, sim: Simulator, topology: Topology,
                  technology: InterconnectTechnology, *,
                  contention: bool = True,
-                 record_transfers: bool = False) -> None:
+                 record_transfers: bool = False,
+                 fault_plan: Optional[FabricFaultPlan] = None) -> None:
         self.sim = sim
         self.topology = topology
         self.technology = technology
         self.contention = contention
         self.record_transfers = record_transfers
+        self.fault_plan = fault_plan
         self.records: List[TransferRecord] = []
         self._routes = RouteCache(topology)
+        self._degraded: Dict[Tuple[int, int, FrozenSet[Node],
+                                   FrozenSet[Edge]],
+                             Optional[List[Edge]]] = {}
         self._links: Dict[Edge, Resource] = {}
         self._nics: Dict[int, Resource] = {}
         self._circuits: Set[Tuple[int, int]] = set()
@@ -98,6 +256,9 @@ class Fabric:
         wrap with ``sim.process`` for a standalone transfer.  Returns the
         completion time.
         """
+        if self.fault_plan is not None:
+            outcome = yield from self.transfer_ex(src, dst, nbytes)
+            return outcome.end
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         if not 0 <= src < self.topology.hosts:
@@ -143,6 +304,128 @@ class Fabric:
         yield self.sim.timeout(propagation + params.overhead)
         self._finish(src, dst, nbytes, start, hops)
         return self.sim.now
+
+    def transfer_ex(self, src: int, dst: int, nbytes: int):
+        """Fault-aware transfer process body.
+
+        Same cost model as :meth:`transfer` but consults the fault plan:
+        re-routes around down elements (paying the degraded route's hop
+        cost), raises :class:`NetworkUnreachable` when no path survives,
+        raises :class:`TransferDropped` when the message is lost (an
+        element on the route went down mid-serialization, or the random
+        drop draw fired), and flags corruption in the returned
+        :class:`TransferOutcome` — the end-to-end check is the caller's
+        job, as on a real wire.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if not 0 <= src < self.topology.hosts:
+            raise IndexError(f"src {src} out of range")
+        if not 0 <= dst < self.topology.hosts:
+            raise IndexError(f"dst {dst} out of range")
+        start = self.sim.now
+        params = self.technology.loggp
+        plan = self.fault_plan
+
+        if src == dst:
+            yield self.sim.timeout(params.overhead
+                                   + nbytes / _LOCAL_COPY_BANDWIDTH)
+            self._finish(src, dst, nbytes, start, hops=0)
+            return TransferOutcome(end=self.sim.now, hops=0,
+                                   corrupted=False, rerouted=False)
+
+        if (self.technology.is_circuit_switched
+                and (src, dst) not in self._circuits):
+            yield self.sim.timeout(self.technology.circuit_setup_seconds)
+            self._circuits.add((src, dst))
+
+        # Sender-side CPU overhead, then pick the route against the fault
+        # state at injection time.
+        yield self.sim.timeout(params.overhead)
+        route = self._routes.route(src, dst)
+        rerouted = False
+        if plan is not None:
+            down_nodes = plan.down_nodes_at(self.sim.now)
+            down_links = plan.down_links_at(self.sim.now)
+            if down_nodes or down_links:
+                if self._blocked(route, down_nodes, down_links):
+                    route = self._degraded_route(src, dst, down_nodes,
+                                                 down_links)
+                    if route is None:
+                        plan.unreachable += 1
+                        raise NetworkUnreachable(
+                            f"no route {src}->{dst} avoids "
+                            f"{len(down_nodes)} down node(s) and "
+                            f"{len(down_links)} down link(s)"
+                        )
+                    rerouted = True
+                    plan.reroutes += 1
+
+        hops = len(route)
+        serialization = max(params.gap, nbytes * params.gap_per_byte)
+        propagation = (params.latency
+                       + max(0, hops - 1) * self.technology.hop_latency)
+
+        depart = self.sim.now
+        if self.contention:
+            held = self._acquire_order(src, route)
+            for resource in held:
+                yield resource.request()
+            yield self.sim.timeout(serialization)
+            for resource in held:
+                resource.release()
+        else:
+            yield self.sim.timeout(serialization)
+
+        corrupted = False
+        if plan is not None:
+            links = set()
+            nodes = set()
+            for a, b in route:
+                links.add(canonical_link(a, b))
+                nodes.add(a)
+                nodes.add(b)
+            if plan.route_hit_during(links, nodes, depart, self.sim.now):
+                plan.drops += 1
+                raise TransferDropped(
+                    f"transfer {src}->{dst} lost: route element went down "
+                    f"in flight at t<={self.sim.now:g}"
+                )
+            if plan.has_random_faults:
+                draw = plan.rng.random()
+                if draw < plan.drop_probability:
+                    plan.drops += 1
+                    raise TransferDropped(
+                        f"transfer {src}->{dst} randomly dropped"
+                    )
+                if draw < plan.drop_probability + plan.corrupt_probability:
+                    plan.corruptions += 1
+                    corrupted = True
+
+        yield self.sim.timeout(propagation + params.overhead)
+        self._finish(src, dst, nbytes, start, hops)
+        return TransferOutcome(end=self.sim.now, hops=hops,
+                               corrupted=corrupted, rerouted=rerouted)
+
+    @staticmethod
+    def _blocked(route: List[Edge], down_nodes: FrozenSet[Node],
+                 down_links: FrozenSet[Edge]) -> bool:
+        for a, b in route:
+            if a in down_nodes or b in down_nodes:
+                return True
+            if canonical_link(a, b) in down_links:
+                return True
+        return False
+
+    def _degraded_route(self, src: int, dst: int,
+                        down_nodes: FrozenSet[Node],
+                        down_links: FrozenSet[Edge]
+                        ) -> Optional[List[Edge]]:
+        key = (src, dst, down_nodes, down_links)
+        if key not in self._degraded:
+            self._degraded[key] = self.topology.route_avoiding(
+                src, dst, down_nodes, down_links)
+        return self._degraded[key]
 
     def _acquire_order(self, src: int, route: List[Edge]) -> List[Resource]:
         """NIC + link resources in a globally consistent order.

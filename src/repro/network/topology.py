@@ -21,7 +21,7 @@ path — so simulated runs are reproducible.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
@@ -32,6 +32,7 @@ __all__ = [
     "TorusTopology",
     "HypercubeTopology",
     "RouteCache",
+    "canonical_link",
 ]
 
 Node = Tuple[str, int]
@@ -41,6 +42,15 @@ Edge = Tuple[Node, Node]
 def _directed(a: Node, b: Node) -> Edge:
     """Directed traversal step: one full-duplex direction of a link."""
     return (a, b)
+
+
+def canonical_link(a: Node, b: Node) -> Edge:
+    """Undirected identity of a physical link: endpoints in sorted order.
+
+    Fault plans name links canonically so a down window takes out both
+    full-duplex directions at once.
+    """
+    return (a, b) if a <= b else (b, a)
 
 
 class Topology:
@@ -68,6 +78,48 @@ class Topology:
     def hop_count(self, src: int, dst: int) -> int:
         """Number of links on the route (0 for self)."""
         return len(self.route(src, dst))
+
+    def route_avoiding(
+        self, src: int, dst: int,
+        down_nodes: "frozenset" = frozenset(),
+        down_links: "frozenset" = frozenset(),
+    ) -> "Optional[List[Edge]]":
+        """Deterministic shortest route avoiding failed elements.
+
+        ``down_nodes`` holds graph nodes (switches, hosts) that are out of
+        service; ``down_links`` holds :func:`canonical_link` keys.  Returns
+        ``None`` when no path survives.  The base implementation is a BFS
+        with sorted neighbour expansion, so the degraded route is a pure
+        function of (src, dst, down sets) — reproducible across runs.
+        Subclasses with structured routing override this with a cheaper
+        scheme (e.g. the fat tree retries alternate spines).
+        """
+        if src == dst:
+            return []
+        a, b = self.host_node(src), self.host_node(dst)
+        if a in down_nodes or b in down_nodes:
+            return None
+        parents: Dict[Node, Optional[Node]] = {a: None}
+        frontier: List[Node] = [a]
+        while frontier:
+            next_frontier: List[Node] = []
+            for node in frontier:
+                for neighbour in sorted(self.graph.neighbors(node)):
+                    if neighbour in parents or neighbour in down_nodes:
+                        continue
+                    if canonical_link(node, neighbour) in down_links:
+                        continue
+                    parents[neighbour] = node
+                    if neighbour == b:
+                        path = [neighbour]
+                        while parents[path[-1]] is not None:
+                            path.append(parents[path[-1]])
+                        path.reverse()
+                        return [_directed(u, v)
+                                for u, v in zip(path, path[1:])]
+                    next_frontier.append(neighbour)
+            frontier = next_frontier
+        return None
 
     @property
     def num_links(self) -> int:
@@ -182,6 +234,49 @@ class FatTreeTopology(Topology):
             _directed(spine, leaf_b),
             _directed(leaf_b, b),
         ]
+
+    def route_avoiding(
+        self, src: int, dst: int,
+        down_nodes: "frozenset" = frozenset(),
+        down_links: "frozenset" = frozenset(),
+    ) -> Optional[List[Edge]]:
+        """Degraded fat-tree routing: try alternate spines cyclically.
+
+        Starting from the deterministically-hashed preferred spine, scan
+        spines in cyclic order and take the first whose switch and both
+        leaf uplinks are alive.  Host links and leaf switches have no
+        redundancy in a two-level Clos, so their failure partitions the
+        affected hosts (returns ``None``).
+        """
+        if src == dst:
+            return []
+        a, b = self.host_node(src), self.host_node(dst)
+        if a in down_nodes or b in down_nodes:
+            return None
+        leaf_a, leaf_b = self._leaf_of(src), self._leaf_of(dst)
+        if leaf_a in down_nodes or leaf_b in down_nodes:
+            return None
+        if (canonical_link(a, leaf_a) in down_links
+                or canonical_link(leaf_b, b) in down_links):
+            return None
+        if leaf_a == leaf_b:
+            return [_directed(a, leaf_a), _directed(leaf_a, b)]
+        preferred = (src * 1_000_003 + dst) % self.num_spines
+        for offset in range(self.num_spines):
+            index = (preferred + offset) % self.num_spines
+            spine = ("s", self.num_leaves + index)
+            if spine in down_nodes:
+                continue
+            if (canonical_link(leaf_a, spine) in down_links
+                    or canonical_link(spine, leaf_b) in down_links):
+                continue
+            return [
+                _directed(a, leaf_a),
+                _directed(leaf_a, spine),
+                _directed(spine, leaf_b),
+                _directed(leaf_b, b),
+            ]
+        return None
 
     def diameter_hops(self) -> int:
         """4 hops once more than one leaf exists (2 within one leaf)."""

@@ -23,8 +23,11 @@ Public surface
     Named, independent, reproducible RNG streams.
 :class:`Interrupt`
     Exception injected into a process by ``Process.interrupt``.
+:class:`FailureCause`, :class:`LinkDownCause`, :class:`AbortCause`
+    Structured interrupt causes (tuple-compatible) used by fault injection.
 """
 
+from repro.sim.causes import AbortCause, FailureCause, LinkDownCause
 from repro.sim.event import AllOf, AnyOf, Event, EventStatus, Timeout
 from repro.sim.engine import Interrupt, Process, SimulationError, Simulator
 from repro.sim.resources import Resource, Store
@@ -32,11 +35,14 @@ from repro.sim.rng import RandomStreams
 from repro.sim.trace import NullTracer, RecordingTracer, TraceRecord
 
 __all__ = [
+    "AbortCause",
     "AllOf",
     "AnyOf",
     "Event",
     "EventStatus",
+    "FailureCause",
     "Interrupt",
+    "LinkDownCause",
     "NullTracer",
     "Process",
     "RandomStreams",

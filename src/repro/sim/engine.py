@@ -108,6 +108,15 @@ class Process(Event):
             # delivered; interrupting a corpse is a silent no-op at this
             # point (the caller's interrupt() already raced legitimately).
             return
+        waiting = self._waiting_on
+        if (waiting is not None and waiting.triggered
+                and waiting._scheduled_at is not None
+                and waiting._scheduled_at <= self.sim.now):
+            # The wakeup this process is waiting for is due at this very
+            # instant: the process "finished first" in virtual time.  The
+            # interrupt loses the tie — no-op, and let the queued wakeup
+            # resume the process normally.
+            return
         # Detach from whatever we were waiting on: when that event later
         # fires, _resume must ignore it (we already moved on).
         if self._waiting_on is not None:
@@ -142,7 +151,7 @@ class Process(Event):
             sim._active_process = None
             self.succeed(stop.value)
             return
-        except BaseException as exc:
+        except BaseException as exc:  # repro: noqa[REP010] - event boundary
             sim._active_process = None
             self.fail(exc)
             return
@@ -230,6 +239,7 @@ class Simulator:
     def _schedule_event(self, event: Event, delay: float = 0.0,
                         priority: int = NORMAL) -> None:
         self._sequence += 1
+        event._scheduled_at = self._now + delay
         heapq.heappush(
             self._queue, (self._now + delay, priority, self._sequence, event)
         )

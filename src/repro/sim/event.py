@@ -43,7 +43,8 @@ class Event:
         Optional label used in traces and ``repr``.
     """
 
-    __slots__ = ("sim", "name", "_status", "_value", "_callbacks", "defused")
+    __slots__ = ("sim", "name", "_status", "_value", "_callbacks", "defused",
+                 "_scheduled_at")
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
@@ -55,6 +56,10 @@ class Event:
         #: is re-raised by the engine unless ``defused`` is set.  Mirrors
         #: SimPy semantics and catches silently-dropped failures in tests.
         self.defused = False
+        #: Virtual time at which delivery was scheduled (set by the engine;
+        #: ``None`` until then).  Lets an interrupt landing at the exact
+        #: instant a waiter's wakeup is due yield to that wakeup.
+        self._scheduled_at: Optional[float] = None
 
     # -- inspection ------------------------------------------------------
 

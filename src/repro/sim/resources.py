@@ -163,6 +163,36 @@ class Store:
         self._getters = remaining
         return served_any
 
+    def cancel(self, got: Event) -> bool:
+        """Withdraw a pending ``get`` event before it is served.
+
+        Returns True if the event was still queued (and is now removed);
+        False if it was already served or never belonged here.  A consumer
+        that abandons a ``get`` (timeout, failure notice) must cancel it,
+        or the stale getter would silently steal a future item.
+        """
+        for entry in self._getters:
+            if entry[0] is got:
+                self._getters.remove(entry)
+                return True
+        return False
+
+    def purge(self, accept: Callable[[Any], bool]) -> int:
+        """Drop every buffered item matching ``accept``; returns the count.
+
+        Used to sweep stale protocol traffic (e.g. duplicate delivery
+        acknowledgments) out of a mailbox without disturbing waiters.
+        """
+        kept: Deque[Any] = deque()
+        dropped = 0
+        for item in self._items:
+            if accept(item):
+                dropped += 1
+            else:
+                kept.append(item)
+        self._items = kept
+        return dropped
+
     def _find(self, accept: Optional[Callable[[Any], bool]]) -> Optional[int]:
         if accept is None:
             return 0 if self._items else None

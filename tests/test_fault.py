@@ -20,7 +20,7 @@ from repro.fault import (
     waste_fraction,
     young_interval,
 )
-from repro.sim import Interrupt, RandomStreams, Simulator
+from repro.sim import FailureCause, Interrupt, RandomStreams, Simulator
 
 YEAR = 365.25 * 86400.0
 
@@ -63,11 +63,54 @@ class TestFailureModels:
         scaled = model.for_system(10)
         assert scaled.mtbf() == pytest.approx(100.0)
 
+    def test_weibull_for_system_keeps_shape_and_validates(self):
+        model = WeibullFailures.from_mtbf(1000.0, shape=0.7)
+        scaled = model.for_system(25)
+        assert scaled.shape == model.shape
+        assert scaled.scale == pytest.approx(model.scale / 25)
+        assert model.for_system(1) == model
+        with pytest.raises(ValueError):
+            model.for_system(0)
+        with pytest.raises(ValueError):
+            model.for_system(-3)
+
+    def test_weibull_for_system_approximation_error_bound(self, streams):
+        """The docstring's claim, checked: the same-shape scaled Weibull
+        approximates the true superposition of n independent Weibull
+        renewal processes.  By Palm-Khintchine the superposition's
+        long-run rate is exactly n/mtbf, so the approximation's *mean*
+        is exact; the Monte-Carlo bound below pins the long-run
+        interarrival mean of the true superposition to the approximate
+        model's MTBF within 5%."""
+        nodes, shape, node_mtbf = 20, 0.7, 1000.0
+        model = WeibullFailures.from_mtbf(node_mtbf, shape)
+        approx = model.for_system(nodes)
+        rng = streams.get("weibull.superposition")
+        draws = 4000  # renewals per node
+        arrivals = np.sort(np.concatenate([
+            np.cumsum(model.sample_interarrivals(rng, draws))
+            for _ in range(nodes)
+        ]))
+        # Trim to the window every node's process fully covers, so the
+        # tail is not biased toward early-finishing nodes.
+        horizon = min(
+            draws * node_mtbf * 0.5,
+            arrivals[-1])
+        arrivals = arrivals[arrivals <= horizon]
+        observed_mean_gap = horizon / len(arrivals)
+        assert observed_mean_gap == pytest.approx(approx.mtbf(), rel=0.05)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             ExponentialFailures(0.0)
         with pytest.raises(ValueError):
             WeibullFailures(shape=0.0, scale=1.0)
+
+    def test_system_mtbf_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            system_mtbf(0.0, 10)
+        with pytest.raises(ValueError):
+            system_mtbf(1000.0, -1)
 
 
 class TestCheckpointMath:
@@ -159,6 +202,78 @@ class TestInjection:
         assert victim.value == "survived 3"
         assert len(hits) == 3
         assert all(cause[0] == "failure" for cause in hits)
+
+    def test_interrupt_cause_tuple_contract(self, sim, streams):
+        """Injected causes are FailureCause instances that compare equal
+        to the legacy ("failure", index) tuples — both spellings must
+        keep working."""
+        causes = []
+
+        def victim_body(sim):
+            for _ in range(2):
+                try:
+                    yield sim.timeout(1e9)
+                except Interrupt as interrupt:
+                    causes.append(interrupt.cause)
+            return "done"
+
+        victim = sim.process(victim_body(sim))
+        FaultInjector(sim, ExponentialFailures(50.0),
+                      streams.get("inj")).attach(victim)
+        sim.run()
+        assert causes == [("failure", 0), ("failure", 1)]
+        for index, cause in enumerate(causes):
+            assert isinstance(cause, FailureCause)
+            assert cause.kind == "failure"
+            assert cause.index == index
+
+    def test_same_instant_interrupt_is_noop(self):
+        """An interrupt landing at the exact instant the victim's wait
+        is due loses the tie: the victim "finished first" and resumes
+        normally.  Regression for the timestamp-collision edge in
+        FaultInjector teardown."""
+        sim = Simulator()
+        log = []
+
+        def saboteur(victim_box):
+            yield sim.timeout(5.0)
+            victim_box[0].interrupt(FailureCause.numbered(0))
+
+        def sleeper():
+            try:
+                yield sim.timeout(5.0)
+                log.append("woke")
+            except Interrupt:
+                log.append("interrupted")
+
+        box = []
+        sim.process(saboteur(box))     # created first: acts first at t=5
+        box.append(sim.process(sleeper()))
+        sim.run()
+        assert log == ["woke"]
+
+    def test_future_wait_interrupt_still_lands(self):
+        """The no-op rule applies only to exact ties: a victim waiting
+        on a strictly-future event is interrupted as usual."""
+        sim = Simulator()
+        log = []
+
+        def saboteur(victim_box):
+            yield sim.timeout(5.0)
+            victim_box[0].interrupt(FailureCause.numbered(0))
+
+        def sleeper():
+            try:
+                yield sim.timeout(10.0)
+                log.append("woke")
+            except Interrupt as interrupt:
+                log.append(interrupt.cause)
+
+        box = []
+        sim.process(saboteur(box))
+        box.append(sim.process(sleeper()))
+        sim.run()
+        assert log == [("failure", 0)]
 
     def test_monte_carlo_matches_analytic(self):
         """The headline validation: simulated makespan within a few

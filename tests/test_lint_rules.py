@@ -32,10 +32,10 @@ def codes_of(findings):
 
 
 class TestRegistry:
-    def test_eight_rules_with_unique_codes(self):
+    def test_nine_rules_with_unique_codes(self):
         codes = [rule.code for rule in RULES]
         assert codes == sorted(codes)
-        assert len(set(codes)) == len(codes) == 8
+        assert len(set(codes)) == len(codes) == 9
 
     def test_select_unknown_code_rejected(self):
         with pytest.raises(ValueError, match="REP999"):
@@ -296,6 +296,73 @@ class TestRep008SeededConstructor:
             def _internal(seed):
                 return np.random.default_rng(seed)
         """, ["REP008"])
+        assert findings == []
+
+
+class TestRep010BroadExcept:
+    def test_bare_except_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def f():
+                try:
+                    return 1
+                except:
+                    return 0
+        """, ["REP010"])
+        assert codes_of(findings) == ["REP010"]
+        assert "bare" in findings[0].message
+
+    def test_except_exception_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def f():
+                try:
+                    return 1
+                except Exception:
+                    return 0
+        """, ["REP010"])
+        assert codes_of(findings) == ["REP010"]
+
+    def test_base_exception_in_tuple_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def f():
+                try:
+                    return 1
+                except (ValueError, BaseException) as exc:
+                    return exc
+        """, ["REP010"])
+        assert codes_of(findings) == ["REP010"]
+        assert "BaseException" in findings[0].message
+
+    def test_specific_handlers_clean(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def f():
+                try:
+                    return 1
+                except (ValueError, KeyError):
+                    return 0
+        """, ["REP010"])
+        assert findings == []
+
+    def test_tests_and_benchmarks_exempt(self, tmp_path):
+        source = """
+            def f():
+                try:
+                    return 1
+                except Exception:
+                    return 0
+        """
+        assert run_lint(tmp_path, source, ["REP010"],
+                        filename="tests/test_x.py") == []
+        assert run_lint(tmp_path, source, ["REP010"],
+                        filename="benchmarks/bench_x.py") == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def f():
+                try:
+                    return 1
+                except BaseException:  # repro: noqa[REP010] boundary
+                    raise
+        """, ["REP010"])
         assert findings == []
 
 
