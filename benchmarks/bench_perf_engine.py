@@ -12,9 +12,12 @@ so these benches measure end-to-end throughput rather than any one
 function.
 """
 
+import time
+
 import numpy as np
 
 from repro.messaging import SUM, run_spmd
+from repro.obs import NULL_SPAN, NullObservability
 from repro.scheduler import BatchSimulator, WorkloadGenerator, WorkloadParams, get_policy
 from repro.sim import RandomStreams, Simulator, Store
 
@@ -73,20 +76,22 @@ def test_perf_store_handoff(benchmark):
     benchmark(handoff)
 
 
+def _pingpong_body(comm):
+    """500 round trips through comm + fabric + mailboxes."""
+    for _ in range(500):
+        if comm.rank == 0:
+            yield from comm.send(b"x", 1, tag=1)
+            yield from comm.recv(1, tag=2)
+        else:
+            yield from comm.recv(0, tag=1)
+            yield from comm.send(b"x", 0, tag=2)
+    return None
+
+
 def test_perf_messaging_pingpong(benchmark):
     """Full stack: 500 round trips through comm + fabric + mailboxes."""
-    def body(comm):
-        for _ in range(500):
-            if comm.rank == 0:
-                yield from comm.send(b"x", 1, tag=1)
-                yield from comm.recv(1, tag=2)
-            else:
-                yield from comm.recv(0, tag=1)
-                yield from comm.send(b"x", 0, tag=2)
-        return None
-
     def pingpong():
-        return run_spmd(2, body, technology="infiniband_4x")
+        return run_spmd(2, _pingpong_body, technology="infiniband_4x")
 
     result = benchmark(pingpong)
     assert result.transfer_count == 1_000
@@ -103,6 +108,105 @@ def test_perf_allreduce_32(benchmark):
         return run_spmd(32, body, technology="infiniband_4x")
 
     benchmark(collectives)
+
+
+class _CountingNull(NullObservability):
+    """Null observability that counts every disabled-path touch."""
+
+    def __init__(self):
+        super().__init__()
+        self.guard_reads = 0
+        self.span_calls = 0
+
+    @property
+    def enabled(self):
+        self.guard_reads += 1
+        return False
+
+    def span(self, name, track=None, **attrs):
+        self.span_calls += 1
+        return NULL_SPAN
+
+
+def _microbench(body, reps=20_000, rounds=5):
+    """Best-of-rounds seconds per call of ``body(index)``."""
+    best = float("inf")
+    for _ in range(rounds):
+        tick = time.perf_counter()
+        for index in range(reps):
+            body(index)
+        best = min(best, time.perf_counter() - tick)
+    return best / reps
+
+
+def _site_cost(body):
+    """Seconds of *extra* work per call of ``body`` over a no-op.
+
+    Real instrumentation sites run the guard/span inline; the
+    microbench wraps each in a function, so subtract the call+loop
+    overhead of an empty body to price only the observability work.
+    """
+    def noop(index):
+        pass
+
+    return max(0.0, _microbench(body) - _microbench(noop))
+
+
+def test_perf_null_obs_overhead_budget():
+    """Disabled observability costs <=3% of the pingpong workload.
+
+    Every instrumentation site leaves one of three things on the
+    disabled path: an ``obs.enabled`` guard read (pricing includes the
+    null-span ``set``/``with`` the guarded call sites still execute), a
+    no-op ``span()`` call, or the engine's cached-flag check.  Count
+    each through the full messaging stack, price one of each on the
+    real null objects, and check that the sum fits the 3% budget.  This
+    is what fails if someone puts real work (attr-dict building, string
+    formatting) ahead of a guard.
+    """
+    # Wall time of the workload itself, best of three.
+    workload = min(_timed_run() for _ in range(3))
+
+    counter = _CountingNull()
+    result = run_spmd(2, _pingpong_body, technology="infiniband_4x",
+                      obs=counter)
+    assert result.transfer_count == 1_000
+    engine_checks = 2 * 1_000 + 2  # two flag checks/event + per process
+
+    obs = NullObservability()
+
+    def guarded_site(index):
+        # A comm-style site: guard, then with/set on the shared NullSpan.
+        span = NULL_SPAN if not obs.enabled else None
+        with span.set(dest=index, tag=1):
+            pass
+
+    def span_site(index):
+        # A fabric-style site: unconditional span() with attrs.
+        with obs.span("bench.touch", src=0, dst=1, nbytes=index):
+            pass
+
+    flag = False
+
+    def engine_check(index):
+        if flag:
+            raise AssertionError
+
+    overhead = (counter.guard_reads * _site_cost(guarded_site)
+                + counter.span_calls * _site_cost(span_site)
+                + engine_checks * _site_cost(engine_check))
+    assert overhead <= 0.03 * workload, (
+        f"disabled-observability budget blown: {counter.guard_reads} "
+        f"guards + {counter.span_calls} null spans + {engine_checks} "
+        f"flag checks = {overhead * 1e3:.2f} ms vs 3% of "
+        f"{workload * 1e3:.2f} ms workload"
+    )
+
+
+def _timed_run():
+    tick = time.perf_counter()
+    run_spmd(2, _pingpong_body, technology="infiniband_4x")
+    return time.perf_counter() - tick
 
 
 def test_perf_batch_scheduler(benchmark):

@@ -8,6 +8,7 @@
     python -m repro interconnects [--year 2006]
     python -m repro faults --nodes 10000 [--checkpoint 300]
     python -m repro campaign --kernel summa [--ranks 4] [--faults 3]
+    python -m repro trace campaign [--out trace.json]
     python -m repro lint [--format text|json] [--baseline FILE]
 
 Each subcommand prints one of the library's standard tables; the full
@@ -127,28 +128,23 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_campaign(args: argparse.Namespace) -> int:
-    """Run one end-to-end fault campaign and print the report."""
+def _campaign_spec(args: argparse.Namespace, *, with_faults: bool):
+    """The CLI's standard campaign spec (shared by campaign and trace)."""
     import repro.apps.campaigns  # noqa: F401  (registers kernels)
-    from repro.fault import (
-        CampaignSpec,
-        LinkFaultSpec,
-        NodeFaultSpec,
-        run_campaign,
-    )
+    from repro.fault import CampaignSpec, LinkFaultSpec, NodeFaultSpec
 
     node_faults = tuple(
         NodeFaultSpec(time=args.first_fault * (index + 1),
                       rank=index % args.ranks)
         for index in range(args.faults)
-    )
+    ) if with_faults else ()
     link_faults = (
         LinkFaultSpec(start=0.0, duration=args.first_fault * 4,
                       a=("h", 0), b=("s", 0)),
         LinkFaultSpec(start=0.0, duration=args.first_fault * 20,
                       a=("s", 0), b=("s", 2)),
-    ) if args.link_faults else ()
-    spec = CampaignSpec(
+    ) if with_faults and args.link_faults else ()
+    return CampaignSpec(
         kernel=args.kernel,
         ranks=args.ranks,
         node_faults=node_faults,
@@ -157,9 +153,42 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         restart_seconds=2e-4,
         checkpoint_write_seconds=1e-4,
     )
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """Run one end-to-end fault campaign and print the report."""
+    from repro.fault import run_campaign
+
+    spec = _campaign_spec(args, with_faults=True)
     report = run_campaign(spec)
     print(report.summary())
     return 0 if report.answers_match else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one instrumented workload; write Chrome trace + metrics dump.
+
+    ``trace campaign`` replays the standard fault campaign (faults,
+    checkpoints, restarts all visible in the trace); ``trace app`` runs
+    the same kernel failure-free, for a clean communication timeline.
+    """
+    from repro.fault.campaign import run_workload
+    from repro.obs import Observability, write_chrome_trace, write_metrics
+
+    with_faults = args.mode == "campaign"
+    spec = _campaign_spec(args, with_faults=with_faults)
+    obs = Observability()
+    outcome = run_workload(spec, faults_enabled=with_faults, obs=obs)
+    obs.finalize()
+    write_chrome_trace(obs, args.out)
+    write_metrics(obs.metrics, args.metrics_out)
+    print(f"{args.mode} {spec.kernel!r}: {len(obs.spans)} span(s), "
+          f"{len(obs.instants)} instant(s), {len(obs.metrics)} metric "
+          f"series; elapsed {outcome.elapsed:.6f}s over "
+          f"{outcome.incarnations} incarnation(s)")
+    print(f"wrote {args.out} (load in Perfetto / chrome://tracing) "
+          f"and {args.metrics_out}")
+    return 0
 
 
 def _cmd_fabrics(args: argparse.Namespace) -> int:
@@ -214,6 +243,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Assemble the argparse tree for every subcommand."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="clusterlaunch quick reports",
@@ -280,6 +310,28 @@ def build_parser() -> argparse.ArgumentParser:
                           action="store_false",
                           help="skip the default link down windows")
     campaign.set_defaults(func=_cmd_campaign)
+
+    trace = sub.add_parser(
+        "trace", help="Chrome trace + metrics dump of an instrumented run")
+    trace.add_argument("mode", choices=("campaign", "app"),
+                       help="campaign = standard fault campaign; "
+                            "app = same kernel, failure-free")
+    trace.add_argument("--kernel", default="summa",
+                       help="registered kernel name (summa, stencil2d)")
+    trace.add_argument("--ranks", type=int, default=4)
+    trace.add_argument("--faults", type=int, default=3,
+                       help="number of scheduled node faults")
+    trace.add_argument("--first-fault", type=float, default=6e-4,
+                       help="virtual seconds until the first fault")
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--no-link-faults", dest="link_faults",
+                       action="store_false",
+                       help="skip the default link down windows")
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome trace_event JSON output path")
+    trace.add_argument("--metrics-out", default="metrics.txt",
+                       help="plain-text metrics dump output path")
+    trace.set_defaults(func=_cmd_trace)
 
     faults = sub.add_parser("faults", help="reliability at a scale")
     faults.add_argument("--nodes", type=int, required=True)

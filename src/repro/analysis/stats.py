@@ -30,6 +30,7 @@ class SummaryStats:
 
     @property
     def ci_halfwidth(self) -> float:
+        """Half the confidence-interval width."""
         return (self.ci_high - self.ci_low) / 2.0
 
     @property

@@ -42,6 +42,7 @@ class HplEstimate:
 
     @property
     def efficiency(self) -> float:
+        """Rmax over Rpeak."""
         return self.rmax_flops / self.rpeak_flops
 
 

@@ -90,47 +90,52 @@ def _stencil2d_rank(comm: Communicator, n: int, iterations: int,
         block = ckpt.restored["block"].copy()
 
     for _step in range(start_iter, iterations):
-        # Post all four receives, then all four sends (columns packed
-        # into contiguous buffers — the vector-datatype move).
-        recvs = {}
-        if north is not None:
-            recvs["n"] = comm.irecv(north, _TAG_S)
-        if south is not None:
-            recvs["s"] = comm.irecv(south, _TAG_N)
-        if west is not None:
-            recvs["w"] = comm.irecv(west, _TAG_E)
-        if east is not None:
-            recvs["e"] = comm.irecv(east, _TAG_W)
-        sends = []
-        if north is not None:
-            sends.append(comm.isend(block[1, 1:-1].copy(), north, _TAG_N))
-        if south is not None:
-            sends.append(comm.isend(block[-2, 1:-1].copy(), south, _TAG_S))
-        if west is not None:
-            sends.append(comm.isend(block[1:-1, 1].copy(), west, _TAG_W))
-        if east is not None:
-            sends.append(comm.isend(block[1:-1, -2].copy(), east, _TAG_E))
+        with comm.sim.obs.span("stencil2d.step", step=_step):
+            # Post all four receives, then all four sends (columns packed
+            # into contiguous buffers — the vector-datatype move).
+            recvs = {}
+            if north is not None:
+                recvs["n"] = comm.irecv(north, _TAG_S)
+            if south is not None:
+                recvs["s"] = comm.irecv(south, _TAG_N)
+            if west is not None:
+                recvs["w"] = comm.irecv(west, _TAG_E)
+            if east is not None:
+                recvs["e"] = comm.irecv(east, _TAG_W)
+            sends = []
+            if north is not None:
+                sends.append(comm.isend(block[1, 1:-1].copy(),
+                                        north, _TAG_N))
+            if south is not None:
+                sends.append(comm.isend(block[-2, 1:-1].copy(),
+                                        south, _TAG_S))
+            if west is not None:
+                sends.append(comm.isend(block[1:-1, 1].copy(),
+                                        west, _TAG_W))
+            if east is not None:
+                sends.append(comm.isend(block[1:-1, -2].copy(),
+                                        east, _TAG_E))
 
-        if "n" in recvs:
-            block[0, 1:-1] = yield from recvs["n"].wait()
-        if "s" in recvs:
-            block[-1, 1:-1] = yield from recvs["s"].wait()
-        if "w" in recvs:
-            block[1:-1, 0] = yield from recvs["w"].wait()
-        if "e" in recvs:
-            block[1:-1, -1] = yield from recvs["e"].wait()
-        yield from waitall(sends)
+            if "n" in recvs:
+                block[0, 1:-1] = yield from recvs["n"].wait()
+            if "s" in recvs:
+                block[-1, 1:-1] = yield from recvs["s"].wait()
+            if "w" in recvs:
+                block[1:-1, 0] = yield from recvs["w"].wait()
+            if "e" in recvs:
+                block[1:-1, -1] = yield from recvs["e"].wait()
+            yield from waitall(sends)
 
-        new = block.copy()
-        new[1:-1, 1:-1] = 0.25 * (
-            block[:-2, 1:-1] + block[2:, 1:-1]
-            + block[1:-1, :-2] + block[1:-1, 2:]
-        )
-        block = new
+            new = block.copy()
+            new[1:-1, 1:-1] = 0.25 * (
+                block[:-2, 1:-1] + block[2:, 1:-1]
+                + block[1:-1, :-2] + block[1:-1, 2:]
+            )
+            block = new
 
-        points = (r1 - r0) * (c1 - c0)
-        yield comm.sim.timeout(charge.seconds(flops=4.0 * points,
-                                              bytes_moved=40.0 * points))
+            points = (r1 - r0) * (c1 - c0)
+            yield comm.sim.timeout(charge.seconds(flops=4.0 * points,
+                                                  bytes_moved=40.0 * points))
         if (ckpt is not None and _step + 1 < iterations
                 and ckpt.due(_step + 1)):
             yield from ckpt.save(_step + 1,

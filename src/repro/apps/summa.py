@@ -84,18 +84,19 @@ def _summa_rank(comm: Communicator, n: int, charge: ComputeCharge,
     col_comm = yield from comm.split(col, key=row)
 
     for step in range(start_step, grid):
-        # A's step-th block-column travels along my process row...
-        a_panel = yield from row_comm.bcast(
-            a_local if col == step else None, root=step)
-        # ...and B's step-th block-row along my process column.
-        b_panel = yield from col_comm.bcast(
-            b_local if row == step else None, root=step)
-        c_local += a_panel @ b_panel
-        m, k = a_panel.shape
-        _k, p_cols = b_panel.shape
-        yield comm.sim.timeout(charge.seconds(
-            flops=2.0 * m * k * p_cols,
-            bytes_moved=8.0 * (m * k + k * p_cols + m * p_cols)))
+        with comm.sim.obs.span("summa.step", step=step):
+            # A's step-th block-column travels along my process row...
+            a_panel = yield from row_comm.bcast(
+                a_local if col == step else None, root=step)
+            # ...and B's step-th block-row along my process column.
+            b_panel = yield from col_comm.bcast(
+                b_local if row == step else None, root=step)
+            c_local += a_panel @ b_panel
+            m, k = a_panel.shape
+            _k, p_cols = b_panel.shape
+            yield comm.sim.timeout(charge.seconds(
+                flops=2.0 * m * k * p_cols,
+                bytes_moved=8.0 * (m * k + k * p_cols + m * p_cols)))
         if (ckpt is not None and step + 1 < grid
                 and ckpt.due(step + 1)):
             yield from ckpt.save(step + 1,

@@ -33,6 +33,7 @@ class CostBreakdown:
 
     @property
     def total_dollars(self) -> float:
+        """Sum of every purchase line item."""
         return (self.nodes_dollars + self.network_dollars
                 + self.racks_dollars + self.integration_dollars)
 

@@ -8,6 +8,7 @@ from repro.cluster.cost import CostModel
 from repro.cluster.packaging import Packaging, RackConfig, pack_cluster
 from repro.cluster.power import PowerModel
 from repro.cluster.spec import ClusterSpec
+from repro.obs import MetricsRegistry
 from repro.units import GIGA, KILO
 
 __all__ = ["ClusterMetrics", "cluster_metrics"]
@@ -32,6 +33,24 @@ class ClusterMetrics:
     def gflops_per_kw(self) -> float:
         """Popular efficiency figure: GFLOPS per kilowatt of facility load."""
         return (self.peak_flops / GIGA) / (self.total_watts / KILO)
+
+    def publish(self, registry: MetricsRegistry) -> None:
+        """Copy every figure into an observability registry as gauges
+        under ``cluster.*``, labelled by cluster name."""
+        name = self.spec.name
+        gauges = {
+            "peak_flops": self.peak_flops,
+            "memory_bytes": self.memory_bytes,
+            "total_watts": self.total_watts,
+            "purchase_dollars": self.purchase_dollars,
+            "dollars_per_flops": self.dollars_per_flops,
+            "watts_per_flops": self.watts_per_flops,
+            "flops_per_m2": self.flops_per_m2,
+            "bisection_bytes_per_second": self.bisection_bytes_per_second,
+            "gflops_per_kw": self.gflops_per_kw,
+        }
+        for key, value in gauges.items():
+            registry.gauge(f"cluster.{key}", cluster=name).set(value)
 
 
 def cluster_metrics(spec: ClusterSpec,

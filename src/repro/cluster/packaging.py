@@ -42,6 +42,7 @@ class RackConfig:
 
     @property
     def usable_units(self) -> float:
+        """Rack units left for nodes after infrastructure overhead."""
         return self.total_units - self.overhead_units
 
 
@@ -59,6 +60,7 @@ class Packaging:
 
     @property
     def rack_cost(self) -> float:
+        """Dollars spent on the racks themselves."""
         return self.racks * self.rack_config.cost_dollars
 
 

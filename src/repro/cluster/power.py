@@ -33,6 +33,7 @@ class PowerBreakdown:
 
     @property
     def total_watts(self) -> float:
+        """IT plus cooling load."""
         return self.it_watts + self.cooling_watts
 
 

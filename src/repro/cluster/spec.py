@@ -54,6 +54,7 @@ class ClusterSpec:
 
     @property
     def total_cores(self) -> int:
+        """Cores across the whole cluster."""
         return self.node.total_cores * self.node_count
 
     def __str__(self) -> str:

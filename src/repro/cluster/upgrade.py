@@ -47,10 +47,12 @@ class Cohort:
 
     @property
     def peak_flops(self) -> float:
+        """Aggregate peak FLOPS of the cohort's nodes."""
         return self.node_count * self.node.peak_flops
 
     @property
     def power_watts(self) -> float:
+        """Aggregate power draw of the cohort's nodes."""
         return self.node_count * self.node.power_watts
 
 
@@ -64,14 +66,17 @@ class FleetYear:
 
     @property
     def peak_flops(self) -> float:
+        """Fleet-wide peak FLOPS, summed over cohorts."""
         return sum(c.peak_flops for c in self.cohorts)
 
     @property
     def power_watts(self) -> float:
+        """Fleet-wide power draw, summed over cohorts."""
         return sum(c.power_watts for c in self.cohorts)
 
     @property
     def node_count(self) -> int:
+        """Fleet-wide node count, summed over cohorts."""
         return sum(c.node_count for c in self.cohorts)
 
     @property

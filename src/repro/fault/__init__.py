@@ -46,6 +46,7 @@ from repro.fault.campaign import (
     get_kernel,
     register_kernel,
     run_campaign,
+    run_workload,
 )
 from repro.fault.recovery import RecoveryOutcome, compare_strategies
 from repro.fault.availability import (
@@ -83,6 +84,7 @@ __all__ = [
     "get_kernel",
     "register_kernel",
     "run_campaign",
+    "run_workload",
     "simulate_checkpoint_run",
     "spares_for_sla",
     "system_mtbf",

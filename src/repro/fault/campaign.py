@@ -42,6 +42,7 @@ from repro.messaging.comm import CommConfig, CommWorld, Communicator
 from repro.network.fabric import Fabric, FabricFaultPlan
 from repro.network.technologies import get_interconnect
 from repro.network.topology import FatTreeTopology, Node
+from repro.obs import NULL_OBS, Observability
 from repro.sim.causes import AbortCause, FailureCause
 from repro.sim.engine import Process, SimulationError, Simulator
 from repro.sim.rng import RandomStreams
@@ -59,6 +60,7 @@ __all__ = [
     "get_kernel",
     "available_kernels",
     "run_campaign",
+    "run_workload",
 ]
 
 #: A kernel factory maps (ranks, streams, app_args) to a rank body
@@ -240,6 +242,7 @@ class CheckpointVault:
 
     @property
     def last_commit_time(self) -> Optional[float]:
+        """When the most recent checkpoint committed (None if never)."""
         return self.commit_times[-1][0] if self.commit_times else None
 
 
@@ -272,10 +275,20 @@ class RankCheckpoint:
         """Generator: coordinated checkpoint of ``state`` as version
         ``step`` — barrier (every rank quiesces at the same cut), write
         cost, then stage into the vault."""
-        yield from self.comm.barrier()
-        if self.write_seconds > 0:
-            yield self.comm.sim.timeout(self.write_seconds)
-        self.vault.stage(self.comm.rank, step, state, self.comm.sim.now)
+        obs = self.comm.sim.obs
+        with obs.span("ckpt.save", step=step, rank=self.comm.rank):
+            yield from self.comm.barrier()
+            if self.write_seconds > 0:
+                yield self.comm.sim.timeout(self.write_seconds)
+            self.vault.stage(self.comm.rank, step, state,
+                             self.comm.sim.now)
+        if obs.enabled:
+            committed = self.vault.latest
+            if committed is not None and committed[0] == step:
+                # This rank's stage completed the version: the commit
+                # instant lands exactly once per committed cut.
+                obs.instant("ckpt.commit", step=step)
+                obs.metrics.counter("ckpt.commits").inc()
 
 
 # -- campaign execution ----------------------------------------------------
@@ -315,6 +328,7 @@ class CampaignReport:
 
     @property
     def retries(self) -> int:
+        """Retransmissions the faulty run needed."""
         return self.faulty.comm_stats.get("retries", 0)
 
     def summary(self) -> str:
@@ -388,10 +402,13 @@ def _teardown(procs: List[Process], victim: int, index: int) -> None:
                 process.interrupt(AbortCause.numbered(victim, index))
 
 
-def _run_once(spec: CampaignSpec, faults_enabled: bool) -> RunOutcome:
+def _run_once(spec: CampaignSpec, faults_enabled: bool,
+              obs: Optional[Observability] = None) -> RunOutcome:
     """Execute the campaign workload once, with or without faults."""
+    if obs is None:
+        obs = NULL_OBS
     streams = RandomStreams(seed=spec.seed)
-    sim = Simulator()
+    sim = Simulator(obs=obs)
     topology = spec.topology()
     plan = (_build_plan(spec, streams, topology)
             if faults_enabled else None)
@@ -420,6 +437,8 @@ def _run_once(spec: CampaignSpec, faults_enabled: bool) -> RunOutcome:
     while True:
         incarnations += 1
         incarnation_start = sim.now
+        inc_span = obs.span("campaign.incarnation", track="campaign",
+                            index=incarnations)
         world = CommWorld(sim, fabric, config=config, streams=streams)
         worlds.append(world)
         procs: List[Process] = []
@@ -449,6 +468,7 @@ def _run_once(spec: CampaignSpec, faults_enabled: bool) -> RunOutcome:
             if all(p.triggered for p in procs):
                 # The job beat the fault; it hits an idle machine.
                 next_fault += 1
+                inc_span.close()
                 break
             next_fault += 1
             struck_at = sim.now
@@ -462,6 +482,10 @@ def _run_once(spec: CampaignSpec, faults_enabled: bool) -> RunOutcome:
             if last_commit is not None and last_commit > base:
                 base = last_commit
             lost_work += sim.now - base
+            obs.instant("campaign.node_fault", track="campaign",
+                        time=struck_at, rank=fault.rank)
+            obs.add_span("campaign.lost_work", base, sim.now,
+                         track="campaign", rank=fault.rank)
             world.fail_rank(fault.rank)
             _teardown(procs, fault.rank, len(fault_trace))
             sim.run(until=sim.now)
@@ -471,11 +495,15 @@ def _run_once(spec: CampaignSpec, faults_enabled: bool) -> RunOutcome:
             sim.run(until=sim.now)
             vault.rollback()
             fault_trace.append((struck_at, fault.rank, committed_step))
+            inc_span.set(faulted=True, victim=fault.rank).close()
             recovery += spec.restart_seconds
+            obs.add_span("campaign.restart", sim.now,
+                         sim.now + spec.restart_seconds, track="campaign")
             sim.run(until=sim.now + spec.restart_seconds)
             continue
 
         sim.run()
+        inc_span.close()
         break
 
     for rank, process in enumerate(procs):
@@ -507,6 +535,16 @@ def _run_once(spec: CampaignSpec, faults_enabled: bool) -> RunOutcome:
     for world in worlds:
         for key, value in world.stats.snapshot().items():
             comm_stats[key] = comm_stats.get(key, 0) + value
+    if obs.enabled:
+        metrics = obs.metrics
+        metrics.gauge("campaign.incarnations").set(float(incarnations))
+        metrics.gauge("campaign.lost_work_seconds").set(lost_work)
+        metrics.gauge("campaign.recovery_seconds").set(recovery)
+        metrics.gauge("campaign.elapsed_seconds").set(elapsed)
+        for key, value in comm_stats.items():
+            metrics.gauge(f"comm.stats.{key}").set(float(value))
+        for key, value in counters.items():
+            metrics.gauge(f"fabric.plan.{key}").set(float(value))
     return RunOutcome(
         elapsed=elapsed,
         answers=tuple(answers),
@@ -520,15 +558,29 @@ def _run_once(spec: CampaignSpec, faults_enabled: bool) -> RunOutcome:
     )
 
 
-def run_campaign(spec: CampaignSpec) -> CampaignReport:
+def run_workload(spec: CampaignSpec, *, faults_enabled: bool = True,
+                 obs: Optional[Observability] = None) -> RunOutcome:
+    """Execute the campaign workload once (no clean-reference replay).
+
+    The single-run entry point the ``trace`` CLI uses: pass an
+    :class:`~repro.obs.Observability` to capture spans and metrics for
+    export without paying for the verification rerun.
+    """
+    return _run_once(spec, faults_enabled=faults_enabled, obs=obs)
+
+
+def run_campaign(spec: CampaignSpec,
+                 obs: Optional[Observability] = None) -> CampaignReport:
     """Run the faulty campaign, then the failure-free reference, and
     verify the answers are bit-identical.
 
     Both runs use the same seed, so they derive identical inputs; the
     fault machinery must therefore change *when* things happen, never
     *what* is computed — which is exactly what the comparison checks.
+    ``obs`` instruments only the faulty run, so the answers_match verdict
+    doubles as proof that observability never perturbs the simulation.
     """
-    faulty = _run_once(spec, faults_enabled=True)
+    faulty = _run_once(spec, faults_enabled=True, obs=obs)
     clean = _run_once(spec, faults_enabled=False)
     match = all(
         _answers_equal(c, f)

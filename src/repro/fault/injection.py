@@ -77,6 +77,7 @@ class CheckpointRunStats:
 
     @property
     def efficiency(self) -> float:
+        """Useful work over makespan (1.0 == no overhead)."""
         return self.useful_seconds / self.makespan if self.makespan else 1.0
 
 

@@ -269,10 +269,12 @@ class ParallelFileSystem:
 
     @property
     def total_bytes_written(self) -> float:
+        """Bytes written across every server."""
         return sum(server.bytes_written for server in self.servers)
 
     @property
     def total_bytes_read(self) -> float:
+        """Bytes read across every server."""
         return sum(server.bytes_read for server in self.servers)
 
     def server_balance(self) -> float:

@@ -1,4 +1,4 @@
-"""The invariant catalog: REP001-REP008.
+"""The invariant catalog: REP001-REP010.
 
 Each rule encodes one convention the reproduction's credibility rests on
 (see DESIGN.md "Static analysis & invariants" for the full catalog with
@@ -26,6 +26,7 @@ __all__ = [
     "RULES",
     "BroadExceptRule",
     "CrossLayerImportRule",
+    "DocstringRule",
     "ExportListRule",
     "FloatEqualityRule",
     "MagicScaleLiteralRule",
@@ -75,6 +76,7 @@ _WALL_CLOCK = {
 #: tool (imported by nothing).
 LAYERS: Dict[str, int] = {
     "units": 0,
+    "obs": 5,
     "sim": 10,
     "tech": 10,
     "analysis": 10,
@@ -454,8 +456,9 @@ class CrossLayerImportRule(Rule):
     code = "REP007"
     name = "cross-layer-import"
     description = ("packages import strictly lower DESIGN.md layers only "
-                   "(units < sim/tech/analysis < network/nodes/scheduler "
-                   "< cluster/messaging < fault < io < apps < lint)")
+                   "(units < obs < sim/tech/analysis < "
+                   "network/nodes/scheduler < cluster/messaging < fault "
+                   "< io < apps < lint)")
     visitor = _CrossLayerVisitor
 
 
@@ -500,6 +503,46 @@ class SeededConstructorRule(Rule):
         if module.dotted == _RNG_MODULE:
             return []
         return super().check(module)
+
+
+class DocstringRule(Rule):
+    """REP009: modules and public definitions carry docstrings."""
+
+    code = "REP009"
+    name = "docstring-coverage"
+    description = ("every module, public top-level def/class, and public "
+                   "method of a public class has a docstring (benchmarks "
+                   "and tests exempt)")
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        """Walk the AST instead of importing: covers every module, not
+        just the names a package re-exports, and costs no import-time
+        side effects (the reflection pass this replaced paid both)."""
+        if _in_test_or_benchmark(module):
+            return []
+        findings: List[Finding] = []
+        if not ast.get_docstring(module.tree):
+            anchor = module.tree.body[0] if module.tree.body else module.tree
+            findings.append(self.finding(
+                module, anchor, "module has no docstring"))
+        for node in _public_defs(module.tree.body):
+            kind = ("class" if isinstance(node, ast.ClassDef)
+                    else "function")
+            if not ast.get_docstring(node):  # type: ignore[arg-type]
+                findings.append(self.finding(
+                    module, node,
+                    f"public {kind} '{node.name}' has no docstring"))  # type: ignore[attr-defined]
+            if isinstance(node, ast.ClassDef):
+                for method in _public_defs(node.body):
+                    if not isinstance(method, (ast.FunctionDef,
+                                               ast.AsyncFunctionDef)):
+                        continue
+                    if not ast.get_docstring(method):
+                        findings.append(self.finding(
+                            module, method,
+                            f"public method '{node.name}.{method.name}' "
+                            f"has no docstring"))
+        return findings
 
 
 class _BroadExceptVisitor(RuleVisitor):
@@ -560,6 +603,7 @@ RULES: Tuple[Rule, ...] = (
     ExportListRule(),
     CrossLayerImportRule(),
     SeededConstructorRule(),
+    DocstringRule(),
     BroadExceptRule(),
 )
 

@@ -46,6 +46,7 @@ from repro.messaging.message import (
     payload_nbytes,
 )
 from repro.network.fabric import Fabric, NetworkUnreachable, TransferDropped
+from repro.obs import NULL_SPAN
 from repro.sim.engine import Process, Simulator
 from repro.sim.event import Event
 from repro.sim.resources import Store
@@ -243,6 +244,7 @@ class Request:
 
     @property
     def complete(self) -> bool:
+        """True once the operation has finished."""
         return self._process.triggered
 
     def wait(self):
@@ -319,9 +321,23 @@ class Communicator:
 
     @property
     def sim(self) -> Simulator:
+        """The simulator this communicator's world runs on."""
         return self.world.sim
 
     # -- internals --------------------------------------------------------
+
+    def _op_span(self, op: str):
+        """Span + entry counter for one messaging operation.
+
+        Hot-path guard: returns the shared null span without building
+        any attribute dict when observability is disabled, keeping the
+        per-message overhead to an attribute lookup and a branch.
+        """
+        obs = self.sim.obs
+        if not obs.enabled:
+            return NULL_SPAN
+        obs.metrics.counter("comm.ops", op=op, rank=str(self.rank)).inc()
+        return obs.span(f"comm.{op}", rank=self.rank)
 
     def _check_peer(self, peer: int, what: str) -> None:
         if not 0 <= peer < self.size:
@@ -434,13 +450,19 @@ class Communicator:
                 world.stats.acks += 1
                 return None
             except (TransferDropped, NetworkUnreachable):
+                obs = self.sim.obs
                 if attempt > cfg.max_retries:
                     world.stats.delivery_failures += 1
+                    obs.instant("comm.delivery_failure", dest=dest, tag=tag)
+                    obs.metrics.counter("comm.delivery_failures").inc()
                     raise DeliveryError(
                         f"send {self.rank}->{dest} tag={tag} seq={seq} "
                         f"undelivered after {attempt} attempt(s)"
                     )
                 world.stats.retries += 1
+                obs.instant("comm.retry", dest=dest, tag=tag,
+                            attempt=attempt)
+                obs.metrics.counter("comm.retries").inc()
                 yield self.sim.timeout(rto + world.retry_backoff(attempt))
 
     def _dead_local_ranks(self) -> List[int]:
@@ -468,14 +490,15 @@ class Communicator:
         """
         self._check_peer(dest, "dest")
         self._raise_if_dead(dest, "send")
-        process, nbytes = self._start_transfer(dest, tag, obj)
-        if self.world.config.active:
-            process.defused = True  # outcome tracked in world.stats
-        params = self.world.fabric.technology.loggp
-        local_cost = params.overhead + max(
-            params.gap, nbytes * params.gap_per_byte
-        )
-        yield self.sim.timeout(local_cost)
+        with self._op_span("send").set(dest=dest, tag=tag):
+            process, nbytes = self._start_transfer(dest, tag, obj)
+            if self.world.config.active:
+                process.defused = True  # outcome tracked in world.stats
+            params = self.world.fabric.technology.loggp
+            local_cost = params.overhead + max(
+                params.gap, nbytes * params.gap_per_byte
+            )
+            yield self.sim.timeout(local_cost)
 
     def ssend(self, obj: Any, dest: int, tag: int = 0,
               timeout: Optional[float] = None):
@@ -486,39 +509,40 @@ class Communicator:
         :class:`CommTimeout` past the operation timeout."""
         self._check_peer(dest, "dest")
         self._raise_if_dead(dest, "ssend")
-        cfg = self.world.config
-        ack = self.sim.event(f"ssend-ack{self.rank}->{dest}")
-        process, _nbytes = self._start_transfer(dest, tag, obj, ack=ack)
-        if not cfg.active and timeout is None:
-            yield ack
-            return
-        process.defused = True
-        op_timeout = timeout if timeout is not None else cfg.op_timeout
-        deadline = (self.sim.now + op_timeout
-                    if op_timeout is not None else None)
-        while True:
-            waiters: List[Event] = [ack]
-            if cfg.fault_aware:
-                waiters.append(self.world.failure_notice())
-            timer = None
-            if deadline is not None:
-                remaining = deadline - self.sim.now
-                if remaining <= 0:
-                    self.world.stats.op_timeouts += 1
-                    raise CommTimeout(f"ssend to {dest} timed out")
-                timer = self.sim.timeout(remaining)
-                waiters.append(timer)
-            if len(waiters) == 1:
+        with self._op_span("ssend").set(dest=dest, tag=tag):
+            cfg = self.world.config
+            ack = self.sim.event(f"ssend-ack{self.rank}->{dest}")
+            process, _nbytes = self._start_transfer(dest, tag, obj, ack=ack)
+            if not cfg.active and timeout is None:
                 yield ack
                 return
-            yield self.sim.any_of(waiters)
-            if ack.triggered:
-                return
-            self._raise_if_dead(dest, "ssend")
-            if timer is not None and timer.triggered:
-                self.world.stats.op_timeouts += 1
-                raise CommTimeout(f"ssend to {dest} timed out")
-            # Unrelated rank failed; keep waiting for the rendezvous.
+            process.defused = True
+            op_timeout = timeout if timeout is not None else cfg.op_timeout
+            deadline = (self.sim.now + op_timeout
+                        if op_timeout is not None else None)
+            while True:
+                waiters: List[Event] = [ack]
+                if cfg.fault_aware:
+                    waiters.append(self.world.failure_notice())
+                timer = None
+                if deadline is not None:
+                    remaining = deadline - self.sim.now
+                    if remaining <= 0:
+                        self.world.stats.op_timeouts += 1
+                        raise CommTimeout(f"ssend to {dest} timed out")
+                    timer = self.sim.timeout(remaining)
+                    waiters.append(timer)
+                if len(waiters) == 1:
+                    yield ack
+                    return
+                yield self.sim.any_of(waiters)
+                if ack.triggered:
+                    return
+                self._raise_if_dead(dest, "ssend")
+                if timer is not None and timer.triggered:
+                    self.world.stats.op_timeouts += 1
+                    raise CommTimeout(f"ssend to {dest} timed out")
+                # Unrelated rank failed; keep waiting for the rendezvous.
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
         """Non-blocking send; the request completes at delivery time.
@@ -561,52 +585,54 @@ class Communicator:
             return e.context == context and e.matches(source, tag)
 
         mailbox = self.world.mailboxes[self._to_world(self.rank)]
-        if not cfg.active and timeout is None:
-            envelope: Envelope = yield mailbox.get(match)
-            return self._accept(envelope)
-        world = self.world
-        op_timeout = timeout if timeout is not None else cfg.op_timeout
-        deadline = (self.sim.now + op_timeout
-                    if op_timeout is not None else None)
-        while True:
-            if cfg.fault_aware and world.failed:
-                queued = any(match(item) for item in mailbox._items)
-                if not queued:
-                    if (source != ANY_SOURCE
-                            and self._to_world(source) in world.failed):
-                        raise RankFailure(
-                            {source}, f"recv from failed rank {source}")
-                    if source == ANY_SOURCE:
-                        dead = self._dead_local_ranks()
-                        if dead:
+        with self._op_span("recv").set(source=source, tag=tag):
+            if not cfg.active and timeout is None:
+                envelope: Envelope = yield mailbox.get(match)
+                return self._accept(envelope)
+            world = self.world
+            op_timeout = timeout if timeout is not None else cfg.op_timeout
+            deadline = (self.sim.now + op_timeout
+                        if op_timeout is not None else None)
+            while True:
+                if cfg.fault_aware and world.failed:
+                    queued = any(match(item) for item in mailbox._items)
+                    if not queued:
+                        if (source != ANY_SOURCE
+                                and self._to_world(source) in world.failed):
                             raise RankFailure(
-                                dead, "wildcard recv with failed peer(s)")
-            get_event = mailbox.get(match)
-            waiters = [get_event]
-            if cfg.fault_aware:
-                waiters.append(world.failure_notice())
-            timer = None
-            if deadline is not None:
-                remaining = deadline - self.sim.now
-                if remaining <= 0:
-                    mailbox.cancel(get_event)
+                                {source}, f"recv from failed rank {source}")
+                        if source == ANY_SOURCE:
+                            dead = self._dead_local_ranks()
+                            if dead:
+                                raise RankFailure(
+                                    dead,
+                                    "wildcard recv with failed peer(s)")
+                get_event = mailbox.get(match)
+                waiters = [get_event]
+                if cfg.fault_aware:
+                    waiters.append(world.failure_notice())
+                timer = None
+                if deadline is not None:
+                    remaining = deadline - self.sim.now
+                    if remaining <= 0:
+                        mailbox.cancel(get_event)
+                        world.stats.op_timeouts += 1
+                        raise CommTimeout(
+                            f"recv(source={source}, tag={tag}) timed out")
+                    timer = self.sim.timeout(remaining)
+                    waiters.append(timer)
+                if len(waiters) == 1:
+                    envelope = yield get_event
+                    return self._accept(envelope)
+                yield self.sim.any_of(waiters)
+                if get_event.triggered:
+                    return self._accept(get_event.value)
+                mailbox.cancel(get_event)
+                if timer is not None and timer.triggered:
                     world.stats.op_timeouts += 1
                     raise CommTimeout(
                         f"recv(source={source}, tag={tag}) timed out")
-                timer = self.sim.timeout(remaining)
-                waiters.append(timer)
-            if len(waiters) == 1:
-                envelope = yield get_event
-                return self._accept(envelope)
-            yield self.sim.any_of(waiters)
-            if get_event.triggered:
-                return self._accept(get_event.value)
-            mailbox.cancel(get_event)
-            if timer is not None and timer.triggered:
-                world.stats.op_timeouts += 1
-                raise CommTimeout(
-                    f"recv(source={source}, tag={tag}) timed out")
-            # A rank failed somewhere; loop to re-evaluate and re-post.
+                # A rank failed somewhere; loop to re-evaluate and re-post.
 
     def _accept(self, envelope: Envelope) -> Tuple[Any, Status]:
         """Deliver a matched envelope: rendezvous release + status."""
@@ -680,62 +706,75 @@ class Communicator:
 
     def barrier(self):
         """Block until every rank has entered the barrier."""
-        result = yield from _collectives.barrier(self)
+        with self._op_span("barrier"):
+            result = yield from _collectives.barrier(self)
         return result
 
     def bcast(self, obj: Any, root: int = 0,
               algorithm: str = "binomial"):
         """Broadcast ``obj`` from ``root`` to every rank (see
         :func:`repro.messaging.collectives.bcast` for algorithms)."""
-        result = yield from _collectives.bcast(self, obj, root, algorithm)
+        with self._op_span("bcast").set(root=root):
+            result = yield from _collectives.bcast(self, obj, root,
+                                                   algorithm)
         return result
 
     def reduce(self, obj: Any, op: Callable = SUM, root: int = 0):
         """Reduce every rank's ``obj`` with ``op``; result at ``root``."""
-        result = yield from _collectives.reduce(self, obj, op, root)
+        with self._op_span("reduce").set(root=root):
+            result = yield from _collectives.reduce(self, obj, op, root)
         return result
 
     def allreduce(self, obj: Any, op: Callable = SUM,
                   algorithm: str = "recursive_doubling"):
         """Reduce with ``op`` and deliver the result to every rank (see
         :func:`repro.messaging.collectives.allreduce` for algorithms)."""
-        result = yield from _collectives.allreduce(self, obj, op, algorithm)
+        with self._op_span("allreduce"):
+            result = yield from _collectives.allreduce(self, obj, op,
+                                                       algorithm)
         return result
 
     def gather(self, obj: Any, root: int = 0):
         """Collect every rank's ``obj`` at ``root`` (list by rank)."""
-        result = yield from _collectives.gather(self, obj, root)
+        with self._op_span("gather").set(root=root):
+            result = yield from _collectives.gather(self, obj, root)
         return result
 
     def scatter(self, objs: Optional[List[Any]], root: int = 0):
         """Distribute ``objs[i]`` from ``root`` to rank ``i``."""
-        result = yield from _collectives.scatter(self, objs, root)
+        with self._op_span("scatter").set(root=root):
+            result = yield from _collectives.scatter(self, objs, root)
         return result
 
     def allgather(self, obj: Any):
         """Every rank receives the list of every rank's ``obj``."""
-        result = yield from _collectives.allgather(self, obj)
+        with self._op_span("allgather"):
+            result = yield from _collectives.allgather(self, obj)
         return result
 
     def alltoall(self, objs: List[Any]):
         """Personalised exchange: rank d receives ``objs[d]`` from every
         rank, as a list indexed by source."""
-        result = yield from _collectives.alltoall(self, objs)
+        with self._op_span("alltoall"):
+            result = yield from _collectives.alltoall(self, objs)
         return result
 
     def scan(self, obj: Any, op: Callable = SUM):
         """Inclusive prefix reduction over ranks 0..self.rank."""
-        result = yield from _collectives.scan(self, obj, op)
+        with self._op_span("scan"):
+            result = yield from _collectives.scan(self, obj, op)
         return result
 
     def exscan(self, obj: Any, op: Callable = SUM):
         """Exclusive prefix reduction (rank 0 gets ``None``)."""
-        result = yield from _collectives.exscan(self, obj, op)
+        with self._op_span("exscan"):
+            result = yield from _collectives.exscan(self, obj, op)
         return result
 
     def reduce_scatter(self, objs: List[Any], op: Callable = SUM):
         """Reduce per-destination items; rank i gets reduced item i."""
-        result = yield from _collectives.reduce_scatter(self, objs, op)
+        with self._op_span("reduce_scatter"):
+            result = yield from _collectives.reduce_scatter(self, objs, op)
         return result
 
     # -- communicator construction (MPI_Comm_split) ------------------------

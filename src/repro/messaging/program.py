@@ -23,6 +23,7 @@ from repro.messaging.comm import CommConfig, CommWorld, Communicator
 from repro.network.fabric import Fabric, FabricFaultPlan
 from repro.network.technologies import InterconnectTechnology, get_interconnect
 from repro.network.topology import FatTreeTopology, SingleSwitchTopology, Topology
+from repro.obs import Observability
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.rng import RandomStreams
 
@@ -71,18 +72,23 @@ def make_world(size: int, *,
                record_transfers: bool = False,
                config: Optional[CommConfig] = None,
                streams: Optional[RandomStreams] = None,
-               fault_plan: Optional[FabricFaultPlan] = None) -> CommWorld:
+               fault_plan: Optional[FabricFaultPlan] = None,
+               obs: Optional[Observability] = None) -> CommWorld:
     """Assemble simulator + topology + fabric + mailboxes for ``size`` ranks.
 
     Useful when a caller wants to co-locate other processes (fault
     injectors, monitors) in the same simulation; otherwise use
     :func:`run_spmd` directly.  ``config`` enables the fault-tolerant
-    messaging machinery, ``fault_plan`` injects fabric faults, and
+    messaging machinery, ``fault_plan`` injects fabric faults,
     ``streams`` supplies the named RNG streams (retry jitter) that keep
-    fault campaigns bit-reproducible.
+    fault campaigns bit-reproducible, and ``obs`` attaches an
+    observability recorder to the (newly created) simulator.
     """
     if size < 1:
         raise ValueError(f"need at least one rank, got {size}")
+    if obs is not None and sim is not None:
+        raise ValueError("pass obs via Simulator(obs=...) when supplying "
+                         "an existing simulator")
     if isinstance(technology, str):
         technology = get_interconnect(technology)
     if topology is None:
@@ -91,7 +97,7 @@ def make_world(size: int, *,
         raise ValueError(
             f"topology has {topology.hosts} hosts < {size} ranks"
         )
-    simulator = sim if sim is not None else Simulator()
+    simulator = sim if sim is not None else Simulator(obs=obs)
     fabric = Fabric(simulator, topology, technology,
                     contention=contention,
                     record_transfers=record_transfers,
@@ -109,19 +115,22 @@ def run_spmd(size: int,
              max_events: Optional[int] = None,
              config: Optional[CommConfig] = None,
              streams: Optional[RandomStreams] = None,
-             fault_plan: Optional[FabricFaultPlan] = None) -> SpmdResult:
+             fault_plan: Optional[FabricFaultPlan] = None,
+             obs: Optional[Observability] = None) -> SpmdResult:
     """Run ``body(comm, *args)`` as an SPMD program on ``size`` ranks.
 
     ``body`` must be a generator function; its return value becomes the
     rank's entry in :attr:`SpmdResult.results`.  Raises the first rank
     failure as-is, and :class:`SimulationError` on deadlock (event queue
-    drained with ranks still blocked).
+    drained with ranks still blocked).  Pass an
+    :class:`~repro.obs.Observability` as ``obs`` to capture spans and
+    metrics for the whole run.
     """
     world = make_world(size, technology=technology, topology=topology,
                        contention=contention,
                        record_transfers=record_transfers,
                        config=config, streams=streams,
-                       fault_plan=fault_plan)
+                       fault_plan=fault_plan, obs=obs)
     sim = world.sim
 
     finish_times: List[float] = [float("nan")] * size

@@ -36,6 +36,7 @@ class FabricBill:
 
     @property
     def dollars_per_host(self) -> float:
+        """Fabric cost amortised over the hosts it connects."""
         return self.total_dollars / self.hosts
 
     @property

@@ -72,6 +72,7 @@ class TransferRecord:
 
     @property
     def duration(self) -> float:
+        """Transfer length in virtual seconds."""
         return self.end - self.start
 
 
@@ -171,6 +172,7 @@ class FabricFaultPlan:
 
     @property
     def has_random_faults(self) -> bool:
+        """True when drop or corruption probabilities are active."""
         return self.drop_probability > 0 or self.corrupt_probability > 0
 
     @property
@@ -268,42 +270,44 @@ class Fabric:
         start = self.sim.now
         params = self.technology.loggp
 
-        if src == dst:
-            # Intra-host handoff: CPU overhead plus a memcpy.
-            yield self.sim.timeout(params.overhead
-                                   + nbytes / _LOCAL_COPY_BANDWIDTH)
-            self._finish(src, dst, nbytes, start, hops=0)
+        with self.sim.obs.span("fabric.transfer", src=src, dst=dst,
+                               nbytes=nbytes):
+            if src == dst:
+                # Intra-host handoff: CPU overhead plus a memcpy.
+                yield self.sim.timeout(params.overhead
+                                       + nbytes / _LOCAL_COPY_BANDWIDTH)
+                self._finish(src, dst, nbytes, start, hops=0)
+                return self.sim.now
+
+            if (self.technology.is_circuit_switched
+                    and (src, dst) not in self._circuits):
+                # First use of this pair: optics must set up the circuit.
+                yield self.sim.timeout(self.technology.circuit_setup_seconds)
+                self._circuits.add((src, dst))
+
+            route = self._routes.route(src, dst)
+            hops = len(route)
+            serialization = max(params.gap, nbytes * params.gap_per_byte)
+            propagation = (params.latency
+                           + max(0, hops - 1) * self.technology.hop_latency)
+
+            # Sender-side CPU overhead.
+            yield self.sim.timeout(params.overhead)
+
+            if self.contention:
+                held = self._acquire_order(src, route)
+                for resource in held:
+                    yield resource.request()
+                yield self.sim.timeout(serialization)
+                for resource in held:
+                    resource.release()
+            else:
+                yield self.sim.timeout(serialization)
+
+            # Pipeline latency plus receiver overhead.
+            yield self.sim.timeout(propagation + params.overhead)
+            self._finish(src, dst, nbytes, start, hops)
             return self.sim.now
-
-        if (self.technology.is_circuit_switched
-                and (src, dst) not in self._circuits):
-            # First use of this pair: optics must set up the circuit.
-            yield self.sim.timeout(self.technology.circuit_setup_seconds)
-            self._circuits.add((src, dst))
-
-        route = self._routes.route(src, dst)
-        hops = len(route)
-        serialization = max(params.gap, nbytes * params.gap_per_byte)
-        propagation = (params.latency
-                       + max(0, hops - 1) * self.technology.hop_latency)
-
-        # Sender-side CPU overhead.
-        yield self.sim.timeout(params.overhead)
-
-        if self.contention:
-            held = self._acquire_order(src, route)
-            for resource in held:
-                yield resource.request()
-            yield self.sim.timeout(serialization)
-            for resource in held:
-                resource.release()
-        else:
-            yield self.sim.timeout(serialization)
-
-        # Pipeline latency plus receiver overhead.
-        yield self.sim.timeout(propagation + params.overhead)
-        self._finish(src, dst, nbytes, start, hops)
-        return self.sim.now
 
     def transfer_ex(self, src: int, dst: int, nbytes: int):
         """Fault-aware transfer process body.
@@ -326,86 +330,102 @@ class Fabric:
         start = self.sim.now
         params = self.technology.loggp
         plan = self.fault_plan
+        obs = self.sim.obs
 
-        if src == dst:
-            yield self.sim.timeout(params.overhead
-                                   + nbytes / _LOCAL_COPY_BANDWIDTH)
-            self._finish(src, dst, nbytes, start, hops=0)
-            return TransferOutcome(end=self.sim.now, hops=0,
-                                   corrupted=False, rerouted=False)
+        with obs.span("fabric.transfer", src=src, dst=dst, nbytes=nbytes):
+            if src == dst:
+                yield self.sim.timeout(params.overhead
+                                       + nbytes / _LOCAL_COPY_BANDWIDTH)
+                self._finish(src, dst, nbytes, start, hops=0)
+                return TransferOutcome(end=self.sim.now, hops=0,
+                                       corrupted=False, rerouted=False)
 
-        if (self.technology.is_circuit_switched
-                and (src, dst) not in self._circuits):
-            yield self.sim.timeout(self.technology.circuit_setup_seconds)
-            self._circuits.add((src, dst))
+            if (self.technology.is_circuit_switched
+                    and (src, dst) not in self._circuits):
+                yield self.sim.timeout(self.technology.circuit_setup_seconds)
+                self._circuits.add((src, dst))
 
-        # Sender-side CPU overhead, then pick the route against the fault
-        # state at injection time.
-        yield self.sim.timeout(params.overhead)
-        route = self._routes.route(src, dst)
-        rerouted = False
-        if plan is not None:
-            down_nodes = plan.down_nodes_at(self.sim.now)
-            down_links = plan.down_links_at(self.sim.now)
-            if down_nodes or down_links:
-                if self._blocked(route, down_nodes, down_links):
-                    route = self._degraded_route(src, dst, down_nodes,
-                                                 down_links)
-                    if route is None:
-                        plan.unreachable += 1
-                        raise NetworkUnreachable(
-                            f"no route {src}->{dst} avoids "
-                            f"{len(down_nodes)} down node(s) and "
-                            f"{len(down_links)} down link(s)"
-                        )
-                    rerouted = True
-                    plan.reroutes += 1
+            # Sender-side CPU overhead, then pick the route against the
+            # fault state at injection time.
+            yield self.sim.timeout(params.overhead)
+            route = self._routes.route(src, dst)
+            rerouted = False
+            if plan is not None:
+                down_nodes = plan.down_nodes_at(self.sim.now)
+                down_links = plan.down_links_at(self.sim.now)
+                if down_nodes or down_links:
+                    if self._blocked(route, down_nodes, down_links):
+                        route = self._degraded_route(src, dst, down_nodes,
+                                                     down_links)
+                        if route is None:
+                            plan.unreachable += 1
+                            obs.instant("fabric.unreachable", src=src,
+                                        dst=dst)
+                            obs.metrics.counter("fabric.unreachable").inc()
+                            raise NetworkUnreachable(
+                                f"no route {src}->{dst} avoids "
+                                f"{len(down_nodes)} down node(s) and "
+                                f"{len(down_links)} down link(s)"
+                            )
+                        rerouted = True
+                        plan.reroutes += 1
+                        obs.instant("fabric.reroute", src=src, dst=dst)
+                        obs.metrics.counter("fabric.reroutes").inc()
 
-        hops = len(route)
-        serialization = max(params.gap, nbytes * params.gap_per_byte)
-        propagation = (params.latency
-                       + max(0, hops - 1) * self.technology.hop_latency)
+            hops = len(route)
+            serialization = max(params.gap, nbytes * params.gap_per_byte)
+            propagation = (params.latency
+                           + max(0, hops - 1) * self.technology.hop_latency)
 
-        depart = self.sim.now
-        if self.contention:
-            held = self._acquire_order(src, route)
-            for resource in held:
-                yield resource.request()
-            yield self.sim.timeout(serialization)
-            for resource in held:
-                resource.release()
-        else:
-            yield self.sim.timeout(serialization)
+            depart = self.sim.now
+            if self.contention:
+                held = self._acquire_order(src, route)
+                for resource in held:
+                    yield resource.request()
+                yield self.sim.timeout(serialization)
+                for resource in held:
+                    resource.release()
+            else:
+                yield self.sim.timeout(serialization)
 
-        corrupted = False
-        if plan is not None:
-            links = set()
-            nodes = set()
-            for a, b in route:
-                links.add(canonical_link(a, b))
-                nodes.add(a)
-                nodes.add(b)
-            if plan.route_hit_during(links, nodes, depart, self.sim.now):
-                plan.drops += 1
-                raise TransferDropped(
-                    f"transfer {src}->{dst} lost: route element went down "
-                    f"in flight at t<={self.sim.now:g}"
-                )
-            if plan.has_random_faults:
-                draw = plan.rng.random()
-                if draw < plan.drop_probability:
+            corrupted = False
+            if plan is not None:
+                links = set()
+                nodes = set()
+                for a, b in route:
+                    links.add(canonical_link(a, b))
+                    nodes.add(a)
+                    nodes.add(b)
+                if plan.route_hit_during(links, nodes, depart, self.sim.now):
                     plan.drops += 1
+                    obs.instant("fabric.drop", src=src, dst=dst,
+                                cause="down_window")
+                    obs.metrics.counter("fabric.drops").inc()
                     raise TransferDropped(
-                        f"transfer {src}->{dst} randomly dropped"
+                        f"transfer {src}->{dst} lost: route element went "
+                        f"down in flight at t<={self.sim.now:g}"
                     )
-                if draw < plan.drop_probability + plan.corrupt_probability:
-                    plan.corruptions += 1
-                    corrupted = True
+                if plan.has_random_faults:
+                    draw = plan.rng.random()
+                    if draw < plan.drop_probability:
+                        plan.drops += 1
+                        obs.instant("fabric.drop", src=src, dst=dst,
+                                    cause="random")
+                        obs.metrics.counter("fabric.drops").inc()
+                        raise TransferDropped(
+                            f"transfer {src}->{dst} randomly dropped"
+                        )
+                    if draw < (plan.drop_probability
+                               + plan.corrupt_probability):
+                        plan.corruptions += 1
+                        obs.instant("fabric.corrupt", src=src, dst=dst)
+                        obs.metrics.counter("fabric.corruptions").inc()
+                        corrupted = True
 
-        yield self.sim.timeout(propagation + params.overhead)
-        self._finish(src, dst, nbytes, start, hops)
-        return TransferOutcome(end=self.sim.now, hops=hops,
-                               corrupted=corrupted, rerouted=rerouted)
+            yield self.sim.timeout(propagation + params.overhead)
+            self._finish(src, dst, nbytes, start, hops)
+            return TransferOutcome(end=self.sim.now, hops=hops,
+                                   corrupted=corrupted, rerouted=rerouted)
 
     @staticmethod
     def _blocked(route: List[Edge], down_nodes: FrozenSet[Node],
@@ -446,6 +466,12 @@ class Fabric:
                 hops: int) -> None:
         self.bytes_moved += nbytes
         self.transfer_count += 1
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.metrics.counter("fabric.transfers").inc()
+            obs.metrics.counter("fabric.bytes_moved").inc(float(nbytes))
+            obs.metrics.histogram("fabric.transfer_seconds").observe(
+                self.sim.now - start)
         if self.record_transfers:
             self.records.append(TransferRecord(
                 src=src, dst=dst, nbytes=nbytes,

@@ -126,6 +126,7 @@ class ThreeLevelFatTreeTopology(Topology):
 
     @property
     def num_pods(self) -> int:
+        """Pods in the fabric (equal to the switch radix)."""
         return self.radix
 
     @classmethod

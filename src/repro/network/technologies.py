@@ -64,6 +64,7 @@ class InterconnectTechnology:
 
     @property
     def is_circuit_switched(self) -> bool:
+        """True when connections pay a circuit setup cost."""
         return self.circuit_setup_seconds > 0
 
 

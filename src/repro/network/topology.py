@@ -123,10 +123,12 @@ class Topology:
 
     @property
     def num_links(self) -> int:
+        """Edges in the fabric graph."""
         return self.graph.number_of_edges()
 
     @property
     def num_switches(self) -> int:
+        """Switch nodes in the fabric graph."""
         return sum(1 for node in self.graph.nodes if node[0] == "s")
 
     def diameter_hops(self) -> int:
@@ -419,6 +421,7 @@ class RouteCache:
         self._cache: Dict[Tuple[int, int], List[Edge]] = {}
 
     def route(self, src: int, dst: int) -> List[Edge]:
+        """The topology's route for (src, dst), memoised."""
         key = (src, dst)
         hit = self._cache.get(key)
         if hit is None:

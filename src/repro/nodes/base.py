@@ -161,6 +161,7 @@ class NodeSpec:
 
     @property
     def total_cores(self) -> int:
+        """Cores across all sockets."""
         return self.sockets * self.cores_per_socket
 
     @property
@@ -174,10 +175,12 @@ class NodeSpec:
 
     @property
     def flops_per_watt(self) -> float:
+        """Peak FLOPS per watt of node power."""
         return self.peak_flops / self.power_watts
 
     @property
     def flops_per_dollar(self) -> float:
+        """Peak FLOPS per dollar of node cost."""
         return self.peak_flops / self.cost_dollars
 
     @property

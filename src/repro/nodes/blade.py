@@ -51,6 +51,7 @@ class BladeEnclosure:
 
     @property
     def rack_units_per_blade(self) -> float:
+        """Rack units each blade slot effectively occupies."""
         return self.rack_units / self.slots
 
     def amortised_cost(self) -> float:

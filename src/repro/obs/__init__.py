@@ -1,0 +1,66 @@
+"""repro.obs — cross-cutting observability: spans, metrics, exporters.
+
+Layer rank 5: above :mod:`repro.units`, below everything else, so the
+simulator, fabric, messaging, fault supervisor and scheduler can all
+import it.  It never imports upward — time comes in through an injected
+clock callable (:meth:`Observability.bind_clock`).
+
+Three pieces:
+
+* :mod:`repro.obs.spans` — sim-time span tracing with per-track nesting
+  and a zero-cost :class:`NullSpan` path when disabled;
+* :mod:`repro.obs.metrics` — labeled counters/gauges/histograms with
+  deterministic iteration, snapshot and reset;
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (Perfetto) and
+  plain-text metrics rendering, surfaced as ``python -m repro trace``.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_json,
+    render_metrics,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.obs.spans import (
+    DEFAULT_TRACK,
+    NULL_OBS,
+    NULL_SPAN,
+    InstantRecord,
+    NullObservability,
+    NullSpan,
+    Observability,
+    Span,
+    SpanRecord,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TRACK",
+    "Gauge",
+    "Histogram",
+    "InstantRecord",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NullMetricsRegistry",
+    "NullObservability",
+    "NullSpan",
+    "Observability",
+    "Span",
+    "SpanRecord",
+    "chrome_trace",
+    "chrome_trace_json",
+    "render_metrics",
+    "write_chrome_trace",
+    "write_metrics",
+]

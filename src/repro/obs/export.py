@@ -1,0 +1,127 @@
+"""Exporters: Chrome ``trace_event`` JSON and a plain-text metrics dump.
+
+The Chrome format (loadable in Perfetto / ``chrome://tracing``) wants
+microsecond timestamps, one ``pid``/``tid`` pair per row of the UI, and
+phase codes: ``"X"`` for complete (begin+duration) events, ``"i"`` for
+instants, ``"M"`` for metadata such as thread names.  We map one span
+track to one ``tid``, assigned in sorted-track-name order so the same
+simulation always yields the same file — the golden-file test asserts
+byte-identical output across runs with one seed.
+
+Everything here is a pure function of an :class:`~repro.obs.spans.\
+Observability`; nothing mutates it except :func:`chrome_trace` calling
+``finalize()`` to close dangling spans before rendering.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.metrics import MetricKey, MetricsRegistry
+from repro.obs.spans import Observability
+from repro.units import MEGA
+
+__all__ = [
+    "chrome_trace",
+    "chrome_trace_json",
+    "render_metrics",
+    "write_chrome_trace",
+    "write_metrics",
+]
+
+#: All spans live in one synthetic process in the trace UI.
+_PID = 1
+
+
+def _microseconds(seconds: float) -> float:
+    """Virtual seconds -> the microseconds Chrome expects."""
+    return seconds * MEGA
+
+
+def chrome_trace(obs: Observability) -> Dict[str, Any]:
+    """Render ``obs`` as a Chrome ``trace_event`` document (a dict).
+
+    Tracks become tids in sorted-name order; events are sorted by
+    ``(tid, ts, -dur, name)`` so enclosing spans precede their children
+    and the output is a pure function of the recorded data.
+    """
+    obs.finalize()
+    tracks = sorted({s.track for s in obs.spans}
+                    | {i.track for i in obs.instants})
+    tids = {track: index + 1 for index, track in enumerate(tracks)}
+
+    events: List[Dict[str, Any]] = []
+    for track in tracks:
+        events.append({
+            "ph": "M", "pid": _PID, "tid": tids[track],
+            "name": "thread_name", "args": {"name": track},
+        })
+
+    rows: List[Dict[str, Any]] = []
+    for span in obs.spans:
+        args: Dict[str, Any] = dict(span.attrs)
+        if span.status != "ok":
+            args["status"] = span.status
+        rows.append({
+            "ph": "X", "pid": _PID, "tid": tids[span.track],
+            "name": span.name, "ts": _microseconds(span.start),
+            "dur": _microseconds(span.duration), "args": args,
+        })
+    for inst in obs.instants:
+        rows.append({
+            "ph": "i", "pid": _PID, "tid": tids[inst.track],
+            "name": inst.name, "ts": _microseconds(inst.time),
+            "s": "t", "args": dict(inst.attrs),
+        })
+    rows.sort(key=lambda e: (e["tid"], e["ts"], -e.get("dur", 0.0),
+                             e["name"]))
+    events.extend(rows)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(obs: Observability) -> str:
+    """The trace document serialized deterministically (sorted keys)."""
+    return json.dumps(chrome_trace(obs), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def write_chrome_trace(obs: Observability, path: str) -> None:
+    """Write the Chrome trace JSON for ``obs`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(chrome_trace_json(obs))
+        handle.write("\n")
+
+
+def _format_key(key: MetricKey) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def render_metrics(registry: MetricsRegistry) -> str:
+    """Plain-text dump of every series, one line each, sorted by key.
+
+    Format is ``kind name{labels} value`` — close enough to Prometheus
+    exposition to be greppable, deliberately not claiming compliance.
+    """
+    lines: List[str] = []
+    for counter in registry.counters():
+        lines.append(
+            f"counter {_format_key(counter.key)} {counter.value:g}")
+    for gauge in registry.gauges():
+        lines.append(f"gauge {_format_key(gauge.key)} {gauge.value:g}")
+    for hist in registry.histograms():
+        summary = hist.summary()
+        parts = " ".join(
+            f"{k}={summary[k]:g}" for k in sorted(summary))
+        lines.append(f"histogram {_format_key(hist.key)} {parts}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics(registry: MetricsRegistry, path: str) -> None:
+    """Write the plain-text metrics dump for ``registry`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_metrics(registry))

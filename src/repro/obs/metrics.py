@@ -1,0 +1,260 @@
+"""Named counters, gauges and histograms with label sets.
+
+The registry is the numeric half of the observability layer: span-heavy
+code records *where* virtual time goes, metrics record *how much* of
+everything happened.  Identity is ``(name, sorted label items)``, so
+
+::
+
+    registry.counter("comm.sends", rank="0").inc()
+    registry.counter("comm.sends", rank="1").inc()
+
+creates two series under one name.  Handles are cached — instrumented
+hot paths may call :meth:`MetricsRegistry.counter` per event without
+allocating — and iteration order is sorted by key, never insertion
+order, so renders and snapshots are deterministic regardless of which
+code path touched a series first.
+
+Existing per-layer summaries (``repro.cluster.metrics``,
+``repro.scheduler.metrics``) stay the computation site; they gained
+``publish()`` methods that copy their fields into a registry so one
+trace dump covers every layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricKey",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "NullMetricsRegistry",
+]
+
+#: Identity of one series: name plus sorted ``(label, value)`` pairs.
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, str]) -> MetricKey:
+    return name, tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count (resets only via the registry)."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: MetricKey) -> None:
+        self.key = key
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counter decrement: {amount!r}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, nodes busy)."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: MetricKey) -> None:
+        self.key = key
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        """Shift the current value by ``delta`` (may be negative)."""
+        self.value += delta
+
+
+class Histogram:
+    """Streaming summary of observations: count/sum/min/max + samples.
+
+    Keeps every observation (simulations are small enough) so exports
+    can compute exact quantiles; ``summary()`` is what renders.
+    """
+
+    __slots__ = ("key", "samples")
+
+    def __init__(self, key: MetricKey) -> None:
+        self.key = key
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        """Sum of observations."""
+        return sum(self.samples)
+
+    def summary(self) -> Dict[str, float]:
+        """count/sum/min/mean/max of the observations so far."""
+        if not self.samples:
+            return {"count": 0.0, "sum": 0.0}
+        return {
+            "count": float(len(self.samples)),
+            "sum": sum(self.samples),
+            "min": min(self.samples),
+            "mean": sum(self.samples) / len(self.samples),
+            "max": max(self.samples),
+        }
+
+
+@dataclass(frozen=True)
+class _Snapshot:
+    """Immutable copy of a registry at one moment (see ``snapshot()``)."""
+
+    counters: Dict[MetricKey, float]
+    gauges: Dict[MetricKey, float]
+    histograms: Dict[MetricKey, Tuple[float, ...]]
+
+
+class MetricsRegistry:
+    """Create-or-fetch home for every metric series in one simulation."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[MetricKey, Counter] = {}
+        self._gauges: Dict[MetricKey, Gauge] = {}
+        self._histograms: Dict[MetricKey, Histogram] = {}
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter for ``(name, labels)``, created on first use."""
+        key = _key(name, labels)
+        handle = self._counters.get(key)
+        if handle is None:
+            handle = self._counters[key] = Counter(key)
+        return handle
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge for ``(name, labels)``, created on first use."""
+        key = _key(name, labels)
+        handle = self._gauges.get(key)
+        if handle is None:
+            handle = self._gauges[key] = Gauge(key)
+        return handle
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        """The histogram for ``(name, labels)``, created on first use."""
+        key = _key(name, labels)
+        handle = self._histograms.get(key)
+        if handle is None:
+            handle = self._histograms[key] = Histogram(key)
+        return handle
+
+    # -- deterministic iteration ------------------------------------------
+
+    def counters(self) -> Iterator[Counter]:
+        """Counters in sorted-key order (independent of creation order)."""
+        for key in sorted(self._counters):
+            yield self._counters[key]
+
+    def gauges(self) -> Iterator[Gauge]:
+        """Gauges in sorted-key order."""
+        for key in sorted(self._gauges):
+            yield self._gauges[key]
+
+    def histograms(self) -> Iterator[Histogram]:
+        """Histograms in sorted-key order."""
+        for key in sorted(self._histograms):
+            yield self._histograms[key]
+
+    def __len__(self) -> int:
+        """Total number of registered series."""
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))
+
+    # -- snapshot / reset --------------------------------------------------
+
+    def snapshot(self) -> _Snapshot:
+        """Immutable copy of all current values (for before/after diffs)."""
+        return _Snapshot(
+            counters={k: c.value for k, c in self._counters.items()},
+            gauges={k: g.value for k, g in self._gauges.items()},
+            histograms={k: tuple(h.samples)
+                        for k, h in self._histograms.items()},
+        )
+
+    def reset(self) -> None:
+        """Zero every series, keeping the handles callers already hold."""
+        for c in self._counters.values():
+            c.value = 0.0
+        for g in self._gauges.values():
+            g.value = 0.0
+        for h in self._histograms.values():
+            h.samples.clear()
+
+
+class NullCounter(Counter):
+    """Counter that discards increments (shared; holds no state)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """No-op."""
+
+
+class NullGauge(Gauge):
+    """Gauge that discards writes (shared; holds no state)."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        """No-op."""
+
+    def add(self, delta: float) -> None:
+        """No-op."""
+
+
+class NullHistogram(Histogram):
+    """Histogram that discards observations (shared; holds no state)."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        """No-op."""
+
+
+_NULL_COUNTER = NullCounter(("", ()))
+_NULL_GAUGE = NullGauge(("", ()))
+_NULL_HISTOGRAM = NullHistogram(("", ()))
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Registry that hands out shared no-op instruments."""
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The shared no-op counter."""
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The shared no-op gauge."""
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        """The shared no-op histogram."""
+        return _NULL_HISTOGRAM
+
+
+#: Shared disabled registry used by ``NullObservability``.
+NULL_REGISTRY = NullMetricsRegistry()

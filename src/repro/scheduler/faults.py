@@ -65,6 +65,7 @@ class FaultyScheduleResult:
 
     @property
     def horizon(self) -> float:
+        """Virtual time from first submit to makespan."""
         return self.makespan - self.first_submit
 
     @property

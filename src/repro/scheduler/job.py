@@ -60,6 +60,7 @@ class JobRecord:
 
     @property
     def wait_time(self) -> float:
+        """Seconds the job queued before starting."""
         if self.start_time is None:
             raise RuntimeError(f"job {self.job.job_id} has not started")
         return self.start_time - self.job.submit_time

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import MetricsRegistry
 from repro.scheduler.simulator import ScheduleResult
 
 __all__ = ["ScheduleMetrics", "evaluate_schedule"]
@@ -44,6 +45,22 @@ class ScheduleMetrics:
             "mean_bsld": round(self.mean_bounded_slowdown, 2),
             "p95_bsld": round(self.p95_bounded_slowdown, 2),
         }
+
+    def publish(self, registry: MetricsRegistry) -> None:
+        """Copy every figure into an observability registry as gauges
+        under ``sched.metrics.*`` (one trace dump covers all layers)."""
+        gauges = {
+            "utilization": self.utilization,
+            "mean_wait": self.mean_wait,
+            "max_wait": self.max_wait,
+            "mean_bounded_slowdown": self.mean_bounded_slowdown,
+            "p95_bounded_slowdown": self.p95_bounded_slowdown,
+            "mean_response": self.mean_response,
+            "makespan": self.makespan,
+            "jobs": float(self.jobs),
+        }
+        for key, value in gauges.items():
+            registry.gauge(f"sched.metrics.{key}").set(value)
 
 
 def evaluate_schedule(result: ScheduleResult,

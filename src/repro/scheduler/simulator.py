@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import NULL_OBS, Observability
 from repro.scheduler.job import Job, JobRecord, JobState
 from repro.scheduler.policies import SchedulingPolicy
 
@@ -44,17 +45,23 @@ class ScheduleResult:
 
     @property
     def horizon(self) -> float:
+        """Virtual time from first submit to makespan."""
         return self.makespan - self.first_submit
 
 
 class BatchSimulator:
     """Event-driven space-sharing cluster."""
 
-    def __init__(self, total_nodes: int, policy: SchedulingPolicy) -> None:
+    def __init__(self, total_nodes: int, policy: SchedulingPolicy,
+                 obs: Optional[Observability] = None) -> None:
         if total_nodes < 1:
             raise ValueError("total_nodes must be >= 1")
         self.total_nodes = total_nodes
         self.policy = policy
+        # This loop has no Simulator clock to bind, so all observability
+        # records carry explicit times; instants and counters only (jobs
+        # overlap freely, so nested spans would misrender on one track).
+        self.obs = obs if obs is not None else NULL_OBS
 
     def run(self, jobs: Sequence[Job]) -> ScheduleResult:
         """Replay ``jobs`` (any order; they are heap-ordered by submit)."""
@@ -79,6 +86,8 @@ class BatchSimulator:
         heapq.heapify(events)
         now = 0.0
         makespan = 0.0
+        obs = self.obs
+        obs_on = obs.enabled
 
         while events:
             now, kind, job_id = heapq.heappop(events)
@@ -91,6 +100,8 @@ class BatchSimulator:
                 makespan = max(makespan, now)
                 free += record.job.nodes
                 running = [r for r in running if r[2] != job_id]
+                if obs_on:
+                    obs.metrics.counter("sched.completions").inc()
 
             # Batch simultaneous events before scheduling: a completion and
             # an arrival at the same instant must both be visible.
@@ -105,6 +116,8 @@ class BatchSimulator:
                     makespan = max(makespan, now)
                     free += record2.job.nodes
                     running = [r for r in running if r[2] != job_id2]
+                    if obs_on:
+                        obs.metrics.counter("sched.completions").inc()
 
             starts = self.policy.select(
                 now, list(queue),
@@ -131,8 +144,18 @@ class BatchSimulator:
                 running.append((now + job.estimate, job.nodes, job.job_id))
                 heapq.heappush(events,
                                (now + job.runtime, _COMPLETION, job.job_id))
+                if obs_on:
+                    obs.instant("sched.start", track="scheduler", time=now,
+                                job=job.job_id, nodes=job.nodes)
+                    obs.metrics.counter("sched.starts").inc()
+                    obs.metrics.histogram("sched.wait_seconds").observe(
+                        now - job.submit_time)
             if started_ids:
                 queue = [j for j in queue if j.job_id not in started_ids]
+            if obs_on:
+                obs.metrics.gauge("sched.free_nodes").set(float(free))
+                obs.metrics.gauge("sched.queue_depth").set(
+                    float(len(queue)))
 
         unfinished = [r for r in records.values()
                       if r.state is not JobState.FINISHED]
@@ -142,9 +165,14 @@ class BatchSimulator:
             )
         ordered = [records[job.job_id] for job in
                    sorted(jobs, key=lambda j: (j.submit_time, j.job_id))]
+        first_submit = min(job.submit_time for job in jobs)
+        if obs_on:
+            obs.add_span("sched.run", first_submit, makespan,
+                         track="scheduler", jobs=len(records))
+            obs.metrics.gauge("sched.makespan").set(makespan)
         return ScheduleResult(
             records=ordered,
             total_nodes=self.total_nodes,
             makespan=makespan,
-            first_submit=min(job.submit_time for job in jobs),
+            first_submit=first_submit,
         )

@@ -26,6 +26,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
+from repro.obs import DEFAULT_TRACK, NULL_OBS, Observability
 from repro.sim.event import Event, EventStatus, Timeout
 from repro.sim.trace import NullTracer, Tracer
 
@@ -51,6 +52,7 @@ class Interrupt(Exception):
 
     @property
     def cause(self) -> Any:
+        """The payload the interrupter supplied (None if none)."""
         return self.args[0] if self.args else None
 
 
@@ -62,7 +64,8 @@ class Process(Event):
     process therefore composes: a parent can ``yield child_process``.
     """
 
-    __slots__ = ("generator", "_waiting_on", "_abandoned")
+    __slots__ = ("generator", "_waiting_on", "_abandoned",
+                 "_obs_track", "_obs_span")
 
     def __init__(self, sim: "Simulator",
                  generator: Generator[Event, Any, Any],
@@ -75,6 +78,16 @@ class Process(Event):
         self.generator = generator
         self._waiting_on: Optional[Event] = None
         self._abandoned: List[Event] = []
+        if sim._obs_enabled:
+            # Each process gets its own span track: background helper
+            # processes (eager transfers, retry timers) would otherwise
+            # produce improperly-overlapping spans on a shared track.
+            self._obs_track = sim.obs.unique_track(self.name)
+            self._obs_span = sim.obs.span(
+                f"process:{self.name}", track=self._obs_track)
+        else:
+            self._obs_track = DEFAULT_TRACK
+            self._obs_span = None
         # Kick off the generator via an immediately-succeeding event.
         bootstrap = Event(sim, f"init:{self.name}")
         bootstrap.add_callback(self._resume)
@@ -141,6 +154,8 @@ class Process(Event):
     def _step(self, event: Event) -> None:
         sim = self.sim
         sim._active_process = self
+        if sim._obs_enabled:
+            sim.obs.set_track(self._obs_track)
         try:
             if event.ok:
                 target = self.generator.send(event._value)
@@ -149,10 +164,14 @@ class Process(Event):
                 target = self.generator.throw(event._value)
         except StopIteration as stop:
             sim._active_process = None
+            if self._obs_span is not None:
+                self._obs_span.close()
             self.succeed(stop.value)
             return
         except BaseException as exc:  # repro: noqa[REP010] - event boundary
             sim._active_process = None
+            if self._obs_span is not None:
+                self._obs_span.close("error")
             self.fail(exc)
             return
         sim._active_process = None
@@ -162,10 +181,14 @@ class Process(Event):
                 "yield Event instances (use sim.timeout/sim.event)"
             )
             self.generator.close()
+            if self._obs_span is not None:
+                self._obs_span.close("error")
             self.fail(SimulationError(message))
             return
         if target.sim is not sim:
             self.generator.close()
+            if self._obs_span is not None:
+                self._obs_span.close("error")
             self.fail(SimulationError("yielded event belongs to another simulator"))
             return
         self._waiting_on = target
@@ -180,14 +203,25 @@ class Simulator:
     tracer:
         Optional :class:`~repro.sim.trace.Tracer`; defaults to the no-op
         tracer so hot paths stay cheap.
+    obs:
+        Optional :class:`~repro.obs.Observability`; defaults to the
+        shared null instance.  When given, the simulator binds its clock
+        to ``sim.now`` and attributes spans to the running process.
     """
 
-    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+    def __init__(self, tracer: Optional[Tracer] = None,
+                 obs: Optional[Observability] = None) -> None:
         self._now = 0.0
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._sequence = 0
         self._active_process: Optional[Process] = None
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+        self.obs: Observability = obs if obs is not None else NULL_OBS
+        # Cached flag: hot paths branch on a plain attribute, never a
+        # method call, so the disabled path stays within its 3% budget.
+        self._obs_enabled: bool = self.obs.enabled
+        if self._obs_enabled:
+            self.obs.bind_clock(lambda: self._now)
         self._event_count = 0
 
     # -- time ------------------------------------------------------------
@@ -253,6 +287,11 @@ class Simulator:
         self._event_count += 1
         self.tracer.record(when, event)
         event._deliver()
+        if self._obs_enabled:
+            # Delivery may have resumed a process (switching the span
+            # track); anything recorded between events belongs to the
+            # supervisor, i.e. the default track.
+            self.obs.set_track(DEFAULT_TRACK)
         if event._status is EventStatus.FAILED and not event.defused:
             # A failure nobody waited on: surface it rather than lose it.
             raise SimulationError(
@@ -275,17 +314,24 @@ class Simulator:
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
         delivered = 0
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
+        run_span = self.obs.span("sim.run", track=DEFAULT_TRACK)
+        try:
+            while self._queue:
+                if until is not None and self._queue[0][0] > until:
+                    self._now = until
+                    return self._now
+                if max_events is not None and delivered >= max_events:
+                    return self._now
+                self.step()
+                delivered += 1
+            if until is not None:
                 self._now = until
-                return self._now
-            if max_events is not None and delivered >= max_events:
-                return self._now
-            self.step()
-            delivered += 1
-        if until is not None:
-            self._now = until
-        return self._now
+            return self._now
+        finally:
+            run_span.set(events=delivered).close()
+            if self._obs_enabled:
+                self.obs.metrics.gauge("sim.events_executed").set(
+                    float(self._event_count))
 
     def run_process(self, generator: Generator[Event, Any, Any],
                     name: str = "") -> Any:

@@ -65,6 +65,7 @@ class Event:
 
     @property
     def status(self) -> EventStatus:
+        """Current lifecycle state."""
         return self._status
 
     @property

@@ -106,10 +106,12 @@ class Store:
 
     @property
     def waiting_getters(self) -> int:
+        """Consumers currently blocked on get()."""
         return len(self._getters)
 
     @property
     def waiting_putters(self) -> int:
+        """Producers currently blocked on put()."""
         return len(self._putters)
 
     def put(self, item: Any) -> Event:

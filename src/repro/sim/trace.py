@@ -1,15 +1,20 @@
 """Simulation tracing.
 
 Tracers observe every delivered event.  The default :class:`NullTracer`
-costs one attribute lookup per event; :class:`RecordingTracer` accumulates
-:class:`TraceRecord` rows for debugging and for tests that assert on event
-ordering determinism.
+costs one attribute lookup per event; :class:`RecordingTracer` is a thin
+adapter over the :mod:`repro.obs` span stream — each delivered event
+becomes an instant on a dedicated track, and :attr:`RecordingTracer.\
+records` derives the familiar :class:`TraceRecord` rows from that
+stream, so tests written against the old recorder keep passing while
+the data also flows into Chrome-trace exports.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.obs import Observability
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.event import Event
@@ -31,6 +36,7 @@ class Tracer:
     """Interface: receives each event at delivery time."""
 
     def record(self, time: float, event: "Event") -> None:
+        """Handle one delivered event (subclasses override)."""
         raise NotImplementedError
 
 
@@ -42,31 +48,45 @@ class NullTracer(Tracer):
 
 
 class RecordingTracer(Tracer):
-    """Keeps an in-memory list of :class:`TraceRecord` rows.
+    """Records each delivered event into an observability span stream.
 
     Parameters
     ----------
     limit:
         Stop recording (silently) after this many rows so a runaway
         simulation cannot exhaust memory through its own trace.
+    obs:
+        The :class:`~repro.obs.Observability` to write into; a private
+        one is created when omitted, preserving the old standalone
+        behaviour.
     """
 
-    def __init__(self, limit: int = 1_000_000) -> None:
-        self.records: List[TraceRecord] = []
+    #: Track name events land on inside the observability stream.
+    TRACK = "sim.events"
+
+    def __init__(self, limit: int = 1_000_000,
+                 obs: Optional[Observability] = None) -> None:
+        self.obs = obs if obs is not None else Observability()
         self.limit = limit
+        self._count = 0
 
     def record(self, time: float, event: "Event") -> None:
-        """Append a TraceRecord for the delivered event (up to limit)."""
-        if len(self.records) >= self.limit:
+        """Record the delivered event as an instant (up to limit)."""
+        if self._count >= self.limit:
             return
-        self.records.append(
-            TraceRecord(
-                time=time,
-                kind=type(event).__name__,
-                name=event.name,
-                status=event.status.value,
-            )
-        )
+        self._count += 1
+        self.obs.instant(event.name, track=self.TRACK, time=time,
+                         kind=type(event).__name__,
+                         status=event.status.value)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """The recorded events as :class:`TraceRecord` rows, in order."""
+        return [
+            TraceRecord(time=inst.time, kind=inst.attrs["kind"],
+                        name=inst.name, status=inst.attrs["status"])
+            for inst in self.obs.instants if inst.track == self.TRACK
+        ]
 
     def names(self) -> List[str]:
         """Event labels in delivery order (convenient for assertions)."""

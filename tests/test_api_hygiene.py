@@ -1,5 +1,11 @@
-"""API hygiene: exports resolve, everything public is documented, and
-the layering rules DESIGN.md promises actually hold."""
+"""API hygiene: exports resolve and the layering rules DESIGN.md
+promises actually hold.
+
+Docstring coverage used to be checked here by reflection (import every
+module, inspect every ``__all__`` entry); that pass was slower and saw
+only re-exported names.  It is now lint rule REP009, which walks the
+AST of every file.
+"""
 
 import importlib
 import inspect
@@ -7,10 +13,9 @@ import pkgutil
 
 import pytest
 
-import repro
-
 PACKAGES = [
     "repro",
+    "repro.obs",
     "repro.sim",
     "repro.tech",
     "repro.nodes",
@@ -23,16 +28,6 @@ PACKAGES = [
     "repro.io",
     "repro.analysis",
 ]
-
-
-def all_modules():
-    names = set(PACKAGES)
-    for package_name in PACKAGES:
-        package = importlib.import_module(package_name)
-        if hasattr(package, "__path__"):
-            for info in pkgutil.iter_modules(package.__path__):
-                names.add(f"{package_name}.{info.name}")
-    return sorted(names)
 
 
 class TestExports:
@@ -54,49 +49,14 @@ class TestExports:
         )
 
 
-class TestDocumentation:
-    @pytest.mark.parametrize("module_name", all_modules())
-    def test_every_module_has_a_docstring(self, module_name):
-        module = importlib.import_module(module_name)
-        assert module.__doc__ and module.__doc__.strip(), (
-            f"{module_name} has no module docstring"
-        )
-
-    @pytest.mark.parametrize("package_name", PACKAGES)
-    def test_every_public_item_documented(self, package_name):
-        package = importlib.import_module(package_name)
-        undocumented = []
-        for name in package.__all__:
-            item = getattr(package, name)
-            if inspect.isclass(item) or inspect.isfunction(item):
-                if not (item.__doc__ and item.__doc__.strip()):
-                    undocumented.append(name)
-        assert not undocumented, (
-            f"{package_name}: public items without docstrings: "
-            f"{undocumented}"
-        )
-
-    @pytest.mark.parametrize("package_name", PACKAGES)
-    def test_public_classes_document_their_methods(self, package_name):
-        package = importlib.import_module(package_name)
-        gaps = []
-        for name in package.__all__:
-            item = getattr(package, name)
-            if not inspect.isclass(item):
-                continue
-            for method_name, method in vars(item).items():
-                if method_name.startswith("_"):
-                    continue
-                if inspect.isfunction(method) and not (
-                        method.__doc__ and method.__doc__.strip()):
-                    gaps.append(f"{name}.{method_name}")
-        assert not gaps, f"{package_name}: undocumented methods: {gaps}"
-
-
 class TestLayering:
     """DESIGN.md: no module imports a higher layer."""
 
     FORBIDDEN = {
+        "repro.obs": ["repro.sim", "repro.tech", "repro.nodes",
+                      "repro.network", "repro.messaging", "repro.cluster",
+                      "repro.scheduler", "repro.fault", "repro.apps",
+                      "repro.io", "repro.analysis"],
         "repro.sim": ["repro.tech", "repro.nodes", "repro.network",
                       "repro.messaging", "repro.cluster", "repro.scheduler",
                       "repro.fault", "repro.apps", "repro.io",

@@ -11,7 +11,6 @@ import pytest
 
 import repro.apps.campaigns  # noqa: F401  (registers the kernels)
 from repro.fault import (
-    CampaignSpec,
     CheckpointVault,
     LinkFaultSpec,
     NodeFaultSpec,
@@ -21,43 +20,9 @@ from repro.fault import (
     run_campaign,
 )
 from repro.sim import RandomStreams
-
-#: >= 3 node faults; the latter two land during restarts of the first,
-#: which exercises the fault-struck-while-down clamping path too.
-NODE_FAULTS = (NodeFaultSpec(time=0.0006, rank=1),
-               NodeFaultSpec(time=0.0021, rank=3),
-               NodeFaultSpec(time=0.0048, rank=0))
-
-#: >= 2 link-down windows: one host link (transfers must retry until it
-#: returns) and one spine link (transfers re-route via the other spine).
-LINK_FAULTS = (LinkFaultSpec(start=0.0, duration=0.004,
-                             a=("h", 0), b=("s", 0)),
-               LinkFaultSpec(start=0.0, duration=0.02,
-                             a=("s", 0), b=("s", 2)))
-
-
-def summa_spec(**overrides):
-    base = dict(
-        kernel="summa", ranks=4, name="test-summa",
-        app_args=(("n", 8),),
-        node_faults=NODE_FAULTS, link_faults=LINK_FAULTS,
-        restart_seconds=2e-4, checkpoint_write_seconds=1e-4,
-        seed=7,
-    )
-    base.update(overrides)
-    return CampaignSpec(**base)
-
-
-def stencil_spec(**overrides):
-    base = dict(
-        kernel="stencil2d", ranks=4, name="test-stencil2d",
-        app_args=(("n", 12), ("iterations", 6)),
-        node_faults=NODE_FAULTS, link_faults=LINK_FAULTS,
-        restart_seconds=2e-4, checkpoint_write_seconds=1e-4,
-        seed=7,
-    )
-    base.update(overrides)
-    return CampaignSpec(**base)
+from tests.conftest import CAMPAIGN_NODE_FAULTS as NODE_FAULTS
+from tests.conftest import make_stencil_spec as stencil_spec
+from tests.conftest import make_summa_spec as summa_spec
 
 
 class TestKernelRegistry:

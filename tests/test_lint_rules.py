@@ -32,10 +32,10 @@ def codes_of(findings):
 
 
 class TestRegistry:
-    def test_nine_rules_with_unique_codes(self):
+    def test_ten_rules_with_unique_codes(self):
         codes = [rule.code for rule in RULES]
         assert codes == sorted(codes)
-        assert len(set(codes)) == len(codes) == 9
+        assert len(set(codes)) == len(codes) == 10
 
     def test_select_unknown_code_rejected(self):
         with pytest.raises(ValueError, match="REP999"):
@@ -266,6 +266,15 @@ class TestRep007CrossLayer:
         """, ["REP007"], filename="repro/tech/curves.py")
         assert codes_of(findings) == ["REP007"]
 
+    def test_obs_sits_below_the_engine(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            from repro.sim.engine import Simulator
+        """, ["REP007"], filename="repro/obs/spans.py")
+        assert codes_of(findings) == ["REP007"]
+        assert run_lint(tmp_path, """
+            from repro.obs import Observability
+        """, ["REP007"], filename="repro/sim/engine.py") == []
+
 
 class TestRep008SeededConstructor:
     def test_public_seeded_function_flagged(self, tmp_path):
@@ -297,6 +306,72 @@ class TestRep008SeededConstructor:
                 return np.random.default_rng(seed)
         """, ["REP008"])
         assert findings == []
+
+
+class TestRep009Docstrings:
+    def test_missing_module_docstring_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            X = 1
+        """, ["REP009"])
+        assert codes_of(findings) == ["REP009"]
+        assert "module" in findings[0].message
+
+    def test_undocumented_public_surface_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, '''
+            """Module docstring."""
+
+            def helper():
+                return 1
+
+            class Widget:
+                """A documented class."""
+
+                def spin(self):
+                    return 2
+        ''', ["REP009"])
+        assert codes_of(findings) == ["REP009", "REP009"]
+        assert "helper" in findings[0].message
+        assert "Widget.spin" in findings[1].message
+
+    def test_private_names_and_private_class_methods_exempt(self, tmp_path):
+        findings = run_lint(tmp_path, '''
+            """Module docstring."""
+
+            def _helper():
+                return 1
+
+            class _Visitor:
+                def visit_Call(self, node):
+                    return node
+        ''', ["REP009"])
+        assert findings == []
+
+    def test_documented_module_clean(self, tmp_path):
+        findings = run_lint(tmp_path, '''
+            """Module docstring."""
+
+            def helper():
+                """Does a thing."""
+                return 1
+
+            class Widget:
+                """A documented class."""
+
+                def spin(self):
+                    """Spins."""
+                    return 2
+        ''', ["REP009"])
+        assert findings == []
+
+    def test_tests_and_benchmarks_exempt(self, tmp_path):
+        source = """
+            def test_something():
+                assert True
+        """
+        assert run_lint(tmp_path, source, ["REP009"],
+                        filename="tests/test_x.py") == []
+        assert run_lint(tmp_path, source, ["REP009"],
+                        filename="benchmarks/bench_x.py") == []
 
 
 class TestRep010BroadExcept:

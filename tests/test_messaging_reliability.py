@@ -10,38 +10,9 @@ from repro.messaging import (
 from repro.messaging.program import make_world
 from repro.network import FabricFaultPlan
 from repro.sim import RandomStreams
-
-RING = 4
-
-
-def ring_world(drop=0.0, seed=0, **config_kwargs):
-    streams = RandomStreams(seed)
-    plan = None
-    if drop > 0:
-        plan = FabricFaultPlan(drop_probability=drop,
-                               rng=streams.get("net.loss"))
-    config = CommConfig(**config_kwargs) if config_kwargs else CommConfig()
-    return make_world(RING, config=config, streams=streams,
-                      fault_plan=plan)
-
-
-def run_ring_exchange(world, rounds=2):
-    """Each rank sends to its right neighbour and receives from its
-    left, ``rounds`` times; returns {rank: [payloads]}."""
-    got = {rank: [] for rank in range(RING)}
-
-    def body(rank):
-        comm = world.communicator(rank)
-        for round_no in range(rounds):
-            yield from comm.send((round_no, rank), (rank + 1) % RING,
-                                 tag=round_no)
-            payload = yield from comm.recv((rank - 1) % RING, round_no)
-            got[rank].append(payload)
-
-    for rank in range(RING):
-        world.sim.process(body(rank))
-    world.sim.run()
-    return got
+from tests.conftest import RING
+from tests.conftest import drive_ring_exchange as run_ring_exchange
+from tests.conftest import make_ring_world as ring_world
 
 
 class TestReliableDelivery:

@@ -6,37 +6,14 @@ from repro.network import (
     DownWindow,
     Fabric,
     FabricFaultPlan,
-    FatTreeTopology,
     NetworkUnreachable,
     TransferDropped,
     canonical_link,
     get_interconnect,
 )
 from repro.sim import RandomStreams, Simulator
-
-
-def fat_tree():
-    """4 hosts, 2 per leaf, full bisection: h0,h1 on s0; h2,h3 on s1;
-    spines s2, s3."""
-    return FatTreeTopology(4, hosts_per_leaf=2, spines=2)
-
-
-def run_transfer(sim, fabric, src, dst, nbytes=1024, delay=0.0):
-    """Drive one fault-aware transfer to completion; returns outcome or
-    the raised fault."""
-    out = {}
-
-    def body():
-        if delay > 0:
-            yield sim.timeout(delay)
-        try:
-            out["outcome"] = yield from fabric.transfer_ex(src, dst, nbytes)
-        except (NetworkUnreachable, TransferDropped) as exc:
-            out["error"] = exc
-
-    sim.process(body())
-    sim.run()
-    return out
+from tests.conftest import drive_transfer as run_transfer
+from tests.conftest import small_fat_tree as fat_tree
 
 
 class TestCanonicalLink:

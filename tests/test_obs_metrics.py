@@ -1,0 +1,123 @@
+"""Metrics registry unit tests: identity, iteration, snapshot/reset."""
+
+import pytest
+
+from repro.obs import (
+    NULL_OBS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+)
+
+
+class TestIdentity:
+    def test_create_or_fetch_returns_the_same_handle(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("x") is registry.gauge("x")
+        assert registry.histogram("x") is registry.histogram("x")
+
+    def test_label_order_is_irrelevant_to_identity(self):
+        registry = MetricsRegistry()
+        a = registry.counter("ops", rank="0", op="send")
+        b = registry.counter("ops", op="send", rank="0")
+        assert a is b
+        assert a.key == ("ops", (("op", "send"), ("rank", "0")))
+
+    def test_different_labels_are_different_series(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", rank="0").inc()
+        registry.counter("ops", rank="1").inc(2.0)
+        values = {c.key[1]: c.value for c in registry.counters()}
+        assert values == {(("rank", "0"),): 1.0, (("rank", "1"),): 2.0}
+
+    def test_kinds_do_not_collide(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.gauge("x").set(5.0)
+        registry.histogram("x").observe(1.0)
+        assert len(registry) == 3
+
+
+class TestInstruments:
+    def test_counter_rejects_decrement(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1.0)
+
+    def test_gauge_set_and_add(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(4.0)
+        gauge.add(-1.5)
+        assert gauge.value == 2.5
+
+    def test_histogram_summary(self):
+        hist = MetricsRegistry().histogram("wait")
+        assert hist.summary() == {"count": 0.0, "sum": 0.0}
+        for value in (1.0, 3.0, 2.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.summary() == {"count": 3.0, "sum": 6.0, "min": 1.0,
+                                  "mean": 2.0, "max": 3.0}
+
+
+class TestIteration:
+    def test_sorted_by_key_not_creation_order(self):
+        registry = MetricsRegistry()
+        registry.counter("zz").inc()
+        registry.counter("aa", rank="1").inc()
+        registry.counter("aa", rank="0").inc()
+        keys = [c.key for c in registry.counters()]
+        assert keys == sorted(keys)
+        assert keys[0][0] == "aa"
+
+
+class TestSnapshotReset:
+    def test_snapshot_is_an_immutable_copy(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        counter.inc(3.0)
+        registry.histogram("h").observe(1.0)
+        snap = registry.snapshot()
+        counter.inc()
+        registry.histogram("h").observe(2.0)
+        assert snap.counters[counter.key] == 3.0
+        assert snap.histograms[registry.histogram("h").key] == (1.0,)
+
+    def test_reset_zeroes_but_keeps_handles(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        gauge = registry.gauge("g")
+        hist = registry.histogram("h")
+        counter.inc(5.0)
+        gauge.set(2.0)
+        hist.observe(1.0)
+        registry.reset()
+        assert counter.value == 0.0 and gauge.value == 0.0
+        assert hist.samples == []
+        counter.inc()  # the pre-reset handle still feeds the registry
+        assert next(iter(registry.counters())).value == 1.0
+
+
+class TestNullVariants:
+    def test_null_registry_hands_out_shared_noops(self):
+        counter = NULL_REGISTRY.counter("x", rank="0")
+        counter.inc(100.0)
+        assert counter.value == 0.0
+        assert counter is NULL_REGISTRY.counter("y")
+        gauge = NULL_REGISTRY.gauge("g")
+        gauge.set(9.0)
+        gauge.add(1.0)
+        assert gauge.value == 0.0
+        hist = NULL_REGISTRY.histogram("h")
+        hist.observe(1.0)
+        assert hist.count == 0
+
+    def test_null_obs_is_disabled_and_silent(self):
+        assert not NULL_OBS.enabled
+        span = NULL_OBS.span("anything", a=1)
+        assert not span  # falsy: callers may skip attr computation
+        with span.set(b=2):
+            pass
+        NULL_OBS.instant("x")
+        NULL_OBS.add_span("y", 0.0, 1.0)
+        assert NULL_OBS.spans == [] and NULL_OBS.instants == []

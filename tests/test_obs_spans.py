@@ -1,0 +1,129 @@
+"""Span-tree well-formedness over randomized instrumented runs.
+
+Seeded-RNG property tests (deliberately hypothesis-free: the cases are
+a plain ``random.Random`` walk, so a failure reproduces from the module
+constant alone).  Each case builds a real campaign — kernel, fault
+times, loss rate and seed all randomized — runs it instrumented, and
+asserts the resulting span forest is properly nested: children lie
+inside their parents, same-track spans never partially overlap, and
+every id/parent/track reference is consistent.
+"""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.fault import NodeFaultSpec
+from repro.fault.campaign import run_workload
+from repro.obs import Observability
+from tests.conftest import make_stencil_spec, make_summa_spec
+
+#: One fixed seed generates every case below; bump to explore new ones.
+CASE_SEED = 20260806
+
+
+def _random_cases(count):
+    rng = random.Random(CASE_SEED)
+    cases = []
+    for index in range(count):
+        kernel = rng.choice(["summa", "stencil2d"])
+        faults = rng.randrange(0, 3)
+        node_faults = tuple(
+            NodeFaultSpec(time=rng.uniform(2e-4, 2e-3),
+                          rank=rng.randrange(4))
+            for _ in range(faults)
+        )
+        cases.append(dict(
+            kernel=kernel,
+            node_faults=node_faults,
+            drop_probability=rng.choice([0.0, 0.0, 0.1]),
+            seed=rng.randrange(10_000),
+        ))
+    return cases
+
+
+CASES = _random_cases(6)
+
+
+def run_instrumented(case):
+    """Run one randomized campaign case; return its finalized trace."""
+    make_spec = (make_summa_spec if case["kernel"] == "summa"
+                 else make_stencil_spec)
+    spec = make_spec(node_faults=case["node_faults"],
+                     drop_probability=case["drop_probability"],
+                     seed=case["seed"])
+    obs = Observability()
+    run_workload(spec, obs=obs)
+    obs.finalize()
+    return obs
+
+
+def assert_well_formed(obs):
+    """The full span-forest contract, checked over every track."""
+    by_id = {}
+    for span in obs.spans:
+        assert span.span_id not in by_id, "span ids must be unique"
+        by_id[span.span_id] = span
+
+    for span in obs.spans:
+        assert span.status in ("ok", "error", "open")
+        assert not math.isnan(span.start) and not math.isnan(span.end)
+        assert span.end >= span.start, f"negative span: {span}"
+        if span.parent_id is not None:
+            parent = by_id[span.parent_id]
+            assert parent.track == span.track, (
+                f"cross-track parent: {span} under {parent}")
+            assert parent.start <= span.start, (
+                f"child {span.name} starts before parent {parent.name}")
+            assert span.end <= parent.end, (
+                f"child {span.name} outlives parent {parent.name}")
+
+    # Same-track spans must nest or be disjoint — no partial overlap,
+    # whether or not a parent link connects them (retroactive spans
+    # like campaign.lost_work have no parent but share the track).
+    for track, records in obs.span_tree().items():
+        for a, b in itertools.combinations(records, 2):
+            # records are sorted by (start, -duration): a opens first,
+            # or at the same instant with the longer extent.
+            if b.start < a.end:
+                assert b.end <= a.end, (
+                    f"partial overlap on {track!r}: "
+                    f"{a.name}[{a.start},{a.end}] vs "
+                    f"{b.name}[{b.start},{b.end}]")
+
+
+@pytest.mark.parametrize("case", CASES,
+                         ids=[f"case{i}" for i in range(len(CASES))])
+def test_randomized_run_yields_well_formed_span_forest(case):
+    assert_well_formed(run_instrumented(case))
+
+
+def test_faulty_campaign_has_campaign_track_structure():
+    """The supervisor's explicit track keeps the same contract: one
+    incarnation span per attempt, lost-work inside the struck one."""
+    spec = make_summa_spec()
+    obs = Observability()
+    outcome = run_workload(spec, obs=obs)
+    obs.finalize()
+    assert_well_formed(obs)
+
+    campaign = obs.span_tree()["campaign"]
+    incarnations = [s for s in campaign if s.name == "campaign.incarnation"]
+    lost = [s for s in campaign if s.name == "campaign.lost_work"]
+    assert len(incarnations) == outcome.incarnations
+    assert len(lost) == len(outcome.fault_trace)
+    for loss in lost:
+        enclosing = [s for s in incarnations
+                     if s.start <= loss.start and loss.end <= s.end]
+        assert enclosing, f"lost work outside every incarnation: {loss}"
+
+
+def test_process_spans_cover_their_children():
+    """Every rank's kernel-step spans sit under its process span."""
+    obs = run_instrumented(dict(kernel="summa", node_faults=(),
+                                drop_probability=0.0, seed=11))
+    steps = [s for s in obs.spans if s.name == "summa.step"]
+    assert steps, "instrumented kernel produced no step spans"
+    assert all(s.parent_id is not None for s in steps)

@@ -1,0 +1,106 @@
+"""Chrome trace_event export: schema validity and byte-stability.
+
+The golden property is determinism: two runs with one seed must render
+byte-identical JSON, because trace diffs are how regressions in the
+fault machinery get spotted.  Schema checks are structural (the keys
+and phase codes Perfetto/chrome://tracing require), not a fixture file,
+so legitimate instrumentation changes don't invalidate a blob.
+"""
+
+import json
+
+from repro.fault.campaign import run_workload
+from repro.obs import (
+    Observability,
+    chrome_trace,
+    chrome_trace_json,
+    render_metrics,
+    write_chrome_trace,
+    write_metrics,
+)
+from tests.conftest import make_summa_spec
+
+
+def traced_campaign(seed=7):
+    """One standard instrumented SUMMA campaign; returns its trace."""
+    obs = Observability()
+    run_workload(make_summa_spec(seed=seed), obs=obs)
+    return obs
+
+
+class TestSchema:
+    def test_document_shape(self):
+        doc = chrome_trace(traced_campaign())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["traceEvents"], "campaign produced an empty trace"
+
+    def test_every_event_has_required_keys(self):
+        for event in chrome_trace(traced_campaign())["traceEvents"]:
+            assert event["ph"] in ("M", "X", "i")
+            assert event["pid"] == 1
+            assert isinstance(event["tid"], int) and event["tid"] >= 1
+            assert isinstance(event["name"], str) and event["name"]
+            if event["ph"] == "M":
+                assert event["name"] == "thread_name"
+                assert event["args"]["name"]
+            else:
+                assert event["ts"] >= 0.0
+                assert isinstance(event["args"], dict)
+            if event["ph"] == "X":
+                assert event["dur"] >= 0.0
+            if event["ph"] == "i":
+                assert event["s"] == "t"
+
+    def test_timestamps_monotone_per_tid(self):
+        rows = [e for e in chrome_trace(traced_campaign())["traceEvents"]
+                if e["ph"] != "M"]
+        last = {}
+        for event in rows:
+            tid = event["tid"]
+            assert event["ts"] >= last.get(tid, 0.0), (
+                f"ts went backwards on tid {tid}: {event}")
+            last[tid] = event["ts"]
+
+    def test_json_round_trips(self):
+        text = chrome_trace_json(traced_campaign())
+        doc = json.loads(text)
+        assert doc["traceEvents"]
+
+
+class TestDeterminism:
+    def test_byte_identical_across_same_seed_runs(self, tmp_path):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        write_chrome_trace(traced_campaign(), str(first))
+        write_chrome_trace(traced_campaign(), str(second))
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_different_seed_changes_the_trace(self):
+        assert (chrome_trace_json(traced_campaign(seed=7))
+                != chrome_trace_json(traced_campaign(seed=8)))
+
+    def test_metrics_dump_identical_across_same_seed_runs(self, tmp_path):
+        first, second = tmp_path / "a.txt", tmp_path / "b.txt"
+        write_metrics(traced_campaign().metrics, str(first))
+        write_metrics(traced_campaign().metrics, str(second))
+        assert first.read_bytes() == second.read_bytes()
+        text = first.read_text()
+        assert "counter ckpt.commits" in text
+        assert "gauge campaign.incarnations" in text
+
+
+class TestMetricsRender:
+    def test_label_sets_render_sorted_and_greppable(self):
+        text = render_metrics(traced_campaign().metrics)
+        lines = text.splitlines()
+        for kind in ("counter", "gauge", "histogram"):
+            keys = [line.split(" ")[1] for line in lines
+                    if line.startswith(kind + " ")]
+            assert keys == sorted(keys), f"{kind} series out of order"
+        ops = [line for line in lines
+               if line.startswith("counter comm.ops{")]
+        assert ops and all("op=" in line and "rank=" in line
+                           for line in ops)
+
+    def test_empty_registry_renders_empty(self):
+        assert render_metrics(Observability().metrics) == ""
