@@ -29,11 +29,11 @@ from repro.nodes import node_family
 from repro.tech import SCENARIOS, get_scenario
 from repro.units import (
     GIGA,
-    MEGA,
     format_bytes,
     format_dollars,
     format_flops,
     format_power,
+    format_si,
     format_time,
 )
 
@@ -107,7 +107,7 @@ def _cmd_interconnects(args: argparse.Namespace) -> int:
     for technology in available_interconnects(args.year):
         params = technology.loggp
         table.add_row([technology.name,
-                       f"{params.bandwidth / MEGA:.0f} MB/s",
+                       format_si(params.bandwidth, "B/s"),
                        format_time(params.message_time(0)),
                        technology.cost_per_port])
     print(table.render())

@@ -5,9 +5,11 @@ outside: every stochastic draw flows through
 :class:`~repro.sim.rng.RandomStreams`, every quantity is in base SI units
 via :mod:`repro.units`, simulated time never reads the wall clock, and
 the DESIGN.md layering holds.  This package machine-checks those
-conventions (REP001-REP008, REP010) instead of trusting comments:
+conventions (REP001-REP010) instead of trusting comments:
 
 * ``python -m repro lint`` — run the checker (see :mod:`repro.lint.cli`);
+  warm runs are incremental via a content-hash cache
+  (:mod:`repro.lint.cache`);
 * ``tests/test_lint_self.py`` — CI gate: the codebase lints clean;
 * DESIGN.md "Rule catalog" — what each rule enforces and why.
 
@@ -15,7 +17,13 @@ The engine is stdlib-``ast`` only and layered above everything else:
 nothing in the model imports ``repro.lint``.
 """
 
+from repro.lint.cache import (
+    CACHE_DIR_NAME,
+    LintCache,
+    rule_fingerprint,
+)
 from repro.lint.engine import (
+    ENGINE_VERSION,
     ERROR,
     WARNING,
     Finding,
@@ -35,11 +43,14 @@ from repro.lint.engine import (
 from repro.lint.rules import LAYERS, RULES, get_rules
 
 __all__ = [
+    "CACHE_DIR_NAME",
+    "ENGINE_VERSION",
     "ERROR",
     "WARNING",
     "Finding",
     "ImportMap",
     "LAYERS",
+    "LintCache",
     "LintResult",
     "ModuleInfo",
     "RULES",
@@ -52,5 +63,6 @@ __all__ = [
     "lint_paths",
     "load_baseline",
     "resolve_dotted",
+    "rule_fingerprint",
     "write_baseline",
 ]

@@ -7,8 +7,15 @@
     python -m repro lint --select REP001,REP007  # subset of rules
     python -m repro lint --write-baseline        # grandfather current findings
     python -m repro lint --no-baseline           # ignore the baseline file
+    python -m repro lint --no-cache              # ignore the incremental cache
+    python -m repro lint --stats                 # report hits + wall time
     python -m repro lint --list-rules            # print the rule catalog
     python -m repro lint path/to/file.py ...     # explicit targets
+
+Results are cached per file under ``.repro-lint-cache/`` at the lint
+root (see :mod:`repro.lint.cache`), so a warm run on an unchanged tree
+only re-hashes files instead of re-parsing them; ``--no-cache`` is the
+escape hatch and ``--stats`` shows what the cache did.
 
 Exit status: 0 when no error-severity findings remain after baseline and
 ``# repro: noqa`` suppression, 1 otherwise, 2 on usage errors.
@@ -19,9 +26,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.lint.cache import CACHE_DIR_NAME, LintCache
 from repro.lint.engine import LintResult, lint_paths, load_baseline, \
     write_baseline
 from repro.lint.rules import RULES, get_rules
@@ -72,27 +81,61 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                              "(e.g. REP001,REP007)")
     parser.add_argument("--root", type=Path, default=None,
                         help="directory findings paths are relative to")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the incremental result cache "
+                             "(re-parse every file)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help=f"cache directory (default: {CACHE_DIR_NAME} "
+                             f"at the lint root)")
+    parser.add_argument("--stats", action="store_true",
+                        help="report files scanned, cache hits, and wall "
+                             "time")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
 
 
-def _render_text(result: LintResult, baseline_note: str) -> str:
+def _stats_dict(result: LintResult, elapsed: float) -> dict:
+    scanned = result.files_scanned
+    hits = result.cache_hits
+    return {
+        "files_scanned": scanned,
+        "cache_hits": hits,
+        "cache_hit_rate": round(hits / scanned, 4) if scanned else 0.0,
+        "wall_time_seconds": round(elapsed, 6),
+    }
+
+
+def _render_text(result: LintResult, baseline_note: str,
+                 elapsed: Optional[float] = None) -> str:
     lines = [finding.render() for finding in result.findings]
     errors = len(result.errors)
     warnings = len(result.findings) - errors
+    cache_note = (f", {result.cache_hits} cached"
+                  if result.cache_hits else "")
     summary = (f"{errors} error(s), {warnings} warning(s) in "
-               f"{result.files_scanned} file(s){baseline_note}")
+               f"{result.files_scanned} file(s){baseline_note}{cache_note}")
     lines.append(summary)
+    if elapsed is not None:
+        stats = _stats_dict(result, elapsed)
+        lines.append(f"stats: {stats['files_scanned']} file(s) scanned, "
+                     f"{stats['cache_hits']} cache hit(s) "
+                     f"({stats['cache_hit_rate']:.0%}), wall time "
+                     f"{stats['wall_time_seconds']:.3f}s")
     return "\n".join(lines)
 
 
-def _render_json(result: LintResult) -> str:
-    return json.dumps({
+def _render_json(result: LintResult,
+                 elapsed: Optional[float] = None) -> str:
+    payload = {
         "findings": [finding.as_dict() for finding in result.findings],
         "errors": len(result.errors),
         "files_scanned": result.files_scanned,
         "baselined": result.baselined,
-    }, indent=2)
+        "cache_hits": result.cache_hits,
+    }
+    if elapsed is not None:
+        payload["stats"] = _stats_dict(result, elapsed)
+    return json.dumps(payload, indent=2)
 
 
 def run(args: argparse.Namespace) -> int:
@@ -103,9 +146,12 @@ def run(args: argparse.Namespace) -> int:
                   f"{rule.description}")
         return 0
 
+    started = time.perf_counter()  # repro: noqa[REP002] lint is a host-side tool; --stats times the linter itself, not the model
+
     try:
         select = (None if args.select is None
-                  else [c for c in args.select.split(",") if c.strip()])
+                  else [c.strip().upper() for c in args.select.split(",")
+                        if c.strip()])
         rules = get_rules(select)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -122,18 +168,25 @@ def run(args: argparse.Namespace) -> int:
     baseline_path = args.baseline or (root / BASELINE_NAME)
     baseline = set() if args.no_baseline else load_baseline(baseline_path)
 
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or (root / CACHE_DIR_NAME)
+        cache = LintCache(cache_dir, rules)
+
     if args.write_baseline:
-        raw = lint_paths(paths, root, rules, baseline=None)
+        raw = lint_paths(paths, root, rules, baseline=None, cache=cache)
         write_baseline(baseline_path, raw.findings)
         print(f"wrote {len(raw.findings)} finding(s) to {baseline_path}")
         return 0
 
-    result = lint_paths(paths, root, rules, baseline=baseline)
+    result = lint_paths(paths, root, rules, baseline=baseline, cache=cache)
+    elapsed = time.perf_counter() - started  # repro: noqa[REP002] see above: wall time of the lint run itself
+    stats_elapsed = elapsed if args.stats else None
     note = f", {result.baselined} baselined" if result.baselined else ""
     if args.format == "json":
-        print(_render_json(result))
+        print(_render_json(result, stats_elapsed))
     else:
-        print(_render_text(result, note))
+        print(_render_text(result, note, stats_elapsed))
     return result.exit_code
 
 

@@ -28,9 +28,22 @@ import json
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from repro.lint.cache import LintCache
 
 __all__ = [
+    "ENGINE_VERSION",
     "ERROR",
     "WARNING",
     "Finding",
@@ -52,6 +65,13 @@ __all__ = [
 #: are reported but do not affect the exit status.
 ERROR = "error"
 WARNING = "warning"
+
+#: Version of the engine's *finding semantics*.  Bump whenever a change to
+#: the engine (not to an individual rule's metadata, which the cache
+#: fingerprints separately) could alter what a rule reports for unchanged
+#: source — it is part of the incremental cache key, so bumping forces a
+#: cold run everywhere.
+ENGINE_VERSION = 1
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?"
@@ -96,12 +116,22 @@ class ImportMap:
     ``modules`` maps names bound by ``import`` statements (``np`` ->
     ``numpy``); ``members`` maps names bound by ``from X import y [as z]``
     (``default_rng`` -> ``numpy.random.default_rng``).
+
+    ``package`` is the dotted package that anchors *relative* imports.
+    For a plain module it is the parent of ``dotted``; for a package
+    (``__init__.py``) it is ``dotted`` itself — ``from . import engine``
+    inside ``repro.lint``'s ``__init__`` means ``repro.lint.engine``, not
+    ``repro.engine``.  When ``package`` is ``None`` it is derived from
+    ``dotted`` assuming a plain module (backward-compatible default).
     """
 
-    def __init__(self, tree: ast.AST, dotted: str = "") -> None:
+    def __init__(self, tree: ast.AST, dotted: str = "",
+                 package: Optional[str] = None) -> None:
         self.modules: Dict[str, str] = {}
         self.members: Dict[str, str] = {}
-        package = dotted.rsplit(".", 1)[0] if "." in dotted else ""
+        if package is None:
+            package = dotted.rsplit(".", 1)[0] if "." in dotted else ""
+        self.package = package
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -155,9 +185,20 @@ class ModuleInfo:
         self.tree = tree
         self.lines = source.splitlines()
         self.dotted = self._dotted_name(rel)
+        self.is_package = Path(rel).name == "__init__.py"
         parts = self.dotted.split(".")
         self.package = parts[1] if len(parts) > 1 else ""
-        self.imports = ImportMap(tree, self.dotted)
+        if self.is_package:
+            # A package's relative imports resolve against itself:
+            # ``from . import engine`` in repro/lint/__init__.py names
+            # repro.lint.engine.
+            self.import_package = self.dotted
+        elif "." in self.dotted:
+            self.import_package = self.dotted.rsplit(".", 1)[0]
+        else:
+            self.import_package = ""
+        self.imports = ImportMap(tree, self.dotted,
+                                 package=self.import_package)
         self.noqa = self._parse_noqa(self.lines)
 
     @staticmethod
@@ -254,6 +295,7 @@ class LintResult:
     findings: List[Finding]
     files_scanned: int
     baselined: int
+    cache_hits: int = 0
 
     @property
     def errors(self) -> List[Finding]:
@@ -277,13 +319,16 @@ class _ParseFailure(Rule):
 _PARSE_FAILURE = _ParseFailure()
 
 
-def _load_module(path: Path, root: Path) -> Tuple[Optional[ModuleInfo],
-                                                  Optional[Finding]]:
+def _relative_posix(path: Path, root: Path) -> str:
     try:
-        rel = path.relative_to(root).as_posix()
+        return path.relative_to(root).as_posix()
     except ValueError:
-        rel = path.as_posix()
-    source = path.read_text(encoding="utf-8")
+        return path.as_posix()
+
+
+def _load_module(path: Path, rel: str,
+                 source: str) -> Tuple[Optional[ModuleInfo],
+                                       Optional[Finding]]:
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as error:
@@ -319,26 +364,44 @@ def iter_python_files(paths: Iterable[Path]) -> List[Path]:
 
 
 def lint_paths(paths: Iterable[Path], root: Path, rules: Sequence[Rule],
-               baseline: Optional[Set[str]] = None) -> LintResult:
+               baseline: Optional[Set[str]] = None,
+               cache: Optional["LintCache"] = None) -> LintResult:
     """Lint every ``.py`` file under ``paths``.
 
     ``root`` anchors the relative paths recorded in findings (and therefore
     baseline keys); ``baseline`` holds keys of grandfathered findings to
-    hide from the result.
+    hide from the result.  ``cache`` (a
+    :class:`repro.lint.cache.LintCache`) serves per-file findings keyed by
+    content hash: a hit skips parsing and rule visits entirely, a miss is
+    checked cold and stored, so results are identical with or without it.
     """
     root = root.resolve()
     findings: List[Finding] = []
     files = iter_python_files(paths)
+    cache_hits = 0
     for path in files:
-        module, failure = _load_module(path, root)
+        rel = _relative_posix(path, root)
+        source = path.read_text(encoding="utf-8")
+        if cache is not None:
+            cached = cache.get(rel, source)
+            if cached is not None:
+                findings.extend(cached)
+                cache_hits += 1
+                continue
+        module, failure = _load_module(path, rel, source)
         if failure is not None:
-            findings.append(failure)
-            continue
-        assert module is not None
-        findings.extend(lint_module(module, rules))
+            file_findings = [failure]
+        else:
+            assert module is not None
+            file_findings = lint_module(module, rules)
+        if cache is not None:
+            cache.put(rel, source, file_findings)
+        findings.extend(file_findings)
+    if cache is not None:
+        cache.save()
     visible, baselined = apply_baseline(sorted(findings), baseline or set())
     return LintResult(findings=visible, files_scanned=len(files),
-                      baselined=baselined)
+                      baselined=baselined, cache_hits=cache_hits)
 
 
 def apply_baseline(findings: Sequence[Finding],

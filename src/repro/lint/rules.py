@@ -10,7 +10,8 @@ class and one registry entry.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.lint.engine import (
     Finding,
@@ -119,6 +120,17 @@ _BINARY_EXPONENTS: Dict[int, str] = {
     40: "TIB",
 }
 
+#: Every repro.units scale constant name (used by the manual-formatting
+#: check to recognise divisors like ``x / MEGA``).
+_SCALE_NAMES: Set[str] = (set(_DECIMAL_SCALES.values())
+                          | set(_BINARY_SCALES.values()))
+
+#: A prefixed unit immediately after an interpolated value — the
+#: signature of hand-rolled ``f"{x / MEGA:.0f} MB/s"`` formatting that
+#: the repro.units ``format_*`` helpers exist to replace.
+_UNIT_SUFFIX_RE = re.compile(
+    r"^\s*[KMGTPE]i?(?:B|b|FLOPS|W|Hz)(?:/s)?\b")
+
 
 def _in_test_or_benchmark(module: ModuleInfo) -> bool:
     parts = module.rel.split("/")
@@ -198,6 +210,61 @@ class _MagicScaleVisitor(RuleVisitor):
                 and value in _BINARY_SCALES):
             self._flag(node, _BINARY_SCALES[value])
 
+    @classmethod
+    def _fold(cls, node: ast.AST) -> Optional[Union[int, float]]:
+        """Constant-fold ``*``/``**`` trees of numeric literals, else None."""
+        if (isinstance(node, ast.Constant)
+                and isinstance(node.value, (int, float))
+                and not isinstance(node.value, bool)):
+            return node.value
+        if (isinstance(node, ast.BinOp)
+                and isinstance(node.op, (ast.Mult, ast.Pow))):
+            left = cls._fold(node.left)
+            right = cls._fold(node.right)
+            if left is None or right is None:
+                return None
+            try:
+                if isinstance(node.op, ast.Mult):
+                    return left * right
+                if abs(right) > 64:  # huge exponents are never scales
+                    return None
+                return left ** right
+            except (OverflowError, ValueError, ZeroDivisionError):
+                return None
+        return None
+
+    @staticmethod
+    def _scale_name(value: object) -> Optional[str]:
+        """The repro.units constant equal to ``value``, or None."""
+        if isinstance(value, bool):
+            return None
+        if isinstance(value, int):
+            if value in _BINARY_SCALES:
+                return _BINARY_SCALES[value]
+            if float(value) in _DECIMAL_SCALES:
+                return _DECIMAL_SCALES[float(value)]
+            return None
+        if isinstance(value, float) and value in _DECIMAL_SCALES:
+            return _DECIMAL_SCALES[value]
+        return None
+
+    def _derived_guard(self, node: ast.BinOp) -> bool:
+        """Avoid flagging coincidences like ``32 * 32`` as KIB.
+
+        ``**`` of constants is always scale-building; a ``*`` chain only
+        counts as a derived scale when some literal in it is itself at
+        least KILO (``1024 * 1024``, ``1000 * 1000000``, ...).
+        """
+        if isinstance(node.op, ast.Pow):
+            return True
+        for child in ast.walk(node):
+            if (isinstance(child, ast.Constant)
+                    and isinstance(child.value, (int, float))
+                    and not isinstance(child.value, bool)
+                    and abs(child.value) >= KILO):
+                return True
+        return False
+
     def visit_BinOp(self, node: ast.BinOp) -> None:
         base = node.left
         exponent = node.right
@@ -213,16 +280,75 @@ class _MagicScaleVisitor(RuleVisitor):
             if form is not None:
                 self._flag(node, form)
                 return
+        folded = self._fold(node)
+        if folded is not None:
+            name = self._scale_name(folded)
+            if name is not None and self._derived_guard(node):
+                text = self.module.segment(node) or "expression"
+                self.report(node, f"derived scale '{text}'; use "
+                                  f"repro.units.{name}")
+                return
+        self.generic_visit(node)
+
+    def _scale_divisor(self, expr: ast.AST) -> Optional[str]:
+        """Name of the repro.units scale ``expr`` divides by, or None."""
+        if not (isinstance(expr, ast.BinOp)
+                and isinstance(expr.op, ast.Div)):
+            return None
+        right = expr.right
+        dotted = resolve_dotted(right, self.module.imports)
+        if dotted is not None and dotted.startswith("repro.units."):
+            name = dotted.rsplit(".", 1)[1]
+            if name in _SCALE_NAMES:
+                return name
+        if isinstance(right, ast.Name) and right.id in _SCALE_NAMES:
+            return right.id
+        if isinstance(right, ast.Constant):
+            return self._scale_name(right.value)
+        return None
+
+    def visit_JoinedStr(self, node: ast.JoinedStr) -> None:
+        values = list(node.values)
+        for position, value in enumerate(values):
+            if not isinstance(value, ast.FormattedValue):
+                continue
+            divisor = self._scale_divisor(value.value)
+            if divisor is None:
+                continue
+            if position + 1 >= len(values):
+                continue
+            text_node = values[position + 1]
+            if not (isinstance(text_node, ast.Constant)
+                    and isinstance(text_node.value, str)):
+                continue
+            match = _UNIT_SUFFIX_RE.match(text_node.value)
+            if match is None:
+                continue
+            unit = match.group(0).strip()
+            self.report(value.value,
+                        f"manual unit formatting: value divided by "
+                        f"{divisor} and suffixed '{unit}'; use the "
+                        f"repro.units format_* helpers (format_si, "
+                        f"format_bytes, format_flops, ...)")
         self.generic_visit(node)
 
 
 class MagicScaleLiteralRule(Rule):
-    """REP003: scale factors come from ``repro.units``, not magic numbers."""
+    """REP003: scale factors come from ``repro.units``, not magic numbers.
+
+    Covers plain literals (``1e9``), shift/exponent spellings
+    (``1 << 30``, ``2**20``), derived constant products folding to a
+    scale (``1024 * 1024``, ``10 ** 9``), and manual unit formatting
+    that bypasses the ``format_*`` helpers
+    (``f"{x / MEGA:.0f} MB/s"``).
+    """
 
     code = "REP003"
     name = "magic-scale-literal"
-    description = ("no 1e9 / 1 << 30-style scale literals where a "
-                   "repro.units constant exists")
+    description = ("no 1e9 / 1 << 30-style scale literals, derived scale "
+                   "products (1024 * 1024, 10 ** 9), or manual "
+                   "'{x / MEGA} MB'-style unit formatting where "
+                   "repro.units provides the constant or format_* helper")
     visitor = _MagicScaleVisitor
 
     def check(self, module: ModuleInfo) -> List[Finding]:
@@ -440,8 +566,12 @@ class _CrossLayerVisitor(RuleVisitor):
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.level:
-            package = self.module.dotted.rsplit(".", 1)[0]
-            context = package.split(".")
+            # import_package is the anchoring package for relative
+            # imports — for an __init__.py it is the module's own dotted
+            # name, not its parent (a `from . import x` in
+            # repro/lint/__init__.py means repro.lint.x).
+            package = self.module.import_package
+            context = package.split(".") if package else []
             context = context[: len(context) - (node.level - 1)]
             dotted = ".".join(context + ([node.module] if node.module else []))
         else:

@@ -183,7 +183,10 @@ def format_si(value: float, unit: str, precision: int = 3) -> str:
         ("M", MEGA),
         ("k", KILO),
     ):
-        if magnitude >= factor:
+        # The relative tolerance keeps values a float-ulp below a prefix
+        # boundary (e.g. 8 Gb/s -> 999999999.9999999 B/s) from dropping a
+        # prefix and rendering as "1e+03 MB/s" instead of "1 GB/s".
+        if magnitude >= factor * (1.0 - 1e-9):
             return f"{value / factor:.{precision}g} {prefix}{unit}"
     if magnitude >= 1:
         return f"{value:.{precision}g} {unit}"
@@ -201,7 +204,8 @@ def format_bytes(value: float, precision: int = 3) -> str:
         return "0 B"
     magnitude = abs(value)
     for prefix, factor in (("Ti", TIB), ("Gi", GIB), ("Mi", MIB), ("Ki", KIB)):
-        if magnitude >= factor:
+        # Same boundary tolerance as format_si: see the comment there.
+        if magnitude >= factor * (1.0 - 1e-9):
             return f"{value / factor:.{precision}g} {prefix}B"
     return f"{value:.{precision}g} B"
 

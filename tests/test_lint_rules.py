@@ -146,6 +146,65 @@ class TestRep003MagicScale:
                             filename="repro/units.py")
         assert findings == []
 
+    def test_derived_power_of_ten_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "CAP = 10 ** 9\n", ["REP003"])
+        assert codes_of(findings) == ["REP003"]
+        assert "GIGA" in findings[0].message
+        assert "derived scale" in findings[0].message
+
+    def test_derived_product_flagged_once_as_the_whole(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            BUF = 1024 * 1024
+            RATE = 1000 * 1000000
+        """, ["REP003"])
+        assert codes_of(findings) == ["REP003", "REP003"]
+        assert "MIB" in findings[0].message
+        assert "GIGA" in findings[1].message
+
+    def test_scale_literal_inside_product_still_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "BITS = 1e6 * 8\n", ["REP003"])
+        assert codes_of(findings) == ["REP003"]
+        assert "MEGA" in findings[0].message
+
+    def test_coincidental_products_are_not_scales(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            TILE = 32 * 32
+            SECONDS_PER_HOUR = 60 * 60
+            DPI = 25 * 40
+        """, ["REP003"])
+        assert findings == []
+
+    def test_manual_unit_formatting_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            from repro.units import MEGA
+
+            def show(bandwidth):
+                return f"{bandwidth / MEGA:.0f} MB/s"
+        """, ["REP003"])
+        assert codes_of(findings) == ["REP003"]
+        assert "manual unit formatting" in findings[0].message
+        assert "format_" in findings[0].message
+
+    def test_manual_formatting_via_literal_divisor_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def show(memory):
+                return f"{memory / 1000000:.1f} MB"
+        """, ["REP003"])
+        assert codes_of(findings) == ["REP003"]
+        assert "manual unit formatting" in findings[0].message
+
+    def test_format_helpers_and_non_unit_suffixes_clean(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            from repro.units import MEGA, format_si
+
+            def show(bandwidth, count):
+                a = f"rate: {format_si(bandwidth, 'B/s')}"
+                b = f"{count / MEGA:.1f} million rows"
+                c = f"{count / 7:.0f} MB"
+                return a, b, c
+        """, ["REP003"])
+        assert findings == []
+
 
 class TestRep004FloatEquality:
     def test_flags_float_literal_equality(self, tmp_path):
@@ -265,6 +324,31 @@ class TestRep007CrossLayer:
             from ..scheduler import policies
         """, ["REP007"], filename="repro/tech/curves.py")
         assert codes_of(findings) == ["REP007"]
+
+    def test_relative_import_in_package_init_resolved(self, tmp_path):
+        """`from ..apps import x` inside repro/sim/__init__.py climbs from
+        repro.sim (the package itself), not from repro — the buggy parent
+        anchoring resolved it to the non-repro module 'apps' and let the
+        upward import through silently."""
+        findings = run_lint(tmp_path, """
+            from ..apps import kernel
+        """, ["REP007"], filename="repro/sim/__init__.py")
+        assert codes_of(findings) == ["REP007"]
+        assert "apps" in findings[0].message
+
+    def test_sibling_relative_import_in_package_init_clean(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            from . import engine
+            from .engine import Simulator
+        """, ["REP007"], filename="repro/sim/__init__.py")
+        assert findings == []
+
+    def test_package_root_relative_import_in_init_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            from .. import units
+        """, ["REP007"], filename="repro/scheduler/__init__.py")
+        assert codes_of(findings) == ["REP007"]
+        assert "package root" in findings[0].message
 
     def test_obs_sits_below_the_engine(self, tmp_path):
         findings = run_lint(tmp_path, """
@@ -509,6 +593,52 @@ class TestBaseline:
         assert load_baseline(tmp_path / "nope.json") == set()
 
 
+class TestImportMapRelativeResolution:
+    """Regression: relative imports anchor at the *containing package* —
+    which for an ``__init__.py`` is the module's own dotted name."""
+
+    @staticmethod
+    def module_for(tmp_path, filename, source):
+        import ast as ast_module
+        from repro.lint.engine import ModuleInfo
+
+        text = textwrap.dedent(source)
+        return ModuleInfo(tmp_path / filename, filename, text,
+                          ast_module.parse(text))
+
+    def test_init_single_dot_resolves_into_own_package(self, tmp_path):
+        module = self.module_for(tmp_path, "repro/lint/__init__.py",
+                                 "from . import engine\n")
+        assert module.is_package
+        assert module.import_package == "repro.lint"
+        assert module.imports.members["engine"] == "repro.lint.engine"
+
+    def test_init_double_dot_resolves_to_parent(self, tmp_path):
+        module = self.module_for(tmp_path, "repro/lint/__init__.py",
+                                 "from .. import units\n"
+                                 "from ..sim import rng\n")
+        assert module.imports.members["units"] == "repro.units"
+        assert module.imports.members["rng"] == "repro.sim.rng"
+
+    def test_plain_module_single_dot_resolves_to_sibling(self, tmp_path):
+        module = self.module_for(tmp_path, "repro/lint/cli.py",
+                                 "from . import engine\n")
+        assert not module.is_package
+        assert module.import_package == "repro.lint"
+        assert module.imports.members["engine"] == "repro.lint.engine"
+
+    def test_plain_module_double_dot_resolves_to_uncle(self, tmp_path):
+        module = self.module_for(tmp_path, "repro/lint/cli.py",
+                                 "from ..sim import rng\n")
+        assert module.imports.members["rng"] == "repro.sim.rng"
+
+    def test_top_level_init_resolves_own_members(self, tmp_path):
+        module = self.module_for(tmp_path, "repro/__init__.py",
+                                 "from . import units\n")
+        assert module.import_package == "repro"
+        assert module.imports.members["units"] == "repro.units"
+
+
 class TestFindingModel:
     def test_key_is_line_number_independent(self):
         a = Finding("repro/x.py", 10, 1, "REP003", "magic scale literal")
@@ -559,6 +689,25 @@ class TestCli:
         capsys.readouterr()
         assert lint_main(args) == 0
         assert lint_main(args + ["--no-baseline"]) == 1
+
+    def test_select_tolerates_spaces_and_case(self, tmp_path, capsys):
+        """Regression: `--select "REP001, REP007"` used to die with
+        `unknown rule codes: [' REP007']` because the CLI filtered on the
+        stripped code but passed the raw one through."""
+        path = tmp_path / "repro" / "bad.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("RATE = 1e9\n")
+        code = lint_main(["--root", str(tmp_path), "--select",
+                          "rep003, REP007", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REP003" in out
+
+    def test_select_unknown_code_still_usage_error(self, tmp_path, capsys):
+        code = lint_main(["--root", str(tmp_path), "--select",
+                          "REP003, REP999", str(tmp_path)])
+        assert code == 2
+        assert "REP999" in capsys.readouterr().err
 
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
