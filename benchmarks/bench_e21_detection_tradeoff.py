@@ -1,0 +1,181 @@
+"""E21 — the failure-detector timeout trade-off: detect fast and be
+wrong, or detect slow and pay zombies.
+
+The detection-driven campaign replaces E20's oracle with a heartbeat
+monitor running through the same fabric as the application.  A link
+outage silences a perfectly healthy node for 1 ms; a real crash strikes
+a different rank later.  Sweeping the detector's dead-declaration
+timeout (in heartbeat intervals) exposes the classic trade-off:
+
+* **tight timeouts** declare the partitioned node dead (false
+  positives, each costing a spurious rollback) but detect the real
+  crash almost immediately;
+* **loose timeouts** ride out the partition (no false positives) but
+  let the dead node's peers spin for milliseconds before rollback —
+  mean time-to-detect (MTTD) and lost work grow with the timeout.
+
+A phi-accrual row shows the adaptive detector landing mid-curve
+without hand-tuned absolute thresholds.
+
+Shape assertions: every configuration — including every spurious
+rollback — recovers bit-identically; MTTD increases monotonically with
+the timeout; false deaths are non-increasing; the tightest timeout
+produces at least one false death and the loosest none; detector
+metrics (MTTD, false positives, availability) are published through
+``repro.obs``.
+"""
+
+import math
+
+import repro.apps.campaigns  # noqa: F401  (registers the kernels)
+from repro.analysis import ExperimentReport, Series, Table
+from repro.fault import (
+    CampaignSpec,
+    LinkFaultSpec,
+    NodeFaultSpec,
+    run_campaign,
+)
+from repro.health import DetectionSpec
+from repro.obs import Observability
+
+RANKS = 4
+HEARTBEAT = 1e-4
+#: Dead-declaration timeout, in heartbeat intervals.
+TIMEOUT_MULTIPLIERS = [2, 4, 8, 16]
+
+#: Severs host 1's only access link for 1 ms — longer than every tight
+#: timeout's patience, shorter than the loosest — so tight detectors
+#: falsely declare node 1 dead while application traffic survives on
+#: reliable retries.
+PARTITION = LinkFaultSpec(start=6e-4, duration=1e-3,
+                          a=("h", 1), b=("s", 0))
+
+#: The real crash, after the partition has healed.
+CRASH = NodeFaultSpec(time=2.5e-3, rank=2)
+
+
+def make_spec(detection, name):
+    """The E21 campaign: one partition, one real crash, one detector."""
+    return CampaignSpec(
+        kernel="stencil2d", ranks=RANKS,
+        name=name,
+        app_args=(("n", 12), ("iterations", 6)),
+        node_faults=(CRASH,),
+        link_faults=(PARTITION,),
+        checkpoint_write_seconds=1e-4,
+        restart_seconds=2e-4,
+        seed=7,
+        detection=detection,
+    )
+
+
+def fixed_detection(multiplier):
+    """Fixed-timeout spec: dead after ``multiplier`` silent intervals."""
+    return DetectionSpec(
+        detector="fixed",
+        heartbeat_interval=HEARTBEAT,
+        suspect_after=multiplier * HEARTBEAT / 2.0,
+        dead_after=multiplier * HEARTBEAT,
+    )
+
+
+def run_sweep():
+    """Campaign report per detector configuration."""
+    rows = {}
+    for multiplier in TIMEOUT_MULTIPLIERS:
+        rows[f"fixed x{multiplier}"] = run_campaign(
+            make_spec(fixed_detection(multiplier),
+                      f"e21-fixed-{multiplier}"))
+    rows["phi accrual"] = run_campaign(
+        make_spec(DetectionSpec(detector="phi",
+                                heartbeat_interval=HEARTBEAT),
+                  "e21-phi"))
+    return rows
+
+
+def test_e21_detection_tradeoff(benchmark, show):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    report = ExperimentReport(
+        "E21", "failure-detector timeout vs lost work and false "
+               "positives (2D stencil, 4 ranks, 1 ms partition)",
+        "tight timeouts buy fast detection with spurious rollbacks; "
+        "loose timeouts buy certainty with zombie time — and every "
+        "point on the curve recovers bit-identically",
+    )
+    table = Table(["detector", "deaths", "false", "MTTD (ms)",
+                   "lost work (ms)", "availability", "goodput",
+                   "bit-identical"],
+                  formats={"MTTD (ms)": "{:.3f}",
+                           "lost work (ms)": "{:.3f}",
+                           "availability": "{:.4f}",
+                           "goodput": "{:.3f}"})
+    for label, outcome in rows.items():
+        detection = outcome.faulty.detection
+        table.add_row([
+            label,
+            len(detection.detections),
+            detection.false_deaths,
+            detection.mttd_seconds * 1e3,
+            outcome.faulty.lost_work_seconds * 1e3,
+            detection.availability,
+            outcome.goodput,
+            outcome.answers_match,
+        ])
+    report.add_table(table)
+    fixed_labels = [f"fixed x{m}" for m in TIMEOUT_MULTIPLIERS]
+    report.add_series(
+        [Series("MTTD (ms)",
+                x=TIMEOUT_MULTIPLIERS,
+                y=[rows[label].faulty.detection.mttd_seconds * 1e3
+                   for label in fixed_labels]),
+         Series("false deaths",
+                x=TIMEOUT_MULTIPLIERS,
+                y=[float(rows[label].faulty.detection.false_deaths)
+                   for label in fixed_labels])],
+        x_label="dead-after timeout (heartbeat intervals)",
+        title="the detection trade-off")
+    show(report)
+
+    # Shape claims -----------------------------------------------------
+    # Safety: every rollback — real or spurious — is bit-identical.
+    for outcome in rows.values():
+        assert outcome.answers_match
+        assert outcome.faulty.detection is not None
+
+    mttd = [rows[label].faulty.detection.mttd_seconds
+            for label in fixed_labels]
+    false_deaths = [rows[label].faulty.detection.false_deaths
+                    for label in fixed_labels]
+    # The real crash is detected under every configuration.
+    assert all(not math.isnan(value) for value in mttd)
+    # Looser timeouts detect strictly later...
+    assert all(a < b for a, b in zip(mttd, mttd[1:]))
+    # ...but suffer no more false positives.
+    assert all(a >= b for a, b in zip(false_deaths, false_deaths[1:]))
+    # The trade-off's endpoints: the tightest timeout is fooled by the
+    # partition, the loosest rides it out.
+    assert false_deaths[0] >= 1
+    assert false_deaths[-1] == 0
+    # Every false death forced an extra (safe) rollback.
+    for label in fixed_labels:
+        outcome = rows[label]
+        assert (outcome.faulty.incarnations - 1
+                == len(outcome.faulty.detection.detections))
+
+
+def test_e21_metrics_published():
+    """Detector measurements flow through repro.obs gauges."""
+    obs = Observability()
+    report = run_campaign(make_spec(fixed_detection(8), "e21-metrics"),
+                          obs=obs)
+    assert report.answers_match
+    gauges = {name: value for (name, _labels), value
+              in obs.metrics.snapshot().gauges.items()}
+    for name in ("health.mttd_mean_seconds", "health.deaths",
+                 "health.false_deaths", "health.availability",
+                 "health.heartbeats.sent"):
+        assert name in gauges, f"missing gauge {name}"
+    assert gauges["health.deaths"] == 2.0
+    assert gauges["health.false_deaths"] == 1.0
+    assert 0.9 < gauges["health.availability"] < 1.0

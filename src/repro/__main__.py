@@ -8,6 +8,7 @@
     python -m repro interconnects [--year 2006]
     python -m repro faults --nodes 10000 [--checkpoint 300]
     python -m repro campaign --kernel summa [--ranks 4] [--faults 3]
+    python -m repro health [--detector fixed|phi] [--seed 7]
     python -m repro trace campaign [--out trace.json]
     python -m repro lint [--format text|json] [--baseline FILE]
 
@@ -128,6 +129,25 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _detection_spec(args: argparse.Namespace):
+    """The CLI's heartbeat-detector configuration (None = oracle)."""
+    from repro.health import DetectionSpec
+
+    detector = getattr(args, "detector", "none")
+    if detector == "none":
+        return None
+    heartbeat = getattr(args, "heartbeat", 1e-4)
+    timeout = getattr(args, "detect_timeout", None)
+    if timeout is None:
+        timeout = 6.0 * heartbeat
+    return DetectionSpec(
+        detector=detector,
+        heartbeat_interval=heartbeat,
+        suspect_after=timeout / 2.0,
+        dead_after=timeout,
+    )
+
+
 def _campaign_spec(args: argparse.Namespace, *, with_faults: bool):
     """The CLI's standard campaign spec (shared by campaign and trace)."""
     import repro.apps.campaigns  # noqa: F401  (registers kernels)
@@ -152,6 +172,7 @@ def _campaign_spec(args: argparse.Namespace, *, with_faults: bool):
         seed=args.seed,
         restart_seconds=2e-4,
         checkpoint_write_seconds=1e-4,
+        detection=_detection_spec(args),
     )
 
 
@@ -161,6 +182,74 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     spec = _campaign_spec(args, with_faults=True)
     report = run_campaign(spec)
+    print(report.summary())
+    return 0 if report.answers_match else 1
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    """Demo detection-driven recovery: a real crash plus (by default) a
+    link outage that silences a healthy node long enough to be falsely
+    declared dead — the spurious rollback must still be bit-identical.
+    """
+    import repro.apps.campaigns  # noqa: F401  (registers kernels)
+    from repro.fault import (
+        CampaignSpec,
+        LinkFaultSpec,
+        NodeFaultSpec,
+        run_campaign,
+    )
+    from repro.health import DetectionSpec
+
+    heartbeat = 1e-4
+    detection = DetectionSpec(
+        detector=args.detector,
+        heartbeat_interval=heartbeat,
+        suspect_after=3.0 * heartbeat,
+        dead_after=6.0 * heartbeat,
+    )
+    # The outage severs host 1's only access link for longer than the
+    # detector's patience: its heartbeats go unreachable and it is
+    # falsely declared dead, while application traffic rides reliable
+    # retries.  The real crash strikes rank 2 later.
+    link_faults = () if args.no_false_positive else (
+        LinkFaultSpec(start=6e-4, duration=1e-3, a=("h", 1), b=("s", 0)),
+    )
+    # Without the partition stretching the run, a 2.5 ms crash would
+    # land after the ~2.3 ms failure-free finish; strike earlier so the
+    # detector still has a death to find.
+    crash_time = 1.5e-3 if args.no_false_positive else 2.5e-3
+    spec = CampaignSpec(
+        kernel="stencil2d",
+        ranks=4,
+        name="health-demo",
+        app_args=(("n", 12), ("iterations", 6)),
+        node_faults=(NodeFaultSpec(time=crash_time, rank=2),),
+        link_faults=link_faults,
+        seed=args.seed,
+        restart_seconds=2e-4,
+        checkpoint_write_seconds=1e-4,
+        detection=detection,
+    )
+    report = run_campaign(spec)
+    outcome = report.faulty.detection
+    assert outcome is not None
+    table = Table(["time", "epoch", "node", "transition", "cause"],
+                  title=f"health events ({args.detector} detector)")
+    for line in outcome.health_log:
+        time_text, fields = line.split(" ", 1)
+        parts = dict(part.split("=", 1) for part in fields.split(" ", 3)
+                     if "=" in part)
+        transition = fields.split(" ")[2]
+        table.add_row([format_time(float(time_text)), parts["epoch"],
+                       parts["node"], transition, parts["cause"]])
+    print(table.render())
+    mttd = outcome.mttd_seconds
+    print(f"deaths declared: {len(outcome.detections)} "
+          f"({outcome.false_deaths} false); "
+          f"MTTD {'n/a' if mttd != mttd else format_time(mttd)}; "
+          f"availability {outcome.availability:.4f}; heartbeats "
+          f"{outcome.heartbeats_delivered}/{outcome.heartbeats_sent} "
+          f"delivered ({outcome.heartbeats_lost} lost)")
     print(report.summary())
     return 0 if report.answers_match else 1
 
@@ -309,7 +398,27 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--no-link-faults", dest="link_faults",
                           action="store_false",
                           help="skip the default link down windows")
+    campaign.add_argument("--detector", default="none",
+                          choices=("none", "fixed", "phi"),
+                          help="none = oracle recovery; fixed/phi = "
+                               "heartbeat-detected recovery")
+    campaign.add_argument("--heartbeat", type=float, default=1e-4,
+                          help="heartbeat interval in virtual seconds")
+    campaign.add_argument("--detect-timeout", type=float, default=None,
+                          help="dead-declaration silence threshold "
+                               "(default 6 heartbeat intervals)")
     campaign.set_defaults(func=_cmd_campaign)
+
+    health = sub.add_parser(
+        "health", help="detection-driven recovery demo (false positive "
+                       "included)")
+    health.add_argument("--detector", default="fixed",
+                        choices=("fixed", "phi"))
+    health.add_argument("--seed", type=int, default=7)
+    health.add_argument("--no-false-positive", action="store_true",
+                        help="skip the link outage that forces a false "
+                             "death declaration")
+    health.set_defaults(func=_cmd_health)
 
     trace = sub.add_parser(
         "trace", help="Chrome trace + metrics dump of an instrumented run")
@@ -327,6 +436,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--no-link-faults", dest="link_faults",
                        action="store_false",
                        help="skip the default link down windows")
+    trace.add_argument("--detector", default="none",
+                       choices=("none", "fixed", "phi"),
+                       help="none = oracle recovery; fixed/phi = "
+                            "heartbeat-detected recovery")
+    trace.add_argument("--heartbeat", type=float, default=1e-4,
+                       help="heartbeat interval in virtual seconds")
+    trace.add_argument("--detect-timeout", type=float, default=None,
+                       help="dead-declaration silence threshold "
+                            "(default 6 heartbeat intervals)")
     trace.add_argument("--out", default="trace.json",
                        help="Chrome trace_event JSON output path")
     trace.add_argument("--metrics-out", default="metrics.txt",

@@ -33,11 +33,17 @@ failure trace, retry counts, and metrics, which the tests assert.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.health.monitor import (
+    DetectionOutcome,
+    DetectionSpec,
+    HeartbeatMonitor,
+)
 from repro.messaging.comm import CommConfig, CommWorld, Communicator
 from repro.network.fabric import Fabric, FabricFaultPlan
 from repro.network.technologies import get_interconnect
@@ -169,6 +175,11 @@ class CampaignSpec:
     fault_aware: bool = True
     op_timeout: Optional[float] = None
     max_retries: int = 12
+    #: When set, the faulty run recovers from *detected* deaths (a
+    #: heartbeat monitor through the fabric) instead of the oracle:
+    #: rollback waits for the detector, lost work includes time-to-
+    #: detect, and a partition can trigger a spurious-but-safe rollback.
+    detection: Optional[DetectionSpec] = None
 
     def __post_init__(self) -> None:
         if self.ranks < 1:
@@ -307,6 +318,8 @@ class RunOutcome:
     recovery_seconds: float
     comm_stats: Dict[str, int]
     fabric_counters: Dict[str, int]
+    #: Detector measurements when the run was detection-driven.
+    detection: Optional[DetectionOutcome] = None
 
 
 @dataclass(frozen=True)
@@ -334,7 +347,7 @@ class CampaignReport:
     def summary(self) -> str:
         """One paragraph for CLI output."""
         f = self.faulty
-        return (
+        text = (
             f"campaign {self.spec.name or self.spec.kernel!r}: "
             f"{len(f.fault_trace)} node fault(s), "
             f"{self.spec.topology().num_switches} switches, "
@@ -345,6 +358,18 @@ class CampaignReport:
             f"{f.lost_work_seconds:.6f}s; answers "
             f"{'bit-identical' if self.answers_match else 'DIVERGED'}"
         )
+        detection = f.detection
+        if detection is not None:
+            mttd = detection.mttd_seconds
+            mttd_text = ("n/a" if math.isnan(mttd)
+                         else f"{mttd * 1000.0:.3f}ms")
+            text += (
+                f"; detector declared {len(detection.detections)} "
+                f"death(s) ({detection.false_deaths} false), "
+                f"MTTD {mttd_text}, availability "
+                f"{detection.availability:.4f}"
+            )
+        return text
 
 
 def _answers_equal(left: Any, right: Any) -> bool:
@@ -402,11 +427,77 @@ def _teardown(procs: List[Process], victim: int, index: int) -> None:
                 process.interrupt(AbortCause.numbered(victim, index))
 
 
+def _collect_counters(plan: Optional[FabricFaultPlan]) -> Dict[str, int]:
+    """Fabric fault-plan counters (zeros when no plan was active)."""
+    if plan is None:
+        return {
+            "drops": 0, "corruptions": 0, "reroutes": 0, "unreachable": 0,
+            "link_outages": 0,
+        }
+    return {
+        "drops": plan.drops,
+        "corruptions": plan.corruptions,
+        "reroutes": plan.reroutes,
+        "unreachable": plan.unreachable,
+        "link_outages": plan.link_outages,
+    }
+
+
+def _collect_comm_stats(worlds: List[CommWorld]) -> Dict[str, int]:
+    """Sum messaging stats across incarnations' worlds, so retransmits
+    from torn-down incarnations still count."""
+    comm_stats: Dict[str, int] = {}
+    for world in worlds:
+        for key, value in world.stats.snapshot().items():
+            comm_stats[key] = comm_stats.get(key, 0) + value
+    return comm_stats
+
+
+def _verify_procs(procs: List[Process]) -> None:
+    """Final-incarnation sanity: every rank finished cleanly."""
+    for rank, process in enumerate(procs):
+        if process.triggered and not process.ok:
+            raise process.value
+        if not process.triggered:
+            raise SimulationError(
+                f"campaign deadlock: rank {rank} still blocked after the "
+                "event queue drained (message lost without reliable "
+                "delivery, or an un-recovered failure)"
+            )
+
+
+def _publish_run_metrics(obs: Observability, incarnations: int,
+                         lost_work: float, recovery: float, elapsed: float,
+                         comm_stats: Dict[str, int],
+                         counters: Dict[str, int]) -> None:
+    """Push the per-run gauges every execution path shares."""
+    if not obs.enabled:
+        return
+    metrics = obs.metrics
+    metrics.gauge("campaign.incarnations").set(float(incarnations))
+    metrics.gauge("campaign.lost_work_seconds").set(lost_work)
+    metrics.gauge("campaign.recovery_seconds").set(recovery)
+    metrics.gauge("campaign.elapsed_seconds").set(elapsed)
+    for key, value in comm_stats.items():
+        metrics.gauge(f"comm.stats.{key}").set(float(value))
+    for key, value in counters.items():
+        metrics.gauge(f"fabric.plan.{key}").set(float(value))
+
+
 def _run_once(spec: CampaignSpec, faults_enabled: bool,
               obs: Optional[Observability] = None) -> RunOutcome:
-    """Execute the campaign workload once, with or without faults."""
+    """Execute the campaign workload once, with or without faults.
+
+    When the spec carries a :class:`~repro.health.monitor.DetectionSpec`
+    and faults are enabled, recovery is detection-driven (see
+    :func:`_run_detected`); the clean reference always runs oracle-free,
+    which strengthens the bit-identity check — the detector may change
+    *when* recovery happens, never *what* is computed.
+    """
     if obs is None:
         obs = NULL_OBS
+    if faults_enabled and spec.detection is not None:
+        return _run_detected(spec, obs)
     streams = RandomStreams(seed=spec.seed)
     sim = Simulator(obs=obs)
     topology = spec.topology()
@@ -506,45 +597,17 @@ def _run_once(spec: CampaignSpec, faults_enabled: bool,
         inc_span.close()
         break
 
-    for rank, process in enumerate(procs):
-        if process.triggered and not process.ok:
-            raise process.value
-        if not process.triggered:
-            raise SimulationError(
-                f"campaign deadlock: rank {rank} still blocked after the "
-                "event queue drained (message lost without reliable "
-                "delivery, or an un-recovered failure)"
-            )
+    _verify_procs(procs)
+    # Deterministic teardown of abandoned helpers (suspended receives
+    # from torn-down incarnations): their spans must close here, not
+    # whenever the garbage collector reaps the generators.
+    sim.quiesce()
 
     elapsed = max(finished_at)
-    counters: Dict[str, int] = {
-        "drops": 0, "corruptions": 0, "reroutes": 0, "unreachable": 0,
-        "link_outages": 0,
-    }
-    if plan is not None:
-        counters = {
-            "drops": plan.drops,
-            "corruptions": plan.corruptions,
-            "reroutes": plan.reroutes,
-            "unreachable": plan.unreachable,
-            "link_outages": plan.link_outages,
-        }
-    # Messaging stats accumulate per incarnation's world; sum them so
-    # retransmits from torn-down incarnations still count.
-    comm_stats: Dict[str, int] = {}
-    for world in worlds:
-        for key, value in world.stats.snapshot().items():
-            comm_stats[key] = comm_stats.get(key, 0) + value
-    if obs.enabled:
-        metrics = obs.metrics
-        metrics.gauge("campaign.incarnations").set(float(incarnations))
-        metrics.gauge("campaign.lost_work_seconds").set(lost_work)
-        metrics.gauge("campaign.recovery_seconds").set(recovery)
-        metrics.gauge("campaign.elapsed_seconds").set(elapsed)
-        for key, value in comm_stats.items():
-            metrics.gauge(f"comm.stats.{key}").set(float(value))
-        for key, value in counters.items():
-            metrics.gauge(f"fabric.plan.{key}").set(float(value))
+    counters = _collect_counters(plan)
+    comm_stats = _collect_comm_stats(worlds)
+    _publish_run_metrics(obs, incarnations, lost_work, recovery, elapsed,
+                         comm_stats, counters)
     return RunOutcome(
         elapsed=elapsed,
         answers=tuple(answers),
@@ -555,6 +618,199 @@ def _run_once(spec: CampaignSpec, faults_enabled: bool,
         recovery_seconds=recovery,
         comm_stats=comm_stats,
         fabric_counters=counters,
+    )
+
+
+#: Event-budget backstop for detection-driven runs: the monitor keeps
+#: the queue non-empty forever, so a supervisor bug would otherwise spin
+#: silently instead of deadlocking the queue like the oracle path.
+_DETECTION_MAX_EVENTS = 5_000_000
+_DETECTION_CHUNK_EVENTS = 100_000
+
+
+def _run_detected(spec: CampaignSpec, obs: Observability) -> RunOutcome:
+    """Execute the faulty run with detector-driven recovery.
+
+    The supervisor has no oracle: a scheduled node fault only *stops the
+    victim* (its rank process dies, its heartbeats cease).  Rollback
+    waits until the :class:`~repro.health.monitor.HeartbeatMonitor`
+    declares the node dead, so lost work includes the time-to-detect —
+    and because heartbeats ride the real fabric, a link outage can
+    produce a *false* declaration whose rollback must be spurious but
+    safe (the bit-identity check proves it is).
+    """
+    detection = spec.detection
+    assert detection is not None
+    streams = RandomStreams(seed=spec.seed)
+    sim = Simulator(obs=obs)
+    topology = spec.topology()
+    plan = _build_plan(spec, streams, topology)
+    fabric = Fabric(sim, topology, get_interconnect(spec.technology),
+                    fault_plan=plan)
+    config = spec.comm_config()
+    vault = CheckpointVault(spec.ranks)
+    factory = get_kernel(spec.kernel)
+    body_fn = factory(spec.ranks, streams, dict(spec.app_args))
+    monitor = HeartbeatMonitor(sim, fabric, spec.ranks, spec=detection)
+    monitor.start()
+
+    node_faults = sorted(spec.node_faults, key=lambda f: (f.time, f.rank))
+    fault_trace: List[Tuple[float, int, Optional[int]]] = []
+    lost_work = 0.0
+    recovery = 0.0
+    incarnations = 0
+    next_fault = 0
+    worlds: List[CommWorld] = []
+    finished_at = [float("nan")] * spec.ranks
+    answers: List[Any] = [None] * spec.ranks
+    procs: List[Process] = []
+
+    def job_complete() -> bool:
+        """The workload is done and no recovery is owed."""
+        if not all(p.triggered for p in procs):
+            return False
+        if monitor.crashed_nodes or monitor.pending_deaths:
+            return False
+        if all(p.ok for p in procs):
+            return True
+        # A rank failed with nothing left to recover it: stop and let
+        # the final verification surface the error.
+        return next_fault >= len(node_faults)
+
+    while True:
+        incarnations += 1
+        incarnation_start = sim.now
+        inc_span = obs.span("campaign.incarnation", track="campaign",
+                            index=incarnations)
+        world = CommWorld(sim, fabric, config=config, streams=streams)
+        worlds.append(world)
+        procs = []
+
+        def rank_body(comm: Communicator, ckpt: RankCheckpoint):
+            result = yield from body_fn(comm, ckpt)
+            finished_at[comm.rank] = sim.now
+            answers[comm.rank] = result
+            return result
+
+        for rank in range(spec.ranks):
+            comm = world.communicator(rank)
+            ckpt = RankCheckpoint(vault, comm,
+                                  spec.checkpoint_write_seconds,
+                                  spec.checkpoint_every)
+            process = sim.process(rank_body(comm, ckpt),
+                                  name=f"rank{rank}.{incarnations}")
+            process.defused = True
+            procs.append(process)
+
+        rolled_back = False
+        while True:
+            deaths = monitor.pop_deaths()
+            if deaths:
+                # The detector spoke: tear down and roll back, whether
+                # the declaration is true or a partition's lie.
+                victim = deaths[0].node
+                declared_at = sim.now
+                committed = vault.latest
+                committed_step = (committed[0] if committed is not None
+                                  else None)
+                last_commit = vault.last_commit_time
+                base = incarnation_start
+                if last_commit is not None and last_commit > base:
+                    base = last_commit
+                lost_work += sim.now - base
+                obs.instant("campaign.death_detected", track="campaign",
+                            rank=victim,
+                            false=deaths[0].false_positive)
+                obs.add_span("campaign.lost_work", base, sim.now,
+                             track="campaign", rank=victim)
+                for record in deaths:
+                    world.fail_rank(record.node)
+                _teardown(procs, victim, len(fault_trace))
+                sim.run(until=sim.now)
+                _teardown(procs, victim, len(fault_trace))
+                sim.run(until=sim.now)
+                vault.rollback()
+                fault_trace.append((declared_at, victim, committed_step))
+                for record in deaths:
+                    monitor.repair(record.node)
+                inc_span.set(faulted=True, victim=victim).close()
+                recovery += spec.restart_seconds
+                obs.add_span("campaign.restart", sim.now,
+                             sim.now + spec.restart_seconds,
+                             track="campaign")
+                sim.run(until=sim.now + spec.restart_seconds)
+                for record in deaths:
+                    monitor.restore(record.node)
+                rolled_back = True
+                break
+            if job_complete():
+                break
+            if (next_fault < len(node_faults)
+                    and sim.now >= node_faults[next_fault].time):
+                fault = node_faults[next_fault]
+                next_fault += 1
+                if all(p.triggered and p.ok for p in procs):
+                    continue  # the job beat the fault: an idle machine
+                obs.instant("campaign.node_fault", track="campaign",
+                            rank=fault.rank)
+                victim_proc = procs[fault.rank]
+                if victim_proc.is_alive:
+                    victim_proc.interrupt(
+                        FailureCause.numbered(len(fault_trace)))
+                    sim.run(until=sim.now)
+                    if victim_proc.is_alive:
+                        # Same-timestamp no-op rule: the second
+                        # interrupt always lands.
+                        victim_proc.interrupt(
+                            FailureCause.numbered(len(fault_trace)))
+                        sim.run(until=sim.now)
+                monitor.crash(fault.rank)
+                continue
+            target = None
+            if next_fault < len(node_faults):
+                target = max(node_faults[next_fault].time, sim.now)
+            sim.run(until=target, max_events=_DETECTION_CHUNK_EVENTS,
+                    stop=lambda: (bool(monitor.pending_deaths)
+                                  or job_complete()))
+            if sim.events_executed > _DETECTION_MAX_EVENTS:
+                raise SimulationError(
+                    "detection-driven campaign exceeded its event "
+                    "budget: the job can neither finish nor recover "
+                    "(detector never fired? victim not monitored?)")
+        if rolled_back:
+            continue
+        inc_span.close()
+        break
+
+    # Quiesce the monitor so its spans close (double pass for the
+    # same-timestamp no-op rule, as at teardown).
+    monitor.stop()
+    sim.run(until=sim.now)
+    monitor.stop()
+    sim.run(until=sim.now)
+    _verify_procs(procs)
+    # Deterministic teardown of abandoned helpers (suspended receives
+    # from torn-down incarnations): their spans must close here, not
+    # whenever the garbage collector reaps the generators.
+    sim.quiesce()
+
+    elapsed = max(finished_at)
+    counters = _collect_counters(plan)
+    comm_stats = _collect_comm_stats(worlds)
+    _publish_run_metrics(obs, incarnations, lost_work, recovery, elapsed,
+                         comm_stats, counters)
+    monitor.publish(obs)
+    return RunOutcome(
+        elapsed=elapsed,
+        answers=tuple(answers),
+        incarnations=incarnations,
+        commits=vault.commits,
+        fault_trace=tuple(fault_trace),
+        lost_work_seconds=lost_work,
+        recovery_seconds=recovery,
+        comm_stats=comm_stats,
+        fabric_counters=counters,
+        detection=monitor.outcome(),
     )
 
 

@@ -1,0 +1,72 @@
+"""Failure detection and membership: the layer between fault and truth.
+
+``repro.health`` turns the repo's fault story from *oracular* (the
+supervisor magically knows the instant a node dies) into *detected*
+(a heartbeat monitor infers death from silence, through the same
+fabric the application uses).  The distinction matters because the
+fabric lies: a partitioned or congested link silences a perfectly
+healthy node, and every consumer of this layer must stay correct
+under that false suspicion.
+
+Pieces:
+
+* :mod:`repro.health.state` — the per-node belief machine
+  (``HEALTHY → SUSPECTED → DEAD → REPAIRING → HEALTHY`` plus
+  administrative ``DRAINING``) and the epoch-numbered
+  :class:`Membership` view.
+* :mod:`repro.health.detectors` — pluggable verdict functions:
+  :class:`FixedTimeoutDetector` and :class:`PhiAccrualDetector`.
+* :mod:`repro.health.monitor` — :class:`HeartbeatMonitor`, the sim
+  process that pumps heartbeats through the fabric, feeds a detector,
+  and drives the membership machine; configured by
+  :class:`DetectionSpec`, summarised by :class:`DetectionOutcome`.
+* :mod:`repro.health.scheduling` — :class:`DegradedBatchSimulator`,
+  the batch scheduler that pays detection latency, activates spares,
+  and requeues killed jobs with backoff.
+
+Layering: health sits above ``sim``/``network``/``scheduler``/``obs``
+and below ``fault`` (campaigns consume detection; detection never
+imports campaigns).
+"""
+
+from repro.health.detectors import (
+    FailureDetector,
+    FixedTimeoutDetector,
+    PhiAccrualDetector,
+    Verdict,
+)
+from repro.health.monitor import (
+    DeathRecord,
+    DetectionOutcome,
+    DetectionSpec,
+    HeartbeatMonitor,
+)
+from repro.health.scheduling import (
+    DegradedBatchSimulator,
+    DegradedScheduleResult,
+    DrainWindow,
+)
+from repro.health.state import (
+    HealthEvent,
+    Membership,
+    MembershipView,
+    NodeHealthState,
+)
+
+__all__ = [
+    "DeathRecord",
+    "DegradedBatchSimulator",
+    "DegradedScheduleResult",
+    "DetectionOutcome",
+    "DetectionSpec",
+    "DrainWindow",
+    "FailureDetector",
+    "FixedTimeoutDetector",
+    "HealthEvent",
+    "HeartbeatMonitor",
+    "Membership",
+    "MembershipView",
+    "NodeHealthState",
+    "PhiAccrualDetector",
+    "Verdict",
+]

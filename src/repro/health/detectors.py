@@ -1,0 +1,175 @@
+"""Pluggable failure detectors: heartbeat arrivals in, verdicts out.
+
+A detector is deliberately dumb plumbing: it never touches the fabric,
+the membership, or the clock — the :class:`~repro.health.monitor.
+HeartbeatMonitor` feeds it arrival observations (``observe``) and polls
+it for per-node verdicts (``assess``).  That split keeps detectors pure
+virtual-time functions, trivially unit-testable and bit-deterministic.
+
+Two classic designs:
+
+* :class:`FixedTimeoutDetector` — silence beyond ``suspect_after``
+  seconds is suspicious, beyond ``dead_after`` is fatal.  Simple,
+  predictable, and the knob bench E21 sweeps.
+* :class:`PhiAccrualDetector` — Hayashibara et al.'s accrual detector:
+  the suspicion level phi grows continuously with silence, scaled by
+  the *observed* inter-arrival mean, so a jittery network earns more
+  patience than a quiet one.  Thresholds are on phi, not seconds.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import deque
+from typing import Deque, Dict
+
+__all__ = [
+    "FailureDetector",
+    "FixedTimeoutDetector",
+    "PhiAccrualDetector",
+    "Verdict",
+]
+
+
+class Verdict(enum.Enum):
+    """A detector's belief about one node at one instant."""
+
+    TRUST = "trust"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+
+class FailureDetector:
+    """Interface every detector implements (see module docstring)."""
+
+    def observe(self, node: int, now: float) -> None:
+        """Record a heartbeat from ``node`` arriving at ``now``."""
+        raise NotImplementedError
+
+    def assess(self, node: int, now: float) -> Verdict:
+        """Current verdict for ``node`` (pure; no state change)."""
+        raise NotImplementedError
+
+    def reset(self, node: int, now: float) -> None:
+        """Forget ``node``'s history and grant a fresh grace period
+        starting at ``now`` (called at monitor start and after repair)."""
+        raise NotImplementedError
+
+
+class FixedTimeoutDetector(FailureDetector):
+    """Silence thresholds in absolute seconds.
+
+    ``suspect_after`` seconds without a heartbeat earns ``SUSPECT``;
+    ``dead_after`` earns ``DEAD``.  A node never observed (and never
+    reset) is trusted — the monitor always resets every node at start,
+    so that case only arises in unit tests.
+    """
+
+    def __init__(self, suspect_after: float, dead_after: float) -> None:
+        if suspect_after <= 0:
+            raise ValueError("suspect_after must be positive")
+        if dead_after < suspect_after:
+            raise ValueError("dead_after must be >= suspect_after")
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        self._last: Dict[int, float] = {}
+
+    def observe(self, node: int, now: float) -> None:
+        """Record an arrival: the silence clock restarts."""
+        self._last[node] = now
+
+    def reset(self, node: int, now: float) -> None:
+        """Fresh grace period — identical to an arrival at ``now``."""
+        self._last[node] = now
+
+    def assess(self, node: int, now: float) -> Verdict:
+        """Threshold the elapsed silence."""
+        last = self._last.get(node)
+        if last is None:
+            return Verdict.TRUST
+        elapsed = now - last
+        if elapsed >= self.dead_after:
+            return Verdict.DEAD
+        if elapsed >= self.suspect_after:
+            return Verdict.SUSPECT
+        return Verdict.TRUST
+
+
+#: log10(e): converts nats of surprise to the accrual paper's phi scale.
+_LOG10_E = math.log10(math.e)
+
+
+class PhiAccrualDetector(FailureDetector):
+    """Adaptive accrual detector (phi on an exponential arrival model).
+
+    The suspicion level for a node silent for ``t`` seconds is::
+
+        phi = (t / mean_interval) * log10(e)
+
+    i.e. ``-log10`` of the probability that an exponential inter-arrival
+    with the observed mean exceeds ``t``.  ``mean_interval`` is the
+    windowed mean of the node's observed heartbeat gaps; until two
+    arrivals have been seen it falls back to ``bootstrap_interval`` (the
+    configured heartbeat period), so freshly reset nodes get sane
+    patience instead of instant suspicion.
+    """
+
+    def __init__(self, bootstrap_interval: float,
+                 suspect_phi: float = 1.5, dead_phi: float = 3.0,
+                 window: int = 16) -> None:
+        if bootstrap_interval <= 0:
+            raise ValueError("bootstrap_interval must be positive")
+        if suspect_phi <= 0:
+            raise ValueError("suspect_phi must be positive")
+        if dead_phi < suspect_phi:
+            raise ValueError("dead_phi must be >= suspect_phi")
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self.bootstrap_interval = bootstrap_interval
+        self.suspect_phi = suspect_phi
+        self.dead_phi = dead_phi
+        self.window = window
+        self._last: Dict[int, float] = {}
+        self._gaps: Dict[int, Deque[float]] = {}
+
+    def observe(self, node: int, now: float) -> None:
+        """Record an arrival and fold the gap into the window."""
+        last = self._last.get(node)
+        if last is not None and now > last:
+            gaps = self._gaps.get(node)
+            if gaps is None:
+                gaps = deque(maxlen=self.window)
+                self._gaps[node] = gaps
+            gaps.append(now - last)
+        self._last[node] = now
+
+    def reset(self, node: int, now: float) -> None:
+        """Forget history; patience restarts from the bootstrap mean."""
+        self._last[node] = now
+        self._gaps.pop(node, None)
+
+    def _mean_interval(self, node: int) -> float:
+        gaps = self._gaps.get(node)
+        if not gaps or len(gaps) < 2:
+            return self.bootstrap_interval
+        return sum(gaps) / len(gaps)
+
+    def phi(self, node: int, now: float) -> float:
+        """The current suspicion level for ``node`` (0 when fresh)."""
+        last = self._last.get(node)
+        if last is None:
+            return 0.0
+        elapsed = now - last
+        if elapsed <= 0:
+            return 0.0
+        return (elapsed / self._mean_interval(node)) * _LOG10_E
+
+    def assess(self, node: int, now: float) -> Verdict:
+        """Threshold phi."""
+        level = self.phi(node, now)
+        if level >= self.dead_phi:
+            return Verdict.DEAD
+        if level >= self.suspect_phi:
+            return Verdict.SUSPECT
+        return Verdict.TRUST

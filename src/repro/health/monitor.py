@@ -1,0 +1,434 @@
+"""The heartbeat monitor: failure detection *through the fabric*.
+
+One sender process per node emits a small heartbeat transfer to the
+monitor host every ``heartbeat_interval`` seconds — through the same
+:class:`~repro.network.fabric.Fabric` the application uses, so link
+outages, congestion, drops, and partitions delay or lose heartbeats
+exactly as they would real ones.  A periodic checker polls the pluggable
+:class:`~repro.health.detectors.FailureDetector` and drives the
+:class:`~repro.health.state.Membership` state machine: silence earns
+``SUSPECTED``, prolonged silence ``DEAD``, resumed heartbeats refute a
+suspicion back to ``HEALTHY``.
+
+Crucially the monitor has **no oracle**: when a partition silences a
+live node, the node is *falsely* suspected (and, if the partition
+outlives the detector's patience, falsely declared dead).  Supervisors
+that act on a death declaration must therefore be safe against acting
+on a lie — which is exactly what the detection-driven campaign mode in
+:mod:`repro.fault.campaign` proves.
+
+Ground truth (which nodes actually crashed, via :meth:`HeartbeatMonitor.
+crash`) is recorded *only* for metrics — mean time-to-detect and the
+false-positive counters — never consulted by the detection path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.health.detectors import (
+    FailureDetector,
+    FixedTimeoutDetector,
+    PhiAccrualDetector,
+    Verdict,
+)
+from repro.health.state import HealthEvent, Membership, NodeHealthState
+from repro.network.fabric import (
+    Fabric,
+    NetworkUnreachable,
+    TransferDropped,
+)
+from repro.obs import Observability
+from repro.sim.engine import Interrupt, Process, Simulator
+from repro.sim.event import Event
+
+__all__ = [
+    "DeathRecord",
+    "DetectionOutcome",
+    "DetectionSpec",
+    "HeartbeatMonitor",
+]
+
+
+@dataclass(frozen=True)
+class DetectionSpec:
+    """Declarative configuration of a heartbeat monitor.
+
+    ``detector`` selects the algorithm (``"fixed"`` or ``"phi"``).
+    Threshold fields left ``None`` derive from the heartbeat interval:
+    ``suspect_after`` defaults to 3 intervals, ``dead_after`` to 8, and
+    the checker runs every half interval.  The defaults are deliberately
+    conservative; bench E21 sweeps them.
+    """
+
+    detector: str = "fixed"
+    heartbeat_interval: float = 2e-4
+    heartbeat_bytes: int = 64
+    monitor_host: int = 0
+    check_interval: Optional[float] = None
+    suspect_after: Optional[float] = None
+    dead_after: Optional[float] = None
+    phi_window: int = 16
+    suspect_phi: float = 1.5
+    dead_phi: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.detector not in ("fixed", "phi"):
+            raise ValueError(
+                f"unknown detector {self.detector!r} (fixed or phi)")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.heartbeat_bytes < 1:
+            raise ValueError("heartbeat_bytes must be >= 1")
+        if self.monitor_host < 0:
+            raise ValueError("monitor_host must be >= 0")
+        if self.check_interval is not None and self.check_interval <= 0:
+            raise ValueError("check_interval must be positive or None")
+        for name in ("suspect_after", "dead_after"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive or None")
+
+    @property
+    def effective_check_interval(self) -> float:
+        """Checker period (half the heartbeat interval by default)."""
+        if self.check_interval is not None:
+            return self.check_interval
+        return self.heartbeat_interval / 2.0
+
+    @property
+    def effective_suspect_after(self) -> float:
+        """Fixed-detector suspicion threshold in seconds."""
+        if self.suspect_after is not None:
+            return self.suspect_after
+        return 3.0 * self.heartbeat_interval
+
+    @property
+    def effective_dead_after(self) -> float:
+        """Fixed-detector death threshold in seconds."""
+        if self.dead_after is not None:
+            return self.dead_after
+        return 8.0 * self.heartbeat_interval
+
+    def build_detector(self) -> FailureDetector:
+        """Instantiate the configured detector."""
+        if self.detector == "phi":
+            return PhiAccrualDetector(
+                bootstrap_interval=self.heartbeat_interval,
+                suspect_phi=self.suspect_phi,
+                dead_phi=self.dead_phi,
+                window=self.phi_window,
+            )
+        return FixedTimeoutDetector(
+            suspect_after=self.effective_suspect_after,
+            dead_after=self.effective_dead_after,
+        )
+
+
+@dataclass(frozen=True)
+class DeathRecord:
+    """One death declaration.  ``crashed_at`` is ground truth for
+    metrics: the actual crash time, or ``None`` for a false positive."""
+
+    node: int
+    declared_at: float
+    crashed_at: Optional[float]
+
+    @property
+    def false_positive(self) -> bool:
+        """True when the declared-dead node was actually alive."""
+        return self.crashed_at is None
+
+    @property
+    def detect_seconds(self) -> float:
+        """Crash-to-declaration latency (NaN for a false positive)."""
+        if self.crashed_at is None:
+            return float("nan")
+        return self.declared_at - self.crashed_at
+
+
+@dataclass(frozen=True)
+class DetectionOutcome:
+    """What one monitored run measured, for reports and determinism
+    tests (``health_log`` is the canonical membership event log)."""
+
+    detections: Tuple[DeathRecord, ...]
+    false_suspicions: int
+    false_deaths: int
+    mttd_seconds: float
+    availability: float
+    heartbeats_sent: int
+    heartbeats_lost: int
+    heartbeats_delivered: int
+    epoch: int
+    health_log: Tuple[str, ...]
+
+
+class HeartbeatMonitor:
+    """Runs heartbeat senders and the detection checker on a simulator.
+
+    Lifecycle: construct, :meth:`start`, then drive the simulator (the
+    monitor's processes keep the event queue non-empty forever — use
+    ``sim.run(until=...)`` or the ``stop`` predicate, never a bare
+    ``sim.run()``).  A supervisor that kills a node calls :meth:`crash`
+    (stops its heartbeats; the *detector* must still notice), and after
+    acting on a death declaration calls :meth:`repair` then
+    :meth:`restore` to bring the node back.
+    """
+
+    def __init__(self, sim: Simulator, fabric: Fabric, nodes: int,
+                 spec: Optional[DetectionSpec] = None) -> None:
+        if nodes < 1:
+            raise ValueError("need at least one monitored node")
+        self.spec = spec if spec is not None else DetectionSpec()
+        if nodes > fabric.topology.hosts:
+            raise ValueError(
+                f"{nodes} monitored nodes but fabric has only "
+                f"{fabric.topology.hosts} hosts")
+        if self.spec.monitor_host >= fabric.topology.hosts:
+            raise ValueError(
+                f"monitor_host {self.spec.monitor_host} not a fabric host")
+        self.sim = sim
+        self.fabric = fabric
+        self.nodes = nodes
+        self.detector = self.spec.build_detector()
+        self.membership = Membership(nodes, now=sim.now)
+        #: Death declarations not yet consumed by a supervisor.
+        self.pending_deaths: List[DeathRecord] = []
+        #: Every death declaration, in order (real and false).
+        self.deaths: List[DeathRecord] = []
+        self.false_suspicions = 0
+        self.false_deaths = 0
+        self.heartbeats_sent = 0
+        self.heartbeats_lost = 0
+        self.heartbeats_delivered = 0
+        self._crashed: Dict[int, float] = {}
+        self._senders: Dict[int, Process] = {}
+        self._checker: Optional[Process] = None
+        self._death_event: Event = sim.event("node-death")
+        self._death_event.defused = True
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Seed the detector and spawn sender + checker processes."""
+        if self._started:
+            raise RuntimeError("monitor already started")
+        self._started = True
+        now = self.sim.now
+        for node in range(self.nodes):
+            self.detector.reset(node, now)
+            self._spawn_sender(node)
+        self._checker = self.sim.process(self._check_body(), name="hb.check")
+
+    def stop(self) -> None:
+        """Interrupt every live monitor process (clean shutdown so open
+        spans close and the queue can quiesce)."""
+        for process in self._senders.values():
+            if process.is_alive:
+                process.interrupt("monitor-stop")
+        if self._checker is not None and self._checker.is_alive:
+            self._checker.interrupt("monitor-stop")
+
+    # -- supervisor surface ------------------------------------------------
+
+    def crash(self, node: int) -> None:
+        """Ground truth: ``node`` just died.  Stops its heartbeat sender
+        and records the time for MTTD metrics — detection itself must
+        come from the checker, never from here."""
+        if not 0 <= node < self.nodes:
+            raise IndexError(f"node {node} out of range [0, {self.nodes})")
+        if node in self._crashed:
+            return
+        self._crashed[node] = self.sim.now
+        sender = self._senders.get(node)
+        if sender is not None and sender.is_alive:
+            sender.interrupt("crashed")
+
+    @property
+    def crashed_nodes(self) -> Tuple[int, ...]:
+        """Nodes currently down for real (cleared by :meth:`restore`)."""
+        return tuple(sorted(self._crashed))
+
+    def repair(self, node: int) -> HealthEvent:
+        """Dispatch repair for a declared-dead node (DEAD -> REPAIRING)."""
+        return self._transition(node, NodeHealthState.REPAIRING, "repair")
+
+    def restore(self, node: int) -> HealthEvent:
+        """Repair finished: node back to HEALTHY, detector history reset,
+        heartbeats restarted (a falsely-declared node's sender survived
+        and is reused)."""
+        event = self._transition(node, NodeHealthState.HEALTHY, "restored")
+        self._crashed.pop(node, None)
+        self.detector.reset(node, self.sim.now)
+        sender = self._senders.get(node)
+        if sender is None or not sender.is_alive:
+            self._spawn_sender(node)
+        return event
+
+    def drain(self, node: int) -> HealthEvent:
+        """Administratively drain a healthy node."""
+        return self._transition(node, NodeHealthState.DRAINING, "drain")
+
+    def undrain(self, node: int) -> HealthEvent:
+        """Cancel an administrative drain."""
+        return self._transition(node, NodeHealthState.HEALTHY, "undrain")
+
+    def death_notice(self) -> Event:
+        """The event that fires at the *next* death declaration (the
+        same replaced-event pattern as ``CommWorld.failure_notice``)."""
+        return self._death_event
+
+    def pop_deaths(self) -> List[DeathRecord]:
+        """Drain and return unconsumed death declarations, in order."""
+        deaths, self.pending_deaths = self.pending_deaths, []
+        return deaths
+
+    # -- metrics -----------------------------------------------------------
+
+    def mttd_seconds(self) -> float:
+        """Mean time-to-detect over real detections (NaN when none)."""
+        real = [d.detect_seconds for d in self.deaths
+                if not d.false_positive]
+        if not real:
+            return float("nan")
+        return sum(real) / len(real)
+
+    def outcome(self) -> DetectionOutcome:
+        """Freeze this run's detection measurements."""
+        return DetectionOutcome(
+            detections=tuple(self.deaths),
+            false_suspicions=self.false_suspicions,
+            false_deaths=self.false_deaths,
+            mttd_seconds=self.mttd_seconds(),
+            availability=self.membership.availability(self.sim.now),
+            heartbeats_sent=self.heartbeats_sent,
+            heartbeats_lost=self.heartbeats_lost,
+            heartbeats_delivered=self.heartbeats_delivered,
+            epoch=self.membership.epoch,
+            health_log=tuple(
+                event.line() for event in self.membership.events),
+        )
+
+    def publish(self, obs: Observability) -> None:
+        """Push summary gauges into an observability registry."""
+        if not obs.enabled:
+            return
+        metrics = obs.metrics
+        real = [d for d in self.deaths if not d.false_positive]
+        if real:
+            metrics.gauge("health.mttd_mean_seconds").set(
+                self.mttd_seconds())
+        metrics.gauge("health.deaths").set(float(len(self.deaths)))
+        metrics.gauge("health.false_suspicions").set(
+            float(self.false_suspicions))
+        metrics.gauge("health.false_deaths").set(float(self.false_deaths))
+        metrics.gauge("health.availability").set(
+            self.membership.availability(self.sim.now))
+        metrics.gauge("health.epoch").set(float(self.membership.epoch))
+        metrics.gauge("health.heartbeats.sent").set(
+            float(self.heartbeats_sent))
+        metrics.gauge("health.heartbeats.lost").set(
+            float(self.heartbeats_lost))
+        metrics.gauge("health.heartbeats.delivered").set(
+            float(self.heartbeats_delivered))
+
+    # -- internals ---------------------------------------------------------
+
+    def _transition(self, node: int, new: NodeHealthState,
+                    cause: str) -> HealthEvent:
+        event = self.membership.transition(node, new, self.sim.now, cause)
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.instant("health.transition", node=node,
+                        old=event.old.value, new=event.new.value,
+                        cause=cause)
+            obs.metrics.counter("health.transitions").inc()
+        return event
+
+    def _spawn_sender(self, node: int) -> None:
+        self._senders[node] = self.sim.process(
+            self._sender_body(node), name=f"hb.send{node}")
+
+    def _sender_body(self, node: int) -> Generator[Event, Any, None]:
+        """Process body: emit one heartbeat per interval, staggered per
+        node so the fleet's heartbeats do not collide on the fabric."""
+        interval = self.spec.heartbeat_interval
+        phase = interval * (node + 1) / (self.nodes + 1)
+        try:
+            yield self.sim.timeout(phase)
+            while True:
+                self.heartbeats_sent += 1
+                self.sim.process(self._beat_body(node),
+                                 name=f"hb{node}")
+                yield self.sim.timeout(interval)
+        except Interrupt:
+            return
+
+    def _beat_body(self, node: int) -> Generator[Event, Any, None]:
+        """Process body: one heartbeat transfer node -> monitor host.
+
+        Spawned detached so a crash mid-flight cannot leak fabric
+        resources (the in-flight packet completes or is lost on its
+        own, exactly like application traffic)."""
+        try:
+            yield from self.fabric.transfer(node, self.spec.monitor_host,
+                                            self.spec.heartbeat_bytes)
+        except (TransferDropped, NetworkUnreachable):
+            self.heartbeats_lost += 1
+            return
+        self.heartbeats_delivered += 1
+        self.detector.observe(node, self.sim.now)
+
+    def _check_body(self) -> Generator[Event, Any, None]:
+        """Process body: poll the detector and drive the state machine."""
+        interval = self.spec.effective_check_interval
+        try:
+            while True:
+                yield self.sim.timeout(interval)
+                now = self.sim.now
+                for node in range(self.nodes):
+                    self._check_node(node, now)
+        except Interrupt:
+            return
+
+    def _check_node(self, node: int, now: float) -> None:
+        state = self.membership.state_of(node)
+        if state in (NodeHealthState.DEAD, NodeHealthState.REPAIRING):
+            return
+        verdict = self.detector.assess(node, now)
+        if verdict is Verdict.TRUST:
+            if state is NodeHealthState.SUSPECTED:
+                self._transition(node, NodeHealthState.HEALTHY,
+                                 "heartbeat-resumed")
+            return
+        if state in (NodeHealthState.HEALTHY, NodeHealthState.DRAINING):
+            self._transition(node, NodeHealthState.SUSPECTED,
+                             "missed-heartbeats")
+            if node not in self._crashed:
+                self.false_suspicions += 1
+                obs = self.sim.obs
+                if obs.enabled:
+                    obs.metrics.counter("health.false_suspicions").inc()
+        if verdict is Verdict.DEAD:
+            self._transition(node, NodeHealthState.DEAD, "silence-confirmed")
+            crashed_at = self._crashed.get(node)
+            record = DeathRecord(node=node, declared_at=now,
+                                 crashed_at=crashed_at)
+            self.deaths.append(record)
+            self.pending_deaths.append(record)
+            obs = self.sim.obs
+            if obs.enabled:
+                if crashed_at is None:
+                    obs.metrics.counter("health.false_deaths").inc()
+                else:
+                    obs.metrics.histogram("health.mttd_seconds").observe(
+                        now - crashed_at)
+            if crashed_at is None:
+                self.false_deaths += 1
+            notice, self._death_event = (
+                self._death_event, self.sim.event("node-death"))
+            self._death_event.defused = True
+            notice.succeed(record)

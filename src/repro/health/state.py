@@ -1,0 +1,206 @@
+"""Node health state machine and epoch-numbered membership view.
+
+The detection layer's ground truth about *belief*, never about reality:
+a node is ``DEAD`` here when the detector said so, which may be wrong
+(a partition silenced its heartbeats).  Consumers act on this belief —
+that is the whole point of detection-driven recovery — and the campaign
+layer proves the resulting actions are still safe.
+
+States and legal transitions::
+
+    HEALTHY  -> SUSPECTED   missed heartbeats
+    HEALTHY  -> DRAINING    administrative drain
+    SUSPECTED -> HEALTHY    heartbeats resumed (suspicion refuted)
+    SUSPECTED -> DEAD       detector confirmed the silence
+    DEAD     -> REPAIRING   repair dispatched
+    REPAIRING -> HEALTHY    repair finished, node back in service
+    DRAINING -> HEALTHY     drain cancelled
+    DRAINING -> SUSPECTED   a draining node can still go silent
+
+Every transition bumps a global *epoch*; :meth:`Membership.snapshot`
+publishes an immutable epoch-numbered view, so consumers can cheaply
+detect staleness (``view.epoch != membership.epoch``).  The event log
+renders to a canonical text form (:meth:`Membership.render_log`) that
+the determinism tests byte-compare across runs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+__all__ = [
+    "HealthEvent",
+    "Membership",
+    "MembershipView",
+    "NodeHealthState",
+]
+
+
+class NodeHealthState(enum.Enum):
+    """Where a node sits in the detection layer's belief machine."""
+
+    HEALTHY = "healthy"
+    SUSPECTED = "suspected"
+    DEAD = "dead"
+    REPAIRING = "repairing"
+    DRAINING = "draining"
+
+
+#: Legal transitions (see module docstring for the narrative).
+_ALLOWED: Dict[NodeHealthState, FrozenSet[NodeHealthState]] = {
+    NodeHealthState.HEALTHY: frozenset(
+        {NodeHealthState.SUSPECTED, NodeHealthState.DRAINING}),
+    NodeHealthState.SUSPECTED: frozenset(
+        {NodeHealthState.HEALTHY, NodeHealthState.DEAD}),
+    NodeHealthState.DEAD: frozenset({NodeHealthState.REPAIRING}),
+    NodeHealthState.REPAIRING: frozenset({NodeHealthState.HEALTHY}),
+    NodeHealthState.DRAINING: frozenset(
+        {NodeHealthState.HEALTHY, NodeHealthState.SUSPECTED}),
+}
+
+#: States in which a node can do useful work (a suspected node is still
+#: running; a draining node finishes what it has).
+_AVAILABLE: FrozenSet[NodeHealthState] = frozenset({
+    NodeHealthState.HEALTHY,
+    NodeHealthState.SUSPECTED,
+    NodeHealthState.DRAINING,
+})
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One recorded state transition, renderable deterministically."""
+
+    time: float
+    epoch: int
+    node: int
+    old: NodeHealthState
+    new: NodeHealthState
+    cause: str
+
+    def line(self) -> str:
+        """Canonical one-line rendering (byte-stable across runs)."""
+        return (f"{self.time:.9f} epoch={self.epoch} node={self.node} "
+                f"{self.old.value}->{self.new.value} cause={self.cause}")
+
+
+@dataclass(frozen=True)
+class MembershipView:
+    """Immutable epoch-numbered snapshot of every node's health state."""
+
+    epoch: int
+    time: float
+    states: Tuple[NodeHealthState, ...]
+
+    def state_of(self, node: int) -> NodeHealthState:
+        """The snapshotted state of ``node``."""
+        return self.states[node]
+
+    def is_available(self, node: int) -> bool:
+        """True when ``node`` was believed able to do work."""
+        return self.states[node] in _AVAILABLE
+
+    @property
+    def available_count(self) -> int:
+        """How many nodes were believed able to do work."""
+        return sum(1 for state in self.states if state in _AVAILABLE)
+
+    @property
+    def dead_nodes(self) -> Tuple[int, ...]:
+        """Nodes believed dead, in index order."""
+        return tuple(node for node, state in enumerate(self.states)
+                     if state is NodeHealthState.DEAD)
+
+
+class Membership:
+    """Authoritative per-node health states plus the transition log.
+
+    Single-writer by convention: one monitor (or scheduler) owns the
+    instance and calls :meth:`transition`; everyone else reads
+    snapshots.  Transition times must be non-decreasing — the membership
+    clock is the simulation clock of whoever drives it.
+    """
+
+    def __init__(self, nodes: int, now: float = 0.0) -> None:
+        if nodes < 1:
+            raise ValueError("membership needs at least one node")
+        self.nodes = nodes
+        self.epoch = 0
+        self.events: List[HealthEvent] = []
+        self._states: List[NodeHealthState] = (
+            [NodeHealthState.HEALTHY] * nodes)
+        self._since: List[float] = [now] * nodes
+        self._origin = now
+        self._last_time = now
+        self._seconds: Dict[NodeHealthState, float] = {
+            state: 0.0 for state in NodeHealthState}
+
+    def state_of(self, node: int) -> NodeHealthState:
+        """Current believed state of ``node``."""
+        return self._states[node]
+
+    def is_available(self, node: int) -> bool:
+        """True when ``node`` is currently believed able to do work."""
+        return self._states[node] in _AVAILABLE
+
+    def transition(self, node: int, new: NodeHealthState, now: float,
+                   cause: str) -> HealthEvent:
+        """Move ``node`` to ``new``, record and return the event.
+
+        Raises ``ValueError`` for an illegal transition or a clock that
+        runs backwards — both are supervisor bugs worth failing loudly
+        on, not warnings.
+        """
+        if not 0 <= node < self.nodes:
+            raise IndexError(f"node {node} out of range [0, {self.nodes})")
+        if now < self._last_time:
+            raise ValueError(
+                f"membership clock ran backwards: {now} < {self._last_time}")
+        old = self._states[node]
+        if new not in _ALLOWED[old]:
+            raise ValueError(
+                f"illegal transition {old.value} -> {new.value} for node "
+                f"{node} (cause {cause!r})")
+        self._seconds[old] += now - self._since[node]
+        self._states[node] = new
+        self._since[node] = now
+        self._last_time = now
+        self.epoch += 1
+        event = HealthEvent(time=now, epoch=self.epoch, node=node,
+                            old=old, new=new, cause=cause)
+        self.events.append(event)
+        return event
+
+    def snapshot(self, now: float) -> MembershipView:
+        """Publish the current view, stamped with epoch and time."""
+        return MembershipView(epoch=self.epoch, time=now,
+                              states=tuple(self._states))
+
+    def seconds_in(self, state: NodeHealthState, now: float) -> float:
+        """Cumulative node-seconds spent in ``state`` up to ``now``."""
+        total = self._seconds[state]
+        for node in range(self.nodes):
+            if self._states[node] is state:
+                total += now - self._since[node]
+        return total
+
+    def availability(self, now: float) -> float:
+        """Fraction of node-time spent in work-capable states so far.
+
+        1.0 until the first death; every DEAD/REPAIRING node-second
+        pulls it down.  Returns 1.0 when no time has elapsed.
+        """
+        elapsed = now - self._origin
+        if elapsed <= 0:
+            return 1.0
+        up = sum(self.seconds_in(state, now) for state in _AVAILABLE)
+        return up / (self.nodes * elapsed)
+
+    def render_log(self) -> str:
+        """The transition log in canonical text form (one event per
+        line, trailing newline when non-empty)."""
+        if not self.events:
+            return ""
+        return "\n".join(event.line() for event in self.events) + "\n"

@@ -85,6 +85,7 @@ LAYERS: Dict[str, int] = {
     "nodes": 20,
     "scheduler": 20,
     "cluster": 30,
+    "health": 30,
     "messaging": 30,
     "fault": 35,
     "io": 40,

@@ -24,7 +24,16 @@ event's value (or throws the event's exception into it) when it fires::
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, Iterable, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.obs import DEFAULT_TRACK, NULL_OBS, Observability
 from repro.sim.event import Event, EventStatus, Timeout
@@ -88,6 +97,11 @@ class Process(Event):
         else:
             self._obs_track = DEFAULT_TRACK
             self._obs_span = None
+        # The simulator keeps a strong reference until the generator
+        # finishes: abandoned processes (torn down mid-wait) must never
+        # be reaped by the cyclic collector mid-run, because GeneratorExit
+        # would close their open spans at a GC-dependent instant.
+        sim._live_processes[self] = None
         # Kick off the generator via an immediately-succeeding event.
         bootstrap = Event(sim, f"init:{self.name}")
         bootstrap.add_callback(self._resume)
@@ -164,12 +178,14 @@ class Process(Event):
                 target = self.generator.throw(event._value)
         except StopIteration as stop:
             sim._active_process = None
+            sim._live_processes.pop(self, None)
             if self._obs_span is not None:
                 self._obs_span.close()
             self.succeed(stop.value)
             return
         except BaseException as exc:  # repro: noqa[REP010] - event boundary
             sim._active_process = None
+            sim._live_processes.pop(self, None)
             if self._obs_span is not None:
                 self._obs_span.close("error")
             self.fail(exc)
@@ -181,12 +197,14 @@ class Process(Event):
                 "yield Event instances (use sim.timeout/sim.event)"
             )
             self.generator.close()
+            sim._live_processes.pop(self, None)
             if self._obs_span is not None:
                 self._obs_span.close("error")
             self.fail(SimulationError(message))
             return
         if target.sim is not sim:
             self.generator.close()
+            sim._live_processes.pop(self, None)
             if self._obs_span is not None:
                 self._obs_span.close("error")
             self.fail(SimulationError("yielded event belongs to another simulator"))
@@ -215,6 +233,12 @@ class Simulator:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._sequence = 0
         self._active_process: Optional[Process] = None
+        # Insertion-ordered strong references to unfinished processes.
+        # Without this, a process abandoned mid-wait (its incarnation was
+        # torn down) is reclaimed by the cyclic collector at an
+        # allocation-dependent instant, and GeneratorExit closes its open
+        # spans with GC-dependent timing — breaking trace byte-identity.
+        self._live_processes: Dict[Process, None] = {}
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
         self.obs: Observability = obs if obs is not None else NULL_OBS
         # Cached flag: hot paths branch on a plain attribute, never a
@@ -303,13 +327,19 @@ class Simulator:
         return self._queue[0][0] if self._queue else float("inf")
 
     def run(self, until: Optional[float] = None,
-            max_events: Optional[int] = None) -> float:
-        """Run until the queue empties, ``until`` is reached, or
-        ``max_events`` more events have been delivered.
+            max_events: Optional[int] = None,
+            stop: Optional[Callable[[], bool]] = None) -> float:
+        """Run until the queue empties, ``until`` is reached, ``stop``
+        returns true, or ``max_events`` more events have been delivered.
 
         Returns the final virtual time.  When stopping on ``until``, the
         clock is advanced exactly to ``until`` (events due later stay
         queued), matching the convention measurement code expects.
+        ``stop`` is evaluated between events (never mid-delivery) and
+        leaves the clock where the last event put it — supervisors that
+        watch conditions maintained by perpetual processes (heartbeat
+        monitors keep the queue non-empty forever) use it to regain
+        control the moment the condition holds.
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
@@ -317,6 +347,8 @@ class Simulator:
         run_span = self.obs.span("sim.run", track=DEFAULT_TRACK)
         try:
             while self._queue:
+                if stop is not None and stop():
+                    return self._now
                 if until is not None and self._queue[0][0] > until:
                     self._now = until
                     return self._now
@@ -332,6 +364,28 @@ class Simulator:
             if self._obs_enabled:
                 self.obs.metrics.gauge("sim.events_executed").set(
                     float(self._event_count))
+
+    def quiesce(self) -> int:
+        """Close every unfinished process generator, in spawn order.
+
+        Supervisors call this once, after the last :meth:`run`, so that
+        suspended helper processes (abandoned by a teardown, or parked on
+        an event that will never fire) unwind *deterministically* instead
+        of whenever the garbage collector finds them: ``GeneratorExit``
+        closes any spans still open inside the body with status
+        ``"error"`` at the final clock reading, and the process's own
+        span closes as ``"abandoned"``.  Returns the number of processes
+        closed.  Idempotent; finished processes are never touched.
+        """
+        closed = 0
+        while self._live_processes:
+            process = next(iter(self._live_processes))
+            del self._live_processes[process]
+            process.generator.close()
+            if process._obs_span is not None:
+                process._obs_span.close("abandoned")
+            closed += 1
+        return closed
 
     def run_process(self, generator: Generator[Event, Any, Any],
                     name: str = "") -> Any:

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.messaging",
     "repro.cluster",
     "repro.scheduler",
+    "repro.health",
     "repro.fault",
     "repro.apps",
     "repro.io",
@@ -67,6 +68,8 @@ class TestLayering:
                         "repro.apps"],
         "repro.network": ["repro.messaging", "repro.cluster", "repro.apps"],
         "repro.messaging": ["repro.cluster", "repro.scheduler", "repro.apps"],
+        "repro.health": ["repro.messaging", "repro.cluster", "repro.fault",
+                         "repro.io", "repro.apps"],
         "repro.analysis": ["repro.sim", "repro.network", "repro.messaging",
                            "repro.cluster", "repro.scheduler", "repro.apps"],
     }

@@ -1,0 +1,128 @@
+"""Failure detectors as pure virtual-time functions."""
+
+import pytest
+
+from repro.health import (
+    FixedTimeoutDetector,
+    PhiAccrualDetector,
+    Verdict,
+)
+
+
+class TestFixedTimeout:
+    def make(self):
+        return FixedTimeoutDetector(suspect_after=3.0, dead_after=8.0)
+
+    def test_thresholds(self):
+        d = self.make()
+        d.observe(0, 10.0)
+        assert d.assess(0, 12.0) is Verdict.TRUST
+        assert d.assess(0, 13.0) is Verdict.SUSPECT
+        assert d.assess(0, 17.9) is Verdict.SUSPECT
+        assert d.assess(0, 18.0) is Verdict.DEAD
+
+    def test_arrival_restarts_the_clock(self):
+        d = self.make()
+        d.observe(0, 0.0)
+        assert d.assess(0, 5.0) is Verdict.SUSPECT
+        d.observe(0, 5.0)
+        assert d.assess(0, 7.0) is Verdict.TRUST
+
+    def test_unknown_node_is_trusted(self):
+        assert self.make().assess(9, 100.0) is Verdict.TRUST
+
+    def test_reset_grants_grace_period(self):
+        d = self.make()
+        d.observe(0, 0.0)
+        assert d.assess(0, 20.0) is Verdict.DEAD
+        d.reset(0, 20.0)
+        assert d.assess(0, 21.0) is Verdict.TRUST
+
+    def test_per_node_isolation(self):
+        d = self.make()
+        d.observe(0, 0.0)
+        d.observe(1, 9.0)
+        assert d.assess(0, 10.0) is Verdict.DEAD
+        assert d.assess(1, 10.0) is Verdict.TRUST
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedTimeoutDetector(suspect_after=0.0, dead_after=1.0)
+        with pytest.raises(ValueError):
+            FixedTimeoutDetector(suspect_after=2.0, dead_after=1.0)
+
+
+class TestPhiAccrual:
+    def make(self, **kwargs):
+        base = dict(bootstrap_interval=1.0, suspect_phi=1.5,
+                    dead_phi=3.0, window=4)
+        base.update(kwargs)
+        return PhiAccrualDetector(**base)
+
+    def test_phi_grows_with_silence(self):
+        d = self.make()
+        d.observe(0, 0.0)
+        levels = [d.phi(0, t) for t in (0.0, 1.0, 3.0, 9.0)]
+        assert levels[0] == 0.0
+        assert levels == sorted(levels)
+        assert levels[-1] > 3.0
+
+    def test_verdicts_threshold_phi(self):
+        d = self.make()
+        d.observe(0, 0.0)
+        assert d.assess(0, 1.0) is Verdict.TRUST
+        # phi = t * log10(e): suspect at ~3.45, dead at ~6.9.
+        assert d.assess(0, 4.0) is Verdict.SUSPECT
+        assert d.assess(0, 8.0) is Verdict.DEAD
+
+    def test_bootstrap_until_two_gaps(self):
+        d = self.make(bootstrap_interval=10.0)
+        d.observe(0, 0.0)
+        d.observe(0, 1.0)  # one gap: still on the bootstrap mean
+        assert d.assess(0, 5.0) is Verdict.TRUST
+        d.observe(0, 2.0)  # second gap: observed mean (1.0) takes over
+        assert d.assess(0, 10.0) is Verdict.DEAD
+
+    def test_jittery_network_earns_patience(self):
+        """The same silence is judged against the observed cadence: a
+        node heartbeating every 4 s is trusted where a 1 s node is
+        already suspect."""
+        d = self.make()
+        for t in (0, 1, 2, 3, 4):
+            d.observe(0, float(t))
+            d.observe(1, float(t) * 4.0)
+        silence = 5.0
+        assert d.phi(0, 4.0 + silence) > d.phi(1, 16.0 + silence)
+
+    def test_window_forgets_old_gaps(self):
+        d = self.make(window=2)
+        d.observe(0, 0.0)
+        d.observe(0, 10.0)
+        d.observe(0, 20.0)
+        for t in (21.0, 22.0, 23.0):
+            d.observe(0, t)
+        # The 10 s gaps have rolled out of the window; the mean is 1 s.
+        assert d.assess(0, 31.0) is Verdict.DEAD
+
+    def test_reset_forgets_history(self):
+        d = self.make(bootstrap_interval=5.0)
+        for t in (0.0, 0.1, 0.2, 0.3):
+            d.observe(0, t)
+        assert d.assess(0, 1.0) is Verdict.DEAD
+        d.reset(0, 1.0)
+        assert d.assess(0, 2.0) is Verdict.TRUST
+
+    def test_fresh_node_phi_zero(self):
+        d = self.make()
+        assert d.phi(0, 50.0) == 0.0
+        assert d.assess(0, 50.0) is Verdict.TRUST
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(bootstrap_interval=0.0)
+        with pytest.raises(ValueError):
+            self.make(suspect_phi=0.0)
+        with pytest.raises(ValueError):
+            self.make(suspect_phi=3.0, dead_phi=1.0)
+        with pytest.raises(ValueError):
+            self.make(window=1)

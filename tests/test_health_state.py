@@ -1,0 +1,135 @@
+"""Node health state machine: legal transitions, epochs, accounting."""
+
+import pytest
+
+from repro.health import HealthEvent, Membership, NodeHealthState
+
+
+class TestTransitions:
+    def test_full_failure_lifecycle(self):
+        m = Membership(2)
+        m.transition(0, NodeHealthState.SUSPECTED, 1.0, "missed-heartbeats")
+        m.transition(0, NodeHealthState.DEAD, 2.0, "silence-confirmed")
+        m.transition(0, NodeHealthState.REPAIRING, 2.0, "repair")
+        m.transition(0, NodeHealthState.HEALTHY, 5.0, "repaired")
+        assert m.state_of(0) is NodeHealthState.HEALTHY
+        assert m.state_of(1) is NodeHealthState.HEALTHY
+        assert m.epoch == 4
+
+    def test_suspicion_refuted(self):
+        m = Membership(1)
+        m.transition(0, NodeHealthState.SUSPECTED, 1.0, "missed-heartbeats")
+        event = m.transition(0, NodeHealthState.HEALTHY, 1.5,
+                             "heartbeat-resumed")
+        assert event.old is NodeHealthState.SUSPECTED
+        assert event.new is NodeHealthState.HEALTHY
+
+    def test_drain_cycle_and_draining_can_go_silent(self):
+        m = Membership(1)
+        m.transition(0, NodeHealthState.DRAINING, 1.0, "drain")
+        m.transition(0, NodeHealthState.HEALTHY, 2.0, "undrain")
+        m.transition(0, NodeHealthState.DRAINING, 3.0, "drain")
+        m.transition(0, NodeHealthState.SUSPECTED, 4.0, "missed-heartbeats")
+        assert m.state_of(0) is NodeHealthState.SUSPECTED
+
+    @pytest.mark.parametrize("old,new", [
+        (NodeHealthState.HEALTHY, NodeHealthState.DEAD),
+        (NodeHealthState.HEALTHY, NodeHealthState.REPAIRING),
+        (NodeHealthState.DEAD, NodeHealthState.HEALTHY),
+        (NodeHealthState.DEAD, NodeHealthState.SUSPECTED),
+        (NodeHealthState.REPAIRING, NodeHealthState.DEAD),
+        (NodeHealthState.SUSPECTED, NodeHealthState.DRAINING),
+    ])
+    def test_illegal_transitions_raise(self, old, new):
+        m = Membership(1)
+        path = {
+            NodeHealthState.HEALTHY: [],
+            NodeHealthState.SUSPECTED: [NodeHealthState.SUSPECTED],
+            NodeHealthState.DEAD: [NodeHealthState.SUSPECTED,
+                                   NodeHealthState.DEAD],
+            NodeHealthState.REPAIRING: [NodeHealthState.SUSPECTED,
+                                        NodeHealthState.DEAD,
+                                        NodeHealthState.REPAIRING],
+        }[old]
+        for step, state in enumerate(path):
+            m.transition(0, state, float(step), "setup")
+        with pytest.raises(ValueError, match="illegal transition"):
+            m.transition(0, new, 10.0, "bad")
+
+    def test_backwards_clock_raises(self):
+        m = Membership(1)
+        m.transition(0, NodeHealthState.SUSPECTED, 2.0, "x")
+        with pytest.raises(ValueError, match="backwards"):
+            m.transition(0, NodeHealthState.HEALTHY, 1.0, "y")
+
+    def test_node_out_of_range(self):
+        m = Membership(2)
+        with pytest.raises(IndexError):
+            m.transition(2, NodeHealthState.SUSPECTED, 0.0, "x")
+
+    def test_needs_a_node(self):
+        with pytest.raises(ValueError):
+            Membership(0)
+
+
+class TestSnapshots:
+    def test_snapshot_is_epoch_stamped_and_immutable(self):
+        m = Membership(3)
+        view = m.snapshot(0.0)
+        assert view.epoch == 0
+        assert view.available_count == 3
+        m.transition(1, NodeHealthState.SUSPECTED, 1.0, "x")
+        m.transition(1, NodeHealthState.DEAD, 2.0, "y")
+        assert view.epoch != m.epoch  # staleness is cheaply detectable
+        fresh = m.snapshot(2.0)
+        assert fresh.epoch == 2
+        assert fresh.dead_nodes == (1,)
+        assert not fresh.is_available(1)
+        assert fresh.available_count == 2
+
+    def test_suspected_and_draining_count_as_available(self):
+        m = Membership(2)
+        m.transition(0, NodeHealthState.SUSPECTED, 1.0, "x")
+        m.transition(1, NodeHealthState.DRAINING, 1.0, "x")
+        assert m.is_available(0) and m.is_available(1)
+
+
+class TestAccounting:
+    def test_seconds_in_and_availability(self):
+        m = Membership(2)
+        m.transition(0, NodeHealthState.SUSPECTED, 1.0, "x")
+        m.transition(0, NodeHealthState.DEAD, 2.0, "y")
+        m.transition(0, NodeHealthState.REPAIRING, 2.0, "z")
+        m.transition(0, NodeHealthState.HEALTHY, 4.0, "w")
+        # Node 0: healthy [0,1)+[4,10), suspected [1,2), repairing [2,4).
+        assert m.seconds_in(NodeHealthState.SUSPECTED, 10.0) == \
+            pytest.approx(1.0)
+        assert m.seconds_in(NodeHealthState.REPAIRING, 10.0) == \
+            pytest.approx(2.0)
+        assert m.seconds_in(NodeHealthState.HEALTHY, 10.0) == \
+            pytest.approx(17.0)
+        # 2 node-seconds down out of 20.
+        assert m.availability(10.0) == pytest.approx(0.9)
+
+    def test_availability_one_before_time_passes(self):
+        assert Membership(4).availability(0.0) == 1.0
+
+
+class TestEventLog:
+    def test_line_format_is_canonical(self):
+        event = HealthEvent(time=1.25, epoch=3, node=7,
+                            old=NodeHealthState.SUSPECTED,
+                            new=NodeHealthState.DEAD,
+                            cause="silence-confirmed")
+        assert event.line() == ("1.250000000 epoch=3 node=7 "
+                                "suspected->dead cause=silence-confirmed")
+
+    def test_render_log_round(self):
+        m = Membership(1)
+        assert m.render_log() == ""
+        m.transition(0, NodeHealthState.SUSPECTED, 1.0, "x")
+        m.transition(0, NodeHealthState.HEALTHY, 2.0, "y")
+        rendered = m.render_log()
+        assert rendered.endswith("\n")
+        assert len(rendered.splitlines()) == 2
+        assert rendered.splitlines()[0] == m.events[0].line()

@@ -68,7 +68,7 @@ def assert_well_formed(obs):
         by_id[span.span_id] = span
 
     for span in obs.spans:
-        assert span.status in ("ok", "error", "open")
+        assert span.status in ("ok", "error", "open", "abandoned")
         assert not math.isnan(span.start) and not math.isnan(span.end)
         assert span.end >= span.start, f"negative span: {span}"
         if span.parent_id is not None:

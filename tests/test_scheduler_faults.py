@@ -146,6 +146,82 @@ class TestFailureSemantics:
             FaultyBatchSimulator(4, get_policy("fcfs"), 1e6).run([])
 
 
+class TestEdgeCases:
+    """Deterministic single-event scenarios, built by replaying the
+    simulator's RNG stream (first draw = first failure time, a gap draw
+    precedes the struck-in-use uniform) to place strikes exactly."""
+
+    def draws(self, seed, mtbf, total_nodes):
+        rng = RandomStreams(seed).get("scheduler.failures")
+        mean = mtbf / total_nodes
+        first = float(rng.exponential(mean))
+        gap = float(rng.exponential(mean))
+        return first, first + gap
+
+    def test_idle_node_strike_kills_nothing(self):
+        """A failure with nothing running must strike idle: capacity
+        dips, no job dies, no work is lost."""
+        mtbf, total = 40_000.0, 4
+        first, second = self.draws(0, mtbf, total)
+        assert second > first + 102.0  # only the first strike matters
+        # Submit mid-repair: the machine is idle at the strike.
+        job = Job(0, first + 0.5, nodes=4, runtime=100.0, estimate=100.0)
+        result = FaultyBatchSimulator(
+            total, get_policy("fcfs"), node_mtbf_seconds=mtbf,
+            repair_seconds=1.0, streams=RandomStreams(0)).run([job])
+        assert result.failures == 1
+        assert result.job_kills == 0
+        assert result.lost_node_seconds == 0.0
+        # The full-width job waits out the 1 s repair, nothing more.
+        assert result.completions[0][1] == pytest.approx(
+            first + 1.0 + 100.0)
+
+    def test_repair_same_instant_as_completion(self):
+        """A repair landing at the exact instant a job completes: both
+        events batch before the scheduling pass, so a full-width
+        successor starts immediately — no deadlock, no overcommit."""
+        mtbf, total = 1_000_000.0, 2
+        first, second = self.draws(0, mtbf, total)
+        submit = first + 10.0       # strike lands while all is idle
+        completion = submit + 50.0  # job 0: one node, 50 s
+        repair = completion - first  # repair ends exactly at completion
+        assert second > completion + 100.0
+        jobs = [Job(0, submit, nodes=1, runtime=50.0, estimate=50.0),
+                Job(1, completion, nodes=2, runtime=30.0, estimate=30.0)]
+        result = FaultyBatchSimulator(
+            total, get_policy("fcfs"), node_mtbf_seconds=mtbf,
+            repair_seconds=repair, streams=RandomStreams(0)).run(jobs)
+        assert result.failures == 1
+        assert result.job_kills == 0
+        assert result.completions[0][1] == pytest.approx(completion)
+        # Job 1 needs both nodes; they are whole again at its arrival.
+        assert result.completions[1][1] == pytest.approx(completion + 30.0)
+
+    def test_stale_generation_completion_is_ignored(self):
+        """A killed attempt's completion event still sits in the heap;
+        when it fires during the restarted attempt it must be discarded
+        by the generation check, not complete the job early."""
+        mtbf, total = 20_000.0, 1
+        first, second = self.draws(1, mtbf, total)
+        runtime = first + 5_000.0   # strike lands mid-run
+        repair = 100.0
+        restart_done = first + repair + runtime
+        assert second > restart_done
+        # The only node is struck while the job runs, so the original
+        # completion event (at ``runtime``) fires inside the restarted
+        # attempt's window whenever repair < 5000.
+        job = Job(0, 0.0, nodes=1, runtime=runtime, estimate=runtime)
+        result = FaultyBatchSimulator(
+            total, get_policy("fcfs"), node_mtbf_seconds=mtbf,
+            repair_seconds=repair, streams=RandomStreams(1)).run([job])
+        assert result.job_kills == 1
+        assert result.completions[0][1] == pytest.approx(restart_done)
+        # No checkpoint: the whole first attempt is lost, and goodput
+        # credits the second attempt exactly once.
+        assert result.lost_node_seconds == pytest.approx(first)
+        assert result.goodput_node_seconds == pytest.approx(runtime)
+
+
 class TestDegradedScheduling:
     def test_policies_work_degraded(self):
         """Every policy keeps functioning while nodes are down (the
