@@ -10,7 +10,8 @@
     python -m repro campaign --kernel summa [--ranks 4] [--faults 3]
     python -m repro health [--detector fixed|phi] [--seed 7]
     python -m repro trace campaign [--out trace.json]
-    python -m repro lint [--format text|json] [--baseline FILE]
+    python -m repro detsan campaign|app [--kernel summa] [--seed 7]
+    python -m repro lint [-j N] [--format text|json] [--baseline FILE]
 
 Each subcommand prints one of the library's standard tables; the full
 experiment suite lives in ``benchmarks/`` (pytest-benchmark).
@@ -280,6 +281,45 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_detsan(args: argparse.Namespace) -> int:
+    """Run the same workload twice with one seed under the determinism
+    sanitizer; report the first divergent scheduling decision (if any).
+
+    Exit status 0 means the two runs folded byte-identical digests over
+    the same number of events — the workload is same-seed deterministic
+    at the scheduling level.  Non-zero prints the first divergent event
+    with process and span attribution.
+    """
+    from repro.fault.campaign import run_workload
+    from repro.obs import Observability
+    from repro.sim.detsan import DetSanRecorder, first_divergence
+
+    with_faults = args.mode == "campaign"
+    spec = _campaign_spec(args, with_faults=with_faults)
+    recorders = []
+    obs = None
+    for _ in range(2):
+        recorder = DetSanRecorder()
+        obs = Observability()
+        run_workload(spec, faults_enabled=with_faults, obs=obs,
+                     detsan=recorder)
+        obs.finalize()
+        recorders.append(recorder)
+    first, second = recorders
+    divergence = first_divergence(first, second, obs=obs)
+    if divergence is None:
+        print(f"detsan {args.mode} {spec.kernel!r}: deterministic — "
+              f"{first.events_folded} event(s), digest "
+              f"{first.digest[:16]}..., two same-seed runs identical")
+        return 0
+    print(f"detsan {args.mode} {spec.kernel!r}: NONDETERMINISTIC — "
+          f"run A folded {first.events_folded} event(s) "
+          f"(digest {first.digest[:16]}...), run B "
+          f"{second.events_folded} (digest {second.digest[:16]}...)")
+    print(divergence.describe())
+    return 1
+
+
 def _cmd_fabrics(args: argparse.Namespace) -> int:
     """Price the fabric design alternatives for a host count."""
     from repro.network import compare_fabrics, get_interconnect
@@ -420,36 +460,46 @@ def build_parser() -> argparse.ArgumentParser:
                              "death declaration")
     health.set_defaults(func=_cmd_health)
 
+    def add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+        """Shared mode + campaign-shape options (trace and detsan)."""
+        parser.add_argument("mode", choices=("campaign", "app"),
+                            help="campaign = standard fault campaign; "
+                                 "app = same kernel, failure-free")
+        parser.add_argument("--kernel", default="summa",
+                            help="registered kernel name (summa, stencil2d)")
+        parser.add_argument("--ranks", type=int, default=4)
+        parser.add_argument("--faults", type=int, default=3,
+                            help="number of scheduled node faults")
+        parser.add_argument("--first-fault", type=float, default=6e-4,
+                            help="virtual seconds until the first fault")
+        parser.add_argument("--seed", type=int, default=7)
+        parser.add_argument("--no-link-faults", dest="link_faults",
+                            action="store_false",
+                            help="skip the default link down windows")
+        parser.add_argument("--detector", default="none",
+                            choices=("none", "fixed", "phi"),
+                            help="none = oracle recovery; fixed/phi = "
+                                 "heartbeat-detected recovery")
+        parser.add_argument("--heartbeat", type=float, default=1e-4,
+                            help="heartbeat interval in virtual seconds")
+        parser.add_argument("--detect-timeout", type=float, default=None,
+                            help="dead-declaration silence threshold "
+                                 "(default 6 heartbeat intervals)")
+
     trace = sub.add_parser(
         "trace", help="Chrome trace + metrics dump of an instrumented run")
-    trace.add_argument("mode", choices=("campaign", "app"),
-                       help="campaign = standard fault campaign; "
-                            "app = same kernel, failure-free")
-    trace.add_argument("--kernel", default="summa",
-                       help="registered kernel name (summa, stencil2d)")
-    trace.add_argument("--ranks", type=int, default=4)
-    trace.add_argument("--faults", type=int, default=3,
-                       help="number of scheduled node faults")
-    trace.add_argument("--first-fault", type=float, default=6e-4,
-                       help="virtual seconds until the first fault")
-    trace.add_argument("--seed", type=int, default=7)
-    trace.add_argument("--no-link-faults", dest="link_faults",
-                       action="store_false",
-                       help="skip the default link down windows")
-    trace.add_argument("--detector", default="none",
-                       choices=("none", "fixed", "phi"),
-                       help="none = oracle recovery; fixed/phi = "
-                            "heartbeat-detected recovery")
-    trace.add_argument("--heartbeat", type=float, default=1e-4,
-                       help="heartbeat interval in virtual seconds")
-    trace.add_argument("--detect-timeout", type=float, default=None,
-                       help="dead-declaration silence threshold "
-                            "(default 6 heartbeat intervals)")
+    add_workload_arguments(trace)
     trace.add_argument("--out", default="trace.json",
                        help="Chrome trace_event JSON output path")
     trace.add_argument("--metrics-out", default="metrics.txt",
                        help="plain-text metrics dump output path")
     trace.set_defaults(func=_cmd_trace)
+
+    detsan = sub.add_parser(
+        "detsan", help="determinism sanitizer: same-seed double run, "
+                       "report the first divergent event")
+    add_workload_arguments(detsan)
+    detsan.set_defaults(func=_cmd_detsan)
 
     faults = sub.add_parser("faults", help="reliability at a scale")
     faults.add_argument("--nodes", type=int, required=True)

@@ -50,6 +50,7 @@ from repro.network.technologies import get_interconnect
 from repro.network.topology import FatTreeTopology, Node
 from repro.obs import NULL_OBS, Observability
 from repro.sim.causes import AbortCause, FailureCause
+from repro.sim.detsan import DetSanRecorder
 from repro.sim.engine import Process, SimulationError, Simulator
 from repro.sim.rng import RandomStreams
 
@@ -485,21 +486,23 @@ def _publish_run_metrics(obs: Observability, incarnations: int,
 
 
 def _run_once(spec: CampaignSpec, faults_enabled: bool,
-              obs: Optional[Observability] = None) -> RunOutcome:
+              obs: Optional[Observability] = None,
+              detsan: Optional[DetSanRecorder] = None) -> RunOutcome:
     """Execute the campaign workload once, with or without faults.
 
     When the spec carries a :class:`~repro.health.monitor.DetectionSpec`
     and faults are enabled, recovery is detection-driven (see
     :func:`_run_detected`); the clean reference always runs oracle-free,
     which strengthens the bit-identity check — the detector may change
-    *when* recovery happens, never *what* is computed.
+    *when* recovery happens, never *what* is computed.  ``detsan``
+    attaches a determinism sanitizer to the run's simulator.
     """
     if obs is None:
         obs = NULL_OBS
     if faults_enabled and spec.detection is not None:
-        return _run_detected(spec, obs)
+        return _run_detected(spec, obs, detsan=detsan)
     streams = RandomStreams(seed=spec.seed)
-    sim = Simulator(obs=obs)
+    sim = Simulator(obs=obs, detsan=detsan)
     topology = spec.topology()
     plan = (_build_plan(spec, streams, topology)
             if faults_enabled else None)
@@ -628,7 +631,8 @@ _DETECTION_MAX_EVENTS = 5_000_000
 _DETECTION_CHUNK_EVENTS = 100_000
 
 
-def _run_detected(spec: CampaignSpec, obs: Observability) -> RunOutcome:
+def _run_detected(spec: CampaignSpec, obs: Observability,
+                  detsan: Optional[DetSanRecorder] = None) -> RunOutcome:
     """Execute the faulty run with detector-driven recovery.
 
     The supervisor has no oracle: a scheduled node fault only *stops the
@@ -642,7 +646,7 @@ def _run_detected(spec: CampaignSpec, obs: Observability) -> RunOutcome:
     detection = spec.detection
     assert detection is not None
     streams = RandomStreams(seed=spec.seed)
-    sim = Simulator(obs=obs)
+    sim = Simulator(obs=obs, detsan=detsan)
     topology = spec.topology()
     plan = _build_plan(spec, streams, topology)
     fabric = Fabric(sim, topology, get_interconnect(spec.technology),
@@ -815,14 +819,18 @@ def _run_detected(spec: CampaignSpec, obs: Observability) -> RunOutcome:
 
 
 def run_workload(spec: CampaignSpec, *, faults_enabled: bool = True,
-                 obs: Optional[Observability] = None) -> RunOutcome:
+                 obs: Optional[Observability] = None,
+                 detsan: Optional[DetSanRecorder] = None) -> RunOutcome:
     """Execute the campaign workload once (no clean-reference replay).
 
-    The single-run entry point the ``trace`` CLI uses: pass an
-    :class:`~repro.obs.Observability` to capture spans and metrics for
-    export without paying for the verification rerun.
+    The single-run entry point the ``trace`` and ``detsan`` CLIs use:
+    pass an :class:`~repro.obs.Observability` to capture spans and
+    metrics for export, and/or a
+    :class:`~repro.sim.detsan.DetSanRecorder` to sanitize the run,
+    without paying for the verification rerun.
     """
-    return _run_once(spec, faults_enabled=faults_enabled, obs=obs)
+    return _run_once(spec, faults_enabled=faults_enabled, obs=obs,
+                     detsan=detsan)
 
 
 def run_campaign(spec: CampaignSpec,

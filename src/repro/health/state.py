@@ -195,7 +195,10 @@ class Membership:
         elapsed = now - self._origin
         if elapsed <= 0:
             return 1.0
-        up = sum(self.seconds_in(state, now) for state in _AVAILABLE)
+        # Float addition is order-sensitive and frozenset iteration
+        # order is identity-derived: sum in a fixed state order.
+        up = sum(self.seconds_in(state, now)
+                 for state in sorted(_AVAILABLE, key=lambda s: s.value))
         return up / (self.nodes * elapsed)
 
     def render_log(self) -> str:

@@ -5,7 +5,9 @@ outside: every stochastic draw flows through
 :class:`~repro.sim.rng.RandomStreams`, every quantity is in base SI units
 via :mod:`repro.units`, simulated time never reads the wall clock, and
 the DESIGN.md layering holds.  This package machine-checks those
-conventions (REP001-REP010) instead of trusting comments:
+conventions (REP001-REP013) instead of trusting comments — file-scope
+rules per module, plus whole-program dataflow rules
+(:mod:`repro.lint.dataflow`) that follow symbols across imports:
 
 * ``python -m repro lint`` — run the checker (see :mod:`repro.lint.cli`);
   warm runs are incremental via a content-hash cache
@@ -22,6 +24,7 @@ from repro.lint.cache import (
     LintCache,
     rule_fingerprint,
 )
+from repro.lint.dataflow import SymbolGraph
 from repro.lint.engine import (
     ENGINE_VERSION,
     ERROR,
@@ -30,14 +33,17 @@ from repro.lint.engine import (
     ImportMap,
     LintResult,
     ModuleInfo,
+    ProjectRule,
     Rule,
     RuleVisitor,
     apply_baseline,
     iter_python_files,
     lint_module,
+    lint_module_project,
     lint_paths,
     load_baseline,
     resolve_dotted,
+    tree_fingerprint,
     write_baseline,
 )
 from repro.lint.rules import LAYERS, RULES, get_rules
@@ -53,16 +59,20 @@ __all__ = [
     "LintCache",
     "LintResult",
     "ModuleInfo",
+    "ProjectRule",
     "RULES",
     "Rule",
     "RuleVisitor",
+    "SymbolGraph",
     "apply_baseline",
     "get_rules",
     "iter_python_files",
     "lint_module",
+    "lint_module_project",
     "lint_paths",
     "load_baseline",
     "resolve_dotted",
     "rule_fingerprint",
+    "tree_fingerprint",
     "write_baseline",
 ]

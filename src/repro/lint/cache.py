@@ -65,6 +65,28 @@ def _content_digest(source: str) -> str:
     return hashlib.sha256(source.encode("utf-8")).hexdigest()
 
 
+def _decode_findings(raw: object) -> Optional[List[Finding]]:
+    """Decode a stored findings list; ``None`` on any malformation."""
+    if not isinstance(raw, list):
+        return None
+    findings: List[Finding] = []
+    for item in raw:
+        if not isinstance(item, dict):
+            return None
+        try:
+            findings.append(Finding(
+                path=str(item["path"]),
+                line=int(item["line"]),
+                column=int(item["column"]),
+                rule=str(item["rule"]),
+                message=str(item["message"]),
+                severity=str(item["severity"]),
+            ))
+        except (KeyError, TypeError, ValueError):
+            return None
+    return findings
+
+
 class LintCache:
     """Per-file findings keyed by content hash, rule set, engine version.
 
@@ -101,7 +123,7 @@ class LintCache:
             self._files = files
 
     def get(self, rel: str, source: str) -> Optional[List[Finding]]:
-        """Cached findings for ``rel`` at this exact content, or ``None``.
+        """Cached file-scope findings for ``rel`` at this content, or None.
 
         Returns ``None`` (a miss) when the file is unknown, its content
         hash differs, or the stored entry is malformed in any way.
@@ -111,31 +133,48 @@ class LintCache:
             return None
         if entry.get("sha256") != _content_digest(source):
             return None
-        raw = entry.get("findings")
-        if not isinstance(raw, list):
+        return _decode_findings(entry.get("findings"))
+
+    def get_project(self, rel: str, source: str,
+                    tree: str) -> Optional[List[Finding]]:
+        """Cached project-scope findings for ``rel``, or ``None``.
+
+        Project findings depend on the *whole* scanned tree, so the entry
+        is additionally keyed by the tree fingerprint
+        (:func:`repro.lint.engine.tree_fingerprint`): any file changing
+        anywhere misses every project entry at once.
+        """
+        entry = self._files.get(rel)
+        if not isinstance(entry, dict):
             return None
-        findings: List[Finding] = []
-        for item in raw:
-            if not isinstance(item, dict):
-                return None
-            try:
-                findings.append(Finding(
-                    path=str(item["path"]),
-                    line=int(item["line"]),
-                    column=int(item["column"]),
-                    rule=str(item["rule"]),
-                    message=str(item["message"]),
-                    severity=str(item["severity"]),
-                ))
-            except (KeyError, TypeError, ValueError):
-                return None
-        return findings
+        if entry.get("sha256") != _content_digest(source):
+            return None
+        project = entry.get("project")
+        if not isinstance(project, dict) or project.get("tree") != tree:
+            return None
+        return _decode_findings(project.get("findings"))
 
     def put(self, rel: str, source: str,
             findings: Sequence[Finding]) -> None:
-        """Record ``findings`` for ``rel`` at this content."""
+        """Record file-scope ``findings`` for ``rel`` at this content."""
         self._files[rel] = {
             "sha256": _content_digest(source),
+            "findings": [f.as_dict() for f in sorted(findings)],
+        }
+        self._dirty = True
+
+    def put_project(self, rel: str, source: str, tree: str,
+                    findings: Sequence[Finding]) -> None:
+        """Record project-scope ``findings`` for ``rel`` at this tree."""
+        digest = _content_digest(source)
+        entry = self._files.get(rel)
+        if not isinstance(entry, dict) or entry.get("sha256") != digest:
+            # No matching file-scope entry (shouldn't happen in a normal
+            # run): store a null findings list so get() still misses.
+            entry = {"sha256": digest, "findings": None}
+            self._files[rel] = entry
+        entry["project"] = {
+            "tree": tree,
             "findings": [f.as_dict() for f in sorted(findings)],
         }
         self._dirty = True

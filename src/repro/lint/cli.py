@@ -8,6 +8,7 @@
     python -m repro lint --write-baseline        # grandfather current findings
     python -m repro lint --no-baseline           # ignore the baseline file
     python -m repro lint --no-cache              # ignore the incremental cache
+    python -m repro lint -j 4                    # cold checks on 4 processes
     python -m repro lint --stats                 # report hits + wall time
     python -m repro lint --list-rules            # print the rule catalog
     python -m repro lint path/to/file.py ...     # explicit targets
@@ -87,6 +88,10 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help=f"cache directory (default: {CACHE_DIR_NAME} "
                              f"at the lint root)")
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="worker processes for cold file checks "
+                             "(0 = one per CPU; findings are identical "
+                             "to a serial run)")
     parser.add_argument("--stats", action="store_true",
                         help="report files scanned, cache hits, and wall "
                              "time")
@@ -101,6 +106,7 @@ def _stats_dict(result: LintResult, elapsed: float) -> dict:
         "files_scanned": scanned,
         "cache_hits": hits,
         "cache_hit_rate": round(hits / scanned, 4) if scanned else 0.0,
+        "project_cache_hits": result.project_cache_hits,
         "wall_time_seconds": round(elapsed, 6),
     }
 
@@ -173,13 +179,24 @@ def run(args: argparse.Namespace) -> int:
         cache_dir = args.cache_dir or (root / CACHE_DIR_NAME)
         cache = LintCache(cache_dir, rules)
 
+    jobs = args.jobs
+    if jobs == 0:
+        import os
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        print(f"error: --jobs must be >= 0, got {args.jobs}",
+              file=sys.stderr)
+        return 2
+
     if args.write_baseline:
-        raw = lint_paths(paths, root, rules, baseline=None, cache=cache)
+        raw = lint_paths(paths, root, rules, baseline=None, cache=cache,
+                         jobs=jobs)
         write_baseline(baseline_path, raw.findings)
         print(f"wrote {len(raw.findings)} finding(s) to {baseline_path}")
         return 0
 
-    result = lint_paths(paths, root, rules, baseline=baseline, cache=cache)
+    result = lint_paths(paths, root, rules, baseline=baseline, cache=cache,
+                        jobs=jobs)
     elapsed = time.perf_counter() - started  # repro: noqa[REP002] see above: wall time of the lint run itself
     stats_elapsed = elapsed if args.stats else None
     note = f", {result.baselined} baselined" if result.baselined else ""

@@ -1,0 +1,795 @@
+"""Whole-program dataflow rules: the determinism half of the linter.
+
+The file-scope rules (REP001–REP010) check invariants an AST can prove
+one module at a time.  This module adds a second, *project* phase: a
+:class:`SymbolGraph` built from every scanned module — module-level
+definitions classified by value kind, import edges resolved through
+:class:`~repro.lint.engine.ImportMap`, and an approximate call graph —
+plus three flow-sensitive rules that walk each module with a per-scope
+kind environment:
+
+* **REP011** (:class:`UnorderedIterationRule`) — iteration whose order
+  the runtime does not define: ``for x in some_set``, comprehensions
+  over sets (including sets imported from another module), and unsorted
+  filesystem enumeration (``os.listdir``, ``glob.glob``,
+  ``Path.iterdir`` …) escaping without a ``sorted(...)`` wrapper.
+* **REP012** (:class:`RngAliasRule`) — RNG-stream aliasing: a
+  generator derived from :class:`~repro.sim.rng.RandomStreams` stored
+  in a module-level global (every importer perturbs one shared stream
+  state), or one local generator threaded into two or more process
+  spawns (the call graph decides what "spawns" means, so indirection
+  through a helper does not hide it).
+* **REP013** (:class:`IdentityOrderRule`) — identity-dependent
+  ordering: ``id()`` / ``hash()`` (or explicit ``object.__hash__`` /
+  ``object.__repr__``) in sort keys, heap entries, or dict keys.
+  ``id()`` depends on allocation addresses and ``hash(str)`` is salted
+  per process, so any ordering derived from them differs run to run.
+
+The classification lattice is deliberately coarse — ``set``,
+``fs-order``, ``rng-streams``, ``rng-generator``, ``ordered``,
+``unknown`` — and statements are interpreted in source order per scope
+(no fixpoint).  That trades completeness for zero false positives on
+idiomatic code: ``sorted(s)`` launders a set into an ordered sequence,
+``list(s)`` does not.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import (
+    ERROR,
+    Finding,
+    ModuleInfo,
+    ProjectRule,
+    resolve_dotted,
+)
+
+__all__ = [
+    "KIND_FS",
+    "KIND_GENERATOR",
+    "KIND_ORDERED",
+    "KIND_SET",
+    "KIND_STREAMS",
+    "KIND_UNKNOWN",
+    "FunctionInfo",
+    "GlobalSymbol",
+    "IdentityOrderRule",
+    "RngAliasRule",
+    "SymbolGraph",
+    "UnorderedIterationRule",
+    "classify",
+]
+
+#: Value kinds tracked by the flow environment.
+KIND_SET = "set"                  # unordered container (or order-tainted)
+KIND_FS = "fs-order"              # unsorted filesystem enumeration
+KIND_STREAMS = "rng-streams"      # a RandomStreams registry
+KIND_GENERATOR = "rng-generator"  # a Generator drawn from a stream
+KIND_ORDERED = "ordered"          # deterministically ordered sequence
+KIND_UNKNOWN = "unknown"
+
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+})
+_FS_DOTTED = frozenset({
+    "os.listdir", "os.scandir", "os.walk", "glob.glob", "glob.iglob",
+})
+#: Order-insensitive consumers: an unsorted enumeration fed straight into
+#: one of these cannot leak ordering into results.
+_ORDER_INSENSITIVE = frozenset({
+    "sorted", "set", "frozenset", "len", "sum", "min", "max", "any", "all",
+})
+_SORT_CALLS = frozenset({"sorted", "min", "max"})
+_HEAP_PUSH = frozenset({
+    "heapq.heappush", "heapq.heappushpop", "heapq.heapreplace",
+})
+_HEAP_NSORT = frozenset({"heapq.nsmallest", "heapq.nlargest"})
+
+
+def _in_test_or_benchmark(module: ModuleInfo) -> bool:
+    """True for test/benchmark files, which may do hacky things freely."""
+    parts = module.rel.split("/")
+    return (parts[0] in ("tests", "benchmarks")
+            or parts[-1].startswith("test_")
+            or parts[-1].startswith("bench_"))
+
+
+@dataclass(frozen=True)
+class GlobalSymbol:
+    """One module-level binding: where it lives and what kind it holds."""
+
+    module: str
+    name: str
+    kind: str
+    lineno: int
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function in the approximate call graph.
+
+    ``calls`` holds dotted names of resolvable callees (project-local
+    functions resolve to ``module.func``); ``spawns_directly`` is True
+    when the body contains a ``<sim>.process(...)`` call.
+    """
+
+    dotted: str
+    calls: Tuple[str, ...]
+    spawns_directly: bool
+
+
+class SymbolGraph:
+    """Project-wide defs/uses index over every scanned module.
+
+    Built once per project pass from the :class:`ModuleInfo` list; rules
+    query it to classify names across module boundaries
+    (:meth:`name_kind`), locate a symbol's defining module
+    (:meth:`origin`), enumerate a global's importers
+    (:meth:`importers_of`), and decide whether a function transitively
+    spawns simulator processes (:meth:`spawns`).
+    """
+
+    def __init__(self, modules: Iterable[ModuleInfo]) -> None:
+        self._modules: Dict[str, ModuleInfo] = {}
+        self._assigns: Dict[str, Dict[str, ast.expr]] = {}
+        self._assign_lines: Dict[str, Dict[str, int]] = {}
+        self._kind_memo: Dict[Tuple[str, str], str] = {}
+        self._functions: Dict[str, FunctionInfo] = {}
+        self._spawn_memo: Dict[str, bool] = {}
+        for module in modules:
+            if not module.dotted:
+                continue
+            self._modules[module.dotted] = module
+            self._index_module(module)
+
+    def _index_module(self, module: ModuleInfo) -> None:
+        assigns: Dict[str, ast.expr] = {}
+        lines: Dict[str, int] = {}
+        for stmt in module.tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(module, stmt, prefix=module.dotted)
+            elif isinstance(stmt, ast.ClassDef):
+                for item in stmt.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        self._index_function(
+                            module, item,
+                            prefix=f"{module.dotted}.{stmt.name}")
+            if value is None:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    assigns[target.id] = value       # last assignment wins
+                    lines[target.id] = target.lineno
+        self._assigns[module.dotted] = assigns
+        self._assign_lines[module.dotted] = lines
+
+    def _index_function(self, module: ModuleInfo, node: ast.AST,
+                        prefix: str) -> None:
+        name = getattr(node, "name", "")
+        calls: Set[str] = set()
+        spawns = False
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            if isinstance(func, ast.Attribute) and func.attr == "process":
+                spawns = True
+            elif isinstance(func, ast.Name):
+                dotted = module.imports.members.get(func.id)
+                calls.add(dotted if dotted
+                          else f"{module.dotted}.{func.id}")
+            else:
+                dotted = resolve_dotted(func, module.imports)
+                if dotted:
+                    calls.add(dotted)
+        info = FunctionInfo(dotted=f"{prefix}.{name}",
+                            calls=tuple(sorted(calls)),
+                            spawns_directly=spawns)
+        self._functions[info.dotted] = info
+
+    def module(self, dotted: str) -> Optional[ModuleInfo]:
+        """The scanned module named ``dotted``, if any."""
+        return self._modules.get(dotted)
+
+    def global_kind(self, module_dotted: str, name: str) -> str:
+        """Kind of module-level binding ``module_dotted.name``."""
+        return self._global_kind(module_dotted, name, frozenset())
+
+    def _global_kind(self, module_dotted: str, name: str,
+                     stack: frozenset) -> str:
+        key = (module_dotted, name)
+        if key in self._kind_memo:
+            return self._kind_memo[key]
+        if key in stack:
+            return KIND_UNKNOWN                      # import cycle guard
+        module = self._modules.get(module_dotted)
+        if module is None:
+            return KIND_UNKNOWN
+        stack = stack | {key}
+        node = self._assigns.get(module_dotted, {}).get(name)
+        if node is not None:
+            kind = classify(node, module, {}, self, _stack=stack)
+        else:
+            origin = module.imports.members.get(name)
+            if origin is None:
+                kind = KIND_UNKNOWN
+            else:
+                split = self._split_origin(origin)
+                if split is None:
+                    kind = KIND_UNKNOWN
+                else:
+                    kind = self._global_kind(split[0], split[1], stack)
+        self._kind_memo[key] = kind
+        return kind
+
+    def _split_origin(self, origin: str) -> Optional[Tuple[str, str]]:
+        """Split ``repro.a.b.NAME`` into (module, symbol) if module known."""
+        parts = origin.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self._modules:
+                if cut == len(parts) - 1:
+                    return prefix, parts[cut]
+                return None                # attribute chain, not a symbol
+        return None
+
+    def name_kind(self, module: ModuleInfo, name: str,
+                  _stack: frozenset = frozenset()) -> str:
+        """Kind of an unbound ``name`` referenced inside ``module``.
+
+        Checks the module's own globals first, then follows
+        ``from X import name`` chains across scanned modules.
+        """
+        if name in self._assigns.get(module.dotted, {}):
+            return self._global_kind(module.dotted, name, _stack)
+        origin = module.imports.members.get(name)
+        if origin is not None:
+            split = self._split_origin(origin)
+            if split is not None:
+                return self._global_kind(split[0], split[1], _stack)
+        return KIND_UNKNOWN
+
+    def origin(self, module: ModuleInfo,
+               name: str) -> Optional[GlobalSymbol]:
+        """Defining site of ``name`` as seen from ``module``, if known."""
+        if name in self._assigns.get(module.dotted, {}):
+            line = self._assign_lines[module.dotted].get(name, 1)
+            return GlobalSymbol(module.dotted, name,
+                                self.global_kind(module.dotted, name), line)
+        origin = module.imports.members.get(name)
+        if origin is None:
+            return None
+        split = self._split_origin(origin)
+        if split is None or split[0] == module.dotted:
+            return None
+        target = self._modules.get(split[0])
+        if target is None or split[1] not in self._assigns[split[0]]:
+            return None
+        line = self._assign_lines[split[0]].get(split[1], 1)
+        return GlobalSymbol(split[0], split[1],
+                            self.global_kind(split[0], split[1]), line)
+
+    def importers_of(self, module_dotted: str, name: str) -> List[str]:
+        """Modules that ``from module import name`` (sorted, excl. self)."""
+        origin = f"{module_dotted}.{name}"
+        return sorted(
+            dotted for dotted, module in self._modules.items()
+            if dotted != module_dotted
+            and origin in module.imports.members.values())
+
+    def spawns(self, dotted: str) -> bool:
+        """True when ``dotted`` transitively reaches a ``.process()`` call."""
+        memo = self._spawn_memo
+        if dotted in memo:
+            return memo[dotted]
+        memo[dotted] = False                         # cycle guard
+        info = self._functions.get(dotted)
+        if info is None:
+            return False
+        result = info.spawns_directly or any(
+            self.spawns(callee) for callee in info.calls)
+        memo[dotted] = result
+        return result
+
+
+def classify(node: ast.expr, module: ModuleInfo, env: Dict[str, str],
+             graph: Optional[SymbolGraph],
+             _stack: frozenset = frozenset()) -> str:
+    """Kind of the value ``node`` evaluates to, given environment ``env``.
+
+    ``env`` maps local names to kinds (statement-ordered, per scope);
+    unbound names fall through to ``graph`` for module globals and
+    cross-module imports.  Anything unrecognised is ``KIND_UNKNOWN`` —
+    the rules only act on positive classifications.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return KIND_SET
+    if isinstance(node, ast.Name):
+        if node.id in env:
+            return env[node.id]
+        if graph is not None:
+            return graph.name_kind(module, node.id, _stack)
+        return KIND_UNKNOWN
+    if isinstance(node, ast.Call):
+        return _classify_call(node, module, env, graph, _stack)
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+        left = classify(node.left, module, env, graph, _stack)
+        right = classify(node.right, module, env, graph, _stack)
+        if KIND_SET in (left, right):
+            return KIND_SET
+        return KIND_UNKNOWN
+    if isinstance(node, ast.IfExp):
+        body = classify(node.body, module, env, graph, _stack)
+        orelse = classify(node.orelse, module, env, graph, _stack)
+        if KIND_SET in (body, orelse):
+            return KIND_SET
+        return body if body == orelse else KIND_UNKNOWN
+    if isinstance(node, (ast.List, ast.Tuple, ast.ListComp,
+                         ast.GeneratorExp, ast.Dict, ast.DictComp)):
+        return KIND_ORDERED
+    return KIND_UNKNOWN
+
+
+def _classify_call(node: ast.Call, module: ModuleInfo, env: Dict[str, str],
+                   graph: Optional[SymbolGraph], stack: frozenset) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id in ("set", "frozenset"):
+            return KIND_SET
+        if func.id == "sorted":
+            return KIND_ORDERED
+        if func.id in ("list", "tuple", "iter", "reversed") and node.args:
+            # list(a_set) materialises the *nondeterministic* order:
+            # the taint survives the conversion; only sorted() clears it.
+            inner = classify(node.args[0], module, env, graph, stack)
+            return KIND_SET if inner == KIND_SET else KIND_ORDERED
+        if func.id == "RandomStreams":
+            origin = module.imports.members.get(func.id, "")
+            if origin.endswith("RandomStreams"):
+                return KIND_STREAMS
+    if isinstance(func, ast.Attribute):
+        receiver = classify(func.value, module, env, graph, stack)
+        if receiver == KIND_STREAMS:
+            if func.attr in ("get", "fresh"):
+                return KIND_GENERATOR
+            if func.attr == "fork":
+                return KIND_STREAMS
+        if receiver == KIND_SET and func.attr in _SET_METHODS:
+            return KIND_SET
+        if func.attr == "iterdir" and not node.args:
+            return KIND_FS
+        if func.attr in ("glob", "rglob") and node.args:
+            # Path.glob("*.json") / Path.rglob take a pattern argument;
+            # glob.glob via a module alias resolves through _FS_DOTTED.
+            return KIND_FS
+    dotted = resolve_dotted(func, module.imports)
+    if dotted is not None:
+        if dotted in _FS_DOTTED:
+            return KIND_FS
+        if dotted.endswith(".RandomStreams"):
+            return KIND_STREAMS
+        if dotted == "numpy.random.default_rng":
+            return KIND_GENERATOR
+    return KIND_UNKNOWN
+
+
+def _own_exprs(stmt: ast.stmt) -> List[ast.expr]:
+    """The statement's direct expression children (not nested statements)."""
+    return [child for child in ast.iter_child_nodes(stmt)
+            if isinstance(child, ast.expr)]
+
+
+def _bind_targets(target: ast.expr, kind: str, env: Dict[str, str]) -> None:
+    """Bind an assignment/loop target in ``env`` (tuples bind unknown)."""
+    if isinstance(target, ast.Name):
+        env[target.id] = kind
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            _bind_targets(element, KIND_UNKNOWN, env)
+
+
+def _sanctioned_nodes(tree: ast.AST) -> Set[int]:
+    """ids of nodes inside order-insensitive consumers or ``in`` tests.
+
+    ``sorted(os.listdir(d))`` or ``name in os.listdir(d)`` are
+    deterministic uses of a nondeterministic enumeration; calls found in
+    these positions are not reported.
+    """
+    sanctioned: Set[int] = set()
+    for node in ast.walk(tree):
+        roots: List[ast.expr] = []
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_INSENSITIVE):
+            roots = list(node.args)
+        elif isinstance(node, ast.Compare) and any(
+                isinstance(op, (ast.In, ast.NotIn)) for op in node.ops):
+            roots = list(node.comparators)
+        for root in roots:
+            for sub in ast.walk(root):
+                sanctioned.add(id(sub))
+    return sanctioned
+
+
+class UnorderedIterationRule(ProjectRule):
+    """REP011: iteration order the runtime does not define.
+
+    Model code must not iterate sets (order varies with hash seeding and
+    insertion history) or unsorted filesystem listings (order varies
+    with the filesystem).  Wrapping in ``sorted(...)`` — or consuming
+    through ``len``/``sum``/``set``/membership — is the sanctioned fix.
+    """
+
+    code = "REP011"
+    name = "unordered-iteration"
+    severity = ERROR
+    description = ("iteration over sets or unsorted filesystem "
+                   "enumeration is order-nondeterministic in model code")
+
+    def check_project(self, module: ModuleInfo,
+                      graph: object) -> List[Finding]:
+        """Flag set/fs-order iteration reachable in ``module``."""
+        if _in_test_or_benchmark(module):
+            return []
+        assert isinstance(graph, SymbolGraph)
+        findings: List[Finding] = []
+        sanctioned = _sanctioned_nodes(module.tree)
+        self._scan(module, graph, module.tree.body, {}, sanctioned,
+                   findings)
+        return findings
+
+    def _scan(self, module: ModuleInfo, graph: SymbolGraph,
+              body: Sequence[ast.stmt], env: Dict[str, str],
+              sanctioned: Set[int], findings: List[Finding]) -> None:
+        for stmt in body:
+            self._check_exprs(module, graph, env, _own_exprs(stmt),
+                              sanctioned, findings)
+            if isinstance(stmt, ast.Assign):
+                kind = classify(stmt.value, module, env, graph)
+                for target in stmt.targets:
+                    # An fs-order value is reported at its producing
+                    # call; the variable binds unknown to avoid a
+                    # second report at the iteration site.
+                    _bind_targets(target,
+                                  KIND_UNKNOWN if kind == KIND_FS else kind,
+                                  env)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                kind = classify(stmt.value, module, env, graph)
+                _bind_targets(stmt.target,
+                              KIND_UNKNOWN if kind == KIND_FS else kind,
+                              env)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._check_iteration(module, graph, env, stmt.iter,
+                                      findings)
+                _bind_targets(stmt.target, KIND_UNKNOWN, env)
+                self._scan(module, graph, stmt.body, env, sanctioned,
+                           findings)
+                self._scan(module, graph, stmt.orelse, env, sanctioned,
+                           findings)
+            elif isinstance(stmt, (ast.While, ast.If)):
+                self._scan(module, graph, stmt.body, env, sanctioned,
+                           findings)
+                self._scan(module, graph, stmt.orelse, env, sanctioned,
+                           findings)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self._scan(module, graph, stmt.body, env, sanctioned,
+                           findings)
+            elif isinstance(stmt, ast.Try):
+                for part in (stmt.body, stmt.orelse, stmt.finalbody):
+                    self._scan(module, graph, part, env, sanctioned,
+                               findings)
+                for handler in stmt.handlers:
+                    self._scan(module, graph, handler.body, env,
+                               sanctioned, findings)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner = dict(env)
+                for arg in ast.walk(stmt.args):
+                    if isinstance(arg, ast.arg):
+                        inner[arg.arg] = KIND_UNKNOWN
+                self._scan(module, graph, stmt.body, inner, sanctioned,
+                           findings)
+            elif isinstance(stmt, ast.ClassDef):
+                self._scan(module, graph, stmt.body, dict(env),
+                           sanctioned, findings)
+
+    def _check_exprs(self, module: ModuleInfo, graph: SymbolGraph,
+                     env: Dict[str, str], exprs: Sequence[ast.expr],
+                     sanctioned: Set[int],
+                     findings: List[Finding]) -> None:
+        for expr in exprs:
+            for sub in ast.walk(expr):
+                if isinstance(sub, ast.comprehension):
+                    self._check_iteration(module, graph, env, sub.iter,
+                                          findings)
+                elif (isinstance(sub, ast.Call)
+                      and id(sub) not in sanctioned
+                      and classify(sub, module, env, graph) == KIND_FS):
+                    findings.append(self.finding(
+                        module, sub,
+                        f"unsorted filesystem enumeration "
+                        f"'{module.segment(sub.func)}(...)' — wrap in "
+                        f"sorted(...) so traversal order is "
+                        f"reproducible"))
+
+    def _check_iteration(self, module: ModuleInfo, graph: SymbolGraph,
+                         env: Dict[str, str], iterable: ast.expr,
+                         findings: List[Finding]) -> None:
+        kind = classify(iterable, module, env, graph)
+        if kind != KIND_SET:
+            return
+        message = (f"iteration over set '{module.segment(iterable)}' is "
+                   f"order-nondeterministic — iterate sorted(...) or use "
+                   f"an ordered container")
+        if isinstance(iterable, ast.Name) and iterable.id not in env:
+            origin = graph.origin(module, iterable.id)
+            if origin is not None and origin.module != module.dotted:
+                message += (f" (defined at {origin.module}:"
+                            f"{origin.lineno})")
+        findings.append(self.finding(module, iterable, message))
+
+
+class RngAliasRule(ProjectRule):
+    """REP012: one RNG stream aliased where independent draws are needed.
+
+    Two shapes: a generator bound to a *module-level global* (every
+    importer advances the same hidden state, so adding an import changes
+    results elsewhere), and one generator threaded into two or more
+    process spawns (interleaving then decides who draws what).  The fix
+    is always the same: derive a named stream per consumer via
+    ``RandomStreams.get``/``fresh``.
+    """
+
+    code = "REP012"
+    name = "rng-stream-aliasing"
+    severity = ERROR
+    description = ("a RandomStreams-derived generator must not be shared "
+                   "via module globals or across process spawns")
+
+    def check_project(self, module: ModuleInfo,
+                      graph: object) -> List[Finding]:
+        """Flag shared-generator globals and multi-spawn threading."""
+        if _in_test_or_benchmark(module):
+            return []
+        assert isinstance(graph, SymbolGraph)
+        findings: List[Finding] = []
+        self._check_globals(module, graph, findings)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(module, graph, node, findings)
+        return findings
+
+    def _check_globals(self, module: ModuleInfo, graph: SymbolGraph,
+                       findings: List[Finding]) -> None:
+        for stmt in module.tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None:
+                continue
+            if classify(value, module, {}, graph) != KIND_GENERATOR:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                message = (f"RNG generator bound to module-level global "
+                           f"'{target.id}': every importer shares (and "
+                           f"perturbs) one stream state — derive a named "
+                           f"stream per consumer instead")
+                importers = graph.importers_of(module.dotted, target.id)
+                if importers:
+                    message += f" (imported by {', '.join(importers)})"
+                findings.append(self.finding(module, stmt, message))
+
+    def _check_function(self, module: ModuleInfo, graph: SymbolGraph,
+                        func: ast.AST, findings: List[Finding]) -> None:
+        env: Dict[str, str] = {}
+        bind_depth: Dict[str, int] = {}
+        spawn_uses: Dict[str, int] = {}
+        reported: Set[str] = set()
+        self._walk_body(module, graph, getattr(func, "body", []), env,
+                        bind_depth, spawn_uses, reported, findings,
+                        loop_depth=0)
+
+    def _walk_body(self, module: ModuleInfo, graph: SymbolGraph,
+                   body: Sequence[ast.stmt], env: Dict[str, str],
+                   bind_depth: Dict[str, int], spawn_uses: Dict[str, int],
+                   reported: Set[str], findings: List[Finding],
+                   loop_depth: int) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.Assign):
+                kind = classify(stmt.value, module, env, graph)
+                for target in stmt.targets:
+                    _bind_targets(target, kind, env)
+                    if isinstance(target, ast.Name):
+                        bind_depth[target.id] = loop_depth
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                kind = classify(stmt.value, module, env, graph)
+                _bind_targets(stmt.target, kind, env)
+                if isinstance(stmt.target, ast.Name):
+                    bind_depth[stmt.target.id] = loop_depth
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue                   # nested defs get their own scan
+            for expr in _own_exprs(stmt):
+                self._check_spawns(module, graph, env, bind_depth, expr,
+                                   spawn_uses, reported, findings,
+                                   loop_depth)
+            if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                self._walk_body(module, graph, stmt.body, env, bind_depth,
+                                spawn_uses, reported, findings,
+                                loop_depth + 1)
+                self._walk_body(module, graph, stmt.orelse, env,
+                                bind_depth, spawn_uses, reported, findings,
+                                loop_depth)
+            elif isinstance(stmt, ast.If):
+                self._walk_body(module, graph, stmt.body, env, bind_depth,
+                                spawn_uses, reported, findings, loop_depth)
+                self._walk_body(module, graph, stmt.orelse, env,
+                                bind_depth, spawn_uses, reported, findings,
+                                loop_depth)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self._walk_body(module, graph, stmt.body, env, bind_depth,
+                                spawn_uses, reported, findings, loop_depth)
+            elif isinstance(stmt, ast.Try):
+                for part in (stmt.body, stmt.orelse, stmt.finalbody):
+                    self._walk_body(module, graph, part, env, bind_depth,
+                                    spawn_uses, reported, findings,
+                                    loop_depth)
+                for handler in stmt.handlers:
+                    self._walk_body(module, graph, handler.body, env,
+                                    bind_depth, spawn_uses, reported,
+                                    findings, loop_depth)
+
+    def _check_spawns(self, module: ModuleInfo, graph: SymbolGraph,
+                      env: Dict[str, str], bind_depth: Dict[str, int],
+                      expr: ast.expr, spawn_uses: Dict[str, int],
+                      reported: Set[str], findings: List[Finding],
+                      loop_depth: int) -> None:
+        for sub in ast.walk(expr):
+            if not isinstance(sub, ast.Call):
+                continue
+            if not self._is_spawn(module, graph, sub):
+                continue
+            arg_roots = list(sub.args) + [kw.value for kw in sub.keywords]
+            for arg_node in (walked for root in arg_roots
+                             for walked in ast.walk(root)):
+                if not isinstance(arg_node, ast.Name):
+                    continue
+                if env.get(arg_node.id) != KIND_GENERATOR:
+                    continue
+                # A spawn in a loop counts double only when the generator
+                # was bound *outside* the loop: one fresh stream derived
+                # per iteration is the sanctioned pattern, not aliasing.
+                hoisted = loop_depth > bind_depth.get(arg_node.id, 0)
+                spawn_uses[arg_node.id] = (
+                    spawn_uses.get(arg_node.id, 0) + (2 if hoisted else 1))
+                if (spawn_uses[arg_node.id] >= 2
+                        and arg_node.id not in reported):
+                    reported.add(arg_node.id)
+                    findings.append(self.finding(
+                        module, sub,
+                        f"generator '{arg_node.id}' is threaded into "
+                        f"multiple process spawns — each process needs "
+                        f"its own stream (RandomStreams.get/fresh per "
+                        f"process)"))
+
+    @staticmethod
+    def _is_spawn(module: ModuleInfo, graph: SymbolGraph,
+                  call: ast.Call) -> bool:
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr == "process":
+            return True
+        if isinstance(func, ast.Name):
+            dotted = module.imports.members.get(
+                func.id, f"{module.dotted}.{func.id}")
+            return graph.spawns(dotted)
+        dotted_or_none = resolve_dotted(func, module.imports)
+        return dotted_or_none is not None and graph.spawns(dotted_or_none)
+
+
+class IdentityOrderRule(ProjectRule):
+    """REP013: ordering derived from object identity.
+
+    ``id()`` is an allocation address and ``hash()`` of str/bytes is
+    salted per process; any sort key, heap entry, or dict key built from
+    them orders differently run to run.  Use an explicit stable key
+    (sequence number, name) instead.
+    """
+
+    code = "REP013"
+    name = "identity-dependent-ordering"
+    severity = ERROR
+    description = ("id()/hash() in sort keys, heap entries, or dict keys "
+                   "makes ordering depend on allocation addresses")
+
+    _IDENTITY_CALLS = frozenset({"id", "hash"})
+    _IDENTITY_DOTTED = frozenset({"object.__hash__", "object.__repr__"})
+
+    def check_project(self, module: ModuleInfo,
+                      graph: object) -> List[Finding]:
+        """Flag identity functions in ordering-sensitive positions."""
+        if _in_test_or_benchmark(module):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                self._check_call(module, node, findings)
+            elif isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if key is not None and self._identity_in(module, key):
+                        findings.append(self.finding(
+                            module, key,
+                            "identity-derived dict key: id()/hash() "
+                            "values differ between runs — key by a "
+                            "stable attribute instead"))
+            elif isinstance(node, ast.DictComp):
+                if self._identity_in(module, node.key):
+                    findings.append(self.finding(
+                        module, node.key,
+                        "identity-derived dict key: id()/hash() values "
+                        "differ between runs — key by a stable "
+                        "attribute instead"))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (isinstance(target, ast.Subscript)
+                            and self._identity_in(module, target.slice)):
+                        findings.append(self.finding(
+                            module, target.slice,
+                            "identity-derived dict key: id()/hash() "
+                            "values differ between runs — key by a "
+                            "stable attribute instead"))
+        return findings
+
+    def _check_call(self, module: ModuleInfo, call: ast.Call,
+                    findings: List[Finding]) -> None:
+        func = call.func
+        dotted = resolve_dotted(func, module.imports)
+        sort_like = (
+            (isinstance(func, ast.Name) and func.id in _SORT_CALLS)
+            or (isinstance(func, ast.Attribute) and func.attr == "sort")
+            or (dotted in _HEAP_NSORT)
+        )
+        if sort_like:
+            for keyword in call.keywords:
+                if keyword.arg == "key" and self._identity_in(
+                        module, keyword.value):
+                    findings.append(self.finding(
+                        module, keyword.value,
+                        "identity-dependent sort key: id()/hash() order "
+                        "is allocation-dependent — derive the key from "
+                        "stable data (name, sequence number)"))
+        if dotted in _HEAP_PUSH:
+            for entry in call.args[1:]:
+                if self._identity_in(module, entry):
+                    findings.append(self.finding(
+                        module, entry,
+                        "identity-derived heap entry: id()/hash() break "
+                        "ties nondeterministically — use a sequence "
+                        "number for tie-breaking"))
+
+    def _identity_in(self, module: ModuleInfo, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name) and node.id in self._IDENTITY_CALLS:
+            return True                                  # key=id / key=hash
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            if isinstance(func, ast.Name) and func.id in self._IDENTITY_CALLS:
+                return True
+            if isinstance(func, ast.Attribute):
+                chain = module.segment(func)
+                if chain in self._IDENTITY_DOTTED:
+                    return True
+        return False

@@ -24,6 +24,7 @@ A bare ``# repro: noqa`` suppresses every rule on that line.
 from __future__ import annotations
 
 import ast
+import hashlib
 import json
 import re
 from dataclasses import dataclass
@@ -50,14 +51,17 @@ __all__ = [
     "ImportMap",
     "LintResult",
     "ModuleInfo",
+    "ProjectRule",
     "Rule",
     "RuleVisitor",
     "apply_baseline",
     "iter_python_files",
     "lint_module",
+    "lint_module_project",
     "lint_paths",
     "load_baseline",
     "resolve_dotted",
+    "tree_fingerprint",
     "write_baseline",
 ]
 
@@ -70,8 +74,9 @@ WARNING = "warning"
 #: the engine (not to an individual rule's metadata, which the cache
 #: fingerprints separately) could alter what a rule reports for unchanged
 #: source — it is part of the incremental cache key, so bumping forces a
-#: cold run everywhere.
-ENGINE_VERSION = 1
+#: cold run everywhere.  v2: two-phase runs (file rules + project rules)
+#: with separately-keyed project entries.
+ENGINE_VERSION = 2
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?"
@@ -246,12 +251,18 @@ class Rule:
 
     Subclasses set the class attributes and either point ``visitor`` at a
     :class:`RuleVisitor` subclass or override :meth:`check` outright.
+
+    ``scope`` is ``"file"`` for rules that see one module at a time (the
+    cacheable, parallelisable default) and ``"project"`` for whole-program
+    rules (:class:`ProjectRule`) that additionally see the symbol graph
+    built from every scanned module.
     """
 
     code: str = "REP000"
     name: str = "unnamed"
     severity: str = ERROR
     description: str = ""
+    scope: str = "file"
     visitor: Optional[type] = None
 
     def check(self, module: ModuleInfo) -> List[Finding]:
@@ -275,6 +286,32 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """A whole-program rule: checked against the full symbol graph.
+
+    Project rules run in a second phase after every file has been parsed,
+    so they can follow imports across module boundaries.  Subclasses
+    override :meth:`check_project`; :meth:`Rule.check` is unsupported
+    because a lone module is not enough context.
+    """
+
+    scope = "project"
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        """Unsupported — project rules need the graph, not one module."""
+        raise NotImplementedError(
+            f"{self.code} is a project rule; use check_project()")
+
+    def check_project(self, module: ModuleInfo,
+                      graph: object) -> List[Finding]:
+        """Run the rule over ``module`` with the whole-program ``graph``.
+
+        ``graph`` is a :class:`repro.lint.dataflow.SymbolGraph`; it is
+        typed loosely here to keep the engine free of rule imports.
+        """
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
 class RuleVisitor(ast.NodeVisitor):
     """``ast.NodeVisitor`` with finding collection bound to one rule."""
 
@@ -296,6 +333,7 @@ class LintResult:
     files_scanned: int
     baselined: int
     cache_hits: int = 0
+    project_cache_hits: int = 0
 
     @property
     def errors(self) -> List[Finding]:
@@ -341,13 +379,42 @@ def _load_module(path: Path, rel: str,
 
 
 def lint_module(module: ModuleInfo, rules: Sequence[Rule]) -> List[Finding]:
-    """All non-suppressed findings for one parsed module."""
+    """All non-suppressed file-scope findings for one parsed module."""
     findings: List[Finding] = []
     for rule in rules:
+        if rule.scope != "file":
+            continue
         for finding in rule.check(module):
             if not module.suppressed(finding.line, finding.rule):
                 findings.append(finding)
     return sorted(findings)
+
+
+def lint_module_project(module: ModuleInfo, graph: object,
+                        rules: Sequence[Rule]) -> List[Finding]:
+    """All non-suppressed project-scope findings for one parsed module."""
+    findings: List[Finding] = []
+    for rule in rules:
+        if rule.scope != "project":
+            continue
+        for finding in rule.check_project(module, graph):  # type: ignore[attr-defined]
+            if not module.suppressed(finding.line, finding.rule):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def tree_fingerprint(shas: Dict[str, str]) -> str:
+    """Digest of the whole scanned tree (rel path + content sha per file).
+
+    Project findings depend on *every* file, so their cache entries are
+    keyed by this fingerprint: any file changing (or appearing, or
+    vanishing) invalidates all project entries at once while per-file
+    entries stay warm.
+    """
+    digest = hashlib.sha256()
+    for rel in sorted(shas):
+        digest.update(f"{rel}\x1f{shas[rel]}\x1e".encode("utf-8"))
+    return digest.hexdigest()
 
 
 def iter_python_files(paths: Iterable[Path]) -> List[Path]:
@@ -355,7 +422,7 @@ def iter_python_files(paths: Iterable[Path]) -> List[Path]:
     seen: Set[Path] = set()
     for path in paths:
         if path.is_dir():
-            for found in path.rglob("*.py"):
+            for found in sorted(path.rglob("*.py")):
                 if "__pycache__" not in found.parts:
                     seen.add(found.resolve())
         elif path.suffix == ".py":
@@ -363,9 +430,61 @@ def iter_python_files(paths: Iterable[Path]) -> List[Path]:
     return sorted(seen)
 
 
+#: Rule set installed in each pool worker by :func:`_init_worker`, so
+#: rules are pickled once per process instead of once per file.
+_WORKER_RULES: Tuple[Rule, ...] = ()
+
+
+def _init_worker(rules: Tuple[Rule, ...]) -> None:
+    """Pool initializer: stash the rule set in the worker process."""
+    global _WORKER_RULES
+    _WORKER_RULES = rules
+
+
+def _check_one(task: Tuple[str, str, str], rules: Sequence[Rule],
+               ) -> Tuple[str, List[Finding], Optional[ModuleInfo], bool]:
+    """Lint one file's file-scope rules; returns the parsed module too."""
+    path, rel, source = task
+    module, failure = _load_module(Path(path), rel, source)
+    if failure is not None:
+        return rel, [failure], None, True
+    assert module is not None
+    return rel, lint_module(module, rules), module, False
+
+
+def _check_one_worker(task: Tuple[str, str, str],
+                      ) -> Tuple[str, List[Finding], None, bool]:
+    """Pool worker wrapper: drop the module (ASTs are costly to pickle)."""
+    rel, findings, _module, failed = _check_one(task, _WORKER_RULES)
+    return rel, findings, None, failed
+
+
+def _run_file_phase(pending: Sequence[Tuple[Path, str, str]],
+                    rules: Sequence[Rule], jobs: int,
+                    ) -> List[Tuple[str, List[Finding],
+                                    Optional[ModuleInfo], bool]]:
+    """Run file-scope rules over ``pending``, optionally on a process pool.
+
+    Parallel results come back in submission order (``Pool.map``), so the
+    merged finding stream is byte-identical to a serial run.  Serial runs
+    additionally hand back each parsed :class:`ModuleInfo` so the project
+    phase can reuse it; workers drop theirs rather than pickle an AST.
+    """
+    tasks = [(str(path), rel, source) for path, rel, source in pending]
+    if jobs > 1 and len(tasks) > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(processes=min(jobs, len(tasks)),
+                                  initializer=_init_worker,
+                                  initargs=(tuple(rules),)) as pool:
+            return pool.map(_check_one_worker, tasks, chunksize=4)
+    return [_check_one(task, rules) for task in tasks]
+
+
 def lint_paths(paths: Iterable[Path], root: Path, rules: Sequence[Rule],
                baseline: Optional[Set[str]] = None,
-               cache: Optional["LintCache"] = None) -> LintResult:
+               cache: Optional["LintCache"] = None,
+               jobs: int = 1) -> LintResult:
     """Lint every ``.py`` file under ``paths``.
 
     ``root`` anchors the relative paths recorded in findings (and therefore
@@ -374,34 +493,101 @@ def lint_paths(paths: Iterable[Path], root: Path, rules: Sequence[Rule],
     :class:`repro.lint.cache.LintCache`) serves per-file findings keyed by
     content hash: a hit skips parsing and rule visits entirely, a miss is
     checked cold and stored, so results are identical with or without it.
+
+    Runs in two phases.  Phase 1 applies file-scope rules per file —
+    cacheable per content hash and, with ``jobs > 1``, fanned out over a
+    process pool.  Phase 2 builds the whole-program symbol graph and
+    applies project-scope rules (:class:`ProjectRule`); their findings are
+    cached per file but keyed additionally by :func:`tree_fingerprint`, so
+    *any* source change re-runs the project phase exactly once while
+    leaving per-file entries warm.  Findings are globally sorted, so
+    serial, parallel, cold and warm runs all report identically.
     """
     root = root.resolve()
     findings: List[Finding] = []
     files = iter_python_files(paths)
+    file_rules = [rule for rule in rules if rule.scope == "file"]
+    project_rules = [rule for rule in rules if rule.scope == "project"]
     cache_hits = 0
+    project_hits = 0
+    order: List[str] = []
+    paths_by_rel: Dict[str, Path] = {}
+    sources: Dict[str, str] = {}
+    modules: Dict[str, ModuleInfo] = {}
+    unparseable: Set[str] = set()
+    pending: List[Tuple[Path, str, str]] = []
     for path in files:
         rel = _relative_posix(path, root)
         source = path.read_text(encoding="utf-8")
+        order.append(rel)
+        paths_by_rel[rel] = path
+        sources[rel] = source
         if cache is not None:
             cached = cache.get(rel, source)
             if cached is not None:
                 findings.extend(cached)
                 cache_hits += 1
                 continue
-        module, failure = _load_module(path, rel, source)
-        if failure is not None:
-            file_findings = [failure]
-        else:
-            assert module is not None
-            file_findings = lint_module(module, rules)
+        pending.append((path, rel, source))
+    for rel, file_findings, module, failed in _run_file_phase(
+            pending, file_rules, jobs):
+        if failed:
+            unparseable.add(rel)
+        elif module is not None:
+            modules[rel] = module
         if cache is not None:
-            cache.put(rel, source, file_findings)
+            cache.put(rel, sources[rel], file_findings)
         findings.extend(file_findings)
+    if project_rules and order:
+        tree = tree_fingerprint({rel: _sha256(sources[rel])
+                                 for rel in order})
+        missing: List[str] = []
+        project_cached: Dict[str, List[Finding]] = {}
+        for rel in order:
+            hit = (cache.get_project(rel, sources[rel], tree)
+                   if cache is not None else None)
+            if hit is None:
+                missing.append(rel)
+            else:
+                project_cached[rel] = hit
+                project_hits += 1
+        if missing:
+            for rel in order:
+                if rel in modules or rel in unparseable:
+                    continue
+                module, failure = _load_module(paths_by_rel[rel], rel,
+                                               sources[rel])
+                if failure is not None:
+                    unparseable.add(rel)
+                else:
+                    assert module is not None
+                    modules[rel] = module
+            from repro.lint.dataflow import SymbolGraph
+
+            graph = SymbolGraph(list(modules.values()))
+            for rel in missing:
+                module = modules.get(rel)
+                if module is None:
+                    project_findings: List[Finding] = []
+                else:
+                    project_findings = lint_module_project(
+                        module, graph, project_rules)
+                if cache is not None:
+                    cache.put_project(rel, sources[rel], tree,
+                                      project_findings)
+                findings.extend(project_findings)
+        for rel in order:
+            findings.extend(project_cached.get(rel, []))
     if cache is not None:
         cache.save()
     visible, baselined = apply_baseline(sorted(findings), baseline or set())
     return LintResult(findings=visible, files_scanned=len(files),
-                      baselined=baselined, cache_hits=cache_hits)
+                      baselined=baselined, cache_hits=cache_hits,
+                      project_cache_hits=project_hits)
+
+
+def _sha256(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
 
 
 def apply_baseline(findings: Sequence[Finding],

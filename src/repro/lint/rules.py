@@ -1,10 +1,13 @@
-"""The invariant catalog: REP001-REP010.
+"""The invariant catalog: REP001-REP013.
 
 Each rule encodes one convention the reproduction's credibility rests on
 (see DESIGN.md "Static analysis & invariants" for the full catalog with
-rationale).  Rules are small :class:`~repro.lint.engine.RuleVisitor`
-subclasses registered in :data:`RULES`; adding REP009 means adding a
-class and one registry entry.
+rationale).  The file-scope rules (REP001-REP010) are small
+:class:`~repro.lint.engine.RuleVisitor` subclasses defined here; the
+whole-program dataflow rules (REP011-REP013) live in
+:mod:`repro.lint.dataflow` and run in the project phase.  All register
+in :data:`RULES`; adding a rule means adding a class and one registry
+entry.
 """
 
 from __future__ import annotations
@@ -13,6 +16,11 @@ import ast
 import re
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.lint.dataflow import (
+    IdentityOrderRule,
+    RngAliasRule,
+    UnorderedIterationRule,
+)
 from repro.lint.engine import (
     Finding,
     ModuleInfo,
@@ -30,10 +38,13 @@ __all__ = [
     "DocstringRule",
     "ExportListRule",
     "FloatEqualityRule",
+    "IdentityOrderRule",
     "MagicScaleLiteralRule",
     "MutableDefaultRule",
     "RandomSourceRule",
+    "RngAliasRule",
     "SeededConstructorRule",
+    "UnorderedIterationRule",
     "WallClockRule",
     "get_rules",
 ]
@@ -736,6 +747,9 @@ RULES: Tuple[Rule, ...] = (
     SeededConstructorRule(),
     DocstringRule(),
     BroadExceptRule(),
+    UnorderedIterationRule(),
+    RngAliasRule(),
+    IdentityOrderRule(),
 )
 
 

@@ -24,7 +24,16 @@ ablatable modelling choice (bench E13 runs it both ways via
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Generator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.network.technologies import InterconnectTechnology
 from repro.network.topology import (
@@ -251,7 +260,8 @@ class Fabric:
 
     # -- the transfer process ---------------------------------------------
 
-    def transfer(self, src: int, dst: int, nbytes: int):
+    def transfer(self, src: int, dst: int,
+                 nbytes: int) -> Generator[Any, Any, float]:
         """Process body: completes when the last byte reaches ``dst``.
 
         Use as ``yield from fabric.transfer(...)`` inside a process, or
@@ -309,7 +319,8 @@ class Fabric:
             self._finish(src, dst, nbytes, start, hops)
             return self.sim.now
 
-    def transfer_ex(self, src: int, dst: int, nbytes: int):
+    def transfer_ex(self, src: int, dst: int,
+                    nbytes: int) -> Generator[Any, Any, "TransferOutcome"]:
         """Fault-aware transfer process body.
 
         Same cost model as :meth:`transfer` but consults the fault plan:

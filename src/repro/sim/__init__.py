@@ -21,6 +21,10 @@ Public surface
     Queueing primitives (capacity-limited server, FIFO buffer).
 :class:`RandomStreams`
     Named, independent, reproducible RNG streams.
+:class:`DetSanRecorder`
+    Determinism sanitizer: folds every scheduling decision into a
+    rolling digest so two same-seed runs can be diffed event-by-event
+    (:func:`~repro.sim.detsan.first_divergence`).
 :class:`Interrupt`
     Exception injected into a process by ``Process.interrupt``.
 :class:`FailureCause`, :class:`LinkDownCause`, :class:`AbortCause`
@@ -28,6 +32,12 @@ Public surface
 """
 
 from repro.sim.causes import AbortCause, FailureCause, LinkDownCause
+from repro.sim.detsan import (
+    DetSanRecorder,
+    Divergence,
+    EventRecord,
+    first_divergence,
+)
 from repro.sim.event import AllOf, AnyOf, Event, EventStatus, Timeout
 from repro.sim.engine import Interrupt, Process, SimulationError, Simulator
 from repro.sim.resources import Resource, Store
@@ -38,7 +48,10 @@ __all__ = [
     "AbortCause",
     "AllOf",
     "AnyOf",
+    "DetSanRecorder",
+    "Divergence",
     "Event",
+    "EventRecord",
     "EventStatus",
     "FailureCause",
     "Interrupt",

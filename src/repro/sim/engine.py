@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import heapq
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -38,6 +39,9 @@ from typing import (
 from repro.obs import DEFAULT_TRACK, NULL_OBS, Observability
 from repro.sim.event import Event, EventStatus, Timeout
 from repro.sim.trace import NullTracer, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; no runtime dependency
+    from repro.sim.detsan import DetSanRecorder
 
 __all__ = ["Simulator", "Process", "Interrupt", "SimulationError"]
 
@@ -225,10 +229,17 @@ class Simulator:
         Optional :class:`~repro.obs.Observability`; defaults to the
         shared null instance.  When given, the simulator binds its clock
         to ``sim.now`` and attributes spans to the running process.
+    detsan:
+        Optional :class:`~repro.sim.detsan.DetSanRecorder`.  When given,
+        every delivered event folds its scheduling decision into the
+        recorder's rolling digest (the determinism sanitizer).  When
+        ``None`` — the default — the only cost is one ``is not None``
+        check per event, inside the perf bench's <=3% overhead budget.
     """
 
     def __init__(self, tracer: Optional[Tracer] = None,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 detsan: Optional["DetSanRecorder"] = None) -> None:
         self._now = 0.0
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._sequence = 0
@@ -246,6 +257,7 @@ class Simulator:
         self._obs_enabled: bool = self.obs.enabled
         if self._obs_enabled:
             self.obs.bind_clock(lambda: self._now)
+        self._detsan = detsan
         self._event_count = 0
 
     # -- time ------------------------------------------------------------
@@ -309,6 +321,10 @@ class Simulator:
         when, _priority, _seq, event = heapq.heappop(self._queue)
         self._now = when
         self._event_count += 1
+        if self._detsan is not None:
+            # Fold the scheduling decision *before* delivery so the
+            # sanitizer stream captures decision order, not effects.
+            self._detsan.fold(when, _priority, _seq, event)
         self.tracer.record(when, event)
         event._deliver()
         if self._obs_enabled:

@@ -1,0 +1,146 @@
+"""DetSan, the runtime determinism sanitizer: clean engines produce
+equal digests; a planted set-iteration bug is caught with the first
+divergent event attributed to the offending process; campaigns run
+deterministically under the `python -m repro detsan` CLI."""
+
+import pytest
+
+from repro.obs import Observability
+from repro.sim import (
+    DetSanRecorder,
+    RandomStreams,
+    Simulator,
+    Timeout,
+    first_divergence,
+)
+from repro.sim.detsan import EventRecord, span_context
+
+
+def clean_workload(sim):
+    """A small deterministic workload: two processes, a few timeouts."""
+    streams = RandomStreams(11)
+
+    def worker(name):
+        gen = streams.fresh(f"worker.{name}")
+        for _ in range(4):
+            yield Timeout(sim, float(gen.integers(1, 5)),
+                          name=f"step:{name}")
+
+    sim.process(worker("a"), name="proc-a")
+    sim.process(worker("b"), name="proc-b")
+    sim.run()
+
+
+class _Marble:
+    """Identity-hashed token: its set position depends on its address."""
+
+
+def planted_workload(sim, pool):
+    """The planted bug: visits a set of identity-hashed objects in raw
+    iteration order, leaking each visited address into an event name."""
+
+    def visitor():
+        for marble in pool:  # noqa -- deliberately nondeterministic
+            yield Timeout(sim, 1.0, name=f"visit-{id(marble):x}")
+
+    sim.process(visitor(), name="marble-visitor")
+    sim.run()
+
+
+def record_run(workload, *args):
+    """Run ``workload`` under a fresh recorder and return the recorder."""
+    recorder = DetSanRecorder()
+    sim = Simulator(detsan=recorder)
+    workload(sim, *args)
+    return recorder
+
+
+class TestCleanRuns:
+    def test_same_seed_runs_have_equal_digests(self):
+        first = record_run(clean_workload)
+        second = record_run(clean_workload)
+        assert first.events_folded == second.events_folded > 0
+        assert first.digest == second.digest
+        assert first_divergence(first, second) is None
+
+    def test_records_carry_process_attribution(self):
+        recorder = record_run(clean_workload)
+        owners = {name for record in recorder.records
+                  for name in record.processes}
+        assert {"proc-a", "proc-b"} <= owners
+
+    def test_digest_only_mode_keeps_no_records(self):
+        recorder = DetSanRecorder(keep_records=False)
+        sim = Simulator(detsan=recorder)
+        clean_workload(sim)
+        assert recorder.records == []
+        assert recorder.events_folded > 0
+        with pytest.raises(ValueError):
+            first_divergence(recorder, recorder)
+
+    def test_detsan_off_is_default(self):
+        sim = Simulator()
+        assert sim._detsan is None
+
+
+class TestPlantedBug:
+    def test_planted_set_iteration_bug_is_caught_and_attributed(self):
+        # Keeping the first run's marbles alive while the second run
+        # allocates guarantees disjoint addresses: the first visited
+        # marble's id -- leaked into the event name -- must differ.
+        pool_a = {_Marble() for _ in range(6)}
+        pool_b = {_Marble() for _ in range(6)}
+        first = record_run(planted_workload, pool_a)
+        second = record_run(planted_workload, pool_b)
+
+        assert first.digest != second.digest
+        divergence = first_divergence(first, second)
+        assert divergence is not None
+        # Event 0 is the visitor's bootstrap (identical); the first
+        # visit timeout is the first possible divergence.
+        assert divergence.index >= 1
+        assert divergence.left is not None
+        assert divergence.right is not None
+        assert divergence.left.name.startswith("visit-")
+        assert divergence.right.name.startswith("visit-")
+        assert divergence.left.name != divergence.right.name
+        # Attribution: the divergent event resumes the planted process.
+        assert "marble-visitor" in divergence.right.processes
+        assert "marble-visitor" in divergence.describe()
+
+    def test_describe_names_first_divergent_index(self):
+        pool_a = {_Marble() for _ in range(4)}
+        pool_b = {_Marble() for _ in range(4)}
+        divergence = first_divergence(record_run(planted_workload, pool_a),
+                                      record_run(planted_workload, pool_b))
+        assert divergence is not None
+        report = divergence.describe()
+        assert f"#{divergence.index}" in report
+        assert "run A:" in report and "run B:" in report
+
+
+class TestSpanContext:
+    def test_divergence_report_carries_open_spans(self):
+        def traced(sim):
+            def worker():
+                with sim.obs.span("inner-phase",
+                                  track=sim.obs.unique_track("spanner")):
+                    yield Timeout(sim, 2.0, name="work")
+            sim.process(worker(), name="spanner")
+            sim.run()
+
+        obs = Observability()
+        recorder = DetSanRecorder()
+        sim = Simulator(obs=obs, detsan=recorder)
+        traced(sim)
+        obs.finalize()
+        work = [record for record in recorder.records
+                if record.name == "work"]
+        assert work
+        spans = span_context(obs, work[0])
+        assert "inner-phase" in spans
+
+    def test_span_context_tolerates_absent_obs(self):
+        record = EventRecord(index=0, time=0.0, priority=1, sequence=1,
+                             kind="Timeout", name="x", processes=())
+        assert span_context(object(), record) == ()

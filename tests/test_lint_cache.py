@@ -265,3 +265,108 @@ class TestWarmTreeSpeedup:
         assert warm.findings == cold.findings
         assert warm_elapsed * 5 < cold_elapsed, (
             f"warm {warm_elapsed:.3f}s vs cold {cold_elapsed:.3f}s")
+
+
+#: A module only the REP011-REP013 dataflow phase objects to.
+UNORDERED = '''\
+"""Fans out over a set."""
+
+__all__ = ["fan_out"]
+
+
+def fan_out(nodes):
+    """Visit every node (in whatever order the set yields)."""
+    for node in set(nodes):
+        print(node)
+'''
+
+
+class TestRuleSetFingerprintInvalidation:
+    def test_adding_dataflow_rules_cold_invalidates_exactly_once(
+            self, tmp_path):
+        """Changing the active rule set mid-run (REP001-010 -> full
+        catalog with REP011-013) must cold-invalidate every entry exactly
+        once: no stale findings served, and no double invalidation on the
+        following run."""
+        make_tree(tmp_path)
+        (tmp_path / "repro" / "sweep.py").write_text(UNORDERED)
+        file_rules = get_rules([f"REP{n:03d}" for n in range(1, 11)])
+
+        first = run(tmp_path, cache_at(tmp_path, rules=file_rules),
+                    rules=file_rules)
+        assert first.cache_hits == 0
+        assert first.findings == []          # REP011 not active yet
+
+        warm = run(tmp_path, cache_at(tmp_path, rules=file_rules),
+                   rules=file_rules)
+        assert warm.cache_hits == warm.files_scanned == 5
+
+        # The fingerprint differs, so the first full-catalog run is cold
+        # everywhere -- and surfaces the REP011 finding immediately
+        # rather than serving the stale empty result.
+        widened = run(tmp_path, cache_at(tmp_path))
+        assert widened.cache_hits == 0
+        assert [f.rule for f in widened.findings] == ["REP011"]
+        no_cache = run(tmp_path)
+        assert widened.findings == no_cache.findings
+
+        # Exactly once: the next full-catalog run is warm in both phases.
+        settled = run(tmp_path, cache_at(tmp_path))
+        assert settled.cache_hits == settled.files_scanned == 5
+        assert settled.project_cache_hits == 5
+        assert settled.findings == widened.findings
+
+    def test_fingerprints_differ_between_rule_sets(self):
+        file_rules = get_rules([f"REP{n:03d}" for n in range(1, 11)])
+        assert rule_fingerprint(file_rules) != rule_fingerprint(RULES)
+
+
+class TestProjectPhaseCache:
+    def test_editing_one_file_reruns_project_phase_once(self, tmp_path):
+        """File-scope entries for untouched files stay warm, but project
+        findings depend on the whole tree: one edit misses every project
+        entry, and the following run is fully warm again."""
+        paths = make_tree(tmp_path)
+        (tmp_path / "repro" / "sweep.py").write_text(UNORDERED)
+        cold = run(tmp_path, cache_at(tmp_path))
+        assert cold.project_cache_hits == 0
+
+        paths[0].write_text(CLEAN.replace("42", "43"))
+        edited = run(tmp_path, cache_at(tmp_path))
+        assert edited.cache_hits == 4            # all but the edited file
+        assert edited.project_cache_hits == 0    # tree changed everywhere
+        assert [f.rule for f in edited.findings] == ["REP011"]
+
+        warm = run(tmp_path, cache_at(tmp_path))
+        assert warm.cache_hits == 5
+        assert warm.project_cache_hits == 5
+        assert warm.findings == edited.findings
+
+
+class TestParallelLint:
+    def test_parallel_findings_identical_to_serial(self, tmp_path):
+        """-j N is a pure throughput knob: findings, order, and counts
+        match a serial run exactly."""
+        make_tree(tmp_path, dirty=2)
+        (tmp_path / "repro" / "sweep.py").write_text(UNORDERED)
+        serial = lint_paths([tmp_path / "repro"], tmp_path, RULES)
+        parallel = lint_paths([tmp_path / "repro"], tmp_path, RULES,
+                              jobs=2)
+        assert parallel.findings == serial.findings
+        assert parallel.files_scanned == serial.files_scanned
+
+    def test_cli_jobs_flag(self, tmp_path, capsys):
+        make_tree(tmp_path, dirty=1)
+        code = lint_main(["--root", str(tmp_path), "--no-baseline",
+                          "--no-cache", "-j", "2", "--format", "json",
+                          str(tmp_path / "repro")])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["errors"] > 0
+
+    def test_cli_rejects_negative_jobs(self, tmp_path, capsys):
+        make_tree(tmp_path)
+        code = lint_main(["--root", str(tmp_path), "-j", "-3",
+                          str(tmp_path / "repro")])
+        assert code == 2
+        assert "--jobs" in capsys.readouterr().err

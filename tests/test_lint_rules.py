@@ -32,10 +32,10 @@ def codes_of(findings):
 
 
 class TestRegistry:
-    def test_ten_rules_with_unique_codes(self):
+    def test_thirteen_rules_with_unique_codes(self):
         codes = [rule.code for rule in RULES]
         assert codes == sorted(codes)
-        assert len(set(codes)) == len(codes) == 10
+        assert len(set(codes)) == len(codes) == 13
 
     def test_select_unknown_code_rejected(self):
         with pytest.raises(ValueError, match="REP999"):
@@ -718,3 +718,275 @@ class TestCli:
     def test_missing_path_is_usage_error(self, tmp_path, capsys):
         assert lint_main(["--root", str(tmp_path),
                           str(tmp_path / "absent.py")]) == 2
+
+
+def run_tree(tmp_path, files, codes=None):
+    """Lint a multi-file fixture tree and return its findings."""
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    rules = get_rules(codes) if codes else RULES
+    return lint_paths([tmp_path], tmp_path, rules).findings
+
+
+class TestRep011UnorderedIteration:
+    def test_flags_set_literal_iteration(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def fan_out():
+                for node in {"a", "b", "c"}:
+                    print(node)
+        """, ["REP011"])
+        assert codes_of(findings) == ["REP011"]
+
+    def test_flags_set_variable_iteration(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def fan_out(items):
+                pending = set(items)
+                for node in pending:
+                    print(node)
+        """, ["REP011"])
+        assert codes_of(findings) == ["REP011"]
+
+    def test_flags_comprehension_over_set(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def collect(items):
+                live = frozenset(items)
+                return [x * 2 for x in live]
+        """, ["REP011"])
+        assert codes_of(findings) == ["REP011"]
+
+    def test_flags_list_of_set_taint(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def order(items):
+                rough = list(set(items))
+                for x in rough:
+                    print(x)
+        """, ["REP011"])
+        assert codes_of(findings) == ["REP011"]
+
+    def test_flags_cross_module_set_global(self, tmp_path):
+        findings = run_tree(tmp_path, {
+            "repro/registry.py":
+                "NODES = {'n0', 'n1'}\n",
+            "repro/consumer.py": """
+                from repro.registry import NODES
+
+                def sweep():
+                    for node in NODES:
+                        print(node)
+            """,
+        }, ["REP011"])
+        assert codes_of(findings) == ["REP011"]
+        assert "repro.registry" in findings[0].message
+
+    def test_flags_unsorted_listdir(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            import os
+
+            def load(d):
+                return [open(f) for f in os.listdir(d)]
+        """, ["REP011"])
+        assert codes_of(findings) == ["REP011"]
+
+    def test_flags_path_iterdir(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def scan(root):
+                for entry in root.iterdir():
+                    print(entry)
+        """, ["REP011"])
+        assert codes_of(findings) == ["REP011"]
+
+    def test_sorted_wrapper_is_clean(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            import os
+
+            def stable(d, items):
+                for name in sorted(os.listdir(d)):
+                    print(name)
+                for x in sorted({1, 2, 3}):
+                    print(x)
+                return sorted(set(items))
+        """, ["REP011"])
+        assert findings == []
+
+    def test_membership_and_len_are_clean(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            import os
+
+            def probe(d, wanted):
+                live = {"a", "b"}
+                count = len(os.listdir(d))
+                return wanted in live, count
+        """, ["REP011"])
+        assert findings == []
+
+    def test_tests_are_exempt(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def helper():
+                for x in {1, 2}:
+                    print(x)
+        """, ["REP011"], filename="tests/test_thing.py")
+        assert findings == []
+
+
+class TestRep012RngAliasing:
+    def test_flags_module_level_generator(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            from repro.sim.rng import RandomStreams
+
+            streams = RandomStreams(7)
+            gen = streams.get("model")
+        """, ["REP012"])
+        assert codes_of(findings) == ["REP012"]
+        assert "'gen'" in findings[0].message
+
+    def test_module_global_names_importers(self, tmp_path):
+        findings = run_tree(tmp_path, {
+            "repro/shared.py": """
+                from repro.sim.rng import RandomStreams
+
+                gen = RandomStreams(7).fresh("shared")
+            """,
+            "repro/user_a.py": "from repro.shared import gen\n",
+            "repro/user_b.py": "from repro.shared import gen\n",
+        }, ["REP012"])
+        assert codes_of(findings) == ["REP012"]
+        assert "repro.user_a" in findings[0].message
+        assert "repro.user_b" in findings[0].message
+
+    def test_flags_generator_into_two_spawns(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            from repro.sim.rng import RandomStreams
+
+            def launch(sim, worker, seed):
+                streams = RandomStreams(seed)
+                gen = streams.get("workers")
+                sim.process(worker(sim, gen))
+                sim.process(worker(sim, gen))
+        """, ["REP012"])
+        assert codes_of(findings) == ["REP012"]
+        assert "'gen'" in findings[0].message
+
+    def test_flags_generator_spawned_in_loop(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            from repro.sim.rng import RandomStreams
+
+            def launch(sim, worker, seed, ranks):
+                streams = RandomStreams(seed)
+                gen = streams.get("workers")
+                for rank in range(ranks):
+                    sim.process(worker(sim, rank, gen))
+        """, ["REP012"])
+        assert codes_of(findings) == ["REP012"]
+
+    def test_flags_spawn_through_helper(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            from repro.sim.rng import RandomStreams
+
+            def start(sim, job, gen):
+                return sim.process(job(gen))
+
+            def launch(sim, job, seed):
+                streams = RandomStreams(seed)
+                gen = streams.get("jobs")
+                start(sim, job, gen)
+                start(sim, job, gen)
+        """, ["REP012"])
+        assert codes_of(findings) == ["REP012"]
+
+    def test_stream_per_spawn_is_clean(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            from repro.sim.rng import RandomStreams
+
+            def launch(sim, worker, seed, ranks):
+                streams = RandomStreams(seed)
+                for rank in range(ranks):
+                    gen = streams.fresh(f"worker.{rank}")
+                    sim.process(worker(sim, rank, gen))
+        """, ["REP012"])
+        assert findings == []
+
+    def test_single_spawn_is_clean(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            from repro.sim.rng import RandomStreams
+
+            def launch(sim, worker, seed):
+                streams = RandomStreams(seed)
+                gen = streams.get("solo")
+                sim.process(worker(sim, gen))
+        """, ["REP012"])
+        assert findings == []
+
+    def test_module_level_streams_registry_is_clean(self, tmp_path):
+        """A RandomStreams *registry* global is fine; only drawn
+        generators alias hidden state."""
+        findings = run_lint(tmp_path, """
+            from repro.sim.rng import RandomStreams
+
+            def build(seed):
+                return RandomStreams(seed)
+        """, ["REP012"])
+        assert findings == []
+
+
+class TestRep013IdentityOrdering:
+    def test_flags_key_id(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def order(jobs):
+                return sorted(jobs, key=id)
+        """, ["REP013"])
+        assert codes_of(findings) == ["REP013"]
+
+    def test_flags_id_inside_sort_key_lambda(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def order(jobs):
+                jobs.sort(key=lambda j: (j.priority, id(j)))
+        """, ["REP013"])
+        assert codes_of(findings) == ["REP013"]
+
+    def test_flags_hash_key_in_min(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def pick(names):
+                return min(names, key=hash)
+        """, ["REP013"])
+        assert codes_of(findings) == ["REP013"]
+
+    def test_flags_id_in_heap_entry(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            import heapq
+
+            def enqueue(heap, when, job):
+                heapq.heappush(heap, (when, id(job), job))
+        """, ["REP013"])
+        assert codes_of(findings) == ["REP013"]
+
+    def test_flags_id_dict_key(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def index(jobs):
+                table = {id(j): j for j in jobs}
+                other = {}
+                for j in jobs:
+                    other[id(j)] = j
+                return table, other
+        """, ["REP013"])
+        # dict-comp key and subscript-assignment key both flagged
+        assert codes_of(findings) == ["REP013", "REP013"]
+
+    def test_stable_keys_are_clean(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            import heapq
+
+            def order(jobs, heap, when, seq, job):
+                ranked = sorted(jobs, key=lambda j: (j.priority, j.name))
+                heapq.heappush(heap, (when, seq, job))
+                return ranked
+        """, ["REP013"])
+        assert findings == []
+
+    def test_plain_id_call_is_clean(self, tmp_path):
+        findings = run_lint(tmp_path, """
+            def describe(job):
+                return f"job at {id(job):#x}"
+        """, ["REP013"])
+        assert findings == []
