@@ -43,6 +43,7 @@ from repro.fault.campaign import (
     RunOutcome,
     SwitchFaultSpec,
     available_kernels,
+    build_fault_plan,
     get_kernel,
     register_kernel,
     run_campaign,
@@ -50,6 +51,7 @@ from repro.fault.campaign import (
 )
 from repro.fault.recovery import RecoveryOutcome, compare_strategies
 from repro.fault.availability import (
+    DetectorDrivenSparePool,
     NodeAvailability,
     expected_up_nodes,
     node_availability,
@@ -62,6 +64,7 @@ __all__ = [
     "CampaignSpec",
     "CheckpointParams",
     "CheckpointVault",
+    "DetectorDrivenSparePool",
     "ExponentialFailures",
     "FailureModel",
     "FaultInjector",
@@ -74,6 +77,7 @@ __all__ = [
     "SwitchFaultSpec",
     "WeibullFailures",
     "available_kernels",
+    "build_fault_plan",
     "compare_strategies",
     "daly_interval",
     "efficiency",

@@ -20,10 +20,15 @@ the scheduler must be built for that (see
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from scipy import stats as _scipy_stats
 
+from repro.health.monitor import DeathRecord
+from repro.health.spares import SparePool
+
 __all__ = [
+    "DetectorDrivenSparePool",
     "NodeAvailability",
     "node_availability",
     "expected_up_nodes",
@@ -106,6 +111,83 @@ def spares_for_sla(required_nodes: int, availability: float,
                 f"{confidence:.4f} confidence with a sane spare pool"
             )
     return spares
+
+
+class DetectorDrivenSparePool:
+    """A :class:`~repro.health.spares.SparePool` that only the detection
+    layer can drain.
+
+    The analytic functions above size the pool; this class *operates*
+    it, with one rule enforced by the API: an activation requires a
+    :class:`~repro.health.monitor.DeathRecord` — the health layer's
+    *declaration* of death — so ground truth (a crash nobody has
+    detected yet) cannot activate a spare, and a partition's lie (a
+    false-positive declaration) *does*.  The supervisor pays for false
+    positives with real capacity, exactly as production clusters do;
+    ``false_activations`` counts that bill, read from the record's own
+    ground-truth annotation (metrics only, never decisions).
+    """
+
+    def __init__(self, spare_ids: Sequence[int]) -> None:
+        self._pool = SparePool(spare_ids)
+        #: Every activation's driving declaration, in order.
+        self.records: List[DeathRecord] = []
+        self.false_activations = 0
+
+    @property
+    def depth(self) -> int:
+        """Spares currently available."""
+        return self._pool.depth
+
+    @property
+    def min_depth(self) -> int:
+        """Lowest depth ever reached (pool-sizing signal)."""
+        return self._pool.min_depth
+
+    @property
+    def activations(self) -> int:
+        """Successful activations so far."""
+        return self._pool.activations
+
+    @property
+    def ids(self) -> Tuple[int, ...]:
+        """Available spare ids, ascending."""
+        return self._pool.ids
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._pool
+
+    def activate(self, record: DeathRecord) -> Optional[int]:
+        """Activate the lowest spare for a *declared* death.
+
+        Returns the activated node id, or ``None`` when the pool is
+        dry.  Raises ``TypeError`` unless ``record`` is a genuine
+        :class:`DeathRecord`: there is deliberately no way to activate
+        a spare from ground truth alone.
+        """
+        if not isinstance(record, DeathRecord):
+            raise TypeError(
+                "spare activation requires a DeathRecord from the "
+                f"health layer, got {record!r}")
+        node = self._pool.activate()
+        if node is not None:
+            self.records.append(record)
+            if record.false_positive:
+                self.false_activations += 1
+        return node
+
+    def refill(self, node: int) -> None:
+        """Return a repaired node to the pool."""
+        self._pool.refill(node)
+
+    def discard(self, node: int) -> bool:
+        """Remove a spare that itself died; True when it was pooled."""
+        return self._pool.discard(node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<DetectorDrivenSparePool depth={self.depth} "
+                f"activations={self.activations} "
+                f"false={self.false_activations}>")
 
 
 def _check(node_count: int, availability: float) -> None:

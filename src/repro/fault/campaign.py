@@ -66,6 +66,7 @@ __all__ = [
     "register_kernel",
     "get_kernel",
     "available_kernels",
+    "build_fault_plan",
     "run_campaign",
     "run_workload",
 ]
@@ -382,34 +383,61 @@ def _answers_equal(left: Any, right: Any) -> bool:
     return bool(left == right)
 
 
-def _build_plan(spec: CampaignSpec, streams: RandomStreams,
-                topology: FatTreeTopology) -> Optional[FabricFaultPlan]:
-    """The fabric fault plan for the faulty run (None when no fabric
+def build_fault_plan(
+        topology: FatTreeTopology,
+        link_faults: Tuple[LinkFaultSpec, ...] = (),
+        switch_faults: Tuple[SwitchFaultSpec, ...] = (),
+        drop_probability: float = 0.0,
+        corrupt_probability: float = 0.0,
+        streams: Optional[RandomStreams] = None,
+) -> Optional[FabricFaultPlan]:
+    """The fabric fault plan for a faulty run (None when no fabric
     faults are declared).  Endpoints are validated against the topology
     so a typo'd node name fails loudly instead of silently never
-    matching a route (hosts are ``("h", rank)``, switches ``("s", i)``)."""
-    random_faults = (spec.drop_probability > 0
-                     or spec.corrupt_probability > 0)
-    if not (spec.link_faults or spec.switch_faults or random_faults):
+    matching a route (hosts are ``("h", rank)``, switches ``("s", i)``).
+
+    Shared by :func:`run_campaign` here and the job-control-plane
+    campaigns in :mod:`repro.jobs.campaign` — one translation from
+    declarative fault specs to a live :class:`FabricFaultPlan`.
+    """
+    random_faults = drop_probability > 0 or corrupt_probability > 0
+    if not (link_faults or switch_faults or random_faults):
         return None
-    rng = streams.get("network.faults") if random_faults else None
-    plan = FabricFaultPlan(drop_probability=spec.drop_probability,
-                           corrupt_probability=spec.corrupt_probability,
+    rng = None
+    if random_faults:
+        if streams is None:
+            raise ValueError(
+                "probabilistic fabric faults need a RandomStreams")
+        rng = streams.get("network.faults")
+    plan = FabricFaultPlan(drop_probability=drop_probability,
+                           corrupt_probability=corrupt_probability,
                            rng=rng)
-    for lf in spec.link_faults:
+    for lf in link_faults:
         if not topology.graph.has_edge(lf.a, lf.b):
             raise ValueError(
                 f"link fault on {lf.a!r}--{lf.b!r}: no such link in the "
                 f"campaign topology (hosts are ('h', rank), switches "
                 f"('s', i))")
         plan.link_down(lf.a, lf.b, lf.start, lf.start + lf.duration)
-    for sf in spec.switch_faults:
+    for sf in switch_faults:
         if sf.node not in topology.graph:
             raise ValueError(
                 f"switch fault on {sf.node!r}: no such node in the "
                 f"campaign topology")
         plan.node_down(sf.node, sf.start, sf.start + sf.duration)
     return plan
+
+
+def _build_plan(spec: CampaignSpec, streams: RandomStreams,
+                topology: FatTreeTopology) -> Optional[FabricFaultPlan]:
+    """Spec-shaped wrapper over :func:`build_fault_plan`."""
+    return build_fault_plan(
+        topology,
+        link_faults=spec.link_faults,
+        switch_faults=spec.switch_faults,
+        drop_probability=spec.drop_probability,
+        corrupt_probability=spec.corrupt_probability,
+        streams=streams)
 
 
 def _teardown(procs: List[Process], victim: int, index: int) -> None:

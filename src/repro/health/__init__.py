@@ -23,6 +23,10 @@ Pieces:
 * :mod:`repro.health.scheduling` — :class:`DegradedBatchSimulator`,
   the batch scheduler that pays detection latency, activates spares,
   and requeues killed jobs with backoff.
+* :mod:`repro.health.spares` — :class:`SparePool`, the deterministic
+  lowest-id-first reserve-capacity pool shared by the degraded
+  scheduler and the detector-driven activation wrapper in
+  :mod:`repro.fault.availability`.
 
 Layering: health sits above ``sim``/``network``/``scheduler``/``obs``
 and below ``fault`` (campaigns consume detection; detection never
@@ -46,6 +50,7 @@ from repro.health.scheduling import (
     DegradedScheduleResult,
     DrainWindow,
 )
+from repro.health.spares import SparePool
 from repro.health.state import (
     HealthEvent,
     Membership,
@@ -68,5 +73,6 @@ __all__ = [
     "MembershipView",
     "NodeHealthState",
     "PhiAccrualDetector",
+    "SparePool",
     "Verdict",
 ]

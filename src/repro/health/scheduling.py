@@ -43,6 +43,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.health.spares import SparePool
 from repro.health.state import Membership, NodeHealthState
 from repro.obs import NULL_OBS, Observability
 from repro.scheduler.job import Job
@@ -271,6 +272,7 @@ class DegradedBatchSimulator:
             completions={},
             min_spare_depth=self.spare_nodes,
         )
+        pool = SparePool(range(self.total_nodes, physical))
         queue: List[Job] = []
         running: Dict[int, _RunningJob] = {}
         generations: Dict[int, int] = {job.job_id: 0 for job in jobs}
@@ -282,7 +284,6 @@ class DegradedBatchSimulator:
         free = self.total_nodes
         out = 0
         drained_active = 0
-        spares = self.spare_nodes
         finished = 0
         #: tag -> estimated release time of an out-of-service slot
         #: (rendered to the policy as width-1 pseudo-jobs).
@@ -295,7 +296,6 @@ class DegradedBatchSimulator:
         # Deterministic node-identity bookkeeping for the health log:
         # strikes and drains take the lowest in-service id.
         in_service_ids = list(range(self.total_nodes))
-        spare_ids = list(range(self.total_nodes, physical))
         struck_node: Dict[int, int] = {}      # tag -> id awaiting detect
         repairing_node: Dict[int, int] = {}   # tag -> id under repair
 
@@ -323,7 +323,7 @@ class DegradedBatchSimulator:
 
         def handle(now: float, kind: int, job_id: int,
                    extra: int) -> None:
-            nonlocal queue, free, out, drained_active, spares
+            nonlocal queue, free, out, drained_active
             nonlocal finished, next_tag
 
             if kind == _ARRIVAL:
@@ -350,9 +350,7 @@ class DegradedBatchSimulator:
                 membership.transition(node, NodeHealthState.HEALTHY,
                                       now, "repaired")
                 if extra:
-                    spares += 1           # refill the pool
-                    spare_ids.append(node)
-                    spare_ids.sort()
+                    pool.refill(node)
                 else:
                     accumulate(now)
                     out -= 1
@@ -399,13 +397,9 @@ class DegradedBatchSimulator:
                 membership.transition(node, NodeHealthState.REPAIRING,
                                       now, "repair")
                 repairing_node[tag] = node
-                covered = spares > 0
-                if covered:
-                    spares -= 1
-                    result.spare_activations += 1
-                    result.min_spare_depth = min(result.min_spare_depth,
-                                                 spares)
-                    activated = spare_ids.pop(0)
+                activated = pool.activate()
+                covered = activated is not None
+                if activated is not None:
                     in_service_ids.append(activated)
                     in_service_ids.sort()
                 zombie = zombie_by_tag.pop(tag, None)
@@ -549,6 +543,8 @@ class DegradedBatchSimulator:
                 "drained early)")
         accumulate(result.makespan)
         result.degraded_node_seconds = degraded_integral
+        result.spare_activations = pool.activations
+        result.min_spare_depth = pool.min_depth
         result.health_log = tuple(
             event.line() for event in membership.events)
         if self.obs.enabled:

@@ -1,0 +1,85 @@
+"""Spare-node pools: healthy capacity held in reserve.
+
+A :class:`SparePool` owns a set of node ids kept *outside* schedulable
+capacity.  Activation hands out the lowest spare id (deterministic — the
+same failure sequence always activates the same nodes) and repair
+refills the pool, so the pool's depth over time is a byte-stable
+function of the failure schedule.
+
+The pool itself is policy-free bookkeeping: *when* to activate is the
+caller's decision.  :class:`~repro.health.scheduling.
+DegradedBatchSimulator` activates at detection time on the aggregate
+batch model, and :class:`~repro.fault.availability.
+DetectorDrivenSparePool` wraps this class so activation can only be
+driven by a declared :class:`~repro.health.monitor.DeathRecord`, never
+by ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["SparePool"]
+
+
+class SparePool:
+    """Deterministic pool of spare node ids.
+
+    ``activate()`` pops the lowest id (or returns ``None`` when the pool
+    is dry); ``refill(node)`` returns a repaired node to the pool.  The
+    pool tracks its high-water usage: ``activations`` counts every
+    successful activation and ``min_depth`` records the lowest depth
+    ever reached, which is the sizing signal capacity planners read
+    (a min depth of zero means the pool was exhausted at least once).
+    """
+
+    def __init__(self, spare_ids: Sequence[int]) -> None:
+        ids = sorted(spare_ids)
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate spare ids in {list(spare_ids)!r}")
+        self._ids: List[int] = ids
+        self.initial_depth = len(ids)
+        self.activations = 0
+        self.min_depth = len(ids)
+
+    @property
+    def depth(self) -> int:
+        """Spares currently available."""
+        return len(self._ids)
+
+    @property
+    def ids(self) -> Tuple[int, ...]:
+        """Available spare ids, ascending."""
+        return tuple(self._ids)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._ids
+
+    def activate(self) -> Optional[int]:
+        """Pop and return the lowest spare id, or ``None`` when dry."""
+        if not self._ids:
+            self.min_depth = 0
+            return None
+        node = self._ids.pop(0)
+        self.activations += 1
+        self.min_depth = min(self.min_depth, len(self._ids))
+        return node
+
+    def refill(self, node: int) -> None:
+        """Return a repaired node to the pool (kept sorted)."""
+        if node in self._ids:
+            raise ValueError(f"node {node} is already in the spare pool")
+        self._ids.append(node)
+        self._ids.sort()
+
+    def discard(self, node: int) -> bool:
+        """Remove a spare that itself died; True when it was pooled."""
+        if node in self._ids:
+            self._ids.remove(node)
+            self.min_depth = min(self.min_depth, len(self._ids))
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SparePool depth={len(self._ids)}"
+                f"/{self.initial_depth} activations={self.activations}>")

@@ -1,0 +1,89 @@
+"""Lease-based job control plane: at-most-once under fault campaigns.
+
+The cluster-software claim of the keynote, made executable: once
+commodity clusters scale past the point where nodes fail routinely,
+the *control plane* — not the application — must guarantee that work
+happens at most once.  This package builds that control plane on the
+repo's own stack and proves the guarantee under full fault campaigns:
+
+* :mod:`~repro.jobs.state` — the job lifecycle state machine
+  (SUBMITTED/LEASED/RUNNING/COMPLETED/FAILED/REQUEUED) with legal-
+  transition enforcement, and :class:`JobRequest` idempotent
+  submissions;
+* :mod:`~repro.jobs.lease` — time-bound leases with monotonically
+  increasing fencing tokens; the supervisor's volatile
+  :class:`LeaseTable` is rebuilt from the durable log on restart;
+* :mod:`~repro.jobs.log` — the durable, byte-canonical
+  :class:`JobLog`: fenced effect application (stale tokens rejected at
+  the storage boundary), ``(tenant, key)`` deduplication, and a replay
+  checker that re-proves every invariant from the records alone;
+* :mod:`~repro.jobs.service` — supervisor, workers, and the message
+  plane riding a real :class:`~repro.network.fabric.Fabric`, with
+  detector-driven (never oracle-driven) death handling and spare
+  activation;
+* :mod:`~repro.jobs.campaign` — declarative fault campaigns (worker
+  crashes/stalls, supervisor crashes, duplicate submissions, fabric
+  faults) plus the byte-identical same-seed determinism proof.
+
+Run ``python -m repro jobs`` for an end-to-end demonstration.
+"""
+
+from repro.jobs.campaign import (
+    DeterminismProof,
+    DuplicateSubmitSpec,
+    JobsCampaignReport,
+    JobsCampaignSpec,
+    SupervisorCrashSpec,
+    WorkerCrashSpec,
+    WorkerStallSpec,
+    prove_determinism,
+    requests_from_jobs,
+    run_jobs_campaign,
+)
+from repro.jobs.lease import Lease, LeaseTable
+from repro.jobs.log import EffectRecord, JobLog, JobRow, LogRecord
+from repro.jobs.service import (
+    JobService,
+    Message,
+    ServiceConfig,
+    WorkerStall,
+    available_job_kernels,
+    get_job_kernel,
+    register_job_kernel,
+)
+from repro.jobs.state import (
+    TERMINAL_STATES,
+    JobRequest,
+    JobState,
+    check_transition,
+)
+
+__all__ = [
+    "DeterminismProof",
+    "DuplicateSubmitSpec",
+    "EffectRecord",
+    "JobLog",
+    "JobRequest",
+    "JobRow",
+    "JobService",
+    "JobState",
+    "JobsCampaignReport",
+    "JobsCampaignSpec",
+    "Lease",
+    "LeaseTable",
+    "LogRecord",
+    "Message",
+    "ServiceConfig",
+    "SupervisorCrashSpec",
+    "TERMINAL_STATES",
+    "WorkerCrashSpec",
+    "WorkerStall",
+    "WorkerStallSpec",
+    "available_job_kernels",
+    "check_transition",
+    "get_job_kernel",
+    "prove_determinism",
+    "register_job_kernel",
+    "requests_from_jobs",
+    "run_jobs_campaign",
+]

@@ -1,0 +1,114 @@
+"""Leases: time-bound, fenced execution rights.
+
+A :class:`Lease` is the supervisor's promise that exactly one worker
+may execute a job until ``expires_at`` — paired with a fencing token
+that makes the promise safe even when the promise is broken (a worker
+that holds an expired lease can still *try* to write; the token lets
+the log reject it).
+
+:class:`LeaseTable` is the supervisor's **volatile** view of active
+leases.  It is a cache, never the truth: the durable
+:class:`~repro.jobs.log.JobLog` records every grant, and a restarted
+supervisor rebuilds its table from the log (:meth:`LeaseTable.rebuild`)
+— which is precisely what makes supervisor crashes survivable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.jobs.log import JobLog
+
+__all__ = ["Lease", "LeaseTable"]
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One granted execution right: job, owner, token, and deadline."""
+
+    job_id: int
+    worker: int
+    token: int
+    granted_at: float
+    expires_at: float
+
+    def expired(self, now: float) -> bool:
+        """True once ``now`` has reached the deadline."""
+        return now >= self.expires_at
+
+
+class LeaseTable:
+    """Volatile supervisor-side index of active leases."""
+
+    def __init__(self) -> None:
+        self._by_job: Dict[int, Lease] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_job)
+
+    def __contains__(self, job_id: int) -> bool:
+        return job_id in self._by_job
+
+    def get(self, job_id: int) -> Optional[Lease]:
+        """The active lease for ``job_id``, if any."""
+        return self._by_job.get(job_id)
+
+    def add(self, lease: Lease) -> None:
+        """Index a freshly granted lease (one active lease per job)."""
+        if lease.job_id in self._by_job:
+            raise ValueError(
+                f"job {lease.job_id} already holds an active lease")
+        self._by_job[lease.job_id] = lease
+
+    def renew(self, job_id: int, expires_at: float) -> Lease:
+        """Extend a lease's deadline; returns the replacement lease."""
+        old = self._by_job[job_id]
+        new = Lease(job_id=old.job_id, worker=old.worker, token=old.token,
+                    granted_at=old.granted_at, expires_at=expires_at)
+        self._by_job[job_id] = new
+        return new
+
+    def drop(self, job_id: int) -> Optional[Lease]:
+        """Remove and return the lease for ``job_id`` (None if absent)."""
+        return self._by_job.pop(job_id, None)
+
+    def expired(self, now: float) -> List[Lease]:
+        """Leases whose deadline has passed, ordered by
+        ``(expires_at, job_id)`` so expiry processing is deterministic."""
+        due = [lease for lease in self._by_job.values()
+               if lease.expired(now)]
+        due.sort(key=lambda lease: (lease.expires_at, lease.job_id))
+        return due
+
+    def owned_by(self, worker: int) -> List[Lease]:
+        """Active leases held by ``worker``, ordered by job id."""
+        owned = [lease for lease in self._by_job.values()
+                 if lease.worker == worker]
+        owned.sort(key=lambda lease: lease.job_id)
+        return owned
+
+    def busy_workers(self) -> List[int]:
+        """Workers currently holding at least one lease, ascending."""
+        return sorted({lease.worker for lease in self._by_job.values()})
+
+    @classmethod
+    def rebuild(cls, log: "JobLog", now: float) -> "LeaseTable":
+        """Reconstruct the volatile table from the durable log.
+
+        Every job the log shows as LEASED or RUNNING with an owner gets
+        its lease re-indexed — including already-expired ones, which the
+        supervisor's next expiry sweep will requeue.  This is the whole
+        supervisor-recovery story: the table is disposable because the
+        log is not.
+        """
+        table = cls()
+        for row in log.live_rows():
+            if row.owner is None:
+                continue
+            table.add(Lease(job_id=row.job_id, worker=row.owner,
+                            token=row.fencing_token,
+                            granted_at=row.granted_at,
+                            expires_at=row.expires_at))
+        return table

@@ -1,0 +1,110 @@
+"""Job lifecycle state machine and submission records.
+
+The control plane's durable truth about each job is a tiny legal-
+transition machine, mirrored on :mod:`repro.health.state`::
+
+    SUBMITTED -> LEASED       supervisor granted a lease
+    LEASED    -> RUNNING      worker's start report reached the log
+    LEASED    -> COMPLETED    effect write beat the start report
+    LEASED    -> REQUEUED     lease expired / owner declared dead
+    RUNNING   -> COMPLETED    fenced effect write applied
+    RUNNING   -> REQUEUED     lease expired / owner declared dead
+    REQUEUED  -> LEASED       re-granted (fencing token bumps)
+    REQUEUED  -> COMPLETED    late write under a *still-current* token
+    REQUEUED  -> FAILED       attempt budget exhausted
+
+``REQUEUED -> COMPLETED`` is deliberate: when a lease expires but no
+re-grant has happened yet, the expired worker's token is still the
+highest ever granted, so its late write is *not* stale — accepting it
+preserves at-most-once semantics (nobody else was fenced in).  The
+moment a re-grant bumps the token, that same write becomes stale and
+is rejected.  ``COMPLETED`` and ``FAILED`` are terminal.
+
+Illegal transitions raise: a supervisor that tries one has a bug, and
+the campaign layer would rather crash deterministically than corrupt
+the log.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Tuple
+
+__all__ = [
+    "JobRequest",
+    "JobState",
+    "TERMINAL_STATES",
+    "check_transition",
+]
+
+
+class JobState(enum.Enum):
+    """Where a job sits in its lease-and-execute lifecycle."""
+
+    SUBMITTED = "submitted"
+    LEASED = "leased"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    REQUEUED = "requeued"
+
+
+#: Legal transitions (see module docstring for the narrative).
+_ALLOWED: Dict[JobState, FrozenSet[JobState]] = {
+    JobState.SUBMITTED: frozenset({JobState.LEASED}),
+    JobState.LEASED: frozenset(
+        {JobState.RUNNING, JobState.COMPLETED, JobState.REQUEUED}),
+    JobState.RUNNING: frozenset(
+        {JobState.COMPLETED, JobState.REQUEUED}),
+    JobState.REQUEUED: frozenset(
+        {JobState.LEASED, JobState.COMPLETED, JobState.FAILED}),
+    JobState.COMPLETED: frozenset(),
+    JobState.FAILED: frozenset(),
+}
+
+#: States a job can never leave.
+TERMINAL_STATES: FrozenSet[JobState] = frozenset(
+    {JobState.COMPLETED, JobState.FAILED})
+
+
+def check_transition(old: JobState, new: JobState) -> None:
+    """Raise ``ValueError`` unless ``old -> new`` is a legal transition."""
+    if new not in _ALLOWED[old]:
+        raise ValueError(
+            f"illegal job transition {old.value} -> {new.value}")
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One tenant's submission.
+
+    ``key`` is the idempotency key: two submissions with the same
+    ``(tenant, key)`` are the *same* job, and the log deduplicates the
+    second no matter when it arrives.  ``payload`` is a tuple of
+    ``(name, value)`` pairs (hashable stand-in for a dict) handed to the
+    registered kernel; ``work_seconds`` is the virtual compute time the
+    worker spends before producing the effect.
+    """
+
+    tenant: str
+    key: str
+    kernel: str = "digest"
+    payload: Tuple[Tuple[str, Any], ...] = ()
+    work_seconds: float = 1e-3
+    submit_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ValueError("tenant must be non-empty")
+        if not self.key:
+            raise ValueError("idempotency key must be non-empty")
+        if self.work_seconds <= 0:
+            raise ValueError("work_seconds must be positive")
+        if self.submit_time < 0:
+            raise ValueError("submit_time must be >= 0")
+
+    @property
+    def identity(self) -> Tuple[str, str]:
+        """The dedup identity ``(tenant, key)``."""
+        return (self.tenant, self.key)

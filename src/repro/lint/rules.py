@@ -99,6 +99,7 @@ LAYERS: Dict[str, int] = {
     "health": 30,
     "messaging": 30,
     "fault": 35,
+    "jobs": 38,
     "io": 40,
     "apps": 50,
     "lint": 60,

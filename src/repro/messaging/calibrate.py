@@ -10,19 +10,31 @@ procedure one would run against real hardware to extend the catalog.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Generator,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from repro.network.loggp_fit import LogGPFit, fit_loggp
 from repro.units import KIB, MIB
 
+if TYPE_CHECKING:
+    from repro.messaging.comm import Communicator
+    from repro.network.technologies import InterconnectTechnology
+
 __all__ = ["measure_and_fit"]
 
 _DEFAULT_SIZES = (0, KIB, 16 * KIB, 256 * KIB, MIB)
 
 
-def measure_and_fit(technology,
+def measure_and_fit(technology: Union[str, "InterconnectTechnology"],
                     sizes: Sequence[int] = _DEFAULT_SIZES,
                     repetitions: int = 3) -> Tuple[LogGPFit, Dict[int, float]]:
     """Ping-pong the simulated fabric and fit the result.
@@ -33,7 +45,8 @@ def measure_and_fit(technology,
     """
     from repro.messaging.program import run_spmd
 
-    def body(comm, nbytes, reps):
+    def body(comm: "Communicator", nbytes: int, reps: int
+             ) -> Generator[Any, Any, float]:
         payload = np.zeros(nbytes, dtype=np.uint8)
         yield from comm.sendrecv(payload, 1 - comm.rank)  # warm-up
         start = comm.sim.now
@@ -46,7 +59,7 @@ def measure_and_fit(technology,
                 yield from comm.send(payload, 0, tag=2)
         return (comm.sim.now - start) / (2 * reps)
 
-    measurements = {}
+    measurements: Dict[int, float] = {}
     for nbytes in sizes:
         outcome = run_spmd(2, body, int(nbytes), repetitions,
                            technology=technology)

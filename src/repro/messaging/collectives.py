@@ -29,9 +29,20 @@ built-ins in :mod:`repro.messaging.message` are).
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Generator,
+    List,
+    Optional,
+)
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.messaging.comm import Communicator
+    from repro.sim.event import Event
 
 __all__ = [
     "COLLECTIVE_TAG_BASE",
@@ -55,7 +66,7 @@ COLLECTIVE_TAG_BASE = 1 << 20  # repro: noqa[REP003] tag namespace offset, not b
 _TOKEN = b""
 
 
-def barrier(comm):
+def barrier(comm: Communicator) -> Generator[Event, Any, None]:
     """Dissemination barrier: after round k every rank has heard (directly
     or transitively) from 2^k others; ⌈log₂ p⌉ rounds total."""
     tag = comm._next_tag()
@@ -71,7 +82,8 @@ def barrier(comm):
     return None
 
 
-def bcast(comm, obj: Any, root: int = 0, algorithm: str = "binomial"):
+def bcast(comm: Communicator, obj: Any, root: int = 0,
+          algorithm: str = "binomial") -> Generator[Event, Any, Any]:
     """Broadcast: binomial tree, or van de Geijn scatter+allgather.
 
     Binomial sends the full payload log₂ p times along the critical path
@@ -94,7 +106,8 @@ def bcast(comm, obj: Any, root: int = 0, algorithm: str = "binomial"):
     return result
 
 
-def _bcast_scatter_allgather(comm, array, root: int):
+def _bcast_scatter_allgather(comm: Communicator, array: Any, root: int
+                             ) -> Generator[Event, Any, Any]:
     """van de Geijn: scatter chunks from root, ring-allgather them.
 
     Only the root can see whether the payload is chunkable, so the
@@ -126,7 +139,8 @@ def _bcast_scatter_allgather(comm, array, root: int):
     return np.concatenate(pieces).reshape(meta)
 
 
-def _bcast_binomial(comm, obj: Any, root: int):
+def _bcast_binomial(comm: Communicator, obj: Any, root: int
+                    ) -> Generator[Event, Any, Any]:
     """Binomial-tree broadcast (MPICH formulation)."""
     comm._check_peer(root, "root")
     tag = comm._next_tag()
@@ -150,7 +164,8 @@ def _bcast_binomial(comm, obj: Any, root: int):
     return obj
 
 
-def reduce(comm, obj: Any, op: Callable, root: int = 0):
+def reduce(comm: Communicator, obj: Any, op: Callable, root: int = 0
+           ) -> Generator[Event, Any, Any]:
     """Binomial-tree reduction; returns the result at ``root``, ``None``
     elsewhere.  ``op`` must be commutative."""
     comm._check_peer(root, "root")
@@ -178,8 +193,9 @@ def reduce(comm, obj: Any, op: Callable, root: int = 0):
 
 # -- allreduce family ------------------------------------------------------
 
-def allreduce(comm, obj: Any, op: Callable,
-              algorithm: str = "recursive_doubling"):
+def allreduce(comm: Communicator, obj: Any, op: Callable,
+              algorithm: str = "recursive_doubling"
+              ) -> Generator[Event, Any, Any]:
     """Dispatch to the selected allreduce algorithm.
 
     ``ring`` and ``rabenseifner`` need a numpy vector long enough to chunk
@@ -213,7 +229,9 @@ def _chunkable(obj: Any, size: int) -> bool:
     return isinstance(obj, np.ndarray) and obj.size >= size
 
 
-def _allreduce_recursive_doubling(comm, obj: Any, op: Callable):
+def _allreduce_recursive_doubling(comm: Communicator, obj: Any,
+                                  op: Callable
+                                  ) -> Generator[Event, Any, Any]:
     """MPICH recursive doubling with the standard non-power-of-two
     fold-in/fold-out phases."""
     tag = comm._next_tag()
@@ -260,7 +278,8 @@ def _allreduce_recursive_doubling(comm, obj: Any, op: Callable):
     return result
 
 
-def _allreduce_ring(comm, array: np.ndarray, op: Callable):
+def _allreduce_ring(comm: Communicator, array: np.ndarray, op: Callable
+                    ) -> Generator[Event, Any, np.ndarray]:
     """Bandwidth-optimal ring: reduce-scatter then allgather, each p−1
     rounds moving 1/p of the vector."""
     tag = comm._next_tag()
@@ -296,7 +315,9 @@ def _allreduce_ring(comm, array: np.ndarray, op: Callable):
     return flat.reshape(np.asarray(array).shape)
 
 
-def _allreduce_rabenseifner(comm, array: np.ndarray, op: Callable):
+def _allreduce_rabenseifner(comm: Communicator, array: np.ndarray,
+                            op: Callable
+                            ) -> Generator[Event, Any, np.ndarray]:
     """Reduce-scatter by recursive halving, then allgather by recursive
     doubling.  Power-of-two ranks only (dispatcher guarantees it)."""
     tag = comm._next_tag()
@@ -338,7 +359,8 @@ def _allreduce_rabenseifner(comm, array: np.ndarray, op: Callable):
 
 # -- gather / scatter family -------------------------------------------------
 
-def gather(comm, obj: Any, root: int = 0):
+def gather(comm: Communicator, obj: Any, root: int = 0
+           ) -> Generator[Event, Any, Optional[List[Any]]]:
     """Linear gather; root returns the list ordered by source rank."""
     comm._check_peer(root, "root")
     tag = comm._next_tag()
@@ -354,7 +376,8 @@ def gather(comm, obj: Any, root: int = 0):
     return results
 
 
-def scatter(comm, objs: Optional[List[Any]], root: int = 0):
+def scatter(comm: Communicator, objs: Optional[List[Any]], root: int = 0
+            ) -> Generator[Event, Any, Any]:
     """Linear scatter; each rank returns its element of root's list."""
     comm._check_peer(root, "root")
     tag = comm._next_tag()
@@ -376,7 +399,8 @@ def scatter(comm, objs: Optional[List[Any]], root: int = 0):
     return received
 
 
-def allgather(comm, obj: Any):
+def allgather(comm: Communicator, obj: Any
+              ) -> Generator[Event, Any, List[Any]]:
     """Ring allgather: p−1 rounds, each forwarding what arrived last."""
     tag = comm._next_tag()
     size, rank = comm.size, comm.rank
@@ -397,7 +421,8 @@ def allgather(comm, obj: Any):
     return results
 
 
-def scan(comm, obj: Any, op: Callable):
+def scan(comm: Communicator, obj: Any, op: Callable
+         ) -> Generator[Event, Any, Any]:
     """Inclusive prefix reduction (MPI_Scan): rank r returns
     op(obj_0, ..., obj_r).  Hillis-Steele doubling: ⌈log₂ p⌉ rounds.
 
@@ -422,7 +447,8 @@ def scan(comm, obj: Any, op: Callable):
     return result
 
 
-def exscan(comm, obj: Any, op: Callable):
+def exscan(comm: Communicator, obj: Any, op: Callable
+           ) -> Generator[Event, Any, Any]:
     """Exclusive prefix reduction (MPI_Exscan): rank r returns
     op(obj_0, ..., obj_{r-1}); rank 0 returns ``None``.
 
@@ -443,7 +469,8 @@ def exscan(comm, obj: Any, op: Callable):
     return result
 
 
-def reduce_scatter(comm, objs: List[Any], op: Callable):
+def reduce_scatter(comm: Communicator, objs: List[Any], op: Callable
+                   ) -> Generator[Event, Any, Any]:
     """Reduce p per-destination items, scattering result i to rank i
     (MPI_Reduce_scatter with equal blocks).
 
@@ -468,7 +495,8 @@ def reduce_scatter(comm, objs: List[Any], op: Callable):
     return result
 
 
-def alltoall(comm, objs: List[Any]):
+def alltoall(comm: Communicator, objs: List[Any]
+             ) -> Generator[Event, Any, List[Any]]:
     """Pairwise-exchange alltoall; returns the list indexed by source."""
     size, rank = comm.size, comm.rank
     if objs is None or len(objs) != size:

@@ -26,9 +26,11 @@ from typing import (
     Callable,
     Dict,
     FrozenSet,
+    Generator,
     Iterable,
     List,
     Optional,
+    Sequence,
     Set,
     Tuple,
 )
@@ -247,7 +249,7 @@ class Request:
         """True once the operation has finished."""
         return self._process.triggered
 
-    def wait(self):
+    def wait(self) -> Generator[Event, Any, Any]:
         """Generator: block until the operation finishes, return its value
         (the received object for ``irecv``, ``None`` for ``isend``)."""
         value = yield self._process
@@ -262,16 +264,17 @@ class Request:
         return False, None
 
 
-def waitall(requests):
+def waitall(requests: Iterable[Request]) -> Generator[Event, Any, List[Any]]:
     """Generator: wait for every request; returns their values in order."""
-    values = []
+    values: List[Any] = []
     for request in requests:
         value = yield from request.wait()
         values.append(value)
     return values
 
 
-def waitany(requests):
+def waitany(requests: Sequence[Request]
+            ) -> Generator[Event, Any, Tuple[int, Any]]:
     """Generator: wait until any request completes; returns
     ``(index, value)`` of the first completion (by event order)."""
     if not requests:
@@ -326,7 +329,7 @@ class Communicator:
 
     # -- internals --------------------------------------------------------
 
-    def _op_span(self, op: str):
+    def _op_span(self, op: str) -> Any:
         """Span + entry counter for one messaging operation.
 
         Hot-path guard: returns the shared null span without building
@@ -352,7 +355,8 @@ class Communicator:
         return obj
 
     def _transfer_body(self, dest: int, tag: int, payload: Any, nbytes: int,
-                       ack=None):
+                       ack: Optional[Event] = None
+                       ) -> Generator[Event, Any, None]:
         """Process body: move the bytes, then deposit in dest's mailbox.
 
         ``dest`` is a *local* rank; routing happens in world coordinates,
@@ -385,7 +389,7 @@ class Communicator:
         yield world.mailboxes[dest_world].put(envelope)
 
     def _start_transfer(self, dest: int, tag: int, obj: Any,
-                        ack=None) -> Tuple[Process, int]:
+                        ack: Optional[Event] = None) -> Tuple[Process, int]:
         payload = self._isolate(obj)
         nbytes = payload_nbytes(payload)
         body = (self._reliable_body(dest, tag, payload, nbytes, ack)
@@ -397,7 +401,8 @@ class Communicator:
         return process, nbytes
 
     def _reliable_body(self, dest: int, tag: int, payload: Any, nbytes: int,
-                       ack=None):
+                       ack: Optional[Event] = None
+                       ) -> Generator[Event, Any, None]:
         """Process body: retransmit-until-acknowledged delivery.
 
         Each attempt moves the bytes; corrupted arrivals are discarded by
@@ -480,7 +485,8 @@ class Communicator:
 
     # -- point-to-point ----------------------------------------------------
 
-    def send(self, obj: Any, dest: int, tag: int = 0):
+    def send(self, obj: Any, dest: int, tag: int = 0
+             ) -> Generator[Event, Any, None]:
         """Buffered send: resumes after the local injection cost.
 
         In reliable mode, delivery (retransmits included) continues in
@@ -501,7 +507,8 @@ class Communicator:
             yield self.sim.timeout(local_cost)
 
     def ssend(self, obj: Any, dest: int, tag: int = 0,
-              timeout: Optional[float] = None):
+              timeout: Optional[float] = None
+              ) -> Generator[Event, Any, None]:
         """Synchronous send: completes only when the receiver has matched
         the message (true MPI rendezvous semantics, via an ack event the
         matching ``recv`` triggers).  Fault-aware mode raises
@@ -557,7 +564,8 @@ class Communicator:
         return Request(process)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
-             timeout: Optional[float] = None):
+             timeout: Optional[float] = None
+             ) -> Generator[Event, Any, Any]:
         """Blocking receive; returns the payload object."""
         obj, _status = yield from self.recv_with_status(source, tag,
                                                         timeout)
@@ -565,7 +573,8 @@ class Communicator:
 
     def recv_with_status(self, source: int = ANY_SOURCE,
                          tag: int = ANY_TAG,
-                         timeout: Optional[float] = None):
+                         timeout: Optional[float] = None
+                         ) -> Generator[Event, Any, Tuple[Any, Status]]:
         """Blocking receive; returns ``(payload, Status)``.
 
         Fault-aware mode turns hangs into errors: a receive naming a
@@ -650,7 +659,8 @@ class Communicator:
         return Request(process)
 
     def sendrecv(self, obj: Any, dest: int, source: int = ANY_SOURCE,
-                 sendtag: int = 0, recvtag: int = ANY_TAG):
+                 sendtag: int = 0, recvtag: int = ANY_TAG
+                 ) -> Generator[Event, Any, Any]:
         """Combined exchange (deadlock-free by construction)."""
         request = self.isend(obj, dest, sendtag)
         received = yield from self.recv(source, recvtag)
@@ -669,13 +679,15 @@ class Communicator:
 
     # Buffer-flavoured aliases (mpi4py uppercase idiom).  Payloads are
     # numpy arrays; the wire size is exactly the buffer size.
-    def Send(self, array: np.ndarray, dest: int, tag: int = 0):
+    def Send(self, array: np.ndarray, dest: int, tag: int = 0
+             ) -> Generator[Event, Any, None]:
         """Buffer send: like :meth:`send` but requires a numpy array."""
         if not isinstance(array, np.ndarray):
             raise TypeError("Send moves numpy arrays; use send for objects")
         yield from self.send(array, dest, tag)
 
-    def Recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+    def Recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+             ) -> Generator[Event, Any, np.ndarray]:
         """Buffer receive: like :meth:`recv` but demands a numpy array."""
         result = yield from self.recv(source, tag)
         if not isinstance(result, np.ndarray):
@@ -704,14 +716,14 @@ class Communicator:
         self._collective_seq += 1
         return _collectives.COLLECTIVE_TAG_BASE + self._collective_seq
 
-    def barrier(self):
+    def barrier(self) -> Generator[Event, Any, None]:
         """Block until every rank has entered the barrier."""
         with self._op_span("barrier"):
             result = yield from _collectives.barrier(self)
         return result
 
     def bcast(self, obj: Any, root: int = 0,
-              algorithm: str = "binomial"):
+              algorithm: str = "binomial") -> Generator[Event, Any, Any]:
         """Broadcast ``obj`` from ``root`` to every rank (see
         :func:`repro.messaging.collectives.bcast` for algorithms)."""
         with self._op_span("bcast").set(root=root):
@@ -719,14 +731,16 @@ class Communicator:
                                                    algorithm)
         return result
 
-    def reduce(self, obj: Any, op: Callable = SUM, root: int = 0):
+    def reduce(self, obj: Any, op: Callable = SUM, root: int = 0
+               ) -> Generator[Event, Any, Any]:
         """Reduce every rank's ``obj`` with ``op``; result at ``root``."""
         with self._op_span("reduce").set(root=root):
             result = yield from _collectives.reduce(self, obj, op, root)
         return result
 
     def allreduce(self, obj: Any, op: Callable = SUM,
-                  algorithm: str = "recursive_doubling"):
+                  algorithm: str = "recursive_doubling"
+                  ) -> Generator[Event, Any, Any]:
         """Reduce with ``op`` and deliver the result to every rank (see
         :func:`repro.messaging.collectives.allreduce` for algorithms)."""
         with self._op_span("allreduce"):
@@ -734,44 +748,49 @@ class Communicator:
                                                        algorithm)
         return result
 
-    def gather(self, obj: Any, root: int = 0):
+    def gather(self, obj: Any, root: int = 0
+               ) -> Generator[Event, Any, Optional[List[Any]]]:
         """Collect every rank's ``obj`` at ``root`` (list by rank)."""
         with self._op_span("gather").set(root=root):
             result = yield from _collectives.gather(self, obj, root)
         return result
 
-    def scatter(self, objs: Optional[List[Any]], root: int = 0):
+    def scatter(self, objs: Optional[List[Any]], root: int = 0
+                ) -> Generator[Event, Any, Any]:
         """Distribute ``objs[i]`` from ``root`` to rank ``i``."""
         with self._op_span("scatter").set(root=root):
             result = yield from _collectives.scatter(self, objs, root)
         return result
 
-    def allgather(self, obj: Any):
+    def allgather(self, obj: Any) -> Generator[Event, Any, List[Any]]:
         """Every rank receives the list of every rank's ``obj``."""
         with self._op_span("allgather"):
             result = yield from _collectives.allgather(self, obj)
         return result
 
-    def alltoall(self, objs: List[Any]):
+    def alltoall(self, objs: List[Any]) -> Generator[Event, Any, List[Any]]:
         """Personalised exchange: rank d receives ``objs[d]`` from every
         rank, as a list indexed by source."""
         with self._op_span("alltoall"):
             result = yield from _collectives.alltoall(self, objs)
         return result
 
-    def scan(self, obj: Any, op: Callable = SUM):
+    def scan(self, obj: Any, op: Callable = SUM
+             ) -> Generator[Event, Any, Any]:
         """Inclusive prefix reduction over ranks 0..self.rank."""
         with self._op_span("scan"):
             result = yield from _collectives.scan(self, obj, op)
         return result
 
-    def exscan(self, obj: Any, op: Callable = SUM):
+    def exscan(self, obj: Any, op: Callable = SUM
+               ) -> Generator[Event, Any, Any]:
         """Exclusive prefix reduction (rank 0 gets ``None``)."""
         with self._op_span("exscan"):
             result = yield from _collectives.exscan(self, obj, op)
         return result
 
-    def reduce_scatter(self, objs: List[Any], op: Callable = SUM):
+    def reduce_scatter(self, objs: List[Any], op: Callable = SUM
+                       ) -> Generator[Event, Any, Any]:
         """Reduce per-destination items; rank i gets reduced item i."""
         with self._op_span("reduce_scatter"):
             result = yield from _collectives.reduce_scatter(self, objs, op)
@@ -779,7 +798,8 @@ class Communicator:
 
     # -- communicator construction (MPI_Comm_split) ------------------------
 
-    def split(self, color: Any, key: int = 0):
+    def split(self, color: Any, key: int = 0
+              ) -> Generator[Event, Any, Optional["SubCommunicator"]]:
         """Collective: partition this communicator by ``color``.
 
         Every rank calls ``split`` (SPMD contract); ranks sharing a color

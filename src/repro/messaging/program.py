@@ -17,7 +17,7 @@ kernel and benchmark uses::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Union
+from typing import Any, Callable, Generator, List, Optional, Union
 
 from repro.messaging.comm import CommConfig, CommWorld, Communicator
 from repro.network.fabric import Fabric, FabricFaultPlan
@@ -134,9 +134,9 @@ def run_spmd(size: int,
     sim = world.sim
 
     finish_times: List[float] = [float("nan")] * size
-    processes = []
+    processes: List[Any] = []
 
-    def rank_body(comm: Communicator):
+    def rank_body(comm: Communicator) -> Generator[Any, Any, Any]:
         result = yield from body(comm, *args)
         finish_times[comm.rank] = sim.now
         return result

@@ -16,7 +16,7 @@ provides the space-sharing batch model the 2002 literature studied:
 * :func:`evaluate_schedule` — utilization, wait, bounded slowdown.
 """
 
-from repro.scheduler.job import Job, JobRecord, JobState
+from repro.scheduler.job import Job, JobRecord, JobState, scale_jobs
 from repro.scheduler.workload import WorkloadGenerator, WorkloadParams
 from repro.scheduler.policies import (
     ConservativeBackfill,
@@ -52,5 +52,6 @@ __all__ = [
     "format_swf",
     "load_swf",
     "parse_swf",
+    "scale_jobs",
     "get_policy",
 ]

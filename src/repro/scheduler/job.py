@@ -9,10 +9,10 @@ backfilling interesting, so both are first-class here.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional
 
-__all__ = ["Job", "JobRecord", "JobState"]
+__all__ = ["Job", "JobRecord", "JobState", "scale_jobs"]
 
 
 class JobState(enum.Enum):
@@ -78,3 +78,21 @@ class JobRecord:
         dominating the average."""
         return max(1.0, self.response_time
                    / max(self.job.runtime, threshold))
+
+
+def scale_jobs(jobs: Iterable[Job], time_scale: float) -> List[Job]:
+    """Uniformly scale every job's times by ``time_scale``.
+
+    SWF is an integer-second format — ``format_swf`` rounds — so
+    traces must be generated and round-tripped at natural second
+    scale, *then* scaled down to whatever the consuming simulation's
+    clock wants (the jobs-service campaigns run in milliseconds).
+    Widths are untouched; only submit/runtime/estimate scale.
+    """
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    return [replace(job,
+                    submit_time=job.submit_time * time_scale,
+                    runtime=job.runtime * time_scale,
+                    estimate=job.estimate * time_scale)
+            for job in jobs]

@@ -53,6 +53,14 @@ class TestCli:
         out = capsys.readouterr().out
         assert "rolling" in out and "forklift 3y" in out
 
+    def test_jobs(self, capsys):
+        assert main(["jobs"]) == 0
+        out = capsys.readouterr().out
+        assert "12 completed" in out
+        assert "violations=0" in out
+        assert "byte-identical" in out
+        assert "at-most-once: PROVEN" in out
+
     def test_missing_subcommand_errors(self):
         with pytest.raises(SystemExit):
             main([])

@@ -1,0 +1,84 @@
+"""Job lifecycle state machine and submission-record validation."""
+
+import pytest
+
+from repro.jobs import (
+    TERMINAL_STATES,
+    JobRequest,
+    JobState,
+    check_transition,
+)
+
+
+class TestTransitions:
+    def test_happy_path_is_legal(self):
+        path = [JobState.SUBMITTED, JobState.LEASED, JobState.RUNNING,
+                JobState.COMPLETED]
+        for old, new in zip(path, path[1:]):
+            check_transition(old, new)
+
+    def test_requeue_and_regrant_are_legal(self):
+        check_transition(JobState.LEASED, JobState.REQUEUED)
+        check_transition(JobState.RUNNING, JobState.REQUEUED)
+        check_transition(JobState.REQUEUED, JobState.LEASED)
+
+    def test_late_write_under_current_token_is_legal(self):
+        # REQUEUED -> COMPLETED: expired-but-not-regranted worker's
+        # token is still the highest, so its late write is accepted.
+        check_transition(JobState.REQUEUED, JobState.COMPLETED)
+
+    def test_requeued_can_fail_out(self):
+        check_transition(JobState.REQUEUED, JobState.FAILED)
+
+    def test_effect_can_beat_the_start_report(self):
+        check_transition(JobState.LEASED, JobState.COMPLETED)
+
+    @pytest.mark.parametrize("old,new", [
+        (JobState.SUBMITTED, JobState.RUNNING),
+        (JobState.SUBMITTED, JobState.COMPLETED),
+        (JobState.SUBMITTED, JobState.FAILED),
+        (JobState.LEASED, JobState.FAILED),
+        (JobState.RUNNING, JobState.LEASED),
+        (JobState.RUNNING, JobState.FAILED),
+        (JobState.COMPLETED, JobState.LEASED),
+        (JobState.COMPLETED, JobState.FAILED),
+        (JobState.FAILED, JobState.LEASED),
+        (JobState.FAILED, JobState.COMPLETED),
+    ])
+    def test_illegal_transitions_raise(self, old, new):
+        with pytest.raises(ValueError, match="illegal job transition"):
+            check_transition(old, new)
+
+    def test_terminal_states_have_no_exits(self):
+        for terminal in TERMINAL_STATES:
+            for target in JobState:
+                with pytest.raises(ValueError):
+                    check_transition(terminal, target)
+
+
+class TestJobRequest:
+    def test_identity_is_tenant_and_key(self):
+        request = JobRequest(tenant="acme", key="run-1")
+        assert request.identity == ("acme", "run-1")
+
+    def test_defaults(self):
+        request = JobRequest(tenant="t", key="k")
+        assert request.kernel == "digest"
+        assert request.payload == ()
+        assert request.work_seconds > 0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(tenant="", key="k"),
+        dict(tenant="t", key=""),
+        dict(tenant="t", key="k", work_seconds=0.0),
+        dict(tenant="t", key="k", work_seconds=-1.0),
+        dict(tenant="t", key="k", submit_time=-0.5),
+    ])
+    def test_invalid_requests_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            JobRequest(**kwargs)
+
+    def test_requests_are_frozen(self):
+        request = JobRequest(tenant="t", key="k")
+        with pytest.raises(AttributeError):
+            request.tenant = "other"

@@ -1,0 +1,86 @@
+"""Spare pools: the health-layer core and the detector-driven wrapper.
+
+The wrapper's contract is the satellite fix from the ISSUE: spares
+activate on *declared* deaths (a :class:`DeathRecord` from the
+monitor), never on ground truth — passing anything else is a type
+error, by design.
+"""
+
+import pytest
+
+from repro.fault import DetectorDrivenSparePool
+from repro.health import SparePool
+from repro.health.monitor import DeathRecord
+
+
+class TestSparePool:
+    def test_activates_lowest_id_first(self):
+        pool = SparePool([7, 5, 9])
+        assert pool.activate() == 5
+        assert pool.activate() == 7
+        assert pool.activate() == 9
+        assert pool.activate() is None
+
+    def test_depth_and_min_depth_track_activations(self):
+        pool = SparePool([1, 2])
+        assert pool.depth == 2
+        pool.activate()
+        assert pool.depth == 1
+        assert pool.min_depth == 1
+        pool.refill(1)
+        assert pool.depth == 2
+        assert pool.min_depth == 1   # the low-water mark sticks
+
+    def test_refill_rejects_present_node(self):
+        pool = SparePool([1])
+        with pytest.raises(ValueError):
+            pool.refill(1)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            SparePool([3, 3])
+
+    def test_discard_removes_a_pooled_spare(self):
+        pool = SparePool([1, 2])
+        assert pool.discard(2)
+        assert not pool.discard(2)
+        assert pool.ids == (1,)
+
+
+class TestDetectorDrivenSparePool:
+    def declared(self, node, false=False):
+        return DeathRecord(node=node, declared_at=1.0,
+                           crashed_at=None if false else 0.5)
+
+    def test_activation_requires_a_death_record(self):
+        pool = DetectorDrivenSparePool([10, 11])
+        with pytest.raises(TypeError, match="DeathRecord"):
+            pool.activate(3)
+
+    def test_declared_death_activates_a_spare(self):
+        pool = DetectorDrivenSparePool([10, 11])
+        assert pool.activate(self.declared(2)) == 10
+        assert pool.activations == 1
+        assert pool.false_activations == 0
+        assert [record.node for record in pool.records] == [2]
+
+    def test_false_declaration_still_activates_but_is_counted(self):
+        # The whole point: the supervisor cannot tell a partition from
+        # a crash, so it must act — and the accounting records the lie.
+        pool = DetectorDrivenSparePool([10])
+        assert pool.activate(self.declared(2, false=True)) == 10
+        assert pool.false_activations == 1
+
+    def test_exhausted_pool_returns_none(self):
+        pool = DetectorDrivenSparePool([10])
+        pool.activate(self.declared(1))
+        assert pool.activate(self.declared(2)) is None
+        assert pool.min_depth == 0
+
+    def test_refill_and_membership_delegate(self):
+        pool = DetectorDrivenSparePool([10])
+        node = pool.activate(self.declared(1))
+        assert node not in pool
+        pool.refill(node)
+        assert node in pool
+        assert pool.depth == 1
