@@ -2,18 +2,32 @@
 
 Not experiment reproductions: these guard the *simulator's* throughput,
 so that model-fidelity work never quietly makes the experiment suite
-unrunnable.  Baselines on the development machine (for orientation, not
-assertion): ~0.5 M timeout events/s raw, ~50 k events/s through the full
-messaging stack, ~10 k scheduled jobs/s.
+unrunnable.
 
-A cProfile pass (see DESIGN.md, performance note) shows a flat profile —
-engine step/deliver/resume machinery dominates with no single hotspot —
-so these benches measure end-to-end throughput rather than any one
-function.
+The engine-kernel benches run **paired**: once on the legacy binary-heap
+event queue and once on the calendar-queue ("wheel") kernel that is now
+the default, with the shared timeout pool cleared between modes so
+neither run inherits the other's free objects.  A gate test at the end
+of the module computes ``speedup_vs_heap`` from the min-of-rounds
+timings and fails CI when the wheel underperforms:
+
+* ``timeout_storm`` — drain-only throughput over a 200k-event
+  same-instant batch (the tie-heavy shape the calendar queue is built
+  for; creation happens in untimed setup so the measurement isolates
+  queue discipline): must be **>= 10x** the heap.
+* ``timeout_churn`` — create+run waves (allocation, scheduling and
+  drain together).  The heap baseline shares the event-layer wins of
+  this kernel generation (lazy callback lists, interned timeout names),
+  so the wheel's edge here is the queue + pooling only: **>= 3x**.
+* ``process_switching`` — generator context switches; dominated by
+  ``generator.send`` which no queue can accelerate: **>= 1.3x**.
+* every paired bench — the wheel must never be slower than the heap
+  beyond noise (**>= 0.95x**).
 
 Every run leaves a ``BENCH_perf_engine.json`` artifact at the repo root
-(per-test mean/min seconds and rounds) so CI runs can be archived and
-compared across commits without scraping terminal output.
+(per-test stats, plus the ``speedup_vs_heap`` section with event counts
+and wheel events/second) so CI runs can be archived and compared across
+commits without scraping terminal output.
 """
 
 import json
@@ -27,13 +41,25 @@ from repro.messaging import SUM, run_spmd
 from repro.obs import NULL_SPAN, NullObservability
 from repro.scheduler import BatchSimulator, WorkloadGenerator, WorkloadParams, get_policy
 from repro.sim import RandomStreams, Simulator, Store
+from repro.sim.event import _TIMEOUT_POOL
 
 #: Collected per-test numbers, written to BENCH_perf_engine.json by the
 #: module-scoped fixture below once the last bench in this file finishes.
 _ARTIFACT_RESULTS = {}
 
+#: Min-of-rounds seconds per (bench, queue) pair, for the speedup gates.
+_SPEEDUP_RAW = {}
+
+#: The speedup_vs_heap artifact section, filled by the gate test.
+_SPEEDUP_SECTION = {}
+
 _ARTIFACT_PATH = Path(__file__).resolve().parent.parent / \
     "BENCH_perf_engine.json"
+
+_STORM_EVENTS = 200_000
+_CHURN_WAVES = 10
+_CHURN_WAVE_EVENTS = 20_000
+_SWITCH_EVENTS = 10_100
 
 
 @pytest.fixture(autouse=True)
@@ -65,28 +91,77 @@ def _write_bench_artifact():
         "units": "seconds",
         "results": dict(sorted(_ARTIFACT_RESULTS.items())),
     }
+    if _SPEEDUP_SECTION:
+        payload["speedup_vs_heap"] = dict(sorted(_SPEEDUP_SECTION.items()))
     _ARTIFACT_PATH.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n",
         encoding="utf-8")
 
 
-def test_perf_timeout_storm(benchmark):
-    """Raw event-queue throughput: 20k timeouts through the heap."""
-    def storm():
-        sim = Simulator()
-        for i in range(20_000):
-            sim.timeout(float(i % 97))
+@pytest.fixture(params=["heap", "wheel"])
+def queue(request):
+    """Engine queue kind for the paired kernel benches.
+
+    Clears the shared timeout pool on entry so the heap run is not
+    taxed (GC-wise) by 200k pooled objects a previous wheel run left
+    behind, and the wheel run cannot inherit a pre-warmed pool.
+    """
+    _TIMEOUT_POOL.clear()
+    return request.param
+
+
+def _record_pair(bench, queue_kind, benchmark):
+    """Stash this run's min-of-rounds seconds for the gate test."""
+    stats = getattr(benchmark.stats, "stats", benchmark.stats)
+    _SPEEDUP_RAW[(bench, queue_kind)] = stats.min
+
+
+def test_perf_timeout_storm(benchmark, queue):
+    """Drain-only event throughput: one 200k-event same-instant batch.
+
+    Creation happens in (untimed) setup; the measured region is purely
+    the engine popping and delivering — the discipline the calendar
+    queue replaces, hence the 10x gate computed by the gate test.
+    """
+    def setup():
+        _TIMEOUT_POOL.clear()
+        sim = Simulator(queue=queue)
+        for _ in range(_STORM_EVENTS):
+            sim.timeout(1.0)
+        return (sim,), {}
+
+    def drain(sim):
         sim.run()
         return sim.events_executed
 
-    events = benchmark(storm)
-    assert events == 20_000
+    events = benchmark.pedantic(drain, setup=setup, rounds=5)
+    assert events == _STORM_EVENTS
+    _record_pair("timeout_storm", queue, benchmark)
 
 
-def test_perf_process_switching(benchmark):
+def test_perf_timeout_churn(benchmark, queue):
+    """Create+run waves: allocation, scheduling and drain together."""
+    def setup():
+        _TIMEOUT_POOL.clear()
+        return (), {}
+
+    def waves():
+        sim = Simulator(queue=queue)
+        for _wave in range(_CHURN_WAVES):
+            for i in range(_CHURN_WAVE_EVENTS):
+                sim.timeout(float(i % 97) * 1e-3)
+            sim.run(until=sim.now + 1.0)
+        return sim.events_executed
+
+    events = benchmark.pedantic(waves, setup=setup, rounds=5)
+    assert events == _CHURN_WAVES * _CHURN_WAVE_EVENTS
+    _record_pair("timeout_churn", queue, benchmark)
+
+
+def test_perf_process_switching(benchmark, queue):
     """Generator-process context switches: 100 processes x 100 yields."""
     def switchy():
-        sim = Simulator()
+        sim = Simulator(queue=queue)
 
         def worker(sim):
             for _ in range(100):
@@ -99,12 +174,13 @@ def test_perf_process_switching(benchmark):
 
     events = benchmark(switchy)
     assert events >= 10_000
+    _record_pair("process_switching", queue, benchmark)
 
 
-def test_perf_store_handoff(benchmark):
+def test_perf_store_handoff(benchmark, queue):
     """Producer/consumer item handoffs through a Store."""
     def handoff():
-        sim = Simulator()
+        sim = Simulator(queue=queue)
         store = Store(sim)
         count = 5_000
 
@@ -122,6 +198,55 @@ def test_perf_store_handoff(benchmark):
         return count
 
     benchmark(handoff)
+    _record_pair("store_handoff", queue, benchmark)
+
+
+#: (bench, minimum wheel/heap ratio, delivered events) for the gates.
+#: Rationale for the tiers is in the module docstring and DESIGN.md.
+_SPEEDUP_GATES = (
+    ("timeout_storm", 10.0, _STORM_EVENTS),
+    ("timeout_churn", 3.0, _CHURN_WAVES * _CHURN_WAVE_EVENTS),
+    ("process_switching", 1.3, _SWITCH_EVENTS),
+    ("store_handoff", 0.95, None),
+)
+
+
+def test_perf_speedup_vs_heap_gates():
+    """The wheel kernel must beat the heap by each bench's ratio gate.
+
+    Runs after the paired benches (pytest executes this module in
+    definition order) and fails CI when the calendar queue regresses —
+    including the blanket rule that the wheel is never slower than the
+    heap on *any* paired bench.
+    """
+    failures = []
+    for bench, gate, events in _SPEEDUP_GATES:
+        heap = _SPEEDUP_RAW.get((bench, "heap"))
+        wheel = _SPEEDUP_RAW.get((bench, "wheel"))
+        if heap is None or wheel is None:
+            pytest.fail(
+                f"{bench}: paired timings missing (ran with a -k filter "
+                "that deselected the heap or wheel run?)")
+        speedup = heap / wheel
+        entry = {
+            "heap_seconds": heap,
+            "wheel_seconds": wheel,
+            "speedup": speedup,
+            "min_required": gate,
+        }
+        if events is not None:
+            entry["events"] = events
+            entry["wheel_events_per_second"] = events / wheel
+            entry["heap_events_per_second"] = events / heap
+        _SPEEDUP_SECTION[bench] = entry
+        floor = min(gate, 0.95)
+        if speedup < gate:
+            failures.append(
+                f"{bench}: wheel {speedup:.2f}x heap, gate {gate:.2f}x "
+                f"(heap {heap * 1e3:.2f} ms, wheel {wheel * 1e3:.2f} ms)")
+        elif speedup < floor:  # pragma: no cover - subsumed by the gate
+            failures.append(f"{bench}: wheel slower than heap ({speedup:.2f}x)")
+    assert not failures, "; ".join(failures)
 
 
 def _pingpong_body(comm):
@@ -156,6 +281,26 @@ def test_perf_allreduce_32(benchmark):
         return run_spmd(32, body, technology="infiniband_4x")
 
     benchmark(collectives)
+
+
+def test_perf_analytic_allreduce_1024(benchmark):
+    """Analytic fast path: 10 closed-form allreduces at 1024 ranks.
+
+    The discrete equivalent is ~10 rounds x 1024 ranks of transfers per
+    collective; the analytic path does it in three events per rank, so
+    this runs at a scale the discrete algorithms cannot touch in a perf
+    bench.
+    """
+    def body(comm):
+        for _ in range(10):
+            yield from comm.allreduce(np.zeros(256), SUM,
+                                      algorithm="analytic")
+        return None
+
+    def collectives():
+        return run_spmd(1024, body, technology="infiniband_4x")
+
+    benchmark.pedantic(collectives, rounds=3)
 
 
 class _CountingNull(NullObservability):
@@ -206,10 +351,10 @@ def test_perf_null_obs_overhead_budget():
     Every instrumentation site leaves one of three things on the
     disabled path: an ``obs.enabled`` guard read (pricing includes the
     null-span ``set``/``with`` the guarded call sites still execute), a
-    no-op ``span()`` call, or the engine's cached-flag check.  Count
-    each through the full messaging stack, price one of each on the
-    real null objects, and check that the sum fits the 3% budget.  This
-    is what fails if someone puts real work (attr-dict building, string
+    no-op ``span()`` call, or an engine flag check.  Count each through
+    the full messaging stack, price one of each on the real null
+    objects, and check that the sum fits the 3% budget.  This is what
+    fails if someone puts real work (attr-dict building, string
     formatting) ahead of a guard.
     """
     # Wall time of the workload itself, best of three.
@@ -219,8 +364,11 @@ def test_perf_null_obs_overhead_budget():
     result = run_spmd(2, _pingpong_body, technology="infiniband_4x",
                       obs=counter)
     assert result.transfer_count == 1_000
-    # Three flag checks per event (two obs + the DetSan `is not None`
-    # guard in Simulator.step), plus one per process.
+    # The plain-mode fast loop makes zero per-event observability
+    # checks; what remains is the `_plain` test in `Simulator.timeout`
+    # and the queue-kind branch in `_schedule_event`.  Price a
+    # conservative ceiling of three flag checks per transfer plus one
+    # per process so this budget also covers the instrumented loop.
     engine_checks = 3 * 1_000 + 2
 
     obs = NullObservability()

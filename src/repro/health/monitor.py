@@ -25,7 +25,7 @@ false-positive counters — never consulted by the detection path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.health.detectors import (
     FailureDetector,
@@ -60,6 +60,17 @@ class DetectionSpec:
     ``suspect_after`` defaults to 3 intervals, ``dead_after`` to 8, and
     the checker runs every half interval.  The defaults are deliberately
     conservative; bench E21 sweeps them.
+
+    ``heartbeat_slots`` selects the sender scheduling discipline.
+    ``None`` (the default) runs the legacy one-process-per-node senders,
+    each staggered to its own phase — byte-compatible with every
+    recorded E21 outcome.  An integer ``S`` switches to *slotted*
+    scheduling: one driver process services ``S`` evenly-spaced slots
+    per interval, node ``n`` beats in slot ``n % S``, so the engine
+    sees ``S`` timer events per interval instead of one per node — the
+    timer-wheel discipline that makes 10^4-node monitoring tractable.
+    Nodes sharing a slot beat at the same instant (deliberately: the
+    calendar queue delivers a same-instant batch in one walk).
     """
 
     detector: str = "fixed"
@@ -72,6 +83,7 @@ class DetectionSpec:
     phi_window: int = 16
     suspect_phi: float = 1.5
     dead_phi: float = 3.0
+    heartbeat_slots: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.detector not in ("fixed", "phi"):
@@ -89,6 +101,8 @@ class DetectionSpec:
             value = getattr(self, name)
             if value is not None and value <= 0:
                 raise ValueError(f"{name} must be positive or None")
+        if self.heartbeat_slots is not None and self.heartbeat_slots < 1:
+            raise ValueError("heartbeat_slots must be >= 1 or None")
 
     @property
     def effective_check_interval(self) -> float:
@@ -206,6 +220,18 @@ class HeartbeatMonitor:
         self._crashed: Dict[int, float] = {}
         self._senders: Dict[int, Process] = {}
         self._checker: Optional[Process] = None
+        #: Slotted mode: nodes whose heartbeats are currently live, and the
+        #: static node->slot assignment (node n beats in slot n % S).  The
+        #: set is membership-tested only, never iterated, so it cannot leak
+        #: hash order into the schedule.
+        self._beating: Set[int] = set()
+        self._slot_nodes: List[List[int]] = []
+        self._slot_driver: Optional[Process] = None
+        slots = self.spec.heartbeat_slots
+        if slots is not None:
+            self._slot_nodes = [[] for _ in range(slots)]
+            for node in range(nodes):
+                self._slot_nodes[node % slots].append(node)
         self._death_event: Event = sim.event("node-death")
         self._death_event.defused = True
         self._started = False
@@ -218,9 +244,16 @@ class HeartbeatMonitor:
             raise RuntimeError("monitor already started")
         self._started = True
         now = self.sim.now
+        slotted = self.spec.heartbeat_slots is not None
         for node in range(self.nodes):
             self.detector.reset(node, now)
-            self._spawn_sender(node)
+            if slotted:
+                self._beating.add(node)
+            else:
+                self._spawn_sender(node)
+        if slotted:
+            self._slot_driver = self.sim.process(
+                self._slot_driver_body(), name="hb.slots")
         self._checker = self.sim.process(self._check_body(), name="hb.check")
 
     def stop(self) -> None:
@@ -229,6 +262,8 @@ class HeartbeatMonitor:
         for process in self._senders.values():
             if process.is_alive:
                 process.interrupt("monitor-stop")
+        if self._slot_driver is not None and self._slot_driver.is_alive:
+            self._slot_driver.interrupt("monitor-stop")
         if self._checker is not None and self._checker.is_alive:
             self._checker.interrupt("monitor-stop")
 
@@ -243,6 +278,7 @@ class HeartbeatMonitor:
         if node in self._crashed:
             return
         self._crashed[node] = self.sim.now
+        self._beating.discard(node)
         sender = self._senders.get(node)
         if sender is not None and sender.is_alive:
             sender.interrupt("crashed")
@@ -263,9 +299,12 @@ class HeartbeatMonitor:
         event = self._transition(node, NodeHealthState.HEALTHY, "restored")
         self._crashed.pop(node, None)
         self.detector.reset(node, self.sim.now)
-        sender = self._senders.get(node)
-        if sender is None or not sender.is_alive:
-            self._spawn_sender(node)
+        if self.spec.heartbeat_slots is not None:
+            self._beating.add(node)
+        else:
+            sender = self._senders.get(node)
+            if sender is None or not sender.is_alive:
+                self._spawn_sender(node)
         return event
 
     def drain(self, node: int) -> HealthEvent:
@@ -364,6 +403,43 @@ class HeartbeatMonitor:
                 self.sim.process(self._beat_body(node),
                                  name=f"hb{node}")
                 yield self.sim.timeout(interval)
+        except Interrupt:
+            return
+
+    def _slot_driver_body(self) -> Generator[Event, Any, None]:
+        """Process body: one timer wheel for the whole fleet's heartbeats.
+
+        Each interval is divided into ``heartbeat_slots`` evenly-spaced
+        ticks; every tick emits the heartbeats of all live nodes assigned
+        to that slot.  The engine therefore services S timer events per
+        interval (vs one timeout *and one sender process* per node in
+        legacy mode), and each tick's beats land on the calendar queue as
+        one same-instant batch.  Slot targets are recomputed from the
+        cycle index every interval (not accumulated), so float error does
+        not drift the schedule.
+        """
+        interval = self.spec.heartbeat_interval
+        slots = self.spec.heartbeat_slots
+        if slots is None:  # pragma: no cover - start() gates on the spec
+            raise RuntimeError("slot driver requires heartbeat_slots")
+        spacing = interval / (slots + 1)
+        base = self.sim.now
+        beating = self._beating
+        slot_nodes = self._slot_nodes
+        cycle = 0
+        try:
+            while True:
+                start = base + cycle * interval
+                for s in range(slots):
+                    delay = (start + spacing * (s + 1)) - self.sim.now
+                    if delay > 0.0:
+                        yield self.sim.timeout(delay)
+                    for node in slot_nodes[s]:
+                        if node in beating:
+                            self.heartbeats_sent += 1
+                            self.sim.process(self._beat_body(node),
+                                             name=f"hb{node}")
+                cycle += 1
         except Interrupt:
             return
 

@@ -25,6 +25,32 @@ users call the ``Communicator`` methods.
 
 Reduction operators are assumed commutative and associative (all the
 built-ins in :mod:`repro.messaging.message` are).
+
+Analytic fast path
+------------------
+``algorithm="analytic"`` (barrier, bcast, allreduce) collapses the whole
+bulk-synchronous phase into a *closed-form LogGP aggregate*: instead of
+simulating every round's point-to-point transfers (O(p log p) engine
+events), the p ranks rendezvous at a shared gate, the last arrival
+computes the result with a deterministic rank-ordered reduction, and
+every rank then pays the textbook completion time in a single timeout —
+three engine events per rank regardless of p.  The completion time is
+measured from the *last* arrival (bulk-synchronous semantics: nobody
+leaves before everybody entered), using
+:meth:`~repro.network.loggp.LogGPParams.message_time` per round:
+
+* dissemination barrier — ``ceil(log2 p) * T(0)``;
+* binomial bcast — ``ceil(log2 p) * T(n)``;
+* allreduce — ``ceil(log2 p) * T(n)`` (recursive doubling), or the ring
+  bound ``2 (p-1) * T(ceil(n/p))`` when the payload is chunkable and the
+  ring is cheaper — the same adaptive switch the discrete dispatcher
+  makes.
+
+The analytic path deliberately ignores fabric congestion and topology
+(that is what makes it closed-form), so it refuses to run under a fabric
+fault plan — faults act on transfers, and the analytic path performs
+none.  Results are bitwise-deterministic: contributions are folded in
+rank order no matter which rank arrived last.
 """
 
 from __future__ import annotations
@@ -36,9 +62,12 @@ from typing import (
     Generator,
     List,
     Optional,
+    Tuple,
 )
 
 import numpy as np
+
+from repro.messaging.message import payload_nbytes
 
 if TYPE_CHECKING:
     from repro.messaging.comm import Communicator
@@ -66,9 +95,144 @@ COLLECTIVE_TAG_BASE = 1 << 20  # repro: noqa[REP003] tag namespace offset, not b
 _TOKEN = b""
 
 
-def barrier(comm: Communicator) -> Generator[Event, Any, None]:
+# -- analytic fast path (closed-form LogGP aggregates) -----------------------
+
+class _AnalyticGate:
+    """One in-flight analytic collective: a rendezvous of all p ranks.
+
+    Ranks deposit their contributions keyed by rank; the last arrival
+    runs the finisher (rank-ordered, so the result never depends on
+    arrival order) and succeeds ``done`` with ``(result, seconds)``.
+    """
+
+    __slots__ = ("values", "done")
+
+    def __init__(self, done: "Event") -> None:
+        self.values: dict = {}
+        self.done = done
+
+
+def _ceil_log2(p: int) -> int:
+    """⌈log₂ p⌉ for p >= 1 (0 for p == 1)."""
+    return (p - 1).bit_length()
+
+
+def _analytic_run(comm: Communicator,
+                  contribution: Any,
+                  finish: Callable[[dict], Tuple[Any, float]]
+                  ) -> Generator[Event, Any, Any]:
+    """Generator: rendezvous with every peer, then pay the closed form.
+
+    ``finish(values)`` — called exactly once, by the last-arriving rank —
+    maps the rank-keyed contribution dict to ``(result, seconds)``; every
+    rank receives an isolated copy of ``result`` after sleeping
+    ``seconds`` past the last arrival (bulk-synchronous completion).
+    """
+    world = comm.world
+    if world.fabric.fault_plan is not None:
+        raise ValueError(
+            "analytic collectives cannot run under a fabric fault plan: "
+            "the closed form performs no transfers for faults to act on")
+    tag = comm._next_tag()
+    if comm.size == 1:
+        result, seconds = finish({comm.rank: contribution})
+        if seconds > 0.0:
+            yield comm.sim.timeout(seconds)
+        return comm._isolate(result)
+    gates = world._analytic_gates
+    key = (comm._context, tag)
+    gate = gates.get(key)
+    if gate is None:
+        gate = _AnalyticGate(comm.sim.event(f"analytic#{tag}"))
+        gates[key] = gate
+    gate.values[comm.rank] = contribution
+    done = gate.done
+    if len(gate.values) == comm.size:
+        # Last arrival: the gate is complete, compute and release.
+        del gates[key]
+        done.succeed(finish(gate.values))
+    if not done.triggered:
+        yield done
+    result, seconds = done.value
+    yield comm.sim.timeout(seconds)
+    return comm._isolate(result)
+
+
+def _analytic_barrier_body(comm: Communicator
+                           ) -> Generator[Event, Any, None]:
+    """Closed-form dissemination barrier: ⌈log₂ p⌉ zero-byte rounds."""
+    params = comm.world.fabric.technology.loggp
+    rounds = _ceil_log2(comm.size)
+
+    def finish(_values: dict) -> Tuple[Any, float]:
+        return None, rounds * params.message_time(0)
+
+    result = yield from _analytic_run(comm, None, finish)
+    return result
+
+
+def _analytic_bcast_body(comm: Communicator, obj: Any, root: int
+                         ) -> Generator[Event, Any, Any]:
+    """Closed-form binomial bcast: ⌈log₂ p⌉ full-payload rounds."""
+    comm._check_peer(root, "root")
+    params = comm.world.fabric.technology.loggp
+    rounds = _ceil_log2(comm.size)
+    contribution = comm._isolate(obj) if comm.rank == root else None
+
+    def finish(values: dict) -> Tuple[Any, float]:
+        payload = values[root]
+        return payload, rounds * params.message_time(payload_nbytes(payload))
+
+    result = yield from _analytic_run(comm, contribution, finish)
+    return result
+
+
+def _analytic_allreduce_body(comm: Communicator, obj: Any, op: Callable
+                             ) -> Generator[Event, Any, Any]:
+    """Closed-form allreduce; recursive-doubling or ring bound.
+
+    The reduction itself is exact — contributions folded in rank order —
+    only the *time* is the closed form: ``ceil(log2 p) * T(n)`` for
+    recursive doubling, or ``2 (p-1) * T(ceil(n/p))`` for the
+    bandwidth-optimal ring when the payload is chunkable and the ring is
+    cheaper (mirroring the discrete dispatcher's adaptive switch).
+    """
+    params = comm.world.fabric.technology.loggp
+    size = comm.size
+
+    def finish(values: dict) -> Tuple[Any, float]:
+        result = values[0]
+        for rank in range(1, size):
+            result = op(result, values[rank])
+        nbytes = payload_nbytes(values[0])
+        seconds = _ceil_log2(size) * params.message_time(nbytes)
+        if size > 1 and _chunkable(values[0], size):
+            chunk = -(-nbytes // size)  # ceil division
+            ring = 2.0 * (size - 1) * params.message_time(chunk)
+            if ring < seconds:
+                seconds = ring
+        return result, seconds
+
+    result = yield from _analytic_run(comm, comm._isolate(obj), finish)
+    return result
+
+
+def barrier(comm: Communicator, algorithm: str = "dissemination"
+            ) -> Generator[Event, Any, None]:
     """Dissemination barrier: after round k every rank has heard (directly
-    or transitively) from 2^k others; ⌈log₂ p⌉ rounds total."""
+    or transitively) from 2^k others; ⌈log₂ p⌉ rounds total.
+
+    ``algorithm="analytic"`` pays the same ⌈log₂ p⌉-round bound as one
+    closed-form timeout (see the module docstring).
+    """
+    if algorithm == "analytic":
+        result = yield from _analytic_barrier_body(comm)
+        return result
+    if algorithm != "dissemination":
+        raise ValueError(
+            f"unknown barrier algorithm {algorithm!r}; choose from "
+            "['dissemination', 'analytic']"
+        )
     tag = comm._next_tag()
     size, rank = comm.size, comm.rank
     if size == 1:
@@ -93,14 +257,19 @@ def bcast(comm: Communicator, obj: Any, root: int = 0,
     tree level, the bandwidth-optimal choice real MPIs switch to for
     large messages.  The scatter+allgather path requires a numpy-array
     payload long enough to chunk and falls back to binomial otherwise.
+    ``analytic`` pays the binomial-tree bound as one closed-form timeout
+    (see the module docstring).
     """
     if algorithm == "scatter_allgather":
         result = yield from _bcast_scatter_allgather(comm, obj, root)
         return result
+    if algorithm == "analytic":
+        result = yield from _analytic_bcast_body(comm, obj, root)
+        return result
     if algorithm != "binomial":
         raise ValueError(
             f"unknown bcast algorithm {algorithm!r}; choose from "
-            "['binomial', 'scatter_allgather']"
+            "['binomial', 'scatter_allgather', 'analytic']"
         )
     result = yield from _bcast_binomial(comm, obj, root)
     return result
@@ -201,10 +370,16 @@ def allreduce(comm: Communicator, obj: Any, op: Callable,
     ``ring`` and ``rabenseifner`` need a numpy vector long enough to chunk
     (and power-of-two ranks, for rabenseifner); when preconditions fail
     they quietly fall back to recursive doubling — the same adaptive
-    behaviour real MPI libraries implement.
+    behaviour real MPI libraries implement.  ``analytic`` folds the
+    contributions in rank order and pays the cheaper of the
+    recursive-doubling and ring bounds as one closed-form timeout (see
+    the module docstring).
     """
     if algorithm == "recursive_doubling":
         result = yield from _allreduce_recursive_doubling(comm, obj, op)
+        return result
+    if algorithm == "analytic":
+        result = yield from _analytic_allreduce_body(comm, obj, op)
         return result
     if algorithm == "ring":
         if _chunkable(obj, comm.size):
@@ -221,7 +396,7 @@ def allreduce(comm: Communicator, obj: Any, op: Callable,
         return result
     raise ValueError(
         f"unknown allreduce algorithm {algorithm!r}; choose from "
-        "['recursive_doubling', 'ring', 'rabenseifner']"
+        "['recursive_doubling', 'ring', 'rabenseifner', 'analytic']"
     )
 
 

@@ -184,6 +184,9 @@ class CommWorld:
         #: Sequence numbers already deposited at their destination —
         #: the receiver-side dedup table for reliable delivery.
         self._delivered_seqs: Set[int] = set()
+        #: In-flight analytic collectives, keyed by (context, tag); see
+        #: the analytic fast path in :mod:`repro.messaging.collectives`.
+        self._analytic_gates: Dict[Any, Any] = {}
         self._jitter_rng = (streams.get("messaging.retry.jitter")
                             if streams is not None else None)
 
@@ -716,10 +719,12 @@ class Communicator:
         self._collective_seq += 1
         return _collectives.COLLECTIVE_TAG_BASE + self._collective_seq
 
-    def barrier(self) -> Generator[Event, Any, None]:
-        """Block until every rank has entered the barrier."""
+    def barrier(self, algorithm: str = "dissemination"
+                ) -> Generator[Event, Any, None]:
+        """Block until every rank has entered the barrier (see
+        :func:`repro.messaging.collectives.barrier` for algorithms)."""
         with self._op_span("barrier"):
-            result = yield from _collectives.barrier(self)
+            result = yield from _collectives.barrier(self, algorithm)
         return result
 
     def bcast(self, obj: Any, root: int = 0,

@@ -38,6 +38,7 @@ from repro.sim.detsan import (
     EventRecord,
     first_divergence,
 )
+from repro.sim.equeue import CalendarEventQueue, HeapEventQueue
 from repro.sim.event import AllOf, AnyOf, Event, EventStatus, Timeout
 from repro.sim.engine import Interrupt, Process, SimulationError, Simulator
 from repro.sim.resources import Resource, Store
@@ -48,12 +49,14 @@ __all__ = [
     "AbortCause",
     "AllOf",
     "AnyOf",
+    "CalendarEventQueue",
     "DetSanRecorder",
     "Divergence",
     "Event",
     "EventRecord",
     "EventStatus",
     "FailureCause",
+    "HeapEventQueue",
     "Interrupt",
     "LinkDownCause",
     "NullTracer",

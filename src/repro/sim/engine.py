@@ -1,10 +1,25 @@
 """The event loop and process machinery.
 
-:class:`Simulator` owns a binary-heap event queue keyed by
-``(time, priority, sequence)``.  The ``sequence`` tiebreaker makes execution
-fully deterministic: two events scheduled for the same instant are delivered
-in scheduling order, so repeated runs with the same seeds produce identical
-traces — a property the test suite checks.
+:class:`Simulator` owns an event queue keyed by ``(time, priority,
+sequence)``.  The ``sequence`` tiebreaker makes execution fully
+deterministic: two events scheduled for the same instant are delivered
+in scheduling order, so repeated runs with the same seeds produce
+identical traces — a property the test suite checks.
+
+Two queue implementations honour that contract (see
+:mod:`repro.sim.equeue`): the default **calendar queue** batches events
+by exact due time so tie-heavy simulation workloads pay log-time only
+per *distinct* time, and the legacy **binary heap**
+(``Simulator(queue="heap")``) is kept as the differential-testing
+oracle and perf baseline.  The tie-break contract — pop order is
+exactly ``(when, priority, seq)`` — is what the equivalence suite in
+``tests/test_engine_queue_equivalence.py`` pins down across both.
+
+When nothing is watching (no tracer, no observability, no DetSan), the
+run loop drops into a *plain-mode* fast path that walks the calendar
+queue's batches inline and recycles fire-and-forget :class:`Timeout`
+objects through a free pool — same deliveries in the same order, with
+the per-event bookkeeping compiled down to a few dict/list operations.
 
 Processes are plain generators.  Each ``yield`` hands the engine an
 :class:`~repro.sim.event.Event`; the engine resumes the generator with the
@@ -23,7 +38,8 @@ event's value (or throws the event's exception into it) when it fires::
 
 from __future__ import annotations
 
-import heapq
+import sys
+from heapq import heappop, heappush
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -33,23 +49,44 @@ from typing import (
     Iterable,
     List,
     Optional,
-    Tuple,
 )
 
 from repro.obs import DEFAULT_TRACK, NULL_OBS, Observability
-from repro.sim.event import Event, EventStatus, Timeout
+from repro.sim.equeue import CalendarEventQueue, Entry, HeapEventQueue
+from repro.sim.event import (
+    _CANCELLED,
+    _DELIVERED,
+    _POOL_MAX,
+    _TIMEOUT_NAMES,
+    _TIMEOUT_POOL,
+    Event,
+    EventStatus,
+    Timeout,
+    _timeout_name,
+)
 from repro.sim.trace import NullTracer, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - type-only; no runtime dependency
     from repro.sim.detsan import DetSanRecorder
 
-__all__ = ["Simulator", "Process", "Interrupt", "SimulationError"]
+__all__ = ["Simulator", "Process", "Interrupt", "SimulationError",
+           "DEFAULT_QUEUE"]
 
 #: Priority band for ordinary events.  Interrupts use URGENT so that a
 #: process interrupted at time *t* sees the interrupt before any regular
 #: event also due at *t*.
 URGENT = 0
 NORMAL = 1
+
+#: Queue implementation used when ``Simulator(queue=...)`` is not given:
+#: ``"wheel"`` (calendar queue) or ``"heap"`` (legacy binary heap).
+#: Module-level so test harnesses can force a whole stack of components
+#: onto one implementation without threading a parameter everywhere.
+DEFAULT_QUEUE = "wheel"
+
+_INF = float("inf")
+_FAILED = EventStatus.FAILED
+_SUCCEEDED = EventStatus.SUCCEEDED
 
 
 class SimulationError(RuntimeError):
@@ -108,7 +145,7 @@ class Process(Event):
         sim._live_processes[self] = None
         # Kick off the generator via an immediately-succeeding event.
         bootstrap = Event(sim, f"init:{self.name}")
-        bootstrap.add_callback(self._resume)
+        bootstrap._callbacks = [self._resume]
         bootstrap.succeed()
 
     @property
@@ -126,7 +163,7 @@ class Process(Event):
             raise RuntimeError(f"cannot interrupt finished {self!r}")
         interrupt_event = Event(self.sim, f"interrupt:{self.name}")
         interrupt_event.defused = True
-        interrupt_event.add_callback(self._resume_with_interrupt)
+        interrupt_event._callbacks = [self._resume_with_interrupt]
         interrupt_event._status = EventStatus.FAILED
         interrupt_event._value = Interrupt(cause)
         self.sim._schedule_event(interrupt_event, 0.0, priority=URGENT)
@@ -214,7 +251,16 @@ class Process(Event):
             self.fail(SimulationError("yielded event belongs to another simulator"))
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        # Inlined add_callback: this registration runs once per process
+        # step, which makes it one of the three hottest call sites in the
+        # engine; the generic method costs a LOAD_METHOD + four branches.
+        callbacks = target._callbacks
+        if callbacks is None:
+            target._callbacks = [self._resume]
+        elif type(callbacks) is list:
+            callbacks.append(self._resume)
+        else:
+            target.add_callback(self._resume)
 
 
 class Simulator:
@@ -234,14 +280,29 @@ class Simulator:
         every delivered event folds its scheduling decision into the
         recorder's rolling digest (the determinism sanitizer).  When
         ``None`` — the default — the only cost is one ``is not None``
-        check per event, inside the perf bench's <=3% overhead budget.
+        check per event on the instrumented path, and nothing at all on
+        the plain-mode fast path.
+    queue:
+        ``"wheel"`` (calendar queue, the default via
+        :data:`DEFAULT_QUEUE`) or ``"heap"`` (the legacy binary heap).
+        Both deliver identical event orders; the heap exists as the
+        differential-testing oracle and the perf baseline.
     """
 
     def __init__(self, tracer: Optional[Tracer] = None,
                  obs: Optional[Observability] = None,
-                 detsan: Optional["DetSanRecorder"] = None) -> None:
+                 detsan: Optional["DetSanRecorder"] = None,
+                 queue: Optional[str] = None) -> None:
+        kind = queue if queue is not None else DEFAULT_QUEUE
+        if kind == "wheel":
+            self._queue: Any = CalendarEventQueue()
+        elif kind == "heap":
+            self._queue = HeapEventQueue()
+        else:
+            raise ValueError(f"unknown queue implementation: {kind!r}")
+        self._queue_kind = kind
+        self._wheel = kind == "wheel"
         self._now = 0.0
-        self._queue: List[Tuple[float, int, int, Event]] = []
         self._sequence = 0
         self._active_process: Optional[Process] = None
         # Insertion-ordered strong references to unfinished processes.
@@ -250,15 +311,25 @@ class Simulator:
         # allocation-dependent instant, and GeneratorExit closes its open
         # spans with GC-dependent timing — breaking trace byte-identity.
         self._live_processes: Dict[Process, None] = {}
-        self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+        self._tracer: Tracer = tracer if tracer is not None else NullTracer()
         self.obs: Observability = obs if obs is not None else NULL_OBS
         # Cached flag: hot paths branch on a plain attribute, never a
-        # method call, so the disabled path stays within its 3% budget.
+        # method call, so the disabled path stays within its overhead
+        # budget.
         self._obs_enabled: bool = self.obs.enabled
         if self._obs_enabled:
             self.obs.bind_clock(lambda: self._now)
         self._detsan = detsan
         self._event_count = 0
+        self._recompute_plain()
+
+    def _recompute_plain(self) -> None:
+        # Plain mode: nothing observes individual deliveries, so run()
+        # may use the inlined fast loop and recycle timeout objects.
+        self._plain = (self._wheel
+                       and self._detsan is None
+                       and type(self._tracer) is NullTracer
+                       and not self._obs_enabled)
 
     # -- time ------------------------------------------------------------
 
@@ -277,6 +348,23 @@ class Simulator:
         """Total events delivered so far (a cheap progress metric)."""
         return self._event_count
 
+    @property
+    def queue_kind(self) -> str:
+        """Which queue implementation this simulator runs on."""
+        return self._queue_kind
+
+    @property
+    def tracer(self) -> Tracer:
+        """The installed tracer (assignable; a real tracer disables the
+        plain-mode fast path so every delivery is recorded)."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value: Tracer) -> None:
+        """Install a tracer, recomputing fast-path eligibility."""
+        self._tracer = value
+        self._recompute_plain()
+
     # -- factories -------------------------------------------------------
 
     def event(self, name: str = "") -> Event:
@@ -284,8 +372,51 @@ class Simulator:
         return Event(self, name)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event that succeeds ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+        """An event that succeeds ``delay`` seconds from now.
+
+        In plain mode this reuses recycled :class:`Timeout` objects from
+        the free pool and inlines the calendar-queue insert — timeout
+        creation is the single hottest allocation site in every
+        campaign.
+        """
+        if not self._plain:
+            return Timeout(self, delay, value)
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        pool = _TIMEOUT_POOL
+        if pool:
+            # Pooled objects keep their SUCCEEDED status and None
+            # callbacks; only the identity fields need refreshing.
+            event = pool.pop()
+        else:
+            event = Timeout.__new__(Timeout)
+            event._callbacks = None
+            event._status = _SUCCEEDED
+        event.defused = False
+        event.sim = self
+        name = _TIMEOUT_NAMES.get(delay)
+        event.name = name if name is not None else _timeout_name(delay)
+        event.delay = delay
+        event._value = value
+        # Inlined _schedule_event for the wheel's NORMAL band.
+        seq = self._sequence + 1
+        self._sequence = seq
+        when = self._now + delay
+        event._scheduled_at = when
+        event._seq = seq
+        wheel = self._queue
+        wheel._count += 1
+        slot = wheel._slots.get(when)
+        if slot is not None:
+            slot.append(event)
+        elif when == wheel._active_time:
+            wheel._active.append(event)
+        elif when in wheel._urgent:
+            wheel._slots[when] = [event]
+        else:
+            wheel._slots[when] = [event]
+            heappush(wheel._times, when)
+        return event
 
     def process(self, generator: Generator[Event, Any, Any],
                 name: str = "") -> Process:
@@ -308,39 +439,106 @@ class Simulator:
 
     def _schedule_event(self, event: Event, delay: float = 0.0,
                         priority: int = NORMAL) -> None:
-        self._sequence += 1
-        event._scheduled_at = self._now + delay
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, self._sequence, event)
-        )
+        seq = self._sequence + 1
+        self._sequence = seq
+        when = self._now + delay
+        event._scheduled_at = when
+        event._seq = seq
+        queue = self._queue
+        if self._wheel:
+            # Inlined CalendarEventQueue.push (this is the engine's
+            # hottest call site after timeout()).
+            queue._count += 1
+            if priority != URGENT:
+                slots = queue._slots
+                slot = slots.get(when)
+                if slot is not None:
+                    slot.append(event)
+                elif when == queue._active_time:
+                    queue._active.append(event)
+                elif when in queue._urgent:
+                    slots[when] = [event]
+                else:
+                    slots[when] = [event]
+                    heappush(queue._times, when)
+            else:
+                queue.push_urgent(when, event)
+        else:
+            queue.push(when, priority, seq, event)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a queued, waiter-less event before it is delivered.
+
+        The entry stays inside the queue but is discarded — undelivered,
+        uncounted, untraced — when it surfaces.  Cancelling is
+        idempotent; cancelling an event that was already delivered, has
+        registered waiters, was never scheduled, or belongs to another
+        simulator is an error (waiters would hang forever, which is
+        exactly the bug class this restriction prevents).
+        """
+        callbacks = event._callbacks
+        if callbacks is _CANCELLED:
+            return
+        if event.sim is not self:
+            raise ValueError(f"{event!r} belongs to another simulator")
+        if callbacks is _DELIVERED:
+            raise RuntimeError(f"cannot cancel already-delivered {event!r}")
+        if type(callbacks) is list and callbacks:
+            raise RuntimeError(
+                f"cannot cancel {event!r}: waiters are registered")
+        if event._scheduled_at is None:
+            raise RuntimeError(f"cannot cancel unscheduled {event!r}")
+        event._callbacks = _CANCELLED
 
     # -- running ---------------------------------------------------------
 
-    def step(self) -> None:
-        """Deliver the single next event, advancing virtual time to it."""
-        when, _priority, _seq, event = heapq.heappop(self._queue)
+    def _dispatch(self, entry: Entry) -> None:
+        """Deliver one popped entry on the instrumented path."""
+        when, priority, seq, event = entry
         self._now = when
         self._event_count += 1
         if self._detsan is not None:
             # Fold the scheduling decision *before* delivery so the
             # sanitizer stream captures decision order, not effects.
-            self._detsan.fold(when, _priority, _seq, event)
-        self.tracer.record(when, event)
+            self._detsan.fold(when, priority, seq, event)
+        self._tracer.record(when, event)
         event._deliver()
         if self._obs_enabled:
             # Delivery may have resumed a process (switching the span
             # track); anything recorded between events belongs to the
             # supervisor, i.e. the default track.
             self.obs.set_track(DEFAULT_TRACK)
-        if event._status is EventStatus.FAILED and not event.defused:
+        if event._status is _FAILED and not event.defused:
             # A failure nobody waited on: surface it rather than lose it.
             raise SimulationError(
                 f"unhandled failure in {event!r}"
             ) from event._value
 
+    def step(self) -> None:
+        """Deliver the single next event, advancing virtual time to it.
+
+        Cancelled entries are reaped silently; raises :class:`IndexError`
+        if no deliverable event remains.
+        """
+        queue = self._queue
+        while True:
+            entry = queue.pop()
+            if entry is None:
+                raise IndexError("step from an empty event queue")
+            if entry[3]._callbacks is not _CANCELLED:
+                break
+            # Reaped cancelled entries still advance the clock, matching
+            # both run loops.
+            self._now = entry[0]
+        self._dispatch(entry)
+
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next scheduled event, or ``inf`` if none.
+
+        May report the time of a cancelled-but-unreaped entry; cancelled
+        entries are discarded when they surface, never delivered.
+        """
+        return self._queue.peek_time()
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None,
@@ -359,18 +557,33 @@ class Simulator:
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
+        if self._plain and stop is None and max_events is None:
+            return self._run_fast(until)
         delivered = 0
         run_span = self.obs.span("sim.run", track=DEFAULT_TRACK)
+        queue = self._queue
         try:
-            while self._queue:
+            while True:
+                head = queue.peek_time()
+                if head == _INF:
+                    break
                 if stop is not None and stop():
                     return self._now
-                if until is not None and self._queue[0][0] > until:
+                if until is not None and head > until:
                     self._now = until
                     return self._now
                 if max_events is not None and delivered >= max_events:
                     return self._now
-                self.step()
+                entry = queue.pop()
+                if entry[3]._callbacks is _CANCELLED:
+                    # Reaped, not delivered — but the clock still
+                    # advances to the surfaced time (the fast path moves
+                    # it at batch advance, so the instrumented loop must
+                    # match).  Re-peek: the next real entry may lie
+                    # beyond ``until``.
+                    self._now = entry[0]
+                    continue
+                self._dispatch(entry)
                 delivered += 1
             if until is not None:
                 self._now = until
@@ -380,6 +593,158 @@ class Simulator:
             if self._obs_enabled:
                 self.obs.metrics.gauge("sim.events_executed").set(
                     float(self._event_count))
+
+    def _run_fast(self, until: Optional[float]) -> float:
+        """Plain-mode run loop: walk calendar-queue batches inline.
+
+        Semantically identical to the instrumented loop — same events,
+        same order, same clock — but with per-event work reduced to list
+        indexing plus the callback walk, and with delivered
+        fire-and-forget :class:`Timeout` objects recycled into the free
+        pool.  Only called when ``self._plain`` (nothing observes
+        deliveries) and neither ``stop`` nor ``max_events`` is in play.
+
+        Counter bookkeeping (``_event_count``, the queue's ``_count``)
+        is flushed in ``finally`` so an exception escaping a process
+        leaves the simulator consistent; the batch cursor is committed
+        the same way, so delivery never repeats after a resume.
+        """
+        queue = self._queue
+        preempt = queue._preempt
+        pool = _TIMEOUT_POOL
+        getrefcount = sys.getrefcount
+        count = 0      # events delivered
+        removed = 0    # cancelled entries reaped
+        # Remaining pool capacity, maintained locally: it only changes
+        # under this loop's control except while callbacks run (they may
+        # create pooled timeouts), so it is recomputed after every
+        # callback walk instead of calling len() per delivery.
+        free = _POOL_MAX - len(pool)
+        try:
+            while True:
+                if preempt:
+                    # Urgent events due now beat every undelivered normal
+                    # event due now — the (when, PRIORITY, seq) contract.
+                    while preempt:
+                        event = preempt.popleft()
+                        callbacks = event._callbacks
+                        if callbacks is _CANCELLED:
+                            removed += 1
+                            continue
+                        event._callbacks = _DELIVERED
+                        count += 1
+                        if callbacks is not None:
+                            for callback in callbacks:
+                                callback(event)
+                        if event._status is _FAILED and not event.defused:
+                            raise SimulationError(
+                                f"unhandled failure in {event!r}"
+                            ) from event._value
+                    free = _POOL_MAX - len(pool)
+                    continue  # the drain may have scheduled more urgents
+                batch = queue._active
+                i = queue._active_index
+                n = len(batch)
+                if i < n:
+                    try:
+                        while i < n:
+                            event = batch[i]
+                            i += 1
+                            callbacks = event._callbacks
+                            if callbacks is None:
+                                # Fire-and-forget: nobody is waiting.
+                                count += 1
+                                # Recycle if provably unreferenced: the
+                                # batch slot, the loop variable, and
+                                # getrefcount's argument are the only
+                                # remaining references.  A Timeout is
+                                # born SUCCEEDED and can never fail, so
+                                # the unhandled-failure check is moot
+                                # and _callbacks can stay None for the
+                                # pool.
+                                if (free > 0
+                                        and type(event) is Timeout
+                                        and getrefcount(event) == 3):
+                                    free -= 1
+                                    event.sim = None  # type: ignore[assignment]
+                                    event._value = None
+                                    pool.append(event)
+                                else:
+                                    event._callbacks = _DELIVERED
+                                    if (event._status is _FAILED
+                                            and not event.defused):
+                                        raise SimulationError(
+                                            f"unhandled failure in {event!r}"
+                                        ) from event._value
+                            elif callbacks is _CANCELLED:
+                                removed += 1
+                                if (free > 0
+                                        and type(event) is Timeout
+                                        and getrefcount(event) == 3):
+                                    free -= 1
+                                    event._callbacks = None
+                                    event.sim = None  # type: ignore[assignment]
+                                    event._value = None
+                                    event.defused = False
+                                    pool.append(event)
+                            else:
+                                event._callbacks = _DELIVERED
+                                count += 1
+                                for callback in callbacks:
+                                    callback(event)
+                                free = _POOL_MAX - len(pool)
+                                if type(event) is Timeout:
+                                    # A delivered Timeout whose waiters
+                                    # all detached (the common yield
+                                    # pattern) is recyclable the same
+                                    # way a fire-and-forget one is.
+                                    if (free > 0
+                                            and getrefcount(event) == 3):
+                                        free -= 1
+                                        event._callbacks = None
+                                        event.sim = None  # type: ignore[assignment]
+                                        event._value = None
+                                        event.defused = False
+                                        pool.append(event)
+                                elif (event._status is _FAILED
+                                        and not event.defused):
+                                    raise SimulationError(
+                                        f"unhandled failure in {event!r}"
+                                    ) from event._value
+                                if preempt:
+                                    # A callback raised an interrupt due
+                                    # at this instant; it preempts the
+                                    # rest of the batch.
+                                    break
+                                # Callbacks may have appended events due
+                                # at this same instant; the no-callback
+                                # branches cannot.
+                                n = len(batch)
+                    finally:
+                        queue._active_index = i
+                    continue
+                times = queue._times
+                if not times:
+                    break
+                t = times[0]
+                if until is not None and t > until:
+                    break
+                heappop(times)
+                self._now = t
+                queue._active_time = t
+                if queue._urgent:
+                    pre = queue._urgent.pop(t, None)
+                    if pre is not None:
+                        preempt.extend(pre)
+                next_batch = queue._slots.pop(t, None)
+                queue._active = next_batch if next_batch is not None else []
+                queue._active_index = 0
+            if until is not None:
+                self._now = until
+            return self._now
+        finally:
+            self._event_count += count
+            queue._count -= count + removed
 
     def quiesce(self) -> int:
         """Close every unfinished process generator, in spawn order.

@@ -9,12 +9,41 @@ Events deliberately mirror the SimPy contract (``succeed`` / ``fail`` /
 ``triggered`` / ``value``) so that readers familiar with that library can
 navigate the codebase, but the implementation here is independent and much
 smaller.
+
+The ``_callbacks`` slot doubles as the delivery state machine, encoded so
+the engine's hot loop can classify an event with one identity check:
+
+``None``
+    Not yet delivered, no waiters registered.  The common case for
+    fire-and-forget timeouts — no list is ever allocated for them.
+``list``
+    Not yet delivered, one or more waiters registered.
+:data:`_DELIVERED`
+    Callbacks have run.  Late ``add_callback`` registrations are routed
+    through the event queue (see :class:`_Soon`).
+:data:`_CANCELLED`
+    Engine-cancelled while queued (:meth:`Simulator.cancel`); the queues
+    still surface the entry but the engine discards it undelivered.
+
+Both sentinels are falsy and iterate as empty, so code that treats
+``_callbacks`` as "maybe a populated list" — notably the DetSan
+recorder's pre-delivery fold — needs no special cases.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.sim.engine import Simulator
@@ -28,6 +57,64 @@ class EventStatus(enum.Enum):
     PENDING = "pending"
     SUCCEEDED = "succeeded"
     FAILED = "failed"
+
+
+class _CallbacksSentinel:
+    """Terminal ``_callbacks`` state (delivered or cancelled).
+
+    Falsy and empty-iterable by design: observers that ask "are there
+    pending callbacks?" or "which callbacks are pending?" get the right
+    answer without knowing the sentinel exists.
+    """
+
+    __slots__ = ("_label",)
+
+    def __init__(self, label: str) -> None:
+        self._label = label
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __iter__(self) -> Iterator[Callable[["Event"], None]]:
+        return iter(())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<callbacks:{self._label}>"
+
+
+#: Callbacks already ran; the event is in the past.
+_DELIVERED = _CallbacksSentinel("delivered")
+#: Cancelled while queued; the engine discards the entry undelivered.
+_CANCELLED = _CallbacksSentinel("cancelled")
+
+_Callbacks = Union[None, List[Callable[["Event"], None]], _CallbacksSentinel]
+
+#: Recycled :class:`Timeout` instances, shared across simulators.  Only the
+#: engine's plain-mode fast loop recycles (and only objects it can prove
+#: unreferenced, via ``sys.getrefcount``); :meth:`Simulator.timeout` reuses
+#: them instead of allocating.  Invariant: every pooled object has
+#: ``_callbacks is None``, ``sim is None``, ``_value is None`` and
+#: ``defused False``.
+_TIMEOUT_POOL: List["Timeout"] = []
+#: Pool cap — bounds worst-case retained memory after a burst (~256k
+#: objects) while comfortably covering steady-state campaign churn.
+_POOL_MAX = 262_144
+
+#: Interned ``timeout(<delay:g>)`` labels.  Heartbeat/collective workloads
+#: reuse a handful of delays millions of times; formatting the label
+#: dominates Timeout construction without this cache.
+_TIMEOUT_NAMES: Dict[float, str] = {}
+_TIMEOUT_NAMES_MAX = 4096
+
+
+def _timeout_name(delay: float) -> str:
+    """The interned ``timeout(...)`` label for ``delay``."""
+    name = _TIMEOUT_NAMES.get(delay)
+    if name is None:
+        name = f"timeout({delay:g})"
+        if len(_TIMEOUT_NAMES) < _TIMEOUT_NAMES_MAX:
+            _TIMEOUT_NAMES[delay] = name
+    return name
 
 
 class Event:
@@ -44,14 +131,14 @@ class Event:
     """
 
     __slots__ = ("sim", "name", "_status", "_value", "_callbacks", "defused",
-                 "_scheduled_at")
+                 "_scheduled_at", "_seq")
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
         self._status = EventStatus.PENDING
         self._value: Any = None
-        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._callbacks: _Callbacks = None
         #: A failed event whose exception was never observed by any process
         #: is re-raised by the engine unless ``defused`` is set.  Mirrors
         #: SimPy semantics and catches silently-dropped failures in tests.
@@ -60,6 +147,10 @@ class Event:
         #: ``None`` until then).  Lets an interrupt landing at the exact
         #: instant a waiter's wakeup is due yield to that wakeup.
         self._scheduled_at: Optional[float] = None
+        #: Global scheduling sequence number (set by the engine when the
+        #: event is queued).  Part of the ``(when, priority, seq)``
+        #: tie-break contract; the calendar queue reads it back on pop.
+        self._seq = 0
 
     # -- inspection ------------------------------------------------------
 
@@ -77,6 +168,11 @@ class Event:
     def ok(self) -> bool:
         """True iff the event succeeded."""
         return self._status is EventStatus.SUCCEEDED
+
+    @property
+    def cancelled(self) -> bool:
+        """True iff the engine cancelled this event while it was queued."""
+        return self._callbacks is _CANCELLED
 
     @property
     def value(self) -> Any:
@@ -108,10 +204,11 @@ class Event:
 
     def _deliver(self) -> None:
         """Run callbacks; invoked by the engine when this event is popped."""
-        callbacks, self._callbacks = self._callbacks, None
-        assert callbacks is not None
-        for callback in callbacks:
-            callback(self)
+        callbacks = self._callbacks
+        self._callbacks = _DELIVERED
+        if callbacks is not None:
+            for callback in callbacks:
+                callback(self)
 
     # -- waiting ---------------------------------------------------------
 
@@ -121,12 +218,18 @@ class Event:
         If the event has already been delivered, the callback is scheduled
         as an immediate occurrence on the event queue (late waiters must not
         block forever) — via the queue rather than synchronously, so chains
-        of already-triggered yields cannot blow the Python stack.
+        of already-triggered yields cannot blow the Python stack.  Waiting
+        on a cancelled event is a programming error.
         """
-        if self._callbacks is None:
+        callbacks = self._callbacks
+        if callbacks is None:
+            self._callbacks = [callback]
+        elif type(callbacks) is list:
+            callbacks.append(callback)
+        elif callbacks is _DELIVERED:
             _Soon(self.sim, self, callback)
         else:
-            self._callbacks.append(callback)
+            raise RuntimeError(f"cannot wait on cancelled {self!r}")
 
     # -- combinator sugar --------------------------------------------------
 
@@ -160,10 +263,14 @@ class _Soon(Event):
         self._status = target._status
         self._value = target._value
         self.defused = True  # the original event's failure was already handled
+        # Delivery happens through the generic callback walk (no custom
+        # _deliver override — the engine's fast loop must be able to treat
+        # every event uniformly).
+        self._callbacks = [self._run]
         sim._schedule_event(self)
 
-    def _deliver(self) -> None:
-        self._callbacks = None
+    def _run(self, _event: Event) -> None:
+        """Forward the original event to the late-registered callback."""
         self._late_callback(self._target)
 
 
@@ -176,7 +283,7 @@ class Timeout(Event):
                  name: str = "") -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name or f"timeout({delay:g})")
+        super().__init__(sim, name or _timeout_name(delay))
         self.delay = delay
         # Bypass succeed(): schedule the trigger directly at now+delay.
         self._status = EventStatus.SUCCEEDED

@@ -1,0 +1,230 @@
+"""Analytic collectives: closed-form LogGP aggregates, same answers.
+
+``algorithm="analytic"`` collapses a collective's whole message phase
+into one rendezvous plus a closed-form LogGP time, instead of
+simulating every point-to-point transfer.  The contract is strict:
+
+* identical *values* to the discrete algorithms (the allreduce fold is
+  rank-ordered, so non-commutative effects match recursive doubling's
+  deterministic result);
+* bitwise-deterministic across same-seed runs;
+* barrier semantics preserved (no rank escapes before the last entry);
+* refusal to run under a fabric fault plan, because the closed form
+  cannot model faults — that must be a loud error, not a wrong answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.messaging import MAX, SUM, run_spmd
+from repro.network import FabricFaultPlan
+
+SIZES = [1, 2, 3, 4, 5, 8, 16]
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_no_rank_escapes_early(self, size):
+        def body(comm):
+            yield comm.sim.timeout(comm.rank * 1e-3)  # staggered entry
+            entry = comm.sim.now
+            yield from comm.barrier(algorithm="analytic")
+            return entry, comm.sim.now
+
+        result = run_spmd(size, body)
+        entries = [r[0] for r in result.results]
+        exits = [r[1] for r in result.results]
+        assert min(exits) >= max(entries) - 1e-12
+
+    def test_takes_nonzero_time_for_multiple_ranks(self):
+        def body(comm):
+            yield from comm.barrier(algorithm="analytic")
+            return comm.sim.now
+
+        result = run_spmd(4, body)
+        assert all(t > 0.0 for t in result.results)
+        # All ranks leave at the same instant: one closed-form cost
+        # applied from the last arrival.
+        assert len(set(result.results)) == 1
+
+
+class TestBcast:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_everyone_gets_root_value(self, size):
+        def body(comm):
+            payload = {"data": 42} if comm.rank == 0 else None
+            received = yield from comm.bcast(payload, root=0,
+                                             algorithm="analytic")
+            return received
+
+        result = run_spmd(size, body)
+        assert all(r == {"data": 42} for r in result.results)
+
+    def test_nonzero_root(self):
+        def body(comm):
+            payload = f"from{comm.rank}" if comm.rank == 2 else None
+            received = yield from comm.bcast(payload, root=2,
+                                             algorithm="analytic")
+            return received
+
+        result = run_spmd(4, body)
+        assert all(r == "from2" for r in result.results)
+
+    def test_array_payload_is_isolated_per_rank(self):
+        """In-place writes to a received ndarray must not leak to other
+        ranks — the same value-semantics boundary the discrete path's
+        ``_isolate`` enforces."""
+        def body(comm):
+            payload = np.ones(8) if comm.rank == 0 else None
+            received = yield from comm.bcast(payload, root=0,
+                                             algorithm="analytic")
+            received += comm.rank  # in-place mutation
+            return float(received.sum())
+
+        result = run_spmd(4, body)
+        assert result.results == [8.0 * (1 + rank) for rank in range(4)]
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_scalar_sum_matches_discrete(self, size):
+        def body(comm):
+            value = yield from comm.allreduce(float(comm.rank), SUM,
+                                              algorithm="analytic")
+            return value
+
+        result = run_spmd(size, body)
+        expected = size * (size - 1) / 2
+        assert all(v == pytest.approx(expected) for v in result.results)
+
+    def test_array_sum_matches_numpy(self):
+        def body(comm):
+            local = np.arange(64.0) * (comm.rank + 1)
+            total = yield from comm.allreduce(local, SUM,
+                                              algorithm="analytic")
+            return total
+
+        result = run_spmd(8, body)
+        expected = np.arange(64.0) * sum(range(1, 9))
+        for total in result.results:
+            np.testing.assert_allclose(total, expected)
+
+    def test_max_operator(self):
+        def body(comm):
+            value = yield from comm.allreduce(comm.rank, MAX,
+                                              algorithm="analytic")
+            return value
+
+        result = run_spmd(6, body)
+        assert all(v == 5 for v in result.results)
+
+    def test_values_equal_recursive_doubling(self):
+        """The rank-ordered fold reproduces recursive doubling's result
+        exactly, including for float payloads where association order
+        could matter."""
+        def make_body(algorithm):
+            def body(comm):
+                local = np.linspace(0.1, 7.7, 32) * (comm.rank + 0.3)
+                total = yield from comm.allreduce(local, SUM,
+                                                  algorithm=algorithm)
+                return total
+            return body
+
+        analytic = run_spmd(8, make_body("analytic"))
+        discrete = run_spmd(8, make_body("recursive_doubling"))
+        for a, d in zip(analytic.results, discrete.results):
+            np.testing.assert_allclose(a, d)
+
+
+class TestDeterminism:
+    def test_same_seed_double_run_bitwise_identical(self):
+        def body(comm):
+            yield from comm.barrier(algorithm="analytic")
+            value = yield from comm.allreduce(float(comm.rank) * 1.7, SUM,
+                                              algorithm="analytic")
+            got = yield from comm.bcast(value if comm.rank == 0 else None,
+                                        root=0, algorithm="analytic")
+            return got, value, comm.sim.now
+
+        first = run_spmd(8, body)
+        second = run_spmd(8, body)
+        assert first.results == second.results
+
+    def test_fewer_engine_events_than_discrete(self):
+        """The whole point: no per-message events."""
+        from repro.messaging.program import make_world
+
+        def drive(algorithm):
+            world = make_world(16)
+            sim = world.sim
+
+            def body(rank):
+                comm = world.communicator(rank)
+                for _ in range(5):
+                    yield from comm.allreduce(float(rank), SUM,
+                                              algorithm=algorithm)
+
+            for rank in range(16):
+                sim.process(body(rank))
+            sim.run()
+            return sim.events_executed
+
+        assert drive("analytic") < drive("recursive_doubling") / 4
+
+
+class TestGuards:
+    def test_refuses_fabric_fault_plan(self):
+        def body(comm):
+            yield from comm.barrier(algorithm="analytic")
+
+        from repro.sim import RandomStreams
+        plan = FabricFaultPlan(drop_probability=0.5,
+                               rng=RandomStreams(0).get("net.loss"))
+        with pytest.raises(ValueError, match="fault plan"):
+            run_spmd(4, body, fault_plan=plan)
+
+    def test_unknown_algorithm_still_rejected(self):
+        def body(comm):
+            yield from comm.allreduce(1.0, SUM, algorithm="magic")
+
+        with pytest.raises(ValueError, match="magic"):
+            run_spmd(2, body)
+
+    def test_size_one_is_trivial(self):
+        def body(comm):
+            yield from comm.barrier(algorithm="analytic")
+            value = yield from comm.allreduce(3.5, SUM,
+                                              algorithm="analytic")
+            got = yield from comm.bcast("x", root=0, algorithm="analytic")
+            return value, got
+
+        result = run_spmd(1, body)
+        assert result.results == [(3.5, "x")]
+
+
+class TestSubCommunicators:
+    def test_analytic_on_split_halves(self):
+        def body(comm):
+            sub = yield from comm.split(comm.rank % 2)
+            value = yield from sub.allreduce(float(comm.rank), SUM,
+                                             algorithm="analytic")
+            return value
+
+        result = run_spmd(8, body)
+        evens = sum(r for r in range(8) if r % 2 == 0)
+        odds = sum(r for r in range(8) if r % 2 == 1)
+        for rank, value in enumerate(result.results):
+            assert value == (evens if rank % 2 == 0 else odds)
+
+    def test_mixed_discrete_and_analytic_phases(self):
+        """Programs can switch per call: discrete where faults matter,
+        analytic for bulk-synchronous phases."""
+        def body(comm):
+            a = yield from comm.allreduce(1.0, SUM,
+                                          algorithm="recursive_doubling")
+            b = yield from comm.allreduce(a, SUM, algorithm="analytic")
+            yield from comm.barrier()
+            return b
+
+        result = run_spmd(4, body)
+        assert all(v == 16.0 for v in result.results)
