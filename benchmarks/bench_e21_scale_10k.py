@@ -19,13 +19,13 @@ slower.  The run writes ``BENCH_e21_scale_10k.json`` with MTTD, false
 positives, event counts and wall-clock events/second per mode.
 """
 
-import json
 import time
 from pathlib import Path
 
 from repro.health import DetectionSpec, HeartbeatMonitor
 from repro.network import Fabric, FatTreeTopology, get_interconnect
 from repro.sim import Simulator
+from repro.xp import write_bench_artifact
 
 NODES = 10_000
 HEARTBEAT = 0.1
@@ -103,9 +103,9 @@ def test_e21_scale_10k_detection(benchmark, show):
         "horizon_seconds": HORIZON,
         "results": results,
     }
-    _ARTIFACT_PATH.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8")
+    # Atomic write (temp + rename) so an interrupted run can never
+    # leave a truncated artifact for CI's validation step to choke on.
+    write_bench_artifact(_ARTIFACT_PATH, payload, required=("results",))
 
     lines = ["E21-scale: 10^4-node detection campaign"]
     for label, row in results.items():

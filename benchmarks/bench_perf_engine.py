@@ -30,7 +30,6 @@ and wheel events/second) so CI runs can be archived and compared across
 commits without scraping terminal output.
 """
 
-import json
 import time
 from pathlib import Path
 
@@ -42,6 +41,7 @@ from repro.obs import NULL_SPAN, NullObservability
 from repro.scheduler import BatchSimulator, WorkloadGenerator, WorkloadParams, get_policy
 from repro.sim import RandomStreams, Simulator, Store
 from repro.sim.event import _TIMEOUT_POOL
+from repro.xp import write_bench_artifact
 
 #: Collected per-test numbers, written to BENCH_perf_engine.json by the
 #: module-scoped fixture below once the last bench in this file finishes.
@@ -81,21 +81,27 @@ def _collect_benchmark_stats(request):
 
 
 @pytest.fixture(scope="module", autouse=True)
-def _write_bench_artifact():
-    """Write the BENCH_*.json artifact after the module's benches ran."""
+def _write_artifact_fixture():
+    """Write the BENCH_*.json artifact after the module's benches ran.
+
+    The write is atomic (temp + rename, via
+    :func:`repro.xp.artifacts.write_bench_artifact`) and *refused* when
+    either expected section is missing — a ``-k``-filtered or partially
+    failed run must not replace a previous complete artifact with a
+    partial one that CI's validation step would then parse.
+    """
     yield
-    if not _ARTIFACT_RESULTS:
-        return
     payload = {
         "benchmark_module": "bench_perf_engine",
         "units": "seconds",
         "results": dict(sorted(_ARTIFACT_RESULTS.items())),
+        "speedup_vs_heap": dict(sorted(_SPEEDUP_SECTION.items())),
     }
-    if _SPEEDUP_SECTION:
-        payload["speedup_vs_heap"] = dict(sorted(_SPEEDUP_SECTION.items()))
-    _ARTIFACT_PATH.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8")
+    try:
+        write_bench_artifact(_ARTIFACT_PATH, payload,
+                             required=("results", "speedup_vs_heap"))
+    except ValueError:
+        pass  # partial run (e.g. -k subset): keep the old artifact
 
 
 @pytest.fixture(params=["heap", "wheel"])

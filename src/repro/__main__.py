@@ -391,7 +391,7 @@ def _cmd_fabrics(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_fleet(args: argparse.Namespace) -> int:
+def _cmd_procurement(args: argparse.Namespace) -> int:
     """Compare rolling vs forklift procurement over a span."""
     from repro.cluster import simulate_fleet, time_averaged_peak
 
@@ -421,6 +421,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import cli as lint_cli
 
     return lint_cli.run(args)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Run the experiment fleet (see ``repro.xp``)."""
+    from repro.xp import cli as xp_cli
+
+    return xp_cli.run(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -462,12 +469,20 @@ def build_parser() -> argparse.ArgumentParser:
     fabrics.add_argument("--technology", default="infiniband_4x")
     fabrics.set_defaults(func=_cmd_fabrics)
 
-    fleet = sub.add_parser("fleet", help="procurement strategy comparison")
-    fleet.add_argument("--annual-budget", type=float, default=2e6)
-    fleet.add_argument("--start", type=float, default=2003.0)
-    fleet.add_argument("--end", type=float, default=2010.0)
-    fleet.add_argument("--scenario", default="nominal",
-                       choices=sorted(SCENARIOS))
+    procurement = sub.add_parser("procurement",
+                                 help="procurement strategy comparison")
+    procurement.add_argument("--annual-budget", type=float, default=2e6)
+    procurement.add_argument("--start", type=float, default=2003.0)
+    procurement.add_argument("--end", type=float, default=2010.0)
+    procurement.add_argument("--scenario", default="nominal",
+                             choices=sorted(SCENARIOS))
+    procurement.set_defaults(func=_cmd_procurement)
+
+    fleet = sub.add_parser(
+        "fleet", help="experiment fleet runner with result cache")
+    from repro.xp import cli as xp_cli
+
+    xp_cli.add_arguments(fleet)
     fleet.set_defaults(func=_cmd_fleet)
 
     lint = sub.add_parser("lint",

@@ -55,6 +55,7 @@ __all__ = [
     "Rule",
     "RuleVisitor",
     "apply_baseline",
+    "import_closure",
     "iter_python_files",
     "lint_module",
     "lint_module_project",
@@ -415,6 +416,108 @@ def tree_fingerprint(shas: Dict[str, str]) -> str:
     for rel in sorted(shas):
         digest.update(f"{rel}\x1f{shas[rel]}\x1e".encode("utf-8"))
     return digest.hexdigest()
+
+
+def _closure_names(rel: str) -> Tuple[str, str]:
+    """(dotted module name, relative-import anchor) for a closure file.
+
+    Unlike :meth:`ModuleInfo._dotted_name` this is anchored purely at the
+    source root — no special-casing of the ``repro`` package — so the
+    closure walk works over any package tree (the xp cache tests build
+    synthetic ones).
+    """
+    parts = list(Path(rel).parts)
+    is_package = parts[-1] == "__init__.py"
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if is_package:
+        parts = parts[:-1]
+    dotted = ".".join(parts)
+    if is_package:
+        package = dotted
+    elif "." in dotted:
+        package = dotted.rsplit(".", 1)[0]
+    else:
+        package = ""
+    return dotted, package
+
+
+def _resolve_module_files(dotted: str, src_root: Path) -> List[Path]:
+    """Files under ``src_root`` that importing ``dotted`` executes.
+
+    ``a.b.c`` tries ``a/b/c.py`` then ``a/b/c/__init__.py``, falling
+    back through shorter prefixes — so a *member* origin such as
+    ``repro.sim.engine.Simulator`` still lands on ``repro/sim/engine.py``
+    — and additionally includes every ancestor package ``__init__.py``,
+    because importing a submodule executes those too.  Names that
+    resolve to nothing under ``src_root`` (stdlib, third party) return
+    an empty list and simply drop out of the closure.
+    """
+    parts = dotted.split(".")
+    found: List[Path] = []
+    depth = len(parts)
+    while depth > 0:
+        base = src_root.joinpath(*parts[:depth])
+        module = base.with_suffix(".py")
+        init = base / "__init__.py"
+        if module.is_file():
+            found.append(module)
+            break
+        if init.is_file():
+            found.append(init)
+            break
+        depth -= 1
+    for k in range(1, depth):
+        init = src_root.joinpath(*parts[:k]) / "__init__.py"
+        if init.is_file():
+            found.append(init)
+    return found
+
+
+def import_closure(roots: Iterable[Path],
+                   src_root: Path) -> Dict[str, str]:
+    """Transitive local-import closure of ``roots``: ``{rel: sha256}``.
+
+    Walks each module's :class:`ImportMap` member origins plus raw
+    ``import a.b.c`` dotted names (the map intentionally truncates those
+    to their first segment for alias resolution, which is too coarse
+    here), resolving every candidate to a file under ``src_root`` and
+    recursing.  Only files inside ``src_root`` enter the closure, keyed
+    by their POSIX path relative to it.
+
+    This is the code half of the experiment cache key
+    (:mod:`repro.xp.fingerprint`): fold the returned mapping with
+    :func:`tree_fingerprint` and any edit to any transitively imported
+    file changes the digest.  Unparseable files contribute their content
+    hash but no further edges.
+    """
+    src_root = Path(src_root).resolve()
+    shas: Dict[str, str] = {}
+    stack = iter_python_files(roots)
+    while stack:
+        path = stack.pop()
+        try:
+            rel = path.relative_to(src_root).as_posix()
+        except ValueError:
+            continue  # outside the tree: not local code
+        if rel in shas:
+            continue
+        source = path.read_text(encoding="utf-8")
+        shas[rel] = _sha256(source)
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            continue
+        dotted, package = _closure_names(rel)
+        imports = ImportMap(tree, dotted, package=package)
+        candidates = set(imports.members.values())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    candidates.add(alias.name)
+        for name in sorted(candidates):
+            stack.extend(_resolve_module_files(name, src_root))
+    return shas
 
 
 def iter_python_files(paths: Iterable[Path]) -> List[Path]:

@@ -84,8 +84,10 @@ _WALL_CLOCK = {
 }
 
 #: DESIGN.md layering, as ranks: a package may only import strictly lower
-#: ranks.  ``units`` is importable by everyone; ``lint`` sits on top as a
-#: tool (imported by nothing).
+#: ranks.  ``units`` is importable by everyone; the tool layers sit on
+#: top — ``lint`` above every library package, and ``xp`` (the experiment
+#: fleet runner) above ``lint``, whose engine it reuses for code
+#: fingerprints.
 LAYERS: Dict[str, int] = {
     "units": 0,
     "obs": 5,
@@ -103,6 +105,7 @@ LAYERS: Dict[str, int] = {
     "io": 40,
     "apps": 50,
     "lint": 60,
+    "xp": 70,
 }
 
 #: Decimal scale values with the repro.units name to use instead.  Only

@@ -411,11 +411,10 @@ class Simulator:
             slot.append(event)
         elif when == wheel._active_time:
             wheel._active.append(event)
-        elif when in wheel._urgent:
-            wheel._slots[when] = [event]
         else:
             wheel._slots[when] = [event]
-            heappush(wheel._times, when)
+            if when not in wheel._urgent:
+                heappush(wheel._times, when)
         return event
 
     def process(self, generator: Generator[Event, Any, Any],
@@ -456,13 +455,12 @@ class Simulator:
                     slot.append(event)
                 elif when == queue._active_time:
                     queue._active.append(event)
-                elif when in queue._urgent:
-                    slots[when] = [event]
                 else:
                     slots[when] = [event]
-                    heappush(queue._times, when)
+                    if when not in queue._urgent:
+                        heappush(queue._times, when)
             else:
-                queue.push_urgent(when, event)
+                queue._push_urgent_uncounted(when, event)
         else:
             queue.push(when, priority, seq, event)
 

@@ -143,17 +143,27 @@ class CalendarEventQueue:
                 slot.append(event)
             elif when == self._active_time:
                 self._active.append(event)
-            elif when in self._urgent:
-                slots[when] = [event]
             else:
                 slots[when] = [event]
-                heappush(self._times, when)
+                # The "time already pending" invariant is checked once:
+                # ``when`` enters ``_times`` only if no urgent slot put
+                # it there already (a normal event landing on an
+                # urgent-only time must not duplicate the heap entry).
+                if when not in self._urgent:
+                    heappush(self._times, when)
         else:
-            self.push_urgent(when, event)
+            self._push_urgent_uncounted(when, event)
 
-    def push_urgent(self, when: float, event: "Event") -> None:
-        """Insert a priority-0 entry (count maintained by the caller for
-        the engine's inlined path; :meth:`push` pre-counts)."""
+    def _push_urgent_uncounted(self, when: float, event: "Event") -> None:
+        """Insert a priority-0 entry WITHOUT maintaining ``len(self)``.
+
+        The underscore is the contract: ``_count`` is the caller's job.
+        :meth:`push` pre-counts before delegating here, and the engine's
+        inlined scheduling path (``Simulator._schedule_event``) counts at
+        its top so normal and urgent bands share one increment.  Calling
+        this directly from anywhere else silently corrupts ``len(self)``
+        — use :meth:`push` with ``priority=0`` instead.
+        """
         if when == self._active_time:
             self._preempt.append(event)
             return

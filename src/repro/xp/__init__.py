@@ -1,0 +1,58 @@
+"""Experiment fleet runner with a content-hash result cache.
+
+``repro.xp`` makes re-measuring the experiment suite routine: each
+sweep point's summary is cached under ``.repro-xp-cache/`` keyed by
+(code fingerprint, canonical config, derived seed), and cache misses
+are sharded across a worker-process pool with deterministic per-point
+RNG seeds and an order-independent merge.  A warm ``python -m repro
+fleet`` on an unchanged tree recomputes nothing; an edit to, say,
+``repro/fault/campaign.py`` re-runs exactly the experiments whose
+import closure reaches it.
+
+Layering: rank 70, above :mod:`repro.lint` (rank 60) — the fingerprint
+reuses the lint engine's import-closure walk — and therefore above
+every library package the registered experiments drive.
+
+Modules:
+
+* :mod:`repro.xp.spec` — :class:`ExperimentSpec`/:class:`PointSpec` and
+  the per-point seed derivation;
+* :mod:`repro.xp.fingerprint` — code fingerprints from the lint
+  engine's import closure;
+* :mod:`repro.xp.cache` — the per-point result cache;
+* :mod:`repro.xp.runner` — the sweep orchestrator;
+* :mod:`repro.xp.experiments` — the registered E20/E21/E22 sweeps and
+  the engine perf probe;
+* :mod:`repro.xp.artifacts` — atomic ``BENCH_*.json`` writing (also
+  used by the bench modules);
+* :mod:`repro.xp.cli` — ``python -m repro fleet``.
+"""
+
+from repro.xp.artifacts import write_bench_artifact
+from repro.xp.cache import CACHE_DIR_NAME, ResultCache, canonical_json
+from repro.xp.experiments import EXPERIMENTS, get_experiments
+from repro.xp.fingerprint import code_fingerprint
+from repro.xp.runner import (
+    Divergence,
+    FleetResult,
+    PointResult,
+    run_fleet,
+)
+from repro.xp.spec import ExperimentSpec, PointSpec, point_seed
+
+__all__ = [
+    "CACHE_DIR_NAME",
+    "Divergence",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "FleetResult",
+    "PointResult",
+    "PointSpec",
+    "ResultCache",
+    "canonical_json",
+    "code_fingerprint",
+    "get_experiments",
+    "point_seed",
+    "run_fleet",
+    "write_bench_artifact",
+]

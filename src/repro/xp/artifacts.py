@@ -1,0 +1,49 @@
+"""Atomic ``BENCH_*.json`` trajectory artifacts.
+
+Every bench module and the fleet runner leave a JSON artifact at the
+repo root so CI runs can be archived and compared across commits.  Two
+failure modes used to corrupt that trajectory:
+
+* a plain ``write_text`` interrupted mid-write leaves a truncated file
+  that CI's artifact-validation step then fails to parse — so writes go
+  through a temp file in the same directory followed by an atomic
+  :func:`os.replace`;
+* a partially failed bench run (one test errored, or ``-k`` selected a
+  subset) emits an artifact *missing the sections* downstream tooling
+  keys on — so callers declare their ``required`` sections and the
+  writer refuses (:class:`ValueError`) rather than emit a partial
+  artifact over a complete one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+__all__ = ["write_bench_artifact"]
+
+
+def write_bench_artifact(path: Path, payload: Mapping[str, Any],
+                         required: Sequence[str] = ()) -> None:
+    """Write ``payload`` as deterministic JSON, atomically, or refuse.
+
+    ``required`` names top-level sections that must be present and
+    non-empty; a missing or empty one raises :class:`ValueError` and the
+    file on disk — possibly a previous complete run's artifact — is left
+    untouched.  The write itself goes to ``<name>.tmp`` in the target
+    directory and is renamed into place, so a reader never observes a
+    torn file even if this process dies mid-write.
+    """
+    path = Path(path)
+    missing = [name for name in required if not payload.get(name)]
+    if missing:
+        raise ValueError(
+            f"refusing to write {path.name}: missing or empty "
+            f"section(s): {', '.join(missing)}")
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)

@@ -1,0 +1,49 @@
+"""The code half of the experiment cache key.
+
+An experiment's summary depends on the code it executes: the registered
+root modules plus everything they transitively import from this source
+tree.  :func:`repro.lint.engine.import_closure` walks that closure via
+each module's ``ImportMap`` (the same alias harvesting the lint rules
+run on) and returns the per-file SHA-256 set, which
+:func:`repro.lint.engine.tree_fingerprint` folds into one digest.
+
+The consequence is the cache's headline behaviour: editing
+``repro/fault/campaign.py`` invalidates the E20 and E21 points (their
+closures reach it) while the E22 jobs points stay warm — warm fleet
+re-runs recompute only experiments whose code or config changed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.lint.engine import import_closure, tree_fingerprint
+
+__all__ = ["code_fingerprint", "default_src_root"]
+
+
+def default_src_root() -> Path:
+    """The directory experiment code roots resolve under.
+
+    In a src-layout checkout this is ``src/`` (so roots read
+    ``repro/...``); installed, it is the package's parent directory —
+    either way, the anchor both the closure walk and the relative paths
+    inside the fingerprint are stable against.
+    """
+    return Path(__file__).resolve().parent.parent.parent
+
+
+def code_fingerprint(roots: Sequence[str],
+                     src_root: Optional[Path] = None) -> str:
+    """Digest of the transitive import closure of ``roots``.
+
+    ``roots`` are POSIX paths relative to ``src_root`` (default:
+    :func:`default_src_root`), e.g. ``("repro/fault/campaign.py",)``.
+    Any content change to any file in the closure — including files the
+    roots only reach indirectly — changes the digest; files outside
+    ``src_root`` (stdlib, third party) never enter it.
+    """
+    base = Path(src_root) if src_root is not None else default_src_root()
+    files = [base / root for root in roots]
+    return tree_fingerprint(import_closure(files, base))

@@ -1,0 +1,184 @@
+"""Sweep orchestrator: shard points over a pool, merge order-free.
+
+The same shape :func:`repro.lint.engine.lint_paths` proved for lint —
+serve cache hits first, fan the misses out over a process pool, merge
+deterministically — applied to experiment points:
+
+1. fingerprint each experiment's code once (:mod:`repro.xp.fingerprint`);
+2. look every point up in the :class:`~repro.xp.cache.ResultCache`; hits
+   return their stored summary without touching the experiment code;
+3. shard the misses across ``jobs`` worker processes.  Tasks are
+   ``(run_function, config, derived_seed)`` tuples — the function
+   pickles by reference, the seed comes from
+   :func:`repro.xp.spec.point_seed`, so a point computes identically
+   whichever worker gets it;
+4. merge by sorting on ``(experiment, point)`` — the result order never
+   depends on pool scheduling, which is what makes ``-j 1`` and
+   ``-j 4`` runs byte-identical;
+5. store fresh summaries (parent process only — workers never write the
+   cache) and compare recomputed summaries against any prior valid
+   entry: a mismatch on a deterministic experiment is a
+   :class:`Divergence`, the fleet's nonzero-exit signal.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.xp.cache import ResultCache, canonical_json
+from repro.xp.fingerprint import code_fingerprint
+from repro.xp.spec import ExperimentSpec, PointSpec, point_seed
+
+__all__ = ["Divergence", "FleetResult", "PointResult", "run_fleet"]
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Outcome of one sweep point: its summary, and how it was obtained."""
+
+    experiment: str
+    point: str
+    seed: int
+    cached: bool
+    summary: Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """A recomputed summary that contradicts the cached bytes.
+
+    Only raised for deterministic experiments: same code fingerprint,
+    same config, same seed, different canonical summary means either
+    hidden nondeterminism in the experiment or code the fingerprint
+    failed to cover — both worth failing the run over.
+    """
+
+    experiment: str
+    point: str
+    cached: str
+    computed: str
+
+
+@dataclass
+class FleetResult:
+    """Merged outcome of one fleet run."""
+
+    results: List[PointResult]
+    divergences: List[Divergence]
+
+    @property
+    def points(self) -> int:
+        """Total sweep points evaluated or served."""
+        return len(self.results)
+
+    @property
+    def hits(self) -> int:
+        """Points served from the cache."""
+        return sum(1 for r in self.results if r.cached)
+
+    @property
+    def misses(self) -> int:
+        """Points recomputed this run."""
+        return self.points - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of points served from the cache (0.0 when empty)."""
+        return self.hits / self.points if self.points else 0.0
+
+    @property
+    def exit_code(self) -> int:
+        """0 when no divergence was detected, 1 otherwise."""
+        return 1 if self.divergences else 0
+
+    def summaries(self) -> Dict[str, Dict[str, Mapping[str, Any]]]:
+        """Nested ``{experiment: {point: summary}}`` view of the results."""
+        merged: Dict[str, Dict[str, Mapping[str, Any]]] = {}
+        for result in self.results:
+            merged.setdefault(result.experiment, {})[result.point] = \
+                result.summary
+        return merged
+
+
+def _run_task(task: Tuple[Any, Dict[str, Any], int]) -> Dict[str, Any]:
+    """Pool worker: evaluate one point.
+
+    Module-level so it pickles by reference; the run function inside the
+    task does too.  Everything a point needs travels in the task — no
+    worker-side registry or initializer state.
+    """
+    run, config, seed = task
+    return dict(run(config, seed))
+
+
+def run_fleet(specs: Sequence[ExperimentSpec], seed: int = 0,
+              cache: Optional[ResultCache] = None, jobs: int = 1,
+              serve_hits: bool = True,
+              src_root: Optional[Path] = None) -> FleetResult:
+    """Evaluate every point of every spec, cached and sharded.
+
+    ``serve_hits=False`` (the CLI's ``--no-cache``) recomputes every
+    point but still reads any prior entry for comparison — that is the
+    divergence-verification mode — and refreshes the stored entries.
+    With ``cache=None`` nothing is read or written and no divergence can
+    be reported.  Results are sorted by ``(experiment, point)``
+    regardless of ``jobs``.
+    """
+    fingerprints = {
+        spec.name: code_fingerprint(spec.code_roots, src_root)
+        for spec in specs
+    }
+    results: List[PointResult] = []
+    pending: List[Tuple[ExperimentSpec, PointSpec, int]] = []
+    for spec in specs:
+        code = fingerprints[spec.name]
+        for point in spec.points:
+            derived = point_seed(seed, spec.name, point.name)
+            if cache is not None and serve_hits:
+                hit = cache.get(spec.name, point.name, code,
+                                dict(point.config), derived)
+                if hit is not None:
+                    results.append(PointResult(
+                        experiment=spec.name, point=point.name,
+                        seed=derived, cached=True, summary=hit))
+                    continue
+            pending.append((spec, point, derived))
+
+    tasks = [(spec.run, dict(point.config), derived)
+             for spec, point, derived in pending]
+    if jobs > 1 and len(tasks) > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(
+                processes=min(jobs, len(tasks))) as pool:
+            outputs = pool.map(_run_task, tasks, chunksize=1)
+    else:
+        outputs = [_run_task(task) for task in tasks]
+
+    divergences: List[Divergence] = []
+    for (spec, point, derived), raw in zip(pending, outputs):
+        # Round-trip through canonical JSON so the stored summary, the
+        # in-memory summary, and every future comparison share one byte
+        # form (tuples become lists now, not at some later read).
+        summary = json.loads(canonical_json(raw))
+        code = fingerprints[spec.name]
+        if cache is not None:
+            prior = cache.get(spec.name, point.name, code,
+                              dict(point.config), derived)
+            if (prior is not None and spec.deterministic
+                    and canonical_json(prior) != canonical_json(summary)):
+                divergences.append(Divergence(
+                    experiment=spec.name, point=point.name,
+                    cached=canonical_json(prior),
+                    computed=canonical_json(summary)))
+            cache.put(spec.name, point.name, code, dict(point.config),
+                      derived, summary)
+        results.append(PointResult(
+            experiment=spec.name, point=point.name, seed=derived,
+            cached=False, summary=summary))
+
+    results.sort(key=lambda r: (r.experiment, r.point))
+    return FleetResult(results=results, divergences=divergences)

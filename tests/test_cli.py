@@ -48,10 +48,39 @@ class TestCli:
         assert "leaf-spine 1:1" in out
         assert "bisection" in out
 
-    def test_fleet(self, capsys):
-        assert main(["fleet", "--annual-budget", "1e6"]) == 0
+    def test_procurement(self, capsys):
+        assert main(["procurement", "--annual-budget", "1e6"]) == 0
         out = capsys.readouterr().out
         assert "rolling" in out and "forklift 3y" in out
+
+    def test_fleet_list(self, capsys):
+        assert main(["fleet", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("e20_fault_campaigns", "e21_detection_tradeoff",
+                     "e22_jobs_service", "perf_engine"):
+            assert name in out
+
+    def test_fleet_unknown_experiment_exits_2(self, capsys):
+        assert main(["fleet", "no_such_experiment", "--no-artifact"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_fleet_runs_selected_experiment(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        artifact = tmp_path / "BENCH_xp_fleet.json"
+        assert main(["fleet", "perf_engine",
+                     "--cache-dir", str(cache_dir),
+                     "--artifact", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "perf_engine/storm-wheel: ran" in out
+        assert artifact.exists()
+        # Warm: every point served from cache.
+        assert main(["fleet", "perf_engine",
+                     "--cache-dir", str(cache_dir),
+                     "--artifact", str(artifact), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "perf_engine/storm-wheel: cached" in out
+        assert "2 cached (100%)" in out
 
     def test_jobs(self, capsys):
         assert main(["jobs"]) == 0

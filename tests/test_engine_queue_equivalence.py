@@ -22,6 +22,7 @@ that is the (documented) precondition the calendar queue's active-slot
 cursor relies on.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sim import (
@@ -52,13 +53,18 @@ _DELAYS = (0.0, 0.0, 0.25, 1.0, 1.0, 1.0, 3.5, 1e6)
 
 
 @st.composite
-def _schedules(draw):
-    """A list of queue operations: ("push", delay, priority) or "pop"."""
+def _schedules(draw, priorities=(0, 1, 1, 1)):
+    """A list of queue operations: ("push", delay, priority) or "pop".
+
+    ``priorities`` is the sampling pool: the default is the engine's
+    real mix (urgent events are rare); pass ``(0, 0, 0, 1)`` for the
+    urgent-heavy traces that stress the side table.
+    """
     return draw(st.lists(
         st.one_of(
             st.tuples(st.just("push"),
                       st.sampled_from(_DELAYS),
-                      st.sampled_from((0, 1, 1, 1))),
+                      st.sampled_from(priorities)),
             st.just("pop"),
         ),
         min_size=1, max_size=200,
@@ -154,6 +160,136 @@ class TestQueueLevelEquivalence:
         assert heap.peek_time() == wheel.peek_time() == 2.0
         assert heap.pop()[3] is wheel.pop()[3] is near
         assert heap.pop()[3] is wheel.pop()[3] is far
+
+    @given(_schedules(priorities=(0, 0, 0, 1)))
+    @settings(max_examples=200, deadline=None)
+    def test_urgent_heavy_schedules_pop_identically(self, ops):
+        """The urgent side table under a 3:1 urgent:normal mix.
+
+        ``_drive`` asserts ``len()`` and ``peek_time()`` parity after
+        every single operation, so this pins the count/peek contract of
+        the urgent band, not just final pop order.
+        """
+        popped = _drive(ops)
+        times = [entry[0] for entry in popped]
+        assert times == sorted(times)
+
+    def test_normal_push_on_urgent_only_time_no_duplicate_heap_entry(self):
+        """Regression: a normal push landing on a time that only has
+        urgent events queued must not enter ``_times`` a second time."""
+        heap, wheel = HeapEventQueue(), CalendarEventQueue()
+        urgent, normal = _Stub(), _Stub()
+        for q in (heap, wheel):
+            q.push(5.0, 0, 1, urgent)
+            q.push(5.0, 1, 2, normal)
+        # Exactly one distinct-time entry: the invariant the deduped
+        # push-branch checks once.
+        assert wheel._times == [5.0]
+        assert len(heap) == len(wheel) == 2
+        assert heap.peek_time() == wheel.peek_time() == 5.0
+        a, b = heap.pop(), wheel.pop()
+        assert a[:3] == b[:3] == (5.0, 0, 1)
+        assert len(heap) == len(wheel) == 1
+        a, b = heap.pop(), wheel.pop()
+        assert a[:3] == b[:3] == (5.0, 1, 2)
+        assert heap.pop() is None and wheel.pop() is None
+        assert len(heap) == len(wheel) == 0
+
+    def test_urgent_push_on_normal_only_time_no_duplicate_heap_entry(self):
+        """The mirror image: urgent push landing on a normal-only time."""
+        heap, wheel = HeapEventQueue(), CalendarEventQueue()
+        normal, urgent = _Stub(), _Stub()
+        for q in (heap, wheel):
+            q.push(5.0, 1, 1, normal)
+            q.push(5.0, 0, 2, urgent)
+        assert wheel._times == [5.0]
+        assert len(heap) == len(wheel) == 2
+        a, b = heap.pop(), wheel.pop()
+        assert a[:3] == b[:3] == (5.0, 0, 2)
+        a, b = heap.pop(), wheel.pop()
+        assert a[:3] == b[:3] == (5.0, 1, 1)
+        assert len(heap) == len(wheel) == 0
+
+    def test_push_urgent_uncounted_honours_its_name(self):
+        """``_push_urgent_uncounted`` queues structurally but leaves
+        ``len()`` to the caller — the documented hazard that used to hide
+        behind the public ``push_urgent`` name."""
+        wheel = CalendarEventQueue()
+        stub = _Stub()
+        stub._seq = 1
+        wheel._push_urgent_uncounted(1.0, stub)
+        assert len(wheel) == 0          # NOT maintained: caller's job.
+        assert wheel.peek_time() == 1.0  # ...but structurally queued.
+        # The public path does maintain the count.
+        counted = CalendarEventQueue()
+        counted.push(1.0, 0, 1, _Stub())
+        assert len(counted) == 1
+        assert counted.pop()[:3] == (1.0, 0, 1)
+        assert len(counted) == 0
+
+
+# -- cancellation-heavy lockstep ---------------------------------------------
+#
+# Cancellation is engine-level: the entry stays queued and is reaped,
+# uncounted, when it surfaces.  The queues never inspect the cancel
+# mark, so the interesting differential is one level up — two
+# simulators stepped in lockstep, asserting len()/peek() parity of the
+# underlying queues after every delivered event while most of the
+# queued entries are cancelled.
+
+def _lockstep(plan):
+    """Build a heap and a wheel simulator from the same (delay, cancel)
+    plan and step them in lockstep, asserting queue parity throughout."""
+    sims = []
+    for kind in ("heap", "wheel"):
+        sim = Simulator(queue=kind)
+        doomed = []
+        for delay, cancel in plan:
+            event = sim.timeout(delay)
+            if cancel:
+                doomed.append(event)
+        for event in doomed:
+            sim.cancel(event)
+        sims.append(sim)
+    heap_sim, wheel_sim = sims
+    delivered = 0
+    while True:
+        assert len(heap_sim._queue) == len(wheel_sim._queue)
+        assert heap_sim.peek() == wheel_sim.peek()
+        try:
+            heap_sim.step()
+        except IndexError:
+            # Only cancelled (or no) entries remain: the wheel must agree.
+            with pytest.raises(IndexError):
+                wheel_sim.step()
+            break
+        wheel_sim.step()
+        delivered += 1
+        assert heap_sim.now == wheel_sim.now
+        assert heap_sim.events_executed == wheel_sim.events_executed
+    assert len(heap_sim._queue) == len(wheel_sim._queue) == 0
+    assert heap_sim.now == wheel_sim.now
+    return delivered
+
+
+class TestCancellationHeavyLockstep:
+    @given(st.lists(st.tuples(st.sampled_from(_DELAYS), st.booleans()),
+                    min_size=1, max_size=60))
+    @settings(max_examples=150, deadline=None)
+    def test_random_cancellation_plans_stay_in_lockstep(self, plan):
+        kept = sum(1 for _, cancel in plan if not cancel)
+        assert _lockstep(plan) == kept
+
+    def test_fully_cancelled_queue_drains_to_nothing(self):
+        """Every entry cancelled: both step() calls raise immediately and
+        reaping drains both queues to zero without advancing the count."""
+        assert _lockstep([(d, True) for d in _DELAYS]) == 0
+
+    def test_cancelled_slot_cohorts_reap_identically(self):
+        """Whole tied cohorts cancelled around a surviving entry."""
+        plan = ([(2.5, True)] * 6 + [(2.5, False)]
+                + [(0.5, True)] * 4 + [(7.0, False), (1e6, True)])
+        assert _lockstep(plan) == 2
 
 
 # -- simulator-level equivalence ---------------------------------------------

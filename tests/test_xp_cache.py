@@ -1,0 +1,375 @@
+"""The experiment result cache and fleet runner: hit accounting,
+code/config/seed invalidation, corruption fallback, byte-identical
+warm-vs-cold summaries, shard-count independence, and divergence
+detection — mirroring tests/test_lint_cache.py for the xp layer."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.engine import import_closure, tree_fingerprint
+from repro.xp import (
+    ExperimentSpec,
+    PointSpec,
+    ResultCache,
+    canonical_json,
+    code_fingerprint,
+    point_seed,
+    run_fleet,
+    write_bench_artifact,
+)
+
+# -- synthetic experiment -----------------------------------------------------
+#
+# Module-level run functions: sharded points cross a process-pool
+# boundary, so they must pickle by reference (tests/ is a package).
+
+
+def toy_run(config, seed):
+    """Deterministic toy point: summary derived from config and seed."""
+    return {"value": int(config["x"]) * 2, "seed": seed}
+
+
+_FLAKY_CALLS = []
+
+
+def flaky_run(config, seed):
+    """Nondeterministic toy: a different summary every in-process call."""
+    _FLAKY_CALLS.append(seed)
+    return {"calls": len(_FLAKY_CALLS)}
+
+
+#: Synthetic source tree: entry imports core (transitively via the
+#: package __init__'s relative import too); other.py stays outside the
+#: closure.
+_TREE = {
+    "pkg/__init__.py": '"""Pkg."""\nfrom . import core\n',
+    "pkg/core.py": '"""Core."""\nVALUE = 1\n',
+    "pkg/entry.py": '"""Entry."""\nimport pkg.core\n',
+    "pkg/other.py": '"""Other."""\nUNRELATED = True\n',
+}
+
+
+def make_src(tmp_path):
+    """Write the synthetic package tree; returns its src root."""
+    src = tmp_path / "src"
+    for rel, text in sorted(_TREE.items()):
+        path = src / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    return src
+
+
+def toy_spec(points=None, deterministic=True, run=toy_run):
+    return ExperimentSpec(
+        name="toy", run=run,
+        points=points or (PointSpec(name="a", config={"x": 1}),
+                          PointSpec(name="b", config={"x": 2})),
+        code_roots=("pkg/entry.py",),
+        deterministic=deterministic,
+    )
+
+
+def fleet(tmp_path, src, **kwargs):
+    kwargs.setdefault("cache", ResultCache(tmp_path / "xp-cache"))
+    return run_fleet([toy_spec()], seed=11, src_root=src, **kwargs)
+
+
+# -- import closure -----------------------------------------------------------
+
+class TestImportClosure:
+    def test_closure_follows_transitive_imports(self, tmp_path):
+        src = make_src(tmp_path)
+        shas = import_closure([src / "pkg" / "entry.py"], src)
+        assert set(shas) == {"pkg/entry.py", "pkg/__init__.py",
+                             "pkg/core.py"}
+
+    def test_closure_excludes_unimported_files(self, tmp_path):
+        src = make_src(tmp_path)
+        shas = import_closure([src / "pkg" / "entry.py"], src)
+        assert "pkg/other.py" not in shas
+
+    def test_closure_resolves_member_origins(self, tmp_path):
+        src = make_src(tmp_path)
+        (src / "pkg" / "entry.py").write_text(
+            '"""Entry."""\nfrom pkg.core import VALUE\n')
+        shas = import_closure([src / "pkg" / "entry.py"], src)
+        assert "pkg/core.py" in shas
+
+    def test_closure_ignores_stdlib_and_third_party(self, tmp_path):
+        src = make_src(tmp_path)
+        (src / "pkg" / "entry.py").write_text(
+            '"""Entry."""\nimport json\nimport collections.abc\n')
+        shas = import_closure([src / "pkg" / "entry.py"], src)
+        assert set(shas) == {"pkg/entry.py"}
+
+    def test_fingerprint_changes_with_closure_content(self, tmp_path):
+        src = make_src(tmp_path)
+        before = code_fingerprint(("pkg/entry.py",), src)
+        (src / "pkg" / "core.py").write_text('"""Core."""\nVALUE = 2\n')
+        assert code_fingerprint(("pkg/entry.py",), src) != before
+
+    def test_fingerprint_stable_against_outside_edits(self, tmp_path):
+        src = make_src(tmp_path)
+        before = code_fingerprint(("pkg/entry.py",), src)
+        (src / "pkg" / "other.py").write_text('"""Other."""\nX = 9\n')
+        assert code_fingerprint(("pkg/entry.py",), src) == before
+
+
+# -- seeds --------------------------------------------------------------------
+
+class TestPointSeed:
+    def test_deterministic_across_calls(self):
+        assert point_seed(1, "e", "p") == point_seed(1, "e", "p")
+
+    def test_distinct_per_point_and_experiment_and_seed(self):
+        seeds = {point_seed(s, e, p)
+                 for s in (0, 1) for e in ("e1", "e2")
+                 for p in ("p1", "p2")}
+        assert len(seeds) == 8
+
+
+# -- cache hits + invalidation ------------------------------------------------
+
+class TestCacheHits:
+    def test_cold_run_has_no_hits_and_populates(self, tmp_path):
+        src = make_src(tmp_path)
+        result = fleet(tmp_path, src)
+        assert result.hits == 0 and result.misses == 2
+        entries = list((tmp_path / "xp-cache" / "toy").glob("*.json"))
+        assert len(entries) == 2
+
+    def test_warm_run_hits_every_point_with_identical_summaries(
+            self, tmp_path):
+        src = make_src(tmp_path)
+        cold = fleet(tmp_path, src)
+        warm = fleet(tmp_path, src)
+        assert warm.hits == warm.points == 2
+        assert warm.hit_rate == 1.0
+        # Byte-identical, in the canonical form the cache contract is
+        # defined over.
+        assert (canonical_json(warm.summaries())
+                == canonical_json(cold.summaries()))
+
+    def test_code_edit_invalidates_affected_experiment(self, tmp_path):
+        src = make_src(tmp_path)
+        fleet(tmp_path, src)
+        (src / "pkg" / "core.py").write_text('"""Core."""\nVALUE = 2\n')
+        result = fleet(tmp_path, src)
+        assert result.hits == 0 and result.misses == 2
+
+    def test_edit_outside_closure_keeps_points_warm(self, tmp_path):
+        src = make_src(tmp_path)
+        fleet(tmp_path, src)
+        (src / "pkg" / "other.py").write_text('"""Other."""\nX = 9\n')
+        result = fleet(tmp_path, src)
+        assert result.hits == 2
+
+    def test_config_edit_invalidates_that_point_only(self, tmp_path):
+        src = make_src(tmp_path)
+        fleet(tmp_path, src)
+        changed = [toy_spec(points=(
+            PointSpec(name="a", config={"x": 1}),
+            PointSpec(name="b", config={"x": 3}),   # was x=2
+        ))]
+        result = run_fleet(changed, seed=11, src_root=src,
+                           cache=ResultCache(tmp_path / "xp-cache"))
+        assert result.hits == 1 and result.misses == 1
+        assert [r.point for r in result.results if not r.cached] == ["b"]
+
+    def test_fleet_seed_is_part_of_the_key(self, tmp_path):
+        src = make_src(tmp_path)
+        fleet(tmp_path, src)
+        result = run_fleet([toy_spec()], seed=12, src_root=src,
+                           cache=ResultCache(tmp_path / "xp-cache"))
+        assert result.hits == 0
+
+    def test_no_cache_object_recomputes_silently(self, tmp_path):
+        src = make_src(tmp_path)
+        result = fleet(tmp_path, src, cache=None)
+        assert result.hits == 0 and result.divergences == []
+
+
+# -- corruption ---------------------------------------------------------------
+
+class TestCorruption:
+    def _entries(self, tmp_path):
+        return sorted((tmp_path / "xp-cache" / "toy").glob("*.json"))
+
+    def test_truncated_entry_recovers_cold(self, tmp_path):
+        src = make_src(tmp_path)
+        cold = fleet(tmp_path, src)
+        victim = self._entries(tmp_path)[0]
+        victim.write_text(victim.read_text()[:20])
+        result = fleet(tmp_path, src)
+        assert result.hits == 1 and result.misses == 1
+        assert (canonical_json(result.summaries())
+                == canonical_json(cold.summaries()))
+        # The recomputed point was re-stored intact.
+        assert fleet(tmp_path, src).hits == 2
+
+    def test_garbage_entry_recovers_cold(self, tmp_path):
+        src = make_src(tmp_path)
+        fleet(tmp_path, src)
+        victim = self._entries(tmp_path)[0]
+        victim.write_text('{"not": "an entry"}')
+        assert fleet(tmp_path, src).misses == 1
+
+    def test_identity_echo_mismatch_is_a_miss(self, tmp_path):
+        src = make_src(tmp_path)
+        fleet(tmp_path, src)
+        victim = self._entries(tmp_path)[0]
+        data = json.loads(victim.read_text())
+        data["point"] = "somebody-else"
+        victim.write_text(json.dumps(data))
+        assert fleet(tmp_path, src).misses == 1
+
+    def test_put_is_atomic_no_tmp_left_behind(self, tmp_path):
+        src = make_src(tmp_path)
+        fleet(tmp_path, src)
+        leftovers = list((tmp_path / "xp-cache").rglob("*.tmp"))
+        assert leftovers == []
+
+
+# -- sharding -----------------------------------------------------------------
+
+class TestSharding:
+    def test_shard_count_independence(self, tmp_path):
+        """Same seed, -j 1 vs -j 4: identical merged results."""
+        src = make_src(tmp_path)
+        points = tuple(PointSpec(name=f"p{i}", config={"x": i})
+                       for i in range(8))
+        serial = run_fleet([toy_spec(points=points)], seed=5,
+                           src_root=src,
+                           cache=ResultCache(tmp_path / "c1"), jobs=1)
+        sharded = run_fleet([toy_spec(points=points)], seed=5,
+                            src_root=src,
+                            cache=ResultCache(tmp_path / "c2"), jobs=4)
+        assert (canonical_json(serial.summaries())
+                == canonical_json(sharded.summaries()))
+        assert ([(r.experiment, r.point, r.seed) for r in serial.results]
+                == [(r.experiment, r.point, r.seed)
+                    for r in sharded.results])
+
+    def test_sharded_cold_then_serial_warm(self, tmp_path):
+        src = make_src(tmp_path)
+        cache = ResultCache(tmp_path / "xp-cache")
+        cold = run_fleet([toy_spec()], seed=11, src_root=src,
+                         cache=cache, jobs=4)
+        warm = run_fleet([toy_spec()], seed=11, src_root=src,
+                         cache=cache, jobs=1)
+        assert warm.hits == 2
+        assert (canonical_json(warm.summaries())
+                == canonical_json(cold.summaries()))
+
+
+# -- divergence ---------------------------------------------------------------
+
+class TestDivergence:
+    def test_no_cache_mode_flags_divergent_summary(self, tmp_path):
+        src = make_src(tmp_path)
+        cache = ResultCache(tmp_path / "xp-cache")
+        spec = toy_spec()
+        code = code_fingerprint(spec.code_roots, src)
+        seed = point_seed(11, "toy", "a")
+        cache.put("toy", "a", code, {"x": 1}, seed, {"value": 999,
+                                                     "seed": seed})
+        result = run_fleet([spec], seed=11, src_root=src, cache=cache,
+                           serve_hits=False)
+        assert len(result.divergences) == 1
+        assert result.divergences[0].point == "a"
+        assert result.exit_code == 1
+        # The verification pass refreshed the entry with the truth.
+        follow_up = run_fleet([spec], seed=11, src_root=src,
+                              cache=cache, serve_hits=False)
+        assert follow_up.divergences == []
+
+    def test_matching_recompute_is_not_divergence(self, tmp_path):
+        src = make_src(tmp_path)
+        cache = ResultCache(tmp_path / "xp-cache")
+        run_fleet([toy_spec()], seed=11, src_root=src, cache=cache)
+        verify = run_fleet([toy_spec()], seed=11, src_root=src,
+                           cache=cache, serve_hits=False)
+        assert verify.hits == 0          # everything recomputed
+        assert verify.divergences == []  # and everything matched
+        assert verify.exit_code == 0
+
+    def test_nondeterministic_experiments_exempt(self, tmp_path):
+        src = make_src(tmp_path)
+        cache = ResultCache(tmp_path / "xp-cache")
+        spec = ExperimentSpec(
+            name="toy", run=flaky_run,
+            points=(PointSpec(name="a", config={"x": 1}),),
+            code_roots=("pkg/entry.py",), deterministic=False)
+        run_fleet([spec], seed=11, src_root=src, cache=cache)
+        verify = run_fleet([spec], seed=11, src_root=src, cache=cache,
+                           serve_hits=False)
+        assert verify.divergences == []  # timing points never diverge
+        assert verify.exit_code == 0
+
+
+# -- artifacts ----------------------------------------------------------------
+
+class TestArtifacts:
+    def test_write_is_atomic_and_deterministic(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        write_bench_artifact(path, {"results": {"a": 1}},
+                             required=("results",))
+        assert json.loads(path.read_text())["results"] == {"a": 1}
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_refuses_missing_required_section(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        with pytest.raises(ValueError, match="missing or empty"):
+            write_bench_artifact(path, {"other": 1},
+                                 required=("results",))
+        assert not path.exists()
+
+    def test_refuses_empty_required_section(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        with pytest.raises(ValueError, match="results"):
+            write_bench_artifact(path, {"results": {}},
+                                 required=("results",))
+
+    def test_refusal_preserves_previous_complete_artifact(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        write_bench_artifact(path, {"results": {"a": 1}},
+                             required=("results",))
+        with pytest.raises(ValueError):
+            write_bench_artifact(path, {"results": {}},
+                                 required=("results",))
+        assert json.loads(path.read_text())["results"] == {"a": 1}
+
+
+# -- registered experiments ---------------------------------------------------
+
+class TestRegistry:
+    def test_registry_names_and_selection(self):
+        from repro.xp import EXPERIMENTS, get_experiments
+
+        names = [spec.name for spec in EXPERIMENTS]
+        assert names == ["e20_fault_campaigns", "e21_detection_tradeoff",
+                         "e22_jobs_service", "perf_engine"]
+        assert [s.name for s in get_experiments(["perf_engine"])] \
+            == ["perf_engine"]
+        with pytest.raises(ValueError, match="unknown experiment"):
+            get_experiments(["nope"])
+
+    def test_registered_code_roots_exist_and_fingerprint(self):
+        from repro.xp import EXPERIMENTS
+        from repro.xp.fingerprint import default_src_root
+
+        src = default_src_root()
+        for spec in EXPERIMENTS:
+            for root in spec.code_roots:
+                assert (src / root).is_file(), root
+            digest = code_fingerprint(spec.code_roots, src)
+            assert len(digest) == 64
+
+    def test_perf_engine_point_runs(self):
+        from repro.xp.experiments import perf_engine_run
+
+        summary = perf_engine_run({"queue": "wheel", "events": 500}, 3)
+        assert summary["events"] == 500
+        assert summary["events_per_second"] > 0
