@@ -202,7 +202,10 @@ def _cmd_health(args: argparse.Namespace) -> int:
     )
     from repro.health import DetectionSpec
 
-    heartbeat = 1e-4
+    # Gossip probes are round trips (ping + ack, then four-hop relay
+    # chains), so its protocol period must dwarf the fabric RTT — run
+    # the gossip demo at 1 ms periods and stretch the outage to match.
+    heartbeat = 1e-3 if args.detector == "gossip" else 1e-4
     detection = DetectionSpec(
         detector=args.detector,
         heartbeat_interval=heartbeat,
@@ -213,13 +216,23 @@ def _cmd_health(args: argparse.Namespace) -> int:
     # detector's patience: its heartbeats go unreachable and it is
     # falsely declared dead, while application traffic rides reliable
     # retries.  The real crash strikes rank 2 later.
-    link_faults = () if args.no_false_positive else (
-        LinkFaultSpec(start=6e-4, duration=1e-3, a=("h", 1), b=("s", 0)),
-    )
-    # Without the partition stretching the run, a 2.5 ms crash would
-    # land after the ~2.3 ms failure-free finish; strike earlier so the
-    # detector still has a death to find.
-    crash_time = 1.5e-3 if args.no_false_positive else 2.5e-3
+    if args.detector == "gossip":
+        link_faults = () if args.no_false_positive else (
+            LinkFaultSpec(start=2e-3, duration=1.2e-2,
+                          a=("h", 1), b=("s", 0)),
+        )
+        # Strike while the job is still running; the declaration then
+        # lands a suspicion window later and rollback pays the MTTD.
+        crash_time = 1.5e-3
+    else:
+        link_faults = () if args.no_false_positive else (
+            LinkFaultSpec(start=6e-4, duration=1e-3,
+                          a=("h", 1), b=("s", 0)),
+        )
+        # Without the partition stretching the run, a 2.5 ms crash
+        # would land after the ~2.3 ms failure-free finish; strike
+        # earlier so the detector still has a death to find.
+        crash_time = 1.5e-3 if args.no_false_positive else 2.5e-3
     spec = CampaignSpec(
         kernel="stencil2d",
         ranks=4,
@@ -520,7 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
         "health", help="detection-driven recovery demo (false positive "
                        "included)")
     health.add_argument("--detector", default="fixed",
-                        choices=("fixed", "phi"))
+                        choices=("fixed", "phi", "gossip"))
     health.add_argument("--seed", type=int, default=7)
     health.add_argument("--no-false-positive", action="store_true",
                         help="skip the link outage that forces a false "

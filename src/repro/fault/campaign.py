@@ -39,10 +39,10 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.health.gossip import build_monitor
 from repro.health.monitor import (
     DetectionOutcome,
     DetectionSpec,
-    HeartbeatMonitor,
 )
 from repro.messaging.comm import CommConfig, CommWorld, Communicator
 from repro.network.fabric import Fabric, FabricFaultPlan
@@ -683,7 +683,8 @@ def _run_detected(spec: CampaignSpec, obs: Observability,
     vault = CheckpointVault(spec.ranks)
     factory = get_kernel(spec.kernel)
     body_fn = factory(spec.ranks, streams, dict(spec.app_args))
-    monitor = HeartbeatMonitor(sim, fabric, spec.ranks, spec=detection)
+    monitor = build_monitor(sim, fabric, spec.ranks, spec=detection,
+                            streams=streams)
     monitor.start()
 
     node_faults = sorted(spec.node_faults, key=lambda f: (f.time, f.rank))

@@ -20,6 +20,14 @@ Pieces:
   process that pumps heartbeats through the fabric, feeds a detector,
   and drives the membership machine; configured by
   :class:`DetectionSpec`, summarised by :class:`DetectionOutcome`.
+  Both monitors share the :class:`MembershipMonitor` base (membership
+  machine, death bookkeeping, supervisor surface).
+* :mod:`repro.health.gossip` — :class:`GossipMonitor`, the SWIM-style
+  decentralized alternative: every node probes (direct ping + k
+  indirect relays) and membership updates piggyback on probe traffic,
+  so detection is O(1) per node and survives partitions that blind a
+  central host.  :func:`build_monitor` picks the monitor the
+  ``DetectionSpec.detector`` field asks for.
 * :mod:`repro.health.scheduling` — :class:`DegradedBatchSimulator`,
   the batch scheduler that pays detection latency, activates spares,
   and requeues killed jobs with backoff.
@@ -39,11 +47,18 @@ from repro.health.detectors import (
     PhiAccrualDetector,
     Verdict,
 )
+from repro.health.gossip import (
+    GossipMonitor,
+    GossipStats,
+    GossipStatus,
+    build_monitor,
+)
 from repro.health.monitor import (
     DeathRecord,
     DetectionOutcome,
     DetectionSpec,
     HeartbeatMonitor,
+    MembershipMonitor,
 )
 from repro.health.scheduling import (
     DegradedBatchSimulator,
@@ -67,10 +82,15 @@ __all__ = [
     "DrainWindow",
     "FailureDetector",
     "FixedTimeoutDetector",
+    "GossipMonitor",
+    "GossipStats",
+    "GossipStatus",
     "HealthEvent",
     "HeartbeatMonitor",
     "Membership",
+    "MembershipMonitor",
     "MembershipView",
+    "build_monitor",
     "NodeHealthState",
     "PhiAccrualDetector",
     "SparePool",

@@ -48,18 +48,31 @@ __all__ = [
     "DetectionOutcome",
     "DetectionSpec",
     "HeartbeatMonitor",
+    "MembershipMonitor",
 ]
 
 
 @dataclass(frozen=True)
 class DetectionSpec:
-    """Declarative configuration of a heartbeat monitor.
+    """Declarative configuration of a failure detector deployment.
 
-    ``detector`` selects the algorithm (``"fixed"`` or ``"phi"``).
+    ``detector`` selects the algorithm: ``"fixed"`` and ``"phi"`` run
+    the central :class:`HeartbeatMonitor` with the matching verdict
+    function; ``"gossip"`` runs the decentralized SWIM protocol in
+    :class:`~repro.health.gossip.GossipMonitor` (build either through
+    :func:`~repro.health.gossip.build_monitor`).
     Threshold fields left ``None`` derive from the heartbeat interval:
     ``suspect_after`` defaults to 3 intervals, ``dead_after`` to 8, and
     the checker runs every half interval.  The defaults are deliberately
     conservative; bench E21 sweeps them.
+
+    For gossip, ``heartbeat_interval`` is the protocol period (one probe
+    per node per period), ``heartbeat_bytes`` the fixed header cost of
+    every ping/ack, ``effective_dead_after`` the suspicion timeout, and
+    ``heartbeat_slots`` the slotted probe-round discipline; the
+    ``k_indirect``/``piggyback_limit``/``bytes_per_update``/
+    ``probe_timeout``/``retransmit_factor`` knobs are gossip-only and
+    ignored by the central monitor.
 
     ``heartbeat_slots`` selects the sender scheduling discipline.
     ``None`` (the default) runs the legacy one-process-per-node senders,
@@ -84,11 +97,17 @@ class DetectionSpec:
     suspect_phi: float = 1.5
     dead_phi: float = 3.0
     heartbeat_slots: Optional[int] = None
+    k_indirect: int = 3
+    piggyback_limit: int = 8
+    bytes_per_update: int = 16
+    probe_timeout: Optional[float] = None
+    retransmit_factor: float = 3.0
 
     def __post_init__(self) -> None:
-        if self.detector not in ("fixed", "phi"):
+        if self.detector not in ("fixed", "phi", "gossip"):
             raise ValueError(
-                f"unknown detector {self.detector!r} (fixed or phi)")
+                f"unknown detector {self.detector!r} "
+                "(fixed, phi or gossip)")
         if self.heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be positive")
         if self.heartbeat_bytes < 1:
@@ -103,6 +122,27 @@ class DetectionSpec:
                 raise ValueError(f"{name} must be positive or None")
         if self.heartbeat_slots is not None and self.heartbeat_slots < 1:
             raise ValueError("heartbeat_slots must be >= 1 or None")
+        if self.k_indirect < 1:
+            raise ValueError("k_indirect must be >= 1")
+        if self.piggyback_limit < 1:
+            raise ValueError("piggyback_limit must be >= 1")
+        if self.bytes_per_update < 0:
+            raise ValueError("bytes_per_update must be >= 0")
+        if self.retransmit_factor <= 0:
+            raise ValueError("retransmit_factor must be positive")
+        if self.probe_timeout is not None and not (
+                0 < self.probe_timeout < self.heartbeat_interval):
+            raise ValueError(
+                "probe_timeout must sit inside one protocol period "
+                "(0, heartbeat_interval) or be None")
+
+    @property
+    def effective_probe_timeout(self) -> float:
+        """Gossip direct-probe ack deadline (a third of the period by
+        default, leaving two thirds for the indirect relays)."""
+        if self.probe_timeout is not None:
+            return self.probe_timeout
+        return self.heartbeat_interval / 3.0
 
     @property
     def effective_check_interval(self) -> float:
@@ -126,7 +166,12 @@ class DetectionSpec:
         return 8.0 * self.heartbeat_interval
 
     def build_detector(self) -> FailureDetector:
-        """Instantiate the configured detector."""
+        """Instantiate the configured central detector."""
+        if self.detector == "gossip":
+            raise ValueError(
+                "gossip is a decentralized protocol with no central "
+                "detector; build a GossipMonitor via "
+                "repro.health.build_monitor")
         if self.detector == "phi":
             return PhiAccrualDetector(
                 bootstrap_interval=self.heartbeat_interval,
@@ -179,16 +224,24 @@ class DetectionOutcome:
     health_log: Tuple[str, ...]
 
 
-class HeartbeatMonitor:
-    """Runs heartbeat senders and the detection checker on a simulator.
+class MembershipMonitor:
+    """Shared chassis of every fabric-driven failure detector.
 
-    Lifecycle: construct, :meth:`start`, then drive the simulator (the
-    monitor's processes keep the event queue non-empty forever — use
-    ``sim.run(until=...)`` or the ``stop`` predicate, never a bare
-    ``sim.run()``).  A supervisor that kills a node calls :meth:`crash`
-    (stops its heartbeats; the *detector* must still notice), and after
-    acting on a death declaration calls :meth:`repair` then
-    :meth:`restore` to bring the node back.
+    Owns the pieces that are the same whether detection is central
+    (:class:`HeartbeatMonitor`) or decentralized
+    (:class:`~repro.health.gossip.GossipMonitor`): the epoch'd
+    :class:`~repro.health.state.Membership` machine, ground-truth crash
+    bookkeeping (metrics only, never consulted by detection), the death
+    declaration queue + notice event, traffic counters, and the
+    supervisor surface (:meth:`repair`, :meth:`drain`,
+    :meth:`pop_deaths`, :meth:`outcome`, …).  Subclasses implement
+    :meth:`start`/:meth:`stop` (spawn their protocol processes),
+    :meth:`crash` and :meth:`restore`.
+
+    ``heartbeats_sent``/``lost``/``delivered`` count *detector messages
+    on the fabric* — heartbeats for the central monitor, pings, acks and
+    ping-reqs for gossip — so bytes-on-wire comparisons between the two
+    designs read off the same counters.
     """
 
     def __init__(self, sim: Simulator, fabric: Fabric, nodes: int,
@@ -200,13 +253,9 @@ class HeartbeatMonitor:
             raise ValueError(
                 f"{nodes} monitored nodes but fabric has only "
                 f"{fabric.topology.hosts} hosts")
-        if self.spec.monitor_host >= fabric.topology.hosts:
-            raise ValueError(
-                f"monitor_host {self.spec.monitor_host} not a fabric host")
         self.sim = sim
         self.fabric = fabric
         self.nodes = nodes
-        self.detector = self.spec.build_detector()
         self.membership = Membership(nodes, now=sim.now)
         #: Death declarations not yet consumed by a supervisor.
         self.pending_deaths: List[DeathRecord] = []
@@ -218,70 +267,30 @@ class HeartbeatMonitor:
         self.heartbeats_lost = 0
         self.heartbeats_delivered = 0
         self._crashed: Dict[int, float] = {}
-        self._senders: Dict[int, Process] = {}
-        self._checker: Optional[Process] = None
-        #: Slotted mode: nodes whose heartbeats are currently live, and the
-        #: static node->slot assignment (node n beats in slot n % S).  The
-        #: set is membership-tested only, never iterated, so it cannot leak
-        #: hash order into the schedule.
-        self._beating: Set[int] = set()
-        self._slot_nodes: List[List[int]] = []
-        self._slot_driver: Optional[Process] = None
-        slots = self.spec.heartbeat_slots
-        if slots is not None:
-            self._slot_nodes = [[] for _ in range(slots)]
-            for node in range(nodes):
-                self._slot_nodes[node % slots].append(node)
         self._death_event: Event = sim.event("node-death")
         self._death_event.defused = True
         self._started = False
 
-    # -- lifecycle ---------------------------------------------------------
+    # -- lifecycle (subclass responsibility) -------------------------------
 
     def start(self) -> None:
-        """Seed the detector and spawn sender + checker processes."""
-        if self._started:
-            raise RuntimeError("monitor already started")
-        self._started = True
-        now = self.sim.now
-        slotted = self.spec.heartbeat_slots is not None
-        for node in range(self.nodes):
-            self.detector.reset(node, now)
-            if slotted:
-                self._beating.add(node)
-            else:
-                self._spawn_sender(node)
-        if slotted:
-            self._slot_driver = self.sim.process(
-                self._slot_driver_body(), name="hb.slots")
-        self._checker = self.sim.process(self._check_body(), name="hb.check")
+        """Spawn the detector's simulator processes."""
+        raise NotImplementedError
 
     def stop(self) -> None:
-        """Interrupt every live monitor process (clean shutdown so open
-        spans close and the queue can quiesce)."""
-        for process in self._senders.values():
-            if process.is_alive:
-                process.interrupt("monitor-stop")
-        if self._slot_driver is not None and self._slot_driver.is_alive:
-            self._slot_driver.interrupt("monitor-stop")
-        if self._checker is not None and self._checker.is_alive:
-            self._checker.interrupt("monitor-stop")
+        """Interrupt every live detector process (clean shutdown)."""
+        raise NotImplementedError
 
     # -- supervisor surface ------------------------------------------------
 
     def crash(self, node: int) -> None:
-        """Ground truth: ``node`` just died.  Stops its heartbeat sender
-        and records the time for MTTD metrics — detection itself must
-        come from the checker, never from here."""
-        if not 0 <= node < self.nodes:
-            raise IndexError(f"node {node} out of range [0, {self.nodes})")
-        if node in self._crashed:
-            return
-        self._crashed[node] = self.sim.now
-        self._beating.discard(node)
-        sender = self._senders.get(node)
-        if sender is not None and sender.is_alive:
-            sender.interrupt("crashed")
+        """Ground truth: ``node`` just died (recorded for MTTD metrics;
+        detection itself must come from the protocol)."""
+        raise NotImplementedError
+
+    def restore(self, node: int) -> HealthEvent:
+        """Repair finished: bring ``node`` back to HEALTHY service."""
+        raise NotImplementedError
 
     @property
     def crashed_nodes(self) -> Tuple[int, ...]:
@@ -291,21 +300,6 @@ class HeartbeatMonitor:
     def repair(self, node: int) -> HealthEvent:
         """Dispatch repair for a declared-dead node (DEAD -> REPAIRING)."""
         return self._transition(node, NodeHealthState.REPAIRING, "repair")
-
-    def restore(self, node: int) -> HealthEvent:
-        """Repair finished: node back to HEALTHY, detector history reset,
-        heartbeats restarted (a falsely-declared node's sender survived
-        and is reused)."""
-        event = self._transition(node, NodeHealthState.HEALTHY, "restored")
-        self._crashed.pop(node, None)
-        self.detector.reset(node, self.sim.now)
-        if self.spec.heartbeat_slots is not None:
-            self._beating.add(node)
-        else:
-            sender = self._senders.get(node)
-            if sender is None or not sender.is_alive:
-                self._spawn_sender(node)
-        return event
 
     def drain(self, node: int) -> HealthEvent:
         """Administratively drain a healthy node."""
@@ -386,6 +380,129 @@ class HeartbeatMonitor:
                         cause=cause)
             obs.metrics.counter("health.transitions").inc()
         return event
+
+    def _declare_death(self, node: int, now: float) -> DeathRecord:
+        """Record a death declaration (the membership transition to DEAD
+        is the caller's job, with its protocol-specific cause) and fire
+        the death notice."""
+        crashed_at = self._crashed.get(node)
+        record = DeathRecord(node=node, declared_at=now,
+                             crashed_at=crashed_at)
+        self.deaths.append(record)
+        self.pending_deaths.append(record)
+        obs = self.sim.obs
+        if obs.enabled:
+            if crashed_at is None:
+                obs.metrics.counter("health.false_deaths").inc()
+            else:
+                obs.metrics.histogram("health.mttd_seconds").observe(
+                    now - crashed_at)
+        if crashed_at is None:
+            self.false_deaths += 1
+        notice, self._death_event = (
+            self._death_event, self.sim.event("node-death"))
+        self._death_event.defused = True
+        notice.succeed(record)
+        return record
+
+
+class HeartbeatMonitor(MembershipMonitor):
+    """Runs heartbeat senders and the detection checker on a simulator.
+
+    Lifecycle: construct, :meth:`start`, then drive the simulator (the
+    monitor's processes keep the event queue non-empty forever — use
+    ``sim.run(until=...)`` or the ``stop`` predicate, never a bare
+    ``sim.run()``).  A supervisor that kills a node calls :meth:`crash`
+    (stops its heartbeats; the *detector* must still notice), and after
+    acting on a death declaration calls :meth:`repair` then
+    :meth:`restore` to bring the node back.
+    """
+
+    def __init__(self, sim: Simulator, fabric: Fabric, nodes: int,
+                 spec: Optional[DetectionSpec] = None) -> None:
+        super().__init__(sim, fabric, nodes, spec)
+        if self.spec.monitor_host >= fabric.topology.hosts:
+            raise ValueError(
+                f"monitor_host {self.spec.monitor_host} not a fabric host")
+        self.detector = self.spec.build_detector()
+        self._senders: Dict[int, Process] = {}
+        self._checker: Optional[Process] = None
+        #: Slotted mode: nodes whose heartbeats are currently live, and the
+        #: static node->slot assignment (node n beats in slot n % S).  The
+        #: set is membership-tested only, never iterated, so it cannot leak
+        #: hash order into the schedule.
+        self._beating: Set[int] = set()
+        self._slot_nodes: List[List[int]] = []
+        self._slot_driver: Optional[Process] = None
+        slots = self.spec.heartbeat_slots
+        if slots is not None:
+            self._slot_nodes = [[] for _ in range(slots)]
+            for node in range(nodes):
+                self._slot_nodes[node % slots].append(node)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Seed the detector and spawn sender + checker processes."""
+        if self._started:
+            raise RuntimeError("monitor already started")
+        self._started = True
+        now = self.sim.now
+        slotted = self.spec.heartbeat_slots is not None
+        for node in range(self.nodes):
+            self.detector.reset(node, now)
+            if slotted:
+                self._beating.add(node)
+            else:
+                self._spawn_sender(node)
+        if slotted:
+            self._slot_driver = self.sim.process(
+                self._slot_driver_body(), name="hb.slots")
+        self._checker = self.sim.process(self._check_body(), name="hb.check")
+
+    def stop(self) -> None:
+        """Interrupt every live monitor process (clean shutdown so open
+        spans close and the queue can quiesce)."""
+        for process in self._senders.values():
+            if process.is_alive:
+                process.interrupt("monitor-stop")
+        if self._slot_driver is not None and self._slot_driver.is_alive:
+            self._slot_driver.interrupt("monitor-stop")
+        if self._checker is not None and self._checker.is_alive:
+            self._checker.interrupt("monitor-stop")
+
+    # -- supervisor surface ------------------------------------------------
+
+    def crash(self, node: int) -> None:
+        """Ground truth: ``node`` just died.  Stops its heartbeat sender
+        and records the time for MTTD metrics — detection itself must
+        come from the checker, never from here."""
+        if not 0 <= node < self.nodes:
+            raise IndexError(f"node {node} out of range [0, {self.nodes})")
+        if node in self._crashed:
+            return
+        self._crashed[node] = self.sim.now
+        self._beating.discard(node)
+        sender = self._senders.get(node)
+        if sender is not None and sender.is_alive:
+            sender.interrupt("crashed")
+
+    def restore(self, node: int) -> HealthEvent:
+        """Repair finished: node back to HEALTHY, detector history reset,
+        heartbeats restarted (a falsely-declared node's sender survived
+        and is reused)."""
+        event = self._transition(node, NodeHealthState.HEALTHY, "restored")
+        self._crashed.pop(node, None)
+        self.detector.reset(node, self.sim.now)
+        if self.spec.heartbeat_slots is not None:
+            self._beating.add(node)
+        else:
+            sender = self._senders.get(node)
+            if sender is None or not sender.is_alive:
+                self._spawn_sender(node)
+        return event
+
+    # -- internals ---------------------------------------------------------
 
     def _spawn_sender(self, node: int) -> None:
         self._senders[node] = self.sim.process(
@@ -490,21 +607,4 @@ class HeartbeatMonitor:
                     obs.metrics.counter("health.false_suspicions").inc()
         if verdict is Verdict.DEAD:
             self._transition(node, NodeHealthState.DEAD, "silence-confirmed")
-            crashed_at = self._crashed.get(node)
-            record = DeathRecord(node=node, declared_at=now,
-                                 crashed_at=crashed_at)
-            self.deaths.append(record)
-            self.pending_deaths.append(record)
-            obs = self.sim.obs
-            if obs.enabled:
-                if crashed_at is None:
-                    obs.metrics.counter("health.false_deaths").inc()
-                else:
-                    obs.metrics.histogram("health.mttd_seconds").observe(
-                        now - crashed_at)
-            if crashed_at is None:
-                self.false_deaths += 1
-            notice, self._death_event = (
-                self._death_event, self.sim.event("node-death"))
-            self._death_event.defused = True
-            notice.succeed(record)
+            self._declare_death(node, now)

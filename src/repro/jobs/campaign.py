@@ -434,7 +434,8 @@ def run_jobs_campaign(
         streams=streams)
     fabric = Fabric(sim, topology, get_interconnect(spec.technology),
                     fault_plan=plan)
-    service = JobService(sim, fabric, config=spec.service)
+    service = JobService(sim, fabric, config=spec.service,
+                         streams=streams)
     service.start()
 
     actions = _build_actions(spec)

@@ -52,10 +52,10 @@ from typing import (
 )
 
 from repro.fault.availability import DetectorDrivenSparePool
+from repro.health.gossip import build_monitor
 from repro.health.monitor import (
     DeathRecord,
     DetectionSpec,
-    HeartbeatMonitor,
 )
 from repro.jobs.lease import LeaseTable
 from repro.jobs.log import JobLog
@@ -69,6 +69,7 @@ from repro.obs import Observability
 from repro.sim.engine import Interrupt, Process, Simulator
 from repro.sim.event import Event
 from repro.sim.resources import Store
+from repro.sim.rng import RandomStreams
 
 __all__ = [
     "JobService",
@@ -246,7 +247,8 @@ class JobService:
     """
 
     def __init__(self, sim: Simulator, fabric: Fabric,
-                 config: Optional[ServiceConfig] = None) -> None:
+                 config: Optional[ServiceConfig] = None,
+                 streams: Optional[RandomStreams] = None) -> None:
         self.sim = sim
         self.fabric = fabric
         self.config = config if config is not None else ServiceConfig()
@@ -255,8 +257,9 @@ class JobService:
             raise ValueError(
                 f"service needs {hosts} hosts but the fabric has "
                 f"{fabric.topology.hosts}")
-        self.monitor = HeartbeatMonitor(
-            sim, fabric, hosts, spec=self.config.effective_detection())
+        self.monitor = build_monitor(
+            sim, fabric, hosts, spec=self.config.effective_detection(),
+            streams=streams)
         self.log = JobLog()
         self.leases = LeaseTable()
         self.inboxes: List[Store] = [

@@ -121,10 +121,15 @@ class DownWindow:
 class FabricFaultPlan:
     """Declarative schedule of fabric faults, injected into a Fabric.
 
-    Three fault classes, all reproducible:
+    Four fault classes, all reproducible:
 
     * **link down windows** — both directions of a physical link are out
       of service for an interval;
+    * **one-way link windows** — a single *direction* of a link silently
+      blackholes traffic (asymmetric / grey failure: the healthy reverse
+      direction keeps flowing, routing never notices, messages just
+      vanish — the classic bad-transceiver failure that makes A suspect
+      B while B still hears A);
     * **switch/node down windows** — a graph node (usually a switch) is
       out, taking all its links with it;
     * **random loss** — each delivered transfer is independently dropped
@@ -158,10 +163,12 @@ class FabricFaultPlan:
         self.rng = rng
         self._link_windows: List[Tuple[Edge, DownWindow]] = []
         self._node_windows: List[Tuple[Node, DownWindow]] = []
+        self._directed_windows: List[Tuple[Edge, DownWindow]] = []
         self.drops = 0
         self.corruptions = 0
         self.reroutes = 0
         self.unreachable = 0
+        self.blackholes = 0
 
     # -- schedule construction -------------------------------------------
 
@@ -171,6 +178,18 @@ class FabricFaultPlan:
         ``[start, end)``; returns self for chaining."""
         self._link_windows.append(
             (canonical_link(a, b), DownWindow(start, end)))
+        return self
+
+    def link_down_oneway(self, src: Node, dst: Node, start: float,
+                         end: float) -> "FabricFaultPlan":
+        """Schedule the ``src -> dst`` *direction* of a link to silently
+        blackhole traffic for ``[start, end)``; the reverse direction
+        keeps working.  The edge is oriented — no canonicalization —
+        and routing never re-routes around it (grey failure: nothing
+        reports the loss, transfers crossing it are simply dropped).
+        Returns self for chaining."""
+        self._directed_windows.append(
+            ((src, dst), DownWindow(start, end)))
         return self
 
     def node_down(self, node: Node, start: float,
@@ -183,6 +202,11 @@ class FabricFaultPlan:
     def has_random_faults(self) -> bool:
         """True when drop or corruption probabilities are active."""
         return self.drop_probability > 0 or self.corrupt_probability > 0
+
+    @property
+    def has_directed_faults(self) -> bool:
+        """True when any one-way blackhole window is scheduled."""
+        return bool(self._directed_windows)
 
     @property
     def link_outages(self) -> int:
@@ -213,6 +237,19 @@ class FabricFaultPlan:
                 return True
         for node, window in self._node_windows:
             if node in nodes and window.overlaps(t0, t1):
+                return True
+        return False
+
+    def directed_hit_during(self, hops: List[Edge], t0: float,
+                            t1: float) -> bool:
+        """Did a one-way blackhole cover any oriented route hop while
+        the message crossed it (``[t0, t1)``)?
+
+        ``hops`` are the route's directed ``(from, to)`` steps as
+        routed — orientation matters, that is the whole point.
+        """
+        for edge, window in self._directed_windows:
+            if window.overlaps(t0, t1) and edge in hops:
                 return True
         return False
 
@@ -415,6 +452,21 @@ class Fabric:
                     raise TransferDropped(
                         f"transfer {src}->{dst} lost: route element went "
                         f"down in flight at t<={self.sim.now:g}"
+                    )
+                if (plan.has_directed_faults
+                        and plan.directed_hit_during(route, depart,
+                                                     self.sim.now)):
+                    # Grey failure: the oriented hop eats the message.
+                    # Deliberately no reroute — nothing reported the
+                    # loss, so the routing layer has nothing to avoid.
+                    plan.drops += 1
+                    plan.blackholes += 1
+                    obs.instant("fabric.drop", src=src, dst=dst,
+                                cause="blackhole")
+                    obs.metrics.counter("fabric.drops").inc()
+                    raise TransferDropped(
+                        f"transfer {src}->{dst} lost: one-way blackhole "
+                        f"on the route at t<={self.sim.now:g}"
                     )
                 if plan.has_random_faults:
                     draw = plan.rng.random()

@@ -22,8 +22,8 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -183,7 +183,8 @@ class FaultyBatchSimulator:
         free = self.total_nodes
         finished = 0
 
-        def handle(now, kind, job_id, generation):
+        def handle(now: float, kind: int, job_id: int,
+                   generation: int) -> None:
             nonlocal queue, free, down_nodes, finished
 
             if kind == _ARRIVAL:
@@ -281,7 +282,7 @@ class FaultyBatchSimulator:
             ] + [(repair, 1) for repair in repair_times]
             starts = self.policy.select(now, list(queue), running_view,
                                         free, self.total_nodes)
-            started = set()
+            started: Set[int] = set()
             for job in starts:
                 if job.nodes > free or job.job_id in started:
                     raise RuntimeError(

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.obs import NULL_OBS, Observability
 from repro.scheduler.job import Job, JobRecord, JobState
@@ -124,7 +124,7 @@ class BatchSimulator:
                 [(end, width) for end, width, _id in running],
                 free, self.total_nodes,
             )
-            started_ids = set()
+            started_ids: Set[int] = set()
             for job in starts:
                 if job.job_id in started_ids:
                     raise RuntimeError(

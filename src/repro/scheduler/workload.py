@@ -41,7 +41,7 @@ class WorkloadParams:
     #: per node-second of capacity.
     offered_load: float = 0.7
     #: Lognormal runtime parameters (seconds): exp(mu) is the median.
-    runtime_log_mean: float = np.log(900.0)
+    runtime_log_mean: float = float(np.log(900.0))
     runtime_log_sigma: float = 1.4
     #: Probability a width is rounded to a power of two.
     power_of_two_bias: float = 0.75

@@ -29,6 +29,7 @@ import time
 from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from repro.units import KILO, MEGA
+from repro.xp.analytic import ANALYTIC_EXPERIMENTS
 from repro.xp.spec import ExperimentSpec, PointSpec
 
 __all__ = [
@@ -36,6 +37,7 @@ __all__ = [
     "e20_run",
     "e21_run",
     "e22_run",
+    "e23_run",
     "get_experiments",
     "perf_engine_run",
 ]
@@ -206,6 +208,57 @@ def e22_run(config: Mapping[str, Any], seed: int) -> Dict[str, Any]:
     }
 
 
+def e23_run(config: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """E23 point: one detector against a crash on a small fat tree.
+
+    The fleet version runs the head-to-head at a few hundred nodes so a
+    cold point costs seconds, not minutes; the 10^4-node scorecard stays
+    in ``benchmarks/bench_e23_gossip.py``.  Gossip needs a protocol
+    period that dwarfs the fabric RTT, so both detectors run at the
+    same 10 ms period for a fair MTTD comparison.
+    """
+    from repro.health import DetectionSpec, GossipMonitor, build_monitor
+    from repro.network import Fabric, FatTreeTopology, get_interconnect
+    from repro.sim import RandomStreams, Simulator
+
+    detector = str(config["detector"])
+    nodes = int(config["nodes"])
+    interval = 1e-2
+    sim = Simulator()
+    fabric = Fabric(sim, FatTreeTopology(nodes),
+                    get_interconnect("infiniband_4x"))
+    monitor = build_monitor(
+        sim, fabric, nodes,
+        spec=DetectionSpec(detector=detector,
+                           heartbeat_interval=interval,
+                           suspect_after=3 * interval,
+                           dead_after=6 * interval),
+        streams=RandomStreams(seed=seed))
+    monitor.start()
+    sim.run(until=5 * interval)
+    crashed = nodes // 2
+    monitor.crash(crashed)
+    sim.run(until=20 * interval)
+    intervals = sim.now / interval
+    summary = {
+        "detected": sorted(d.node for d in monitor.deaths
+                           if not d.false_positive),
+        "false_deaths": sum(1 for d in monitor.deaths
+                            if d.false_positive),
+        "false_suspicions": monitor.false_suspicions,
+        "mttd_ms": _nan_safe(monitor.mttd_seconds() * KILO),
+        "messages_sent": monitor.heartbeats_sent,
+        "messages_lost": monitor.heartbeats_lost,
+    }
+    if isinstance(monitor, GossipMonitor):
+        stats = monitor.gossip_stats()
+        summary["suspicions"] = stats.suspicions
+        summary["refutations"] = stats.refutations
+        summary["max_node_bytes_per_interval"] = (
+            stats.max_node_bytes_sent / intervals)
+    return summary
+
+
 def perf_engine_run(config: Mapping[str, Any], seed: int) -> Dict[str, Any]:
     """Engine throughput probe: drain a same-instant timeout batch.
 
@@ -259,6 +312,14 @@ def _e22_points() -> Tuple[PointSpec, ...]:
                  for n in (0, 1, 2))
 
 
+def _e23_points() -> Tuple[PointSpec, ...]:
+    return tuple(PointSpec(name=f"{detector}-n{nodes}",
+                           config={"version": 1, "detector": detector,
+                                   "nodes": nodes})
+                 for detector in ("fixed", "gossip")
+                 for nodes in (64, 256))
+
+
 def _perf_points() -> Tuple[PointSpec, ...]:
     return tuple(PointSpec(name=f"storm-{queue}",
                            config={"version": 1, "queue": queue,
@@ -294,6 +355,15 @@ EXPERIMENTS: Tuple[ExperimentSpec, ...] = (
         description="lease-based control plane goodput vs crash count "
                     "on an SWF trace",
     ),
+    ExperimentSpec(
+        name="e23_gossip_membership",
+        run=e23_run,
+        points=_e23_points(),
+        code_roots=("repro/health/gossip.py", "repro/health/monitor.py"),
+        description="SWIM gossip vs central heartbeat detection on a "
+                    "crash (small-scale; 10^4 scorecard in the bench)",
+    ),
+    *ANALYTIC_EXPERIMENTS,
     ExperimentSpec(
         name="perf_engine",
         run=perf_engine_run,

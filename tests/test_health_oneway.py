@@ -1,0 +1,148 @@
+"""One-way link loss: grey failures the routing layer cannot see.
+
+A symmetric outage is at least *visible* — transfers fail fast or
+re-route.  The nastier production failure is asymmetric: one direction
+of a link silently eats packets while the other keeps working.  The
+fabric models this with oriented blackhole windows
+(:meth:`FabricFaultPlan.link_down_oneway`), deliberately without
+reroute: nothing reported the loss, so the routing layer has nothing
+to avoid.
+
+The detection-layer consequence is the point of the exercise: the
+central :class:`HeartbeatMonitor` only sees the node -> monitor
+direction, so a blackhole on that path manufactures honest suspicion
+(and honest refutation on heal), while the reverse direction is
+completely invisible to it.
+"""
+
+from repro.health import DetectionSpec, HeartbeatMonitor, NodeHealthState
+from repro.network import (
+    Fabric,
+    FabricFaultPlan,
+    TransferDropped,
+    get_interconnect,
+)
+from repro.sim import Simulator
+from tests.conftest import drive_transfer, small_fat_tree
+
+HB = 1e-4
+
+#: h3's access link, in each orientation (h3 sits on leaf s1).
+UPLINK = (("h", 3), ("s", 1))
+DOWNLINK = (("s", 1), ("h", 3))
+
+
+def make_fabric(plan):
+    sim = Simulator()
+    return sim, Fabric(sim, small_fat_tree(),
+                       get_interconnect("gigabit_ethernet"),
+                       fault_plan=plan)
+
+
+def make_monitor(plan=None, nodes=4, **spec_kwargs):
+    sim = Simulator()
+    fabric = Fabric(sim, small_fat_tree(),
+                    get_interconnect("gigabit_ethernet"), fault_plan=plan)
+    base = dict(detector="fixed", heartbeat_interval=HB,
+                suspect_after=3 * HB, dead_after=6 * HB)
+    base.update(spec_kwargs)
+    monitor = HeartbeatMonitor(sim, fabric, nodes,
+                               spec=DetectionSpec(**base))
+    monitor.start()
+    return sim, monitor
+
+
+class TestFabricBlackhole:
+    def test_blackhole_eats_one_direction_only(self):
+        plan = FabricFaultPlan()
+        plan.link_down_oneway(*UPLINK, 0.0, 1.0)
+        sim, fabric = make_fabric(plan)
+        outbound = drive_transfer(sim, fabric, 3, 0)
+        assert isinstance(outbound.get("error"), TransferDropped)
+        inbound = drive_transfer(sim, fabric, 0, 3)
+        assert "outcome" in inbound
+        assert plan.blackholes == 1
+        assert plan.drops == 1
+
+    def test_no_reroute_around_a_blackhole(self):
+        """Unlike a down link, a blackhole triggers zero route
+        recomputation: the transfer pays the full traversal and loses."""
+        plan = FabricFaultPlan()
+        plan.link_down_oneway(*UPLINK, 0.0, 1.0)
+        sim, fabric = make_fabric(plan)
+        outbound = drive_transfer(sim, fabric, 3, 0)
+        assert isinstance(outbound.get("error"), TransferDropped)
+        assert plan.reroutes == 0
+
+    def test_window_expiry_restores_delivery(self):
+        plan = FabricFaultPlan()
+        plan.link_down_oneway(*UPLINK, 0.0, 1e-3)
+        sim, fabric = make_fabric(plan)
+        late = drive_transfer(sim, fabric, 3, 0, delay=2e-3)
+        assert "outcome" in late
+        assert plan.blackholes == 0
+
+    def test_other_hosts_are_untouched(self):
+        plan = FabricFaultPlan()
+        plan.link_down_oneway(*UPLINK, 0.0, 1.0)
+        sim, fabric = make_fabric(plan)
+        assert "outcome" in drive_transfer(sim, fabric, 1, 2)
+        assert "outcome" in drive_transfer(sim, fabric, 2, 3)
+
+
+class TestAsymmetricPartitionCentral:
+    def silence_uplink(self, start=1e-3, end=1.45e-3):
+        """Blackhole h3 -> monitor for ~4.5 heartbeats: long enough to
+        suspect (3 HB), healed before the death verdict (6 HB)."""
+        plan = FabricFaultPlan()
+        plan.link_down_oneway(*UPLINK, start, end)
+        return make_monitor(plan=plan)
+
+    def test_uplink_loss_draws_honest_suspicion(self):
+        sim, monitor = self.silence_uplink()
+        sim.run(until=1.4e-3)
+        assert monitor.membership.state_of(3) is NodeHealthState.SUSPECTED
+        # Honest: node 3 is alive, so the books call it false —
+        # but every missed heartbeat really was lost on the wire.
+        assert monitor.false_suspicions == 1
+        assert monitor.heartbeats_lost > 0
+
+    def test_refutation_on_heal(self):
+        sim, monitor = self.silence_uplink()
+        sim.run(until=3e-3)
+        assert monitor.membership.state_of(3) is NodeHealthState.HEALTHY
+        assert monitor.deaths == []
+        log = monitor.membership.render_log()
+        assert "missed-heartbeats" in log
+        assert "heartbeat-resumed" in log
+
+    def test_downlink_loss_is_invisible_to_the_monitor(self):
+        """Heartbeats flow node -> monitor only; killing the reverse
+        direction for the whole run changes nothing."""
+        plan = FabricFaultPlan()
+        plan.link_down_oneway(*DOWNLINK, 0.0, 1.0)
+        sim, monitor = make_monitor(plan=plan)
+        sim.run(until=3e-3)
+        assert monitor.membership.epoch == 0
+        assert monitor.false_suspicions == 0
+        assert monitor.deaths == []
+
+    def test_long_blackhole_is_an_honest_false_death(self):
+        """Past the death budget the monitor buries a live node — the
+        no-oracle contract, now reachable with one oriented edge."""
+        plan = FabricFaultPlan()
+        plan.link_down_oneway(*UPLINK, 1e-3, 2.5e-3)
+        sim, monitor = make_monitor(plan=plan)
+        sim.run(until=2.2e-3)
+        deaths = monitor.pop_deaths()
+        assert [d.node for d in deaths] == [3]
+        assert deaths[0].false_positive
+
+    def test_health_log_is_byte_identical_across_runs(self):
+        logs = []
+        for _ in range(2):
+            sim, monitor = self.silence_uplink()
+            sim.run(until=3e-3)
+            logs.append(monitor.membership.render_log())
+        assert logs[0] == logs[1]
+        assert "missed-heartbeats" in logs[0]

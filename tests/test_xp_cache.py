@@ -349,8 +349,20 @@ class TestRegistry:
         from repro.xp import EXPERIMENTS, get_experiments
 
         names = [spec.name for spec in EXPERIMENTS]
-        assert names == ["e20_fault_campaigns", "e21_detection_tradeoff",
-                         "e22_jobs_service", "perf_engine"]
+        assert names == [
+            "e20_fault_campaigns", "e21_detection_tradeoff",
+            "e22_jobs_service", "e23_gossip_membership",
+            "e01_tech_curves", "e02_petaflops_crossing",
+            "e03_node_architectures", "e04_interconnects",
+            "e05_app_scaling", "e06_density", "e07_scheduling",
+            "e08_fault_scale", "e09_checkpoint_ablation",
+            "e10_pim_ablation", "e11_cost_performance",
+            "e12_top500_extrapolation", "e13_ablations",
+            "e14_checkpoint_io_wall", "e15_fault_aware_operation",
+            "e16_history_validation", "e17_fleet_evolution",
+            "perf_engine",
+        ]
+        assert len(set(names)) == len(names)
         assert [s.name for s in get_experiments(["perf_engine"])] \
             == ["perf_engine"]
         with pytest.raises(ValueError, match="unknown experiment"):
